@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared boilerplate for the paper-reproduction benches: each bench is
+/// a standalone binary that prints the table/series of one paper figure
+/// and drops a CSV next to it for replotting.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace sscl::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void footnote(const std::string& text) {
+  std::printf("\n%s\n\n", text.c_str());
+}
+
+}  // namespace sscl::bench

@@ -1,0 +1,87 @@
+/// Experiment F2 (paper Fig. 2): the generic STSCL gate works across the
+/// full bias range -- constant 200 mV swing from 1 pA to 100 nA tail
+/// current, delay inversely proportional to the bias, replica-regulated
+/// load. Also runs the load-device ablation (bulk-drain shorted PMOS vs
+/// a plain diode-connected load).
+
+#include "bench_common.hpp"
+#include "device/mosfet.hpp"
+#include "spice/engine.hpp"
+#include "stscl/characterize.hpp"
+#include "stscl/fabric.hpp"
+#include "util/numeric.hpp"
+
+using namespace sscl;
+
+namespace {
+
+/// Swing of a buffer whose loads are plain diode-connected PMOS
+/// (gate tied to drain) instead of the paper's bulk-drain-shorted
+/// replica-biased device: the ablation baseline.
+double diode_load_swing(const device::Process& proc, double iss) {
+  spice::Circuit c;
+  const spice::NodeId vdd = c.node("vdd");
+  c.add<spice::VoltageSource>("Vdd", vdd, spice::kGround,
+                              spice::SourceSpec::dc(1.0));
+  const spice::NodeId vbn = c.node("vbn");
+  stscl::SclParams p;
+  p.iss = iss;
+  c.add<spice::CurrentSource>("Ib", vdd, vbn, spice::SourceSpec::dc(iss));
+  c.add<device::Mosfet>("Mb", vbn, vbn, spice::kGround, spice::kGround,
+                        proc.nmos_hvt, p.tail);
+  const spice::NodeId t = c.node("tail");
+  c.add<device::Mosfet>("Mt", t, vbn, spice::kGround, spice::kGround,
+                        proc.nmos_hvt, p.tail);
+  const spice::NodeId outp = c.node("outp");
+  const spice::NodeId outn = c.node("outn");
+  const spice::NodeId inp = c.node("inp");
+  const spice::NodeId inn = c.node("inn");
+  c.add<spice::VoltageSource>("Vip", inp, spice::kGround,
+                              spice::SourceSpec::dc(1.0));
+  c.add<spice::VoltageSource>("Vin", inn, spice::kGround,
+                              spice::SourceSpec::dc(0.8));
+  c.add<device::Mosfet>("M1", outn, inp, t, spice::kGround, proc.nmos, p.pair);
+  c.add<device::Mosfet>("M2", outp, inn, t, spice::kGround, proc.nmos, p.pair);
+  // Diode-connected loads.
+  c.add<device::Mosfet>("MLp", outp, outp, vdd, vdd, proc.pmos, p.load);
+  c.add<device::Mosfet>("MLn", outn, outn, vdd, vdd, proc.pmos, p.load);
+  spice::Engine engine(c);
+  const spice::Solution op = engine.solve_op();
+  return op.v(outp) - op.v(outn);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F2", "Generic STSCL gate (paper Fig. 2)");
+  const device::Process proc = device::Process::c180();
+
+  util::Table t({"Iss/gate", "DC swing", "delay", "delay*Iss", "swing(diode load)"});
+  util::CsvWriter csv("bench_fig2_stscl_gate.csv",
+                      {"iss", "swing", "delay", "swing_diode"});
+
+  for (double iss : util::logspace(1e-12, 1e-7, 6)) {
+    stscl::SclParams p;
+    p.iss = iss;
+    const double swing = stscl::measure_dc_swing(proc, p);
+    double delay = 0.0;
+    if (iss >= 1e-11) {  // transient at 1 pA takes minutes; skip politely
+      delay = stscl::measure_buffer_delay(proc, p).td_avg;
+    }
+    const double swing_diode = diode_load_swing(proc, iss);
+    t.row()
+        .add_unit(iss, "A")
+        .add_unit(swing, "V")
+        .add(delay > 0 ? util::format_si(delay, "s", 4) : std::string("-"))
+        .add(delay > 0 ? util::format_si(delay * iss, "C", 3) : std::string("-"))
+        .add_unit(swing_diode, "V");
+    csv.write_row({iss, swing, delay, swing_diode});
+  }
+  std::cout << t;
+  bench::footnote(
+      "Paper claim: swing fixed at ~200 mV by the replica bias across 5\n"
+      "decades of tail current; delay scales as 1/Iss (constant delay*Iss).\n"
+      "Ablation: a diode-connected load cannot hold the swing -- it is\n"
+      "pinned near a VSG drop and collapses the differential level.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// Experiment F3 (paper Fig. 3): the trade-off decoupling argument.
+/// CMOS couples delay, power and noise margin to VDD and VT; STSCL
+/// decouples them -- delay depends only on Iss, swing only on the
+/// replica target, and the supply barely matters. Quantified as
+/// sensitivities measured on both topologies with the same device model.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cmos/cmos_logic.hpp"
+#include "stscl/characterize.hpp"
+
+using namespace sscl;
+
+namespace {
+
+/// Relative sensitivity d(ln y)/d(ln x) by central difference.
+template <typename F>
+double log_sensitivity(F f, double x, double rel = 0.05) {
+  const double y1 = f(x * (1 - rel));
+  const double y2 = f(x * (1 + rel));
+  return std::log(y2 / y1) / std::log((1 + rel) / (1 - rel));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F3", "CMOS vs STSCL design trade-offs (paper Fig. 3)");
+  const device::Process proc = device::Process::c180();
+
+  // --- CMOS: delay sensitivity to VDD and VT at subthreshold supply.
+  cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
+  const double s_cmos_vdd =
+      log_sensitivity([&](double v) { return cm.delay(v); }, 0.4);
+  auto cmos_delay_vt = [&](double vt) {
+    device::Process p2 = proc;
+    p2.nmos.vt0 = vt;
+    cmos::CmosGateModel m2(p2, cmos::CmosGateParams{});
+    return m2.delay(0.4);
+  };
+  const double s_cmos_vt = log_sensitivity(cmos_delay_vt, proc.nmos.vt0, 0.02);
+
+  // --- STSCL: delay sensitivity to VDD and VT at fixed Iss.
+  auto scl_delay_vdd = [&](double vdd) {
+    stscl::SclParams p;
+    p.iss = 1e-9;
+    p.vdd = vdd;
+    return stscl::measure_buffer_delay(proc, p).td_avg;
+  };
+  const double s_scl_vdd = log_sensitivity(scl_delay_vdd, 1.0);
+  auto scl_delay_vt = [&](double vt) {
+    device::Process p2 = proc;
+    p2.nmos.vt0 = vt;
+    p2.nmos_hvt.vt0 = vt + 0.17;
+    stscl::SclParams p;
+    p.iss = 1e-9;
+    return stscl::measure_buffer_delay(p2, p).td_avg;
+  };
+  const double s_scl_vt = log_sensitivity(scl_delay_vt, proc.nmos.vt0, 0.02);
+  // And the knob that does matter: Iss.
+  auto scl_delay_iss = [&](double iss) {
+    stscl::SclParams p;
+    p.iss = iss;
+    return stscl::measure_buffer_delay(proc, p).td_avg;
+  };
+  const double s_scl_iss = log_sensitivity(scl_delay_iss, 1e-9, 0.3);
+
+  util::Table t({"topology", "dln(td)/dln(VDD)", "dln(td)/dln(VT)",
+                 "dln(td)/dln(Iss)"});
+  t.row().add("CMOS @0.4V").add(s_cmos_vdd, 3).add(s_cmos_vt, 3).add("n/a");
+  t.row().add("STSCL @1nA").add(s_scl_vdd, 3).add(s_scl_vt, 3).add(s_scl_iss, 3);
+  std::cout << t;
+
+  util::CsvWriter csv("bench_fig3_tradeoffs.csv",
+                      {"s_cmos_vdd", "s_cmos_vt", "s_scl_vdd", "s_scl_vt",
+                       "s_scl_iss"});
+  csv.write_row({s_cmos_vdd, s_cmos_vt, s_scl_vdd, s_scl_vt, s_scl_iss});
+
+  bench::footnote(
+      "Paper claim (Fig. 3): CMOS delay couples exponentially to VDD and\n"
+      "VT in subthreshold (|sensitivities| >> 1); STSCL delay is set by\n"
+      "Iss alone (sensitivity ~ -1) with near-zero VDD/VT sensitivity, so\n"
+      "process parameters can be chosen freely to cut leakage.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Experiment F5 (paper Fig. 5): current-mode folder and interpolator
+/// transfer characteristics. Prints the folding waveform of one folder
+/// (behavioural, cross-checked against the transistor-level folder cell)
+/// and the interpolated fine-line crossing positions with their bow.
+
+#include <cmath>
+
+#include "analog/folding.hpp"
+#include "bench_common.hpp"
+#include "spice/engine.hpp"
+#include "util/numeric.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("F5", "Current-mode folder + interpolator (paper Fig. 5)");
+  const device::Process proc = device::Process::c180();
+  analog::FoldingParams p;
+  analog::FoldingFrontEnd fe(p);
+
+  // --- folder waveform samples (folder 0, first two folds).
+  {
+    util::CsvWriter csv("bench_fig5_folder_wave.csv", {"vin", "i_folder0"});
+    for (double x = p.v_bottom; x <= p.v_bottom + 70 * p.lsb();
+         x += p.lsb() / 2) {
+      csv.write_row({x, fe.folder_output(0, x)});
+    }
+    std::printf("Folder 0 waveform written to bench_fig5_folder_wave.csv\n");
+  }
+
+  // --- transistor-level folder: sign pattern around its crossings.
+  {
+    spice::Circuit c;
+    const analog::FolderCircuit fc = analog::build_folder_circuit(c, proc, p, 3);
+    spice::Engine engine(c);
+    util::Table t({"vin", "i_diff (circuit)", "region"});
+    for (int k = 0; k < 3; ++k) {
+      const double cross = 0.6 + (k - 1.0) * 0.08;
+      for (double dx : {-0.02, 0.02}) {
+        fc.vin->set_spec(spice::SourceSpec::dc(cross + dx));
+        const spice::Solution op = engine.solve_op();
+        const double diff = op.branch_current(fc.sense_p->branch()) -
+                            op.branch_current(fc.sense_n->branch());
+        t.row()
+            .add_unit(cross + dx, "V")
+            .add_unit(diff, "A")
+            .add((dx < 0 ? "below" : "above") + std::string(" crossing ") +
+                 std::to_string(k));
+      }
+    }
+    std::cout << t;
+  }
+
+  // --- interpolated crossing bow: position error of all 32 fine lines.
+  {
+    util::Table t({"line", "ideal pos [LSB]", "actual pos [LSB]", "bow [LSB]"});
+    util::CsvWriter csv("bench_fig5_interp_bow.csv", {"line", "bow_lsb"});
+    double worst = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      const double ideal = fe.ideal_crossing(i);
+      double lo = ideal - 2 * p.lsb(), hi = ideal + 2 * p.lsb();
+      double flo = fe.fine_signal(i, lo);
+      for (int it = 0; it < 50; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if ((fe.fine_signal(i, mid) > 0) == (flo > 0)) {
+          lo = mid;
+          flo = fe.fine_signal(i, lo);
+        } else {
+          hi = mid;
+        }
+      }
+      const double bow = (0.5 * (lo + hi) - ideal) / p.lsb();
+      worst = std::max(worst, std::fabs(bow));
+      if (i % 4 == 0 || std::fabs(bow) > 0.05) {
+        t.row()
+            .add(static_cast<long long>(i))
+            .add((ideal - p.v_bottom) / p.lsb(), 4)
+            .add((0.5 * (lo + hi) - p.v_bottom) / p.lsb(), 4)
+            .add(bow, 3);
+      }
+      csv.write_row({static_cast<double>(i), bow});
+    }
+    std::cout << t;
+    std::printf("worst interpolation bow: %.3f LSB\n", worst);
+  }
+
+  bench::footnote(
+      "Paper claim (Fig. 5 / ref [15]): current-mode interpolation between\n"
+      "sine-like folder outputs keeps crossing errors well below an LSB at\n"
+      "interpolation factor 8; the transistor-level folder shows the same\n"
+      "alternating current-steering behaviour as the behavioural model.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Experiment F6 (paper Fig. 6(d)): bandwidth recovery of the
+/// subthreshold preamp by decoupling the DWell (nwell-to-substrate)
+/// parasitic from the output with a high-value series resistance MC.
+
+#include "analog/preamp.hpp"
+#include "bench_common.hpp"
+#include "util/numeric.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("F6", "Preamp DWell decoupling (paper Fig. 6(d))");
+  const device::Process proc = device::Process::c180();
+
+  util::Table t({"Iss", "gain", "BW plain", "BW decoupled", "improvement"});
+  util::CsvWriter csv("bench_fig6_preamp_zero.csv",
+                      {"iss", "gain", "bw_plain", "bw_decoupled"});
+
+  for (double iss : util::logspace(1e-10, 1e-8, 3)) {
+    analog::PreampParams plain;
+    plain.iss = iss;
+    plain.decouple_bulk = false;
+    const analog::PreampResponse r0 = measure_preamp_response(proc, plain);
+
+    analog::PreampParams fixed = plain;
+    fixed.decouple_bulk = true;
+    fixed.r_decouple = 0;  // auto: 10x the load resistance (an MC device)
+    const analog::PreampResponse r1 = measure_preamp_response(proc, fixed);
+
+    t.row()
+        .add_unit(iss, "A")
+        .add(r1.dc_gain, 3)
+        .add_unit(r0.bandwidth_3db, "Hz")
+        .add_unit(r1.bandwidth_3db, "Hz")
+        .add(r1.bandwidth_3db / r0.bandwidth_3db, 3);
+    csv.write_row({iss, r1.dc_gain, r0.bandwidth_3db, r1.bandwidth_3db});
+  }
+  std::cout << t;
+
+  bench::footnote(
+      "Paper claim (Fig. 6(d)): the well-substrate junction capacitance\n"
+      "loads the preamp output; inserting the high-value MC resistance in\n"
+      "the bulk-drain connection creates a pole-zero pair that restores\n"
+      "several times the bandwidth at identical bias current, across the\n"
+      "whole power-scaling range.");
+  return 0;
+}

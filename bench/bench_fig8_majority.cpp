@@ -1,0 +1,110 @@
+/// Experiment F8 (paper Fig. 8): the compound majority cell with merged
+/// output latch -- one tail current computes maj(a,b,c) and pipelines
+/// it. Transistor-level truth table, latch hold behaviour, and the
+/// gate-count saving vs a 2-input-gate mapping.
+
+#include "bench_common.hpp"
+#include "digital/netlist.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "stscl/fabric.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("F8", "Majority + latch compound STSCL cell (paper Fig. 8)");
+  const device::Process proc = device::Process::c180();
+
+  // --- transistor-level truth table (clock high = evaluate).
+  {
+    util::Table t({"a", "b", "c", "maj(a,b,c)", "v_diff"});
+    for (int row = 0; row < 8; ++row) {
+      const bool a = row & 1, b = row & 2, c = row & 4;
+      spice::Circuit ckt;
+      stscl::SclParams p;
+      p.iss = 1e-9;
+      stscl::SclFabric fab(ckt, proc, p);
+      auto sa = fab.signal("a"), sb = fab.signal("b"), sc = fab.signal("c"),
+           sk = fab.signal("clk");
+      fab.drive_const(sa, a);
+      fab.drive_const(sb, b);
+      fab.drive_const(sc, c);
+      fab.drive_const(sk, true);
+      auto out = fab.majority3_latch(sa, sb, sc, sk, "maj");
+      spice::Engine engine(ckt);
+      const spice::Solution op = engine.solve_op();
+      const double v = op.v(out.p) - op.v(out.n);
+      const bool expect = (a && b) || (b && c) || (a && c);
+      t.row()
+          .add(static_cast<long long>(a))
+          .add(static_cast<long long>(b))
+          .add(static_cast<long long>(c))
+          .add(static_cast<long long>(expect))
+          .add_unit(v, "V");
+    }
+    std::cout << t;
+  }
+
+  // --- latch hold: value survives input changes while clk = 0.
+  {
+    spice::Circuit ckt;
+    stscl::SclParams p;
+    p.iss = 1e-9;
+    stscl::SclFabric fab(ckt, proc, p);
+    auto sa = fab.signal("a"), sb = fab.signal("b"), sc = fab.signal("c"),
+         sk = fab.signal("clk");
+    const double td0 = 2e-6;
+    fab.drive_const(sa, true);
+    fab.drive_const(sb, true);  // maj = 1 while clk high
+    fab.drive_pulse(sc, 10 * td0, td0 / 10, 100 * td0);  // c rises later
+    // clock: high for the first 5 td, then low (hold).
+    auto clk_drv = fab.drive(
+        sk,
+        spice::SourceSpec::pulse(p.v_high(), p.v_low(), 5 * td0, td0 / 10,
+                                 td0 / 10, 1.0),
+        spice::SourceSpec::pulse(p.v_low(), p.v_high(), 5 * td0, td0 / 10,
+                                 td0 / 10, 1.0));
+    (void)clk_drv;
+    auto out = fab.majority3_latch(sa, sb, sc, sk, "maj");
+    spice::Engine engine(ckt);
+    spice::TransientOptions opts;
+    opts.tstop = 20 * td0;
+    const spice::Waveform w = run_transient(engine, opts);
+    std::printf(
+        "hold test: v_diff at eval end = %+.0f mV, after inputs change "
+        "during hold = %+.0f mV (must stay positive)\n",
+        1e3 * (w.at(out.p, 4.9 * td0) - w.at(out.n, 4.9 * td0)),
+        1e3 * (w.at(out.p, 19 * td0) - w.at(out.n, 19 * td0)));
+  }
+
+  // --- compound-gate saving (gate = tail current = power unit).
+  {
+    digital::Netlist compound;
+    compound.clock();
+    auto a = compound.input("a"), b = compound.input("b"), c = compound.input("c");
+    compound.maj3_latch(a, b, c, true, "m");
+
+    digital::Netlist mapped;
+    mapped.clock();
+    auto a2 = mapped.input("a"), b2 = mapped.input("b"), c2 = mapped.input("c");
+    auto ab = mapped.and2(a2, b2, "ab");
+    auto bc = mapped.and2(b2, c2, "bc");
+    auto ca = mapped.and2(c2, a2, "ca");
+    auto o1 = mapped.or2(ab, bc, "o1");
+    auto o2 = mapped.or2(o1, ca, "o2");
+    mapped.latch(o2, true, "q");
+
+    std::printf(
+        "gate (tail) count: compound majority+latch = %d, 2-input mapping "
+        "= %d -> %.1fx power saving at equal Iss\n",
+        compound.gate_count(), mapped.gate_count(),
+        static_cast<double>(mapped.gate_count()) / compound.gate_count());
+  }
+
+  bench::footnote(
+      "Paper claim (Fig. 8): three stacked NMOS pair levels compute the\n"
+      "majority in a single tail current and the merged latch pipelines it\n"
+      "for free; versus a 2-input-gate mapping this is a ~6x power saving\n"
+      "per majority cell.");
+  return 0;
+}

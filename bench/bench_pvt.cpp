@@ -1,0 +1,87 @@
+/// Extension experiment (paper Section I/II claims): PVT robustness.
+/// "This family of circuits is less sensitive to the process and
+/// temperature variations" -- quantified: STSCL swing/delay across
+/// process corners and -40..85 C, against subthreshold CMOS delay on
+/// the same corners.
+
+#include "bench_common.hpp"
+#include "cmos/cmos_logic.hpp"
+#include "stscl/characterize.hpp"
+#include "util/constants.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("EXT-P", "PVT sensitivity: STSCL vs subthreshold CMOS");
+
+  struct Corner {
+    const char* name;
+    device::Process process;
+  };
+  const std::vector<Corner> corners = {
+      {"slow", device::Process::c180_slow()},
+      {"typ", device::Process::c180()},
+      {"fast", device::Process::c180_fast()},
+  };
+
+  // --- process corners at 300 K.
+  {
+    util::Table t({"corner", "STSCL swing", "STSCL delay @1nA",
+                   "CMOS delay @0.35V"});
+    util::CsvWriter csv("bench_pvt_corners.csv",
+                        {"corner", "swing", "scl_delay", "cmos_delay"});
+    int idx = 0;
+    for (const Corner& c : corners) {
+      stscl::SclParams p;
+      p.iss = 1e-9;
+      const double swing = stscl::measure_dc_swing(c.process, p);
+      const double d = stscl::measure_buffer_delay(c.process, p).td_avg;
+      cmos::CmosGateModel cm(c.process, cmos::CmosGateParams{});
+      const double dc = cm.delay(0.35);
+      t.row().add(c.name).add_unit(swing, "V").add_unit(d, "s").add_unit(dc, "s");
+      csv.write_row({static_cast<double>(idx++), swing, d, dc});
+    }
+    std::cout << t;
+  }
+
+  // --- temperature sweep, typical corner.
+  {
+    util::Table t({"T", "STSCL swing", "STSCL delay @1nA",
+                   "CMOS delay @0.35V"});
+    util::CsvWriter csv("bench_pvt_temperature.csv",
+                        {"temp_c", "swing", "scl_delay", "cmos_delay"});
+    double scl_min = 1e30, scl_max = 0, cm_min = 1e30, cm_max = 0;
+    for (double celsius : {-40.0, 0.0, 27.0, 85.0}) {
+      const device::Process proc =
+          device::Process::c180().at_temperature(
+              util::celsius_to_kelvin(celsius));
+      stscl::SclParams p;
+      p.iss = 1e-9;
+      const double swing = stscl::measure_dc_swing(proc, p);
+      const double d = stscl::measure_buffer_delay(proc, p).td_avg;
+      cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
+      const double dc = cm.delay(0.35);
+      scl_min = std::min(scl_min, d);
+      scl_max = std::max(scl_max, d);
+      cm_min = std::min(cm_min, dc);
+      cm_max = std::max(cm_max, dc);
+      t.row()
+          .add(util::format_si(celsius, "C", 3))
+          .add_unit(swing, "V")
+          .add_unit(d, "s")
+          .add_unit(dc, "s");
+      csv.write_row({celsius, swing, d, dc});
+    }
+    std::cout << t;
+    std::printf("\ndelay spread -40..85 C: STSCL %.2fx, CMOS %.0fx\n",
+                scl_max / scl_min, cm_max / cm_min);
+  }
+
+  bench::footnote(
+      "Paper claims: the replica bias regenerates VBP per corner and the\n"
+      "tail mirror fixes the current, so STSCL swing and delay barely move\n"
+      "across process corners and temperature; subthreshold CMOS delay\n"
+      "moves orders of magnitude (exponential in VT and UT shifts), which\n"
+      "is exactly why designers flee the subthreshold regime in CMOS.");
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Experiment P1 (infrastructure): google-benchmark microbenchmarks of
+/// the simulation kernels every experiment above runs on -- dense and
+/// sparse LU, DC operating points of STSCL cells, transient steps, and
+/// the gate-level event simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "digital/fmax.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "stscl/fabric.hpp"
+#include "util/rng.hpp"
+
+using namespace sscl;
+
+namespace {
+
+void BM_DenseLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  spice::DenseMatrix<double> m(n);
+  std::vector<double> base(static_cast<std::size_t>(n) * n);
+  for (auto& v : base) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    m.clear();
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) m.add(r, c, base[r * n + c]);
+      m.add(r, r, 4.0);
+    }
+    std::vector<double> b(n, 1.0);
+    m.factor_and_solve(b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_DenseLu)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseLu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  spice::SparseMatrix m(n);
+  // Tridiagonal + random fill (MNA-like pattern).
+  for (int i = 0; i < n; ++i) {
+    m.add(i, i, 4.0 + rng.uniform());
+    if (i > 0) m.add(i, i - 1, -1.0);
+    if (i + 1 < n) m.add(i, i + 1, -1.0);
+    m.add(i, static_cast<int>(rng.bounded(n)), 0.1);
+  }
+  for (auto _ : state) {
+    m.clear();
+    for (int i = 0; i < n; ++i) {
+      m.add(i, i, 4.0);
+      if (i > 0) m.add(i, i - 1, -1.0);
+      if (i + 1 < n) m.add(i, i + 1, -1.0);
+    }
+    m.factor();
+    std::vector<double> b(n, 1.0);
+    m.solve(b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_SparseLu)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StsclCellOp(benchmark::State& state) {
+  const device::Process proc = device::Process::c180();
+  spice::Circuit c;
+  stscl::SclParams p;
+  stscl::SclFabric fab(c, proc, p);
+  auto in = fab.signal("in");
+  fab.drive_const(in, true);
+  auto s = in;
+  for (int i = 0; i < 4; ++i) s = fab.buffer(s, "b" + std::to_string(i));
+  spice::Engine engine(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve_op());
+  }
+  state.counters["newton_iters"] =
+      static_cast<double>(engine.total_iterations());
+}
+BENCHMARK(BM_StsclCellOp);
+
+void BM_StsclBufferTransient(benchmark::State& state) {
+  const device::Process proc = device::Process::c180();
+  for (auto _ : state) {
+    spice::Circuit c;
+    stscl::SclParams p;
+    p.iss = 1e-8;
+    stscl::SclFabric fab(c, proc, p);
+    auto in = fab.signal("in");
+    auto out = fab.buffer(in, "dut");
+    (void)out;
+    fab.drive_pulse(in, 1e-6, 1e-8, 3e-6);
+    spice::Engine engine(c);
+    spice::TransientOptions opts;
+    opts.tstop = 8e-6;
+    benchmark::DoNotOptimize(run_transient(engine, opts));
+  }
+}
+BENCHMARK(BM_StsclBufferTransient);
+
+void BM_EncoderEventSim(benchmark::State& state) {
+  digital::Netlist nl;
+  digital::EncoderIo io = digital::build_fai_encoder(nl);
+  stscl::SclModel timing;
+  timing.vsw = 0.2;
+  timing.cl = 12e-15;
+  const auto stimuli = digital::default_stimuli(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(digital::encoder_works_at(
+        nl, io, timing, 1e-9, 10 * timing.delay(1e-9), stimuli));
+  }
+}
+BENCHMARK(BM_EncoderEventSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// Experiment T2 (paper Section III-C text): supply-voltage
+/// insensitivity. The paper varies VDD from 1.0 V to 1.25 V on the
+/// fabricated chip without performance loss. Here: STSCL cell swing and
+/// delay, plus encoder-level checks, across the same supply range (and
+/// beyond), contrasted with the exponential VDD sensitivity of
+/// subthreshold CMOS.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "cmos/cmos_logic.hpp"
+#include "stscl/characterize.hpp"
+#include "util/numeric.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("T2", "Supply-voltage insensitivity (paper Section III-C)");
+  const device::Process proc = device::Process::c180();
+
+  // CMOS comparison runs in subthreshold (0.35 V nominal, iso-speed
+  // class with the 1 nA STSCL cell) and sees the SAME RELATIVE supply
+  // variation: that is the scenario the paper's energy-harvesting
+  // argument addresses.
+  util::Table t({"VDD (STSCL)", "STSCL swing", "STSCL delay",
+                 "VDD (CMOS sub-VT)", "CMOS delay"});
+  util::CsvWriter csv("bench_supply_sensitivity.csv",
+                      {"vdd", "swing", "scl_delay", "vdd_cmos", "cmos_delay"});
+
+  cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
+
+  double scl_d_min = 1e30, scl_d_max = 0, cmos_d_min = 1e30, cmos_d_max = 0;
+  for (double vdd : util::linspace(0.9, 1.3, 5)) {
+    stscl::SclParams p;
+    p.iss = 1e-9;
+    p.vdd = vdd;
+    const double swing = stscl::measure_dc_swing(proc, p);
+    const double d = stscl::measure_buffer_delay(proc, p).td_avg;
+    const double vdd_cmos = 0.35 * vdd / 1.0;
+    const double dc = cm.delay(vdd_cmos);
+    scl_d_min = std::min(scl_d_min, d);
+    scl_d_max = std::max(scl_d_max, d);
+    cmos_d_min = std::min(cmos_d_min, dc);
+    cmos_d_max = std::max(cmos_d_max, dc);
+    t.row()
+        .add_unit(vdd, "V")
+        .add_unit(swing, "V")
+        .add_unit(d, "s")
+        .add_unit(vdd_cmos, "V")
+        .add_unit(dc, "s");
+    csv.write_row({vdd, swing, d, vdd_cmos, dc});
+  }
+  std::cout << t;
+
+  std::printf(
+      "\ndelay spread over the +-18%% supply window: STSCL %.3fx, "
+      "subthreshold CMOS %.1fx\n",
+      scl_d_max / scl_d_min, cmos_d_max / cmos_d_min);
+
+  bench::footnote(
+      "Paper claims: both analog and digital parts are differential, so\n"
+      "the chip tolerates VDD from 1.0 to 1.25 V with no performance\n"
+      "change -- crucial for energy-harvesting supplies. The same sweep\n"
+      "on subthreshold CMOS moves delay by orders of magnitude, which is\n"
+      "why CMOS needs the precisely regulated supply the paper mentions.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Extension experiment (paper Section III-B: "using large enough
+/// transistor sizes can minimize the effect of current mismatch both in
+/// analog and digital parts"): Monte-Carlo yield of the ADC versus the
+/// device sizing that sets the mismatch sigmas (Pelgrom scaling). Yield
+/// criterion: INL <= 1 LSB and DNL <= 0.5 LSB (the paper's Fig. 11
+/// class).
+
+#include "adc/fai_adc.hpp"
+#include "bench_common.hpp"
+
+using namespace sscl;
+
+int main() {
+  bench::banner("EXT-Y", "ADC yield vs device sizing (Pelgrom scaling)");
+
+  // 'size_factor' scales device edge length: sigmas shrink as 1/size.
+  util::Table t({"size factor", "sigma scale", "mean INL", "mean DNL",
+                 "yield (INL<=1, DNL<=0.5)"});
+  util::CsvWriter csv("bench_yield.csv",
+                      {"size", "mean_inl", "mean_dnl", "yield"});
+
+  const int kInstances = 16;
+  for (double size : {0.5, 1.0, 2.0, 4.0}) {
+    adc::FaiAdcConfig cfg;
+    const double s = 1.0 / size;
+    cfg.sigmas.folder_offset *= s;
+    cfg.sigmas.interp_gain *= s;
+    cfg.sigmas.fine_comp_offset *= s;
+    cfg.sigmas.coarse_comp_offset *= s;
+    cfg.sigmas.coarse_ref *= s;
+
+    const adc::MonteCarloLinearity mc =
+        adc::monte_carlo_linearity(cfg, kInstances, 42);
+    int pass = 0;
+    for (int i = 0; i < kInstances; ++i) {
+      if (mc.max_inl[i] <= 1.0 && mc.max_dnl[i] <= 0.5) ++pass;
+    }
+    t.row()
+        .add(size, 3)
+        .add(s, 3)
+        .add(mc.mean_inl, 3)
+        .add(mc.mean_dnl, 3)
+        .add(util::format_si(100.0 * pass / kInstances, "%", 3));
+    csv.write_row({size, mc.mean_inl, mc.mean_dnl,
+                   static_cast<double>(pass) / kInstances});
+  }
+  std::cout << t;
+
+  bench::footnote(
+      "Paper claim: device area is the knob against mismatch (Pelgrom:\n"
+      "sigma ~ 1/sqrt(WL)). Doubling the linear size of the matched\n"
+      "devices halves every offset sigma and moves the converter from\n"
+      "marginal to comfortable Fig. 11-class linearity; the area cost is\n"
+      "what the paper's 0.6 mm^2 die pays for its medium accuracy.");
+  return 0;
+}

@@ -1,0 +1,165 @@
+/// deck_runner: a miniature command-line SPICE built from this
+/// library's pieces. Reads a deck file (or a built-in demo deck when no
+/// file is given), runs every analysis card it contains and prints the
+/// results — operating-point report, DC sweep table, transient
+/// measurements, AC gain/bandwidth.
+///
+///   build/examples/deck_runner [deck.sp] [node ...]
+///
+/// Extra arguments name the nodes to report (default: all).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "device/deck_parser.hpp"
+#include "device/op_report.hpp"
+#include "spice/ac.hpp"
+#include "spice/elements.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+const char* kDemoDeck = R"(demo: STSCL-style current mirror with RC load
+Vdd vdd 0 1.2
+Ib vdd vbn 1n
+MB vbn vbn 0 0 nmos_hvt W=2u L=1u
+MT out vbn 0 0 nmos_hvt W=2u L=1u
+RL vdd out 100meg
+CL out 0 100f
+Vac probe 0 DC 0 AC 1
+Rprobe probe 0 1meg
+.op
+.tran 50u
+.end
+)";
+
+std::vector<sscl::spice::NodeId> pick_nodes(
+    const sscl::spice::Circuit& c, const std::vector<std::string>& wanted) {
+  std::vector<sscl::spice::NodeId> nodes;
+  if (wanted.empty()) {
+    for (int n = 0; n < c.node_count(); ++n) nodes.push_back(n);
+  } else {
+    for (const std::string& name : wanted) {
+      if (auto n = c.find_node(name)) {
+        nodes.push_back(*n);
+      } else {
+        std::fprintf(stderr, "warning: no node named '%s'\n", name.c_str());
+      }
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sscl;
+
+  std::string text;
+  std::vector<std::string> wanted_nodes;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    text = os.str();
+    for (int a = 2; a < argc; ++a) wanted_nodes.emplace_back(argv[a]);
+  } else {
+    std::printf("(no deck given: running the built-in demo)\n");
+    text = kDemoDeck;
+  }
+
+  try {
+    device::ParsedDeck deck = device::parse_deck(text);
+    std::printf("* %s\n", deck.title.c_str());
+    spice::Engine engine(*deck.circuit);
+    const auto nodes = pick_nodes(*deck.circuit, wanted_nodes);
+
+    for (const device::AnalysisCard& card : deck.analyses) {
+      switch (card.kind) {
+        case device::AnalysisCard::Kind::kOp: {
+          const spice::Solution op = engine.solve_op();
+          device::print_op_report(
+              device::collect_op_report(*deck.circuit, op), std::cout);
+          break;
+        }
+        case device::AnalysisCard::Kind::kDc: {
+          auto* src = dynamic_cast<spice::VoltageSource*>(
+              deck.circuit->find_device(card.sweep_source));
+          auto* isrc = dynamic_cast<spice::CurrentSource*>(
+              deck.circuit->find_device(card.sweep_source));
+          if (!src && !isrc) {
+            std::fprintf(stderr, ".dc: unknown source %s\n",
+                         card.sweep_source.c_str());
+            break;
+          }
+          std::vector<double> values;
+          for (double v = card.sweep_start; v <= card.sweep_stop + 1e-15;
+               v += card.sweep_step) {
+            values.push_back(v);
+          }
+          const spice::DcSweepResult sweep = run_dc_sweep(
+              engine, values, [&](double v) {
+                if (src) src->set_spec(spice::SourceSpec::dc(v));
+                if (isrc) isrc->set_spec(spice::SourceSpec::dc(v));
+              });
+          std::vector<std::string> headers = {card.sweep_source};
+          for (auto n : nodes) headers.push_back("v(" + deck.circuit->node_name(n) + ")");
+          util::Table t(headers);
+          for (std::size_t i = 0; i < values.size(); ++i) {
+            t.row().add(values[i], 4);
+            for (auto n : nodes) t.add_unit(sweep.solutions[i].v(n), "V");
+          }
+          std::cout << t;
+          break;
+        }
+        case device::AnalysisCard::Kind::kTran: {
+          spice::TransientOptions opts;
+          opts.tstop = card.tstop;
+          const spice::Waveform w = run_transient(engine, opts);
+          util::Table t({"node", "t=0", "min", "max", "final"});
+          for (auto n : nodes) {
+            t.row()
+                .add(deck.circuit->node_name(n))
+                .add_unit(w.value(n, 0), "V")
+                .add_unit(w.minimum(n), "V")
+                .add_unit(w.maximum(n), "V")
+                .add_unit(w.final_value(n), "V");
+          }
+          std::cout << ".tran " << util::format_si(card.tstop, "s", 3) << " ("
+                    << w.size() << " points)\n"
+                    << t;
+          break;
+        }
+        case device::AnalysisCard::Kind::kAc: {
+          const spice::AcResult ac = run_ac_decade(
+              engine, card.f_start, card.f_stop, card.points_per_decade);
+          util::Table t({"node", "|H| @fstart", "f(-3dB)"});
+          for (auto n : nodes) {
+            t.row()
+                .add(deck.circuit->node_name(n))
+                .add(ac.low_frequency_gain(n), 4)
+                .add_unit(ac.bandwidth_3db(n), "Hz");
+          }
+          std::cout << ".ac " << util::format_si(card.f_start, "Hz", 3) << " .. "
+                    << util::format_si(card.f_stop, "Hz", 3) << "\n"
+                    << t;
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

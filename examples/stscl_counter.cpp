@@ -1,0 +1,81 @@
+/// Digital design example: a 4-stage STSCL Johnson counter built from
+/// the same cells as the ADC encoder (mux2+latch masters, latch slaves
+/// on alternating clock phases), simulated with the event-driven
+/// simulator at two bias points. Johnson rings are the textbook STSCL
+/// sequencer: one-gate logic depth and glitch-free (Gray-like) codes.
+
+#include <cstdio>
+#include <vector>
+
+#include "digital/eventsim.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace sscl;
+  using digital::Netlist;
+  using digital::Ref;
+  using digital::SignalId;
+
+  Netlist nl;
+  nl.clock();
+  // The netlist is feed-forward; the ring closes through a testbench
+  // wire (`tail_fb` is driven with the inverted last tap every cycle),
+  // the standard idiom for ring structures in append-only formats.
+  const SignalId init = nl.input("init");
+  const SignalId tail_fb = nl.input("tail_fb");
+
+  const int kStages = 4;
+  std::vector<Ref> slave(kStages);
+  Ref prev = Ref(tail_fb);
+  for (int i = 0; i < kStages; ++i) {
+    // Master: while initialising, load 0 (~init); otherwise shift. One
+    // compound mux2+latch cell per master (phase 1), a plain latch as
+    // slave (phase 0).
+    Ref m = nl.mux2_latch(Ref(init), Ref(init, true), prev, true,
+                          "m" + std::to_string(i));
+    slave[i] = nl.latch(m, false, "s" + std::to_string(i));
+    prev = slave[i];
+  }
+
+  stscl::SclModel timing;
+  timing.vsw = 0.2;
+  timing.cl = 12e-15;
+
+  for (double iss : {1e-10, 1e-8}) {
+    digital::EventSim sim(nl, timing, iss);
+    const double td = sim.gate_delay();
+    const double period = 8 * td;
+
+    sim.set_input(nl.clock_signal(), false);
+    sim.set_input(init, true);
+    sim.set_input(tail_fb, true);  // = ~tail while the ring is all-zero
+    sim.settle();
+
+    std::printf("Johnson counter @ Iss = %s (clock period %s):\n  ",
+                util::format_si(iss, "A", 3).c_str(),
+                util::format_si(period, "s", 3).c_str());
+    for (int cycle = 0; cycle < 10; ++cycle) {
+      if (cycle == 1) sim.set_input(init, false);
+      // Close the Johnson ring: stage 0 shifts in the INVERTED tail.
+      sim.set_input(tail_fb, !sim.value(slave[kStages - 1]));
+      sim.run_until(sim.time() + period / 2);
+      sim.set_input(nl.clock_signal(), true);
+      sim.run_until(sim.time() + period / 2);
+      sim.set_input(nl.clock_signal(), false);
+      sim.settle();
+      for (int i = 0; i < kStages; ++i) {
+        std::printf("%d", sim.value(slave[i]) ? 1 : 0);
+      }
+      std::printf(cycle + 1 < 10 ? " -> " : "\n");
+    }
+    std::printf("  power: %s, fmax: %s, transitions simulated: %lld\n",
+                util::format_si(nl.static_power(iss, 1.0), "W", 3).c_str(),
+                util::format_si(0.25 / td, "Hz", 3).c_str(),
+                sim.transition_count());
+  }
+
+  std::printf(
+      "\nsame netlist, 100x bias ratio: 100x power, 100x speed -- no\n"
+      "redesign; the STSCL platform knob does everything.\n");
+  return 0;
+}

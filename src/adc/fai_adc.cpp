@@ -1,0 +1,169 @@
+#include "adc/fai_adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/numeric.hpp"
+
+namespace sscl::adc {
+
+namespace {
+
+constexpr int kCoarseLines = 8;
+constexpr int kFineLines = 32;
+
+int gray5(int i) { return i ^ (i >> 1); }
+
+/// Majority-of-neighbours filter with clamped ends (mirrors the Fig. 8
+/// gate rank in the encoder netlist).
+template <typename Word>
+Word majority_filter(Word w, int width) {
+  Word out = 0;
+  for (int i = 0; i < width; ++i) {
+    const int lo = std::max(i - 1, 0);
+    const int hi = std::min(i + 1, width - 1);
+    const int ones = static_cast<int>((w >> lo) & 1) +
+                     static_cast<int>((w >> i) & 1) +
+                     static_cast<int>((w >> hi) & 1);
+    if (ones >= 2) out |= (Word{1} << i);
+  }
+  return out;
+}
+
+}  // namespace
+
+int software_encode(std::uint32_t coarse_pattern, std::uint64_t fine_pattern) {
+  const std::uint32_t cb = majority_filter(coarse_pattern, kCoarseLines);
+  const std::uint64_t fb = majority_filter(fine_pattern, kFineLines);
+
+  // Fine: XOR transition detect -> Gray OR trees -> binary.
+  int gray = 0;
+  for (int i = 1; i < kFineLines; ++i) {
+    const bool h = (((fb >> (i - 1)) ^ (fb >> i)) & 1) != 0;
+    if (h) gray |= gray5(i);
+  }
+  int pos = 0;
+  // Binary from Gray: prefix XOR from the MSB.
+  for (int k = 4; k >= 0; --k) {
+    const int upper = (k == 4) ? 0 : ((pos >> (k + 1)) & 1);
+    pos |= ((upper ^ ((gray >> k) & 1)) & 1) << k;
+  }
+
+  // Coarse: two thermometer->Gray->binary banks (count and count-1),
+  // fine MSB selects. Uses the exact Gray formulas of the netlist so the
+  // two implementations agree bit-for-bit even on non-monotone patterns.
+  auto bank = [cb](int base) {
+    auto line = [cb, base](int k) -> int { return (cb >> (base + k)) & 1; };
+    const int g2 = line(3);
+    const int g1 = line(1) & ~line(5) & 1;
+    const int g0 = ((line(0) & ~line(2)) | (line(4) & ~line(6))) & 1;
+    const int b2 = g2;
+    const int b1 = b2 ^ g1;
+    const int b0 = b1 ^ g0;
+    return b2 * 4 + b1 * 2 + b0;
+  };
+  const int s = pos >= 16 ? bank(1) : bank(0);
+  return s * kFineLines + pos;
+}
+
+FaiAdc::FaiAdc(const FaiAdcConfig& config)
+    : config_(config),
+      front_end_(config.folding),
+      noise_rng_(0xadc0ffee) {}
+
+FaiAdc::FaiAdc(const FaiAdcConfig& config, util::Rng& rng)
+    : config_(config),
+      front_end_(config.folding,
+                 analog::FoldingMismatch::sample(config.folding, config.sigmas,
+                                                 rng)),
+      noise_rng_(rng.next_u64()) {}
+
+std::uint32_t FaiAdc::coarse_pattern(double vin) const {
+  return static_cast<std::uint32_t>(
+      (1u << front_end_.coarse_count(vin)) - 1u);
+}
+
+std::uint64_t FaiAdc::fine_pattern_bits(double vin) const {
+  std::uint64_t w = 0;
+  for (int i = 0; i < kFineLines; ++i) {
+    if (front_end_.fine_bit(i, vin)) w |= (1ULL << i);
+  }
+  return w;
+}
+
+int FaiAdc::convert_noiseless(double vin) const {
+  return software_encode(coarse_pattern(vin), fine_pattern_bits(vin));
+}
+
+int FaiAdc::convert(double vin) {
+  if (config_.input_noise_rms > 0) {
+    vin += noise_rng_.gaussian(0.0, config_.input_noise_rms);
+  }
+  return convert_noiseless(vin);
+}
+
+analysis::LinearityResult FaiAdc::linearity() const {
+  // Strictly in-range: outside [v_bottom, v_top] the folding front end
+  // wraps, which would break the edge search's monotonicity assumption.
+  // A quarter-LSB inset keeps the endpoints off the exact guard-crossing
+  // positions at the range limits.
+  return analysis::measure_linearity_edges(
+      [this](double v) { return convert_noiseless(v); }, n_codes(),
+      v_bottom() + 0.25 * lsb(), v_top() - 0.25 * lsb());
+}
+
+analysis::LinearityResult FaiAdc::linearity_histogram(int samples_per_code) {
+  const int total = n_codes() * samples_per_code;
+  std::vector<int> codes;
+  codes.reserve(total);
+  // Exactly full-scale: outside the range a folding front end WRAPS
+  // (there are no over-range folders in this design), so overdriving the
+  // ramp would alias out-of-range inputs onto interior codes.
+  const double lo = v_bottom();
+  const double hi = v_top();
+  for (int k = 0; k < total; ++k) {
+    const double v = lo + (hi - lo) * (k + 0.5) / total;
+    codes.push_back(convert(v));
+  }
+  return analysis::measure_linearity_histogram(codes, n_codes());
+}
+
+analysis::DynamicMetrics FaiAdc::sine_enob(std::size_t record,
+                                           int requested_cycles) {
+  const int cycles = analysis::coherent_cycles(record, requested_cycles);
+  const double mid = 0.5 * (v_bottom() + v_top());
+  const double amp = 0.495 * (v_top() - v_bottom());
+  std::vector<double> samples(record);
+  for (std::size_t k = 0; k < record; ++k) {
+    const double phase = 2.0 * M_PI * cycles * static_cast<double>(k) /
+                         static_cast<double>(record);
+    samples[k] = static_cast<double>(convert(mid + amp * std::sin(phase)));
+  }
+  return analysis::sine_test(samples, cycles);
+}
+
+MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
+                                          int instances, std::uint64_t seed) {
+  MonteCarloLinearity mc;
+  // Static linearity is defined on the noiseless transfer curve; noise
+  // belongs to the dynamic (ENOB) tests.
+  FaiAdcConfig quiet = config;
+  quiet.input_noise_rms = 0.0;
+  util::Rng rng(seed);
+  for (int i = 0; i < instances; ++i) {
+    FaiAdc adc(quiet, rng);
+    // Code-density (histogram) method: the lab procedure behind Fig. 11,
+    // and the right estimator when mismatch makes the transfer locally
+    // non-monotone (sliver windows at the coarse decision points).
+    const analysis::LinearityResult lin = adc.linearity_histogram();
+    mc.max_inl.push_back(lin.max_abs_inl);
+    mc.max_dnl.push_back(lin.max_abs_dnl);
+  }
+  mc.mean_inl = util::mean(mc.max_inl);
+  mc.mean_dnl = util::mean(mc.max_dnl);
+  mc.worst_inl = *std::max_element(mc.max_inl.begin(), mc.max_inl.end());
+  mc.worst_dnl = *std::max_element(mc.max_dnl.begin(), mc.max_dnl.end());
+  return mc;
+}
+
+}  // namespace sscl::adc

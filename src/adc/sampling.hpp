@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Sampling-rate limits of the converter: the comparators are
+/// regenerative STSCL latches whose time constant scales with the bias
+/// current (tau = C * n * UT / i_unit). At a sampling rate fs each
+/// decision gets half a period to regenerate; inputs inside the
+/// exponentially shrinking metastable window resolve randomly. This is
+/// the physics that forces the paper's bias-proportional-to-fs rule:
+/// at fixed bias the ENOB cliffs beyond the design rate, with the PMU's
+/// linear scaling it stays flat across the whole 800 S/s - 80 kS/s
+/// span.
+
+#include "adc/fai_adc.hpp"
+
+namespace sscl::adc {
+
+struct ComparatorDynamics {
+  double c_reg = 5e-15;  ///< regeneration node capacitance [F]
+  double n = 1.35;       ///< subthreshold slope of the latch pair
+  double temperature = 300.15;
+
+  /// Regeneration time constant at the given comparator bias:
+  /// tau = C / gm with gm = i / (n UT).
+  double tau(double i_unit) const;
+
+  /// Input-referred metastable window after regenerating for t_avail:
+  /// a decision whose initial overdrive is below this resolves randomly.
+  /// v_meta = Vsw * exp(-t/tau), referred through the unity-class preamp.
+  double metastable_window(double i_unit, double t_avail,
+                           double vsw = 0.2) const;
+};
+
+/// A converter sampled at a real clock: wraps FaiAdc and randomises
+/// comparator decisions that fall inside the metastable window for the
+/// given rate and bias.
+class SampledFaiAdc {
+ public:
+  SampledFaiAdc(const FaiAdcConfig& config, util::Rng& rng,
+                ComparatorDynamics dynamics = {});
+
+  /// Convert at sampling rate \p fs with comparator bias \p i_unit.
+  int convert(double vin, double fs, double i_unit);
+
+  /// ENOB from a coherent sine record at the given rate and bias.
+  analysis::DynamicMetrics sine_enob(double fs, double i_unit,
+                                     std::size_t record = 2048,
+                                     int requested_cycles = 61);
+
+  const FaiAdc& adc() const { return adc_; }
+
+ private:
+  FaiAdc adc_;
+  ComparatorDynamics dynamics_;
+  util::Rng rng_;
+};
+
+/// Highest rate at which the ENOB stays above \p enob_floor at a fixed
+/// comparator bias (bisection; the "cliff" position).
+double max_sampling_rate(const FaiAdcConfig& config, double i_unit,
+                         double enob_floor = 6.0, std::uint64_t seed = 3);
+
+}  // namespace sscl::adc

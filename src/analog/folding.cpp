@@ -1,0 +1,245 @@
+#include "analog/folding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "device/mosfet.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::analog {
+
+FoldingMismatch FoldingMismatch::zero(const FoldingParams& p) {
+  FoldingMismatch m;
+  m.folder_offsets.assign(p.n_folders,
+                          std::vector<double>(p.fold_factor, 0.0));
+  m.interp_gain_error.assign(p.fine_lines(), 0.0);
+  m.fine_comp_offsets.assign(p.fine_lines(), 0.0);
+  m.coarse_comp_offsets.assign(p.fold_factor, 0.0);
+  m.coarse_ref_errors.assign(p.fold_factor, 0.0);
+  return m;
+}
+
+FoldingMismatch FoldingMismatch::sample(const FoldingParams& p,
+                                        const Sigmas& s, util::Rng& rng) {
+  FoldingMismatch m = zero(p);
+  for (auto& folder : m.folder_offsets) {
+    for (double& v : folder) v = rng.gaussian(0.0, s.folder_offset);
+  }
+  for (double& v : m.interp_gain_error) v = rng.gaussian(0.0, s.interp_gain);
+  for (double& v : m.fine_comp_offsets) {
+    v = rng.gaussian(0.0, s.fine_comp_offset);
+  }
+  for (double& v : m.coarse_comp_offsets) {
+    v = rng.gaussian(0.0, s.coarse_comp_offset);
+  }
+  for (double& v : m.coarse_ref_errors) v = rng.gaussian(0.0, s.coarse_ref);
+  return m;
+}
+
+FoldingFrontEnd::FoldingFrontEnd(const FoldingParams& params,
+                                 FoldingMismatch mismatch)
+    : params_(params), mm_(std::move(mismatch)) {
+  if (params_.n_folders < 2 || params_.interpolation < 1 ||
+      params_.fold_factor < 2) {
+    throw std::invalid_argument("FoldingFrontEnd: bad parameters");
+  }
+  // Coarse comparator thresholds sit half a fine segment EARLY
+  // (near k*segment - segment/2): the digital bank-select correction
+  // (fine MSB) needs the coarse increment to coincide with the fine
+  // position-16 transition. That transition is the crossing of fine
+  // line 15, which interpolation bows slightly away from the ideal
+  // point -- so the thresholds are DESIGN-CENTERED on the nominal
+  // line-15 crossing (a real design would tune the ladder taps the same
+  // way). Mismatch then adds only small sliver windows, which is the
+  // physical residue the histogram DNL sees.
+  const int mid_line = params_.fine_lines() / 2 - 1;  // line 15
+  const double lsb = params_.lsb();
+  const int period = params_.fine_lines();
+  FoldingMismatch saved = std::move(mm_);
+  mm_ = FoldingMismatch::zero(params_);
+  coarse_thresholds_.resize(params_.fold_factor);
+  for (int k = 1; k <= params_.fold_factor; ++k) {
+    // Bracket the line-15 crossing inside segment k-1.
+    double lo = params_.v_bottom + ((k - 1) * period + mid_line - 3) * lsb;
+    double hi = params_.v_bottom + ((k - 1) * period + mid_line + 5) * lsb;
+    double flo = fine_signal(mid_line, lo);
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double fm = fine_signal(mid_line, mid);
+      if ((fm > 0) == (flo > 0)) {
+        lo = mid;
+        flo = fm;
+      } else {
+        hi = mid;
+      }
+    }
+    coarse_thresholds_[k - 1] = 0.5 * (lo + hi);
+  }
+  mm_ = std::move(saved);
+  for (int k = 0; k < params_.fold_factor; ++k) {
+    coarse_thresholds_[k] += mm_.coarse_ref_errors[k];
+  }
+}
+
+double FoldingFrontEnd::thermal_2nut() const {
+  return 2.0 * params_.n * util::thermal_voltage(params_.temperature);
+}
+
+double FoldingFrontEnd::ideal_crossing(int i) const {
+  // Fine line i crosses at the (i+1)-th code boundary within segment 0,
+  // so code c spans [c, c+1) LSB and samples at code centres sit
+  // half an LSB away from every crossing.
+  return params_.v_bottom + (i + 1.0) * params_.lsb();
+}
+
+double FoldingFrontEnd::folder_output(int j, double vin) const {
+  if (j < 0 || j >= params_.n_folders) {
+    throw std::out_of_range("folder_output");
+  }
+  // Crossings of folder j: one per fold, spaced a full fine period
+  // (fine_lines LSB) apart, at (1 + j*interpolation) LSB within each
+  // segment group (code-boundary aligned). The folding waveform is modelled as a saturated sine
+  // in a phase coordinate that interpolates the (mismatch-shifted)
+  // crossing list: exact zeros at every crossing, weak-inversion tanh
+  // saturation between them (amplitude ratio spacing/(pi*2nUT)).
+  const double lsb = params_.lsb();
+  const double a = thermal_2nut();
+  const int period_codes = params_.fine_lines();
+  const double spacing = period_codes * lsb;
+
+  // Crossings k = -2 .. fold_factor+1 (guards are ideal).
+  const int k_lo = -2;
+  const int k_hi = params_.fold_factor + 1;
+  auto crossing = [&](int k) {
+    const double mm_off =
+        (k >= 0 && k < params_.fold_factor) ? mm_.folder_offsets[j][k] : 0.0;
+    return params_.v_bottom +
+           (1.0 + j * params_.interpolation + k * period_codes) * lsb + mm_off;
+  };
+
+  // Bracket vin between consecutive crossings (clamped at the guards).
+  int k = k_lo;
+  while (k + 1 < k_hi && vin >= crossing(k + 1)) ++k;
+  const double c0 = crossing(k);
+  const double c1 = crossing(k + 1);
+  const double frac = (vin - c0) / (c1 - c0);
+  const double phase = M_PI * (k + frac);
+  const double s = std::sin(phase);
+  return params_.i_unit * std::tanh(spacing / M_PI * s / a);
+}
+
+double FoldingFrontEnd::fine_signal(int i, double vin) const {
+  const int interp = params_.interpolation;
+  const int j = i / interp;
+  const int r = i % interp;
+  if (r == 0) {
+    return folder_output(j, vin) * (1.0 + mm_.interp_gain_error[i]);
+  }
+  const double w = static_cast<double>(r) / interp;
+  const int j_next = (j + 1) % params_.n_folders;
+  // Wrapping to folder 0 crosses into the next fold: sign flip keeps the
+  // crossing orientation consistent (cyclic folder bank).
+  const double sign_next = (j + 1 == params_.n_folders) ? -1.0 : 1.0;
+  const double mixed = (1.0 - w) * folder_output(j, vin) +
+                       w * sign_next * folder_output(j_next, vin);
+  return mixed * (1.0 + mm_.interp_gain_error[i]);
+}
+
+bool FoldingFrontEnd::fine_bit(int i, double vin) const {
+  // Comparator offsets are input-referred: convert to a current offset
+  // via the front-end transconductance around a crossing,
+  // gm ~ i_unit / (2 n UT).
+  const double gm = params_.i_unit / thermal_2nut();
+  return fine_signal(i, vin) - mm_.fine_comp_offsets[i] * gm > 0;
+}
+
+int FoldingFrontEnd::fine_count(double vin) const {
+  int count = 0;
+  for (int i = 0; i < params_.fine_lines(); ++i) {
+    if (fine_bit(i, vin)) ++count;
+  }
+  return count;
+}
+
+int FoldingFrontEnd::coarse_count(double vin) const {
+  int count = 0;
+  for (int k = 0; k < params_.fold_factor; ++k) {
+    if (vin > coarse_thresholds_[k] + mm_.coarse_comp_offsets[k]) ++count;
+  }
+  return count;
+}
+
+double FoldingFrontEnd::analog_current() const {
+  // Folders: fold_factor pairs each; interpolators: one mirror pair per
+  // generated line; comparators: a preamp+latch pair per line (fine and
+  // coarse). All proportional to i_unit -- the paper's single-knob
+  // scaling.
+  const double folders = params_.n_folders * params_.fold_factor;
+  const double interpolators =
+      params_.fine_lines() - params_.n_folders;  // mixed lines only
+  const double comparators = params_.fine_lines() + params_.fold_factor;
+  return (folders + interpolators + 2.0 * comparators) * params_.i_unit;
+}
+
+FolderCircuit build_folder_circuit(spice::Circuit& c,
+                                   const device::Process& process,
+                                   const FoldingParams& params,
+                                   int crossings) {
+  using spice::kGround;
+  using spice::NodeId;
+  using spice::SourceSpec;
+
+  FolderCircuit inst;
+  const NodeId vdd = c.node("fc_vdd");
+  c.add<spice::VoltageSource>("Vdd_fc", vdd, kGround, SourceSpec::dc(1.0));
+
+  // Input drive.
+  inst.in = c.node("fc_in");
+  inst.vin = c.add<spice::VoltageSource>("Vin_fc", inst.in, kGround,
+                                         SourceSpec::dc(params.v_bottom));
+
+  // Output virtual grounds: voltage sources at a fixed potential whose
+  // branch currents read the folder's differential output current
+  // (current-mode output, Fig. 5(a)).
+  const NodeId outp = c.node("fc_outp");
+  const NodeId outn = c.node("fc_outn");
+  inst.sense_p = c.add<spice::VoltageSource>("Vsp_fc", outp, kGround,
+                                             SourceSpec::dc(0.55));
+  inst.sense_n = c.add<spice::VoltageSource>("Vsn_fc", outn, kGround,
+                                             SourceSpec::dc(0.55));
+
+  // Tail bias mirror.
+  const NodeId vbn = c.node("fc_vbn");
+  c.add<spice::CurrentSource>("Ib_fc", vdd, vbn, SourceSpec::dc(params.i_unit));
+  device::MosGeometry tail{2e-6, 1e-6, 0, 0};
+  device::MosGeometry pair{2e-6, 0.5e-6, 0, 0};
+  c.add<device::Mosfet>("Mb_fc", vbn, vbn, kGround, kGround, process.nmos_hvt,
+                        tail, process.temperature);
+
+  // One differential pair per crossing; reference gates from ideal
+  // sources at the crossing voltages; outputs alternate. The demo
+  // crossings sit around 0.6 V so the NMOS pairs keep tail headroom
+  // (a production front end uses level shifting or PMOS pairs for the
+  // lower part of the range).
+  const double spread = 0.08;
+  for (int k = 0; k < crossings; ++k) {
+    const std::string n = "fc_p" + std::to_string(k);
+    const double vref_k = 0.6 + (k - 0.5 * (crossings - 1)) * spread;
+    const NodeId ref = c.node(n + "_ref");
+    c.add<spice::VoltageSource>(n + "_Vr", ref, kGround,
+                                SourceSpec::dc(vref_k));
+    const NodeId t = c.internal_node(n + "_tail");
+    c.add<device::Mosfet>(n + "_Mt", t, vbn, kGround, kGround,
+                          process.nmos_hvt, tail, process.temperature);
+    const NodeId d_in = (k % 2 == 0) ? outp : outn;
+    const NodeId d_ref = (k % 2 == 0) ? outn : outp;
+    c.add<device::Mosfet>(n + "_M1", d_in, inst.in, t, kGround, process.nmos,
+                          pair, process.temperature);
+    c.add<device::Mosfet>(n + "_M2", d_ref, ref, t, kGround, process.nmos,
+                          pair, process.temperature);
+  }
+  return inst;
+}
+
+}  // namespace sscl::analog

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file folding.hpp
+/// Current-mode folding and interpolating front-end (paper Figs. 4, 5;
+/// topology from Flynn & Allstot [14]). Two layers:
+///
+///  * A behavioural model calibrated to the weak-inversion physics: each
+///    folder output is a sum of alternating tanh(v/(2 n UT)) current
+///    steps from its differential pairs; interpolation mixes adjacent
+///    folder currents. Per-pair offsets, interpolation weight errors and
+///    comparator offsets are injected for Monte-Carlo linearity runs —
+///    this is the substitution for the paper's silicon measurements.
+///
+///  * A circuit-level single-folder builder for validating the
+///    behavioural shape against the transistor-level truth (bench F5).
+
+#include <utility>
+#include <vector>
+
+#include "device/mos_params.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::analog {
+
+struct FoldingParams {
+  int n_folders = 4;       ///< parallel folders (fine phases)
+  int fold_factor = 8;     ///< folds per folder == coarse segments
+  int interpolation = 8;   ///< interpolation factor between folders
+  double v_bottom = 0.18;  ///< input range bottom [V]
+  double v_top = 0.82;     ///< input range top [V]
+  double i_unit = 1e-9;    ///< folder pair tail current [A]
+  double n = 1.35;         ///< subthreshold slope of the pairs
+  double temperature = 300.15;
+
+  int fine_lines() const { return n_folders * interpolation; }
+  int coarse_comparators() const { return fold_factor - 1; }
+  int total_codes() const { return fold_factor * fine_lines(); }
+  double v_full_scale() const { return v_top - v_bottom; }
+  double lsb() const { return v_full_scale() / total_codes(); }
+};
+
+/// Mismatch realisation for one ADC instance (all entries are voltage
+/// offsets in volts or relative gain errors).
+struct FoldingMismatch {
+  /// Per folder, per crossing: threshold shift of that zero crossing.
+  std::vector<std::vector<double>> folder_offsets;
+  /// Per fine line: interpolation weight error (relative).
+  std::vector<double> interp_gain_error;
+  /// Per fine comparator: input-referred offset [V-equivalent at input].
+  std::vector<double> fine_comp_offsets;
+  /// Per coarse comparator: input-referred offset [V].
+  std::vector<double> coarse_comp_offsets;
+  /// Coarse reference tap errors [V] (from the ladder model).
+  std::vector<double> coarse_ref_errors;
+
+  static FoldingMismatch zero(const FoldingParams& p);
+  /// Sample from device-level sigmas.
+  /// Defaults correspond to the generously sized devices the paper
+  /// uses against mismatch ("large enough transistor sizes", Section
+  /// III-B): fractions of the 2.5 mV LSB.
+  struct Sigmas {
+    double folder_offset = 0.2e-3;     ///< [V] per crossing
+    double interp_gain = 0.005;        ///< relative
+    double fine_comp_offset = 0.15e-3;  ///< [V]
+    double coarse_comp_offset = 0.3e-3;  ///< [V] (auto-zeroed on chip)
+    double coarse_ref = 0.3e-3;        ///< [V]
+  };
+  static FoldingMismatch sample(const FoldingParams& p, const Sigmas& s,
+                                util::Rng& rng);
+};
+
+class FoldingFrontEnd {
+ public:
+  FoldingFrontEnd(const FoldingParams& params, FoldingMismatch mismatch);
+  explicit FoldingFrontEnd(const FoldingParams& params)
+      : FoldingFrontEnd(params, FoldingMismatch::zero(params)) {}
+
+  const FoldingParams& params() const { return params_; }
+
+  /// Differential output current of folder j at input vin [A].
+  double folder_output(int j, double vin) const;
+
+  /// Interpolated fine signal i (0..fine_lines-1) [A].
+  double fine_signal(int i, double vin) const;
+
+  /// Comparator decision on fine line i (offset-aware).
+  bool fine_bit(int i, double vin) const;
+
+  /// Number of positive fine signals: the fine thermometer count.
+  int fine_count(double vin) const;
+
+  /// Coarse flash thermometer count (0..fold_factor-1 comparators).
+  int coarse_count(double vin) const;
+
+  /// One conversion front-end sample.
+  std::pair<int, int> sample(double vin) const {
+    return {coarse_count(vin), fine_count(vin)};
+  }
+
+  /// Total analog bias current: folders + interpolators + comparators,
+  /// in units of i_unit (the common-bias scaling knob).
+  double analog_current() const;
+
+  /// Ideal zero-crossing position of fine line i within segment 0 [V].
+  double ideal_crossing(int i) const;
+
+ private:
+  double thermal_2nut() const;
+
+  FoldingParams params_;
+  FoldingMismatch mm_;
+  std::vector<double> coarse_thresholds_;
+};
+
+/// Circuit-level folder (Fig. 5(a)): \p crossings differential pairs
+/// with alternating output connection, reference gates from ladder taps.
+/// Returns the differential output current sense nodes (virtual grounds
+/// held by voltage sources so branch currents read the output current).
+struct FolderCircuit {
+  spice::NodeId in = spice::kGround;
+  spice::VoltageSource* vin = nullptr;
+  spice::VoltageSource* sense_p = nullptr;  ///< current into out_p
+  spice::VoltageSource* sense_n = nullptr;
+};
+FolderCircuit build_folder_circuit(spice::Circuit& circuit,
+                                   const device::Process& process,
+                                   const FoldingParams& params,
+                                   int crossings = 3);
+
+}  // namespace sscl::analog

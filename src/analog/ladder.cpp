@@ -1,0 +1,100 @@
+#include "analog/ladder.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sscl::analog {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::SourceSpec;
+
+LadderInstance build_ladder(Circuit& circuit, const device::Process& process,
+                            const LadderParams& params) {
+  if (params.taps < 1) throw std::invalid_argument("ladder: taps < 1");
+  LadderInstance inst;
+  inst.top = circuit.node("lad_top");
+  inst.bottom = circuit.node("lad_bot");
+  circuit.add<spice::VoltageSource>("Vlad_top", inst.top, kGround,
+                                    SourceSpec::dc(params.v_top));
+  circuit.add<spice::VoltageSource>("Vlad_bot", inst.bottom, kGround,
+                                    SourceSpec::dc(params.v_bottom));
+
+  // Fine-ladder device sizing: the MR operates in deep triode (per-tap
+  // drops are millivolts), so its saturation current must be many times
+  // the string current while the bias branch current IRES stays a small
+  // fraction of it -- hence a large MR/MLS W/L ratio. This keeps the
+  // bias branches (which load the string nodes they reference) below a
+  // few percent of the ladder current.
+  const device::MosGeometry mls_geo{0.25e-6, 5e-6, 0, 0};   // W/L = 0.05
+  const device::MosGeometry mr_geo{5e-6, 0.5e-6, 0, 0};     // W/L = 10
+
+  const int n_res = params.taps + 1;
+  NodeId prev = inst.top;
+  ResistorBias bias{};
+  for (int r = 0; r < n_res; ++r) {
+    // One shared bias per group (Fig. 7(d)); the group's MLS references
+    // the group's top node, an approximation the paper accepts because
+    // per-tap drops are small.
+    if (r % params.share_group == 0) {
+      bias = build_resistor_bias(circuit, process,
+                                 "lb" + std::to_string(r / params.share_group),
+                                 prev, params.ires_ratio * params.i_ladder,
+                                 mls_geo);
+      inst.biases.push_back(bias);
+    }
+    const bool last = (r == n_res - 1);
+    const NodeId next =
+        last ? inst.bottom : circuit.node("tap" + std::to_string(params.taps - 1 - r));
+    add_tunable_resistor(circuit, process, "MR" + std::to_string(r), prev,
+                         next, bias.gate, mr_geo);
+    prev = next;
+  }
+  // Tap nodes bottom-to-top order.
+  for (int t = 0; t < params.taps; ++t) {
+    inst.tap_nodes.push_back(circuit.node("tap" + std::to_string(t)));
+  }
+  return inst;
+}
+
+LadderModel::LadderModel(const LadderParams& params)
+    : params_(params), resistor_rel_(params.taps + 1, 1.0) {}
+
+LadderModel::LadderModel(const LadderParams& params, util::Rng& rng)
+    : params_(params), resistor_rel_(params.taps + 1, 1.0) {
+  for (double& r : resistor_rel_) {
+    r = 1.0 + rng.gaussian(0.0, params.sigma_r_rel);
+    if (r < 0.1) r = 0.1;  // guard against absurd samples
+  }
+}
+
+double LadderModel::tap_voltage(int tap) const {
+  if (tap < 0 || tap >= params_.taps) {
+    throw std::out_of_range("LadderModel::tap_voltage");
+  }
+  double total = 0.0;
+  for (double r : resistor_rel_) total += r;
+  // Tap t (bottom-to-top) sits above (t+1) resistors from the bottom.
+  double below = 0.0;
+  for (int r = 0; r <= tap; ++r) {
+    below += resistor_rel_[params_.taps - r];
+  }
+  return params_.v_bottom +
+         (params_.v_top - params_.v_bottom) * below / total;
+}
+
+double LadderModel::power() const {
+  const int n_res = params_.taps + 1;
+  const int groups = (n_res + params_.share_group - 1) / params_.share_group;
+  const double i_bias = groups * params_.ires_ratio * params_.i_ladder;
+  return (params_.i_ladder + i_bias) * params_.v_top;
+}
+
+double LadderModel::power_unshared() const {
+  const int n_res = params_.taps + 1;
+  const double i_bias = n_res * params_.ires_ratio * params_.i_ladder;
+  return (params_.i_ladder + i_bias) * params_.v_top;
+}
+
+}  // namespace sscl::analog

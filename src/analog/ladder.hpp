@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file ladder.hpp
+/// The scalable reference resistor ladder (paper Fig. 7): tap voltages
+/// between two references through tunable high-value resistors, with the
+/// shared-bias option of Fig. 7(d) that amortises the MLS/IRES overhead
+/// across a group of taps. A circuit-level builder (for validation) and
+/// an analytic model with Pelgrom mismatch (for Monte-Carlo ADC runs).
+
+#include <vector>
+
+#include "analog/tunable_resistor.hpp"
+#include "device/mos_params.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::analog {
+
+struct LadderParams {
+  int taps = 255;          ///< number of output taps (resistors = taps+1)
+  double v_top = 0.82;     ///< top reference [V]
+  double v_bottom = 0.18;  ///< bottom reference [V]
+  double i_ladder = 1e-9;  ///< DC current down the string [A]
+  /// How many resistors share one MLS/IRES bias (paper Fig. 7(d)).
+  /// Sharing works because per-tap drops are millivolts: the VSG error
+  /// across a group stays well below UT. Coarse ladders with large
+  /// per-tap drops should use share_group = 1.
+  int share_group = 4;
+  /// IRES as a fraction of the ladder current. Must stay small: the
+  /// bias branch loads the node it references.
+  double ires_ratio = 0.05;
+  /// Relative sigma of per-resistor value mismatch.
+  double sigma_r_rel = 0.01;
+};
+
+/// Circuit-level ladder instance.
+struct LadderInstance {
+  std::vector<spice::NodeId> tap_nodes;
+  std::vector<ResistorBias> biases;
+  spice::NodeId top = spice::kGround;
+  spice::NodeId bottom = spice::kGround;
+};
+
+/// Build the ladder into a circuit (for the Fig. 7 bench and tests).
+LadderInstance build_ladder(spice::Circuit& circuit,
+                            const device::Process& process,
+                            const LadderParams& params);
+
+/// Analytic ladder model used by the ADC:
+class LadderModel {
+ public:
+  LadderModel(const LadderParams& params);
+  /// Sample per-resistor mismatch.
+  LadderModel(const LadderParams& params, util::Rng& rng);
+
+  /// Ideal or mismatch-perturbed tap voltage, tap = 0..taps-1 ordered
+  /// bottom to top.
+  double tap_voltage(int tap) const;
+  int tap_count() const { return params_.taps; }
+
+  /// Total power: string current plus the shared bias branches
+  /// (IRES per group). This is the quantity Fig. 7(d) reduces.
+  double power() const;
+  /// Power of the non-shared variant (one IRES per resistor).
+  double power_unshared() const;
+
+  const LadderParams& params() const { return params_; }
+
+ private:
+  LadderParams params_;
+  std::vector<double> resistor_rel_;  ///< per-resistor relative values
+};
+
+}  // namespace sscl::analog

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file preamp.hpp
+/// The subthreshold pre-amplifier of paper Fig. 6: a double-differential
+/// input stage under bulk-drain-shorted PMOS loads. The load's
+/// nwell-to-substrate junction (DWell) hangs its depletion capacitance
+/// on the output; the paper's fix inserts a very high-value series
+/// resistance (MC) between the load's drain and its bulk, turning the
+/// parasitic pole into a pole-zero pair and recovering bandwidth
+/// (Fig. 6(d)).
+
+#include "device/mos_params.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+
+namespace sscl::analog {
+
+struct PreampParams {
+  double vdd = 1.0;
+  double vsw = 0.2;        ///< load drop at full steering [V]
+  double iss = 1e-9;       ///< per-pair tail current [A]
+  double v_cm = 0.5;       ///< input common mode [V]
+  /// DWell junction area (drawn nwell) [m^2]; sets the parasitic cap.
+  double dwell_area = 40e-12;
+  /// The decoupling resistance MC [ohm]; emulates the paper's
+  /// subthreshold PMOS resistor (Fig. 6(b)) as a linear element.
+  double r_decouple = 2e9;
+  bool decouple_bulk = true;  ///< Fig. 6(b) on/off (the paper's ablation)
+  device::MosGeometry pair{2e-6, 0.5e-6, 1e-12, 1e-12};
+  device::MosGeometry load{0.3e-6, 1.2e-6, 0.15e-12, 0.15e-12};
+  device::MosGeometry tail{2e-6, 1e-6, 0, 0};
+};
+
+/// Built preamp: differential input (in vs ref), differential output.
+struct PreampInstance {
+  spice::NodeId in_p, in_n;    ///< signal inputs
+  spice::NodeId ref_p, ref_n;  ///< reference inputs (double difference)
+  spice::NodeId out_p, out_n;
+  spice::VoltageSource* vin_src;  ///< drives in_p/in_n differentially
+};
+
+/// Build the preamp with its own bias (replica for the loads, mirror for
+/// the tails) into \p circuit. Inputs are driven by internal sources:
+/// vin_src carries the AC magnitude for transfer-function analysis.
+PreampInstance build_preamp(spice::Circuit& circuit,
+                            const device::Process& process,
+                            const PreampParams& params);
+
+/// Measured small-signal figures (from AC analysis).
+struct PreampResponse {
+  double dc_gain = 0.0;        ///< |vout/vin| at low frequency
+  double bandwidth_3db = 0.0;  ///< [Hz]
+};
+
+/// Build + bias + run the AC sweep; the Fig. 6(d) bench calls this twice
+/// (decoupled vs not).
+PreampResponse measure_preamp_response(const device::Process& process,
+                                       const PreampParams& params);
+
+}  // namespace sscl::analog

@@ -1,0 +1,66 @@
+#include "analog/tunable_resistor.hpp"
+
+#include "device/mosfet.hpp"
+#include "spice/engine.hpp"
+
+namespace sscl::analog {
+
+using spice::Circuit;
+using spice::CurrentSource;
+using spice::kGround;
+using spice::NodeId;
+using spice::SourceSpec;
+
+ResistorBias build_resistor_bias(Circuit& circuit,
+                                 const device::Process& process,
+                                 const std::string& name, NodeId top,
+                                 double ires,
+                                 const device::MosGeometry& mls_geometry) {
+  ResistorBias bias;
+  bias.gate = circuit.node(name + "_vg");
+  // MLS: diode-connected PMOS from the top potential; IRES through it
+  // sets VSG, which MR devices then mirror as their own VSG.
+  circuit.add<device::Mosfet>(name + "_MLS", bias.gate, bias.gate, top, top,
+                              process.pmos, mls_geometry, process.temperature);
+  bias.ires = circuit.add<CurrentSource>(name + "_IRES", bias.gate, kGround,
+                                         SourceSpec::dc(ires));
+  return bias;
+}
+
+device::Mosfet* add_tunable_resistor(Circuit& circuit,
+                                     const device::Process& process,
+                                     const std::string& name, NodeId a,
+                                     NodeId b, NodeId gate,
+                                     const device::MosGeometry& geometry) {
+  // MR: source at a, drain and bulk at b (the paper's bulk-drain short
+  // linearises the I-V over the small per-tap drop).
+  return circuit.add<device::Mosfet>(name, b, gate, a, b, process.pmos,
+                                     geometry, process.temperature);
+}
+
+double measure_resistance(const device::Process& process, double ires,
+                          double v_top, double v_drop) {
+  Circuit c;
+  const NodeId top = c.node("top");
+  const NodeId bot = c.node("bot");
+  c.add<spice::VoltageSource>("Vtop", top, kGround, SourceSpec::dc(v_top));
+  auto* vbot = c.add<spice::VoltageSource>("Vbot", bot, kGround,
+                                           SourceSpec::dc(v_top - v_drop));
+  ResistorBias bias = build_resistor_bias(c, process, "rb", top, ires);
+  add_tunable_resistor(c, process, "MR", top, bot, bias.gate);
+
+  spice::Engine engine(c);
+  auto current_at = [&](double drop) {
+    vbot->set_spec(SourceSpec::dc(v_top - drop));
+    const spice::Solution op = engine.solve_op();
+    // Current absorbed by Vbot equals the MR current (bot has no other
+    // connection).
+    return op.branch_current(vbot->branch());
+  };
+  const double dv = std::max(1e-4, 0.05 * v_drop);
+  const double i1 = current_at(v_drop - 0.5 * dv);
+  const double i2 = current_at(v_drop + 0.5 * dv);
+  return dv / (i2 - i1);
+}
+
+}  // namespace sscl::analog

@@ -1,0 +1,65 @@
+#include "analysis/dynamic.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/fft.hpp"
+
+namespace sscl::analysis {
+
+int coherent_cycles(std::size_t record_length, int requested_cycles) {
+  if (requested_cycles < 1) requested_cycles = 1;
+  for (int m = requested_cycles; m >= 1; --m) {
+    if (m % 2 == 1 && std::gcd<std::size_t>(m, record_length) == 1) return m;
+  }
+  return 1;
+}
+
+DynamicMetrics sine_test(const std::vector<double>& samples, int signal_bin) {
+  const std::size_t n = samples.size();
+  if (!is_power_of_two(n) || n < 8) {
+    throw std::invalid_argument("sine_test: need a power-of-two record");
+  }
+  // Remove DC, then rectangular window (the test is coherent).
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = samples[i] - mean;
+
+  const std::vector<double> mag = amplitude_spectrum(x, Window::kRect);
+
+  DynamicMetrics m;
+  if (signal_bin <= 0) {
+    std::size_t best = 1;
+    for (std::size_t k = 2; k < mag.size(); ++k) {
+      if (mag[k] > mag[best]) best = k;
+    }
+    m.signal_bin = static_cast<int>(best);
+  } else {
+    m.signal_bin = signal_bin;
+  }
+
+  double p_signal = 0.0;
+  double p_rest = 0.0;
+  double max_spur = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double p = mag[k] * mag[k];
+    if (std::abs(static_cast<int>(k) - m.signal_bin) <= 1) {
+      p_signal += p;
+    } else {
+      p_rest += p;
+      max_spur = std::max(max_spur, mag[k]);
+    }
+  }
+  m.signal_power = p_signal;
+  m.noise_distortion_power = p_rest;
+  m.sndr_db = 10.0 * std::log10(p_signal / std::max(p_rest, 1e-300));
+  m.sfdr_db = 20.0 * std::log10(std::sqrt(p_signal) /
+                                std::max(max_spur, 1e-300));
+  m.enob = (m.sndr_db - 1.76) / 6.02;
+  return m;
+}
+
+}  // namespace sscl::analysis

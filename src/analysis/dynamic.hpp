@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file dynamic.hpp
+/// Dynamic ADC metrics: SNDR / SFDR / ENOB from a coherent sine-wave
+/// test (the paper quotes ENOB = 6.5 for the 8-bit FAI ADC).
+
+#include <cstddef>
+#include <vector>
+
+namespace sscl::analysis {
+
+struct DynamicMetrics {
+  double signal_power = 0.0;
+  double noise_distortion_power = 0.0;
+  double sndr_db = 0.0;  ///< signal to noise-and-distortion
+  double sfdr_db = 0.0;  ///< spurious-free dynamic range
+  double enob = 0.0;     ///< (SNDR - 1.76) / 6.02
+  int signal_bin = 0;
+};
+
+/// Coherent sine test: \p samples (ADC codes or voltages) containing an
+/// integer number of periods; \p signal_bin is the expected fundamental
+/// bin (cycles in the record). If signal_bin <= 0 the largest non-DC bin
+/// is used. Bins within +-1 of the fundamental count as signal leakage.
+DynamicMetrics sine_test(const std::vector<double>& samples,
+                         int signal_bin = -1);
+
+/// Pick a coherent test frequency: the largest number of cycles <=
+/// requested_cycles that is odd and co-prime with the record length
+/// (guarantees every code is exercised across the record).
+int coherent_cycles(std::size_t record_length, int requested_cycles);
+
+}  // namespace sscl::analysis

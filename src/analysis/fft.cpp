@@ -1,0 +1,93 @@
+#include "analysis/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::analysis {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft(std::vector<std::complex<double>>& data) {
+  for (auto& z : data) z = std::conj(z);
+  fft(data);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& z : data) z = std::conj(z) * inv_n;
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x) {
+  std::vector<std::complex<double>> z(x.begin(), x.end());
+  fft(z);
+  return z;
+}
+
+std::vector<double> window_coefficients(Window w, std::size_t n) {
+  std::vector<double> out(n, 1.0);
+  switch (w) {
+    case Window::kRect:
+      break;
+    case Window::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * i / n);
+      }
+      break;
+    case Window::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = 2.0 * M_PI * i / n;
+        out[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2 * t);
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<double> amplitude_spectrum(const std::vector<double>& x,
+                                       Window w) {
+  const std::size_t n = x.size();
+  const std::vector<double> win = window_coefficients(w, n);
+  double coherent_gain = 0.0;
+  for (double c : win) coherent_gain += c;
+  coherent_gain /= static_cast<double>(n);
+
+  std::vector<std::complex<double>> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * win[i];
+  fft(z);
+
+  std::vector<double> mag(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double scale = (k == 0 || k == n / 2) ? 1.0 : 2.0;
+    mag[k] = scale * std::abs(z[k]) /
+             (static_cast<double>(n) * coherent_gain);
+  }
+  return mag;
+}
+
+}  // namespace sscl::analysis

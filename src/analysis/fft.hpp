@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file fft.hpp
+/// Radix-2 FFT and window functions for spectral ADC testing.
+
+#include <complex>
+#include <vector>
+
+namespace sscl::analysis {
+
+/// In-place iterative radix-2 decimation-in-time FFT. Size must be a
+/// power of two.
+void fft(std::vector<std::complex<double>>& data);
+
+/// Inverse FFT (normalised by 1/N).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x);
+
+enum class Window { kRect, kHann, kBlackman };
+
+/// Window coefficients of length n.
+std::vector<double> window_coefficients(Window w, std::size_t n);
+
+/// Single-sided magnitude spectrum of a (windowed) real signal:
+/// bins 0..N/2, amplitude-corrected for the window's coherent gain.
+std::vector<double> amplitude_spectrum(const std::vector<double>& x,
+                                       Window w = Window::kRect);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+}  // namespace sscl::analysis

@@ -1,0 +1,106 @@
+#include "analysis/linearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::analysis {
+
+namespace {
+
+/// Endpoint-fit INL from code edges: normalise edge positions so the
+/// first and last transitions define the gain/offset.
+LinearityResult from_edges(const std::vector<double>& edges) {
+  // edges[k] = input voltage of the k -> k+1 transition.
+  const int n_edges = static_cast<int>(edges.size());
+  LinearityResult r;
+  if (n_edges < 3) throw std::invalid_argument("linearity: too few edges");
+
+  const double v_first = edges.front();
+  const double v_last = edges.back();
+  const double lsb = (v_last - v_first) / (n_edges - 1);
+
+  r.dnl.resize(n_edges - 1);
+  r.inl.resize(n_edges);
+  for (int k = 0; k + 1 < n_edges; ++k) {
+    r.dnl[k] = (edges[k + 1] - edges[k]) / lsb - 1.0;
+  }
+  for (int k = 0; k < n_edges; ++k) {
+    r.inl[k] = (edges[k] - (v_first + k * lsb)) / lsb;
+  }
+  for (double d : r.dnl) {
+    r.max_abs_dnl = std::max(r.max_abs_dnl, std::fabs(d));
+    if (d <= -0.99) ++r.missing_codes;
+  }
+  for (double i : r.inl) r.max_abs_inl = std::max(r.max_abs_inl, std::fabs(i));
+  return r;
+}
+
+}  // namespace
+
+LinearityResult measure_linearity_edges(
+    const std::function<int(double)>& converter, int n_codes, double v_lo,
+    double v_hi) {
+  // Edge k: input where the output first reaches code > k.
+  std::vector<double> edges;
+  edges.reserve(n_codes - 1);
+  double lo = v_lo;
+  for (int k = 0; k + 1 < n_codes; ++k) {
+    // Bisection on predicate (code <= k); edges are ordered so lo can
+    // start from the previous edge.
+    double a = lo, b = v_hi;
+    if (converter(a) > k) {
+      edges.push_back(a);
+      continue;
+    }
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (a + b);
+      if (converter(mid) <= k) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    edges.push_back(0.5 * (a + b));
+    lo = a;
+  }
+  return from_edges(edges);
+}
+
+LinearityResult measure_linearity_histogram(const std::vector<int>& codes,
+                                            int n_codes) {
+  if (codes.empty()) throw std::invalid_argument("histogram: no samples");
+  std::vector<long long> hist(n_codes, 0);
+  for (int c : codes) {
+    if (c >= 0 && c < n_codes) ++hist[c];
+  }
+  // Exclude the end codes (they absorb the out-of-range tails).
+  long long total = 0;
+  for (int c = 1; c + 1 < n_codes; ++c) total += hist[c];
+  const int interior = n_codes - 2;
+  if (total == 0) throw std::invalid_argument("histogram: empty interior");
+  const double expected = static_cast<double>(total) / interior;
+
+  LinearityResult r;
+  r.dnl.resize(interior);
+  r.inl.resize(interior);
+  double running = 0.0;
+  for (int c = 1; c + 1 < n_codes; ++c) {
+    const double d = static_cast<double>(hist[c]) / expected - 1.0;
+    r.dnl[c - 1] = d;
+    running += d;
+    r.inl[c - 1] = running;
+  }
+  // Endpoint-correct the INL (remove the residual linear trend).
+  const double slope = r.inl.back() / std::max(interior - 1, 1);
+  for (int k = 0; k < interior; ++k) r.inl[k] -= slope * k;
+
+  for (double d : r.dnl) {
+    r.max_abs_dnl = std::max(r.max_abs_dnl, std::fabs(d));
+    if (d <= -0.99) ++r.missing_codes;
+  }
+  for (double i : r.inl) r.max_abs_inl = std::max(r.max_abs_inl, std::fabs(i));
+  return r;
+}
+
+}  // namespace sscl::analysis

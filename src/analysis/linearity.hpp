@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file linearity.hpp
+/// Static ADC linearity: DNL and INL, both from an explicit
+/// transfer-curve (code edges found by bisection against a converter
+/// callback) and from a code-density histogram (the lab procedure behind
+/// the paper's Fig. 11).
+
+#include <functional>
+#include <vector>
+
+namespace sscl::analysis {
+
+struct LinearityResult {
+  std::vector<double> dnl;  ///< per code transition, in LSB
+  std::vector<double> inl;  ///< per code, in LSB (endpoint-fit)
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+  int missing_codes = 0;  ///< codes with DNL <= -0.99
+};
+
+/// Transfer-curve method: find every code edge of \p converter (a
+/// monotone-ish quantiser mapping voltage -> code in [0, n_codes)) by
+/// bisection over [v_lo, v_hi].
+LinearityResult measure_linearity_edges(
+    const std::function<int(double)>& converter, int n_codes, double v_lo,
+    double v_hi);
+
+/// Code-density (histogram) method on a slow linear ramp: \p codes are
+/// the ADC outputs of uniformly spaced inputs covering slightly more
+/// than full scale. End codes are excluded as usual.
+LinearityResult measure_linearity_histogram(const std::vector<int>& codes,
+                                            int n_codes);
+
+}  // namespace sscl::analysis

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file sinefit.hpp
+/// IEEE-1057 style sine-wave fitting: the second standard lab method
+/// for ADC dynamic testing (besides the FFT). The 3-parameter fit
+/// (known frequency) is a linear least-squares problem; the 4-parameter
+/// fit iterates on the frequency. The rms fit residual gives SINAD and
+/// ENOB, cross-validating the FFT-based sine_test.
+
+#include <cstddef>
+#include <vector>
+
+namespace sscl::analysis {
+
+struct SineFit {
+  double amplitude = 0.0;
+  double phase = 0.0;      ///< [rad]
+  double offset = 0.0;
+  double frequency = 0.0;  ///< [cycles per sample]
+  double residual_rms = 0.0;
+  double sinad_db = 0.0;   ///< 20 log10(A/sqrt(2) / residual_rms)
+  double enob = 0.0;
+  int iterations = 0;      ///< frequency refinement steps (0 for 3-param)
+  bool converged = true;
+};
+
+/// 3-parameter fit at a KNOWN normalised frequency (cycles per sample).
+SineFit sine_fit_3param(const std::vector<double>& samples,
+                        double cycles_per_sample);
+
+/// 4-parameter fit: refines the frequency starting from the guess.
+SineFit sine_fit_4param(const std::vector<double>& samples,
+                        double cycles_per_sample_guess,
+                        int max_iterations = 30, double tol = 1e-12);
+
+}  // namespace sscl::analysis

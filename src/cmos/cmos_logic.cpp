@@ -1,0 +1,110 @@
+#include "cmos/cmos_logic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/ekv.hpp"
+#include "stscl/scl_params.hpp"
+#include "util/numeric.hpp"
+
+namespace sscl::cmos {
+
+CmosGateModel::CmosGateModel(const device::Process& process,
+                             CmosGateParams params)
+    : process_(process), params_(params) {}
+
+double CmosGateModel::i_on(double vdd) const {
+  const device::EkvResult r =
+      device::ekv_evaluate(process_.nmos, params_.nmos, {}, vdd, vdd, 0.0, 0.0,
+                           process_.temperature);
+  return r.id;
+}
+
+double CmosGateModel::i_leak(double vdd) const {
+  const device::EkvResult r =
+      device::ekv_evaluate(process_.nmos, params_.nmos, {}, 0.0, vdd, 0.0, 0.0,
+                           process_.temperature);
+  return params_.leak_width_factor * r.id;
+}
+
+double CmosGateModel::delay(double vdd) const {
+  if (vdd <= 0) throw std::invalid_argument("CmosGateModel::delay: vdd <= 0");
+  return params_.cl * vdd / (2.0 * i_on(vdd));
+}
+
+double CmosGateModel::fmax(double vdd, double nl) const {
+  return 1.0 / (2.0 * nl * delay(vdd));
+}
+
+double CmosGateModel::min_vdd_for_frequency(double f, double nl,
+                                            double vdd_max) const {
+  const double vdd_min = 0.05;
+  if (fmax(vdd_max, nl) < f) {
+    throw std::runtime_error("CMOS cannot reach this frequency at vdd_max");
+  }
+  if (fmax(vdd_min, nl) >= f) return vdd_min;
+  // fmax is monotone in vdd: find the boundary of "too slow".
+  return util::binary_search_boundary(
+      [&](double vdd) { return fmax(vdd, nl) < f; }, vdd_min, vdd_max, 1e-4);
+}
+
+double CmosGateModel::dynamic_power(double f, double vdd, double alpha,
+                                    int gates) const {
+  return alpha * params_.cl * vdd * vdd * f * gates;
+}
+
+double CmosGateModel::leakage_power(double vdd, int gates) const {
+  return vdd * i_leak(vdd) * gates;
+}
+
+double CmosGateModel::power(double f, double vdd, double alpha,
+                            int gates) const {
+  return dynamic_power(f, vdd, alpha, gates) + leakage_power(vdd, gates);
+}
+
+double CmosGateModel::power_dvfs(double f, double nl, double alpha,
+                                 int gates) const {
+  const double vdd = min_vdd_for_frequency(f, nl, 1.8);
+  return power(f, vdd, alpha, gates);
+}
+
+double stscl_wins_below_activity(const CmosGateModel& cmos, double f,
+                                 double nl, int gates, double scl_vsw,
+                                 double scl_cl, double scl_vdd,
+                                 double cmos_vdd) {
+  stscl::SclModel scl;
+  scl.vsw = scl_vsw;
+  scl.cl = scl_cl;
+  // STSCL power is activity-independent: every gate burns iss no matter
+  // what; iss is set by the speed requirement.
+  const double iss = scl.iss_for_delay(1.0 / (2.0 * nl * f));
+  const double p_scl = gates * iss * scl_vdd;
+
+  auto cmos_power = [&](double alpha) {
+    return cmos_vdd > 0 ? cmos.power(f, cmos_vdd, alpha, gates)
+                        : cmos.power_dvfs(f, nl, alpha, gates);
+  };
+  if (p_scl <= cmos_power(0.0)) return 1.0;  // wins even at zero activity
+  if (p_scl >= cmos_power(1.0)) return 0.0;  // never wins
+  return util::binary_search_boundary(
+      [&](double alpha) { return cmos_power(alpha) < p_scl; }, 1e-6, 1.0,
+      1e-4);
+}
+
+double stscl_crossover_frequency(const CmosGateModel& cmos, double alpha,
+                                 double nl, int gates, double scl_vsw,
+                                 double scl_cl, double scl_vdd,
+                                 double cmos_vdd, double f_lo, double f_hi) {
+  stscl::SclModel scl;
+  scl.vsw = scl_vsw;
+  scl.cl = scl_cl;
+  auto scl_wins = [&](double f) {
+    const double iss = scl.iss_for_delay(1.0 / (2.0 * nl * f));
+    return gates * iss * scl_vdd < cmos.power(f, cmos_vdd, alpha, gates);
+  };
+  if (!scl_wins(f_lo)) return 0.0;
+  if (scl_wins(f_hi)) return f_hi;
+  return util::binary_search_boundary(scl_wins, f_lo, f_hi, 1e-4);
+}
+
+}  // namespace sscl::cmos

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cmos_logic.hpp
+/// Baseline: conventional static CMOS logic in (sub)threshold operation,
+/// for every STSCL-vs-CMOS comparison the paper draws (Fig. 3's coupled
+/// trade-offs, the leakage-domination argument of Section II-A, and the
+/// DVFS alternative of the introduction). Uses the same EKV device
+/// model, so the comparison is apples-to-apples.
+
+#include "device/mos_params.hpp"
+
+namespace sscl::cmos {
+
+struct CmosGateParams {
+  double cl = 12e-15;   ///< switched capacitance per gate [F]
+  /// Effective drive geometry of the pull-down network.
+  device::MosGeometry nmos{1.0e-6, 0.18e-6, 0, 0};
+  /// Total leaking width multiplier per gate (both networks, stacking
+  /// factor folded in).
+  double leak_width_factor = 1.5;
+};
+
+class CmosGateModel {
+ public:
+  CmosGateModel(const device::Process& process, CmosGateParams params);
+
+  /// On-current of the pull-down at VGS = VDS = vdd [A].
+  double i_on(double vdd) const;
+  /// Off-state leakage per gate at the given supply [A].
+  double i_leak(double vdd) const;
+
+  /// Gate delay: CL * Vdd / (2 * Ion) (step-response metric).
+  double delay(double vdd) const;
+  /// Maximum operating frequency for logic depth nl.
+  double fmax(double vdd, double nl) const;
+  /// Smallest supply that meets frequency f at depth nl (the DVFS knob;
+  /// bisection on the full EKV curve).
+  double min_vdd_for_frequency(double f, double nl, double vdd_max = 1.8) const;
+
+  /// Total power of \p gates gates at frequency f, supply vdd and
+  /// activity factor alpha: dynamic alpha*C*V^2*f + static V*Ileak.
+  double power(double f, double vdd, double alpha, int gates) const;
+  double dynamic_power(double f, double vdd, double alpha, int gates) const;
+  double leakage_power(double vdd, int gates) const;
+
+  /// DVFS operating point: supply chosen for the frequency, then power.
+  double power_dvfs(double f, double nl, double alpha, int gates) const;
+
+  const CmosGateParams& params() const { return params_; }
+
+ private:
+  device::Process process_;
+  CmosGateParams params_;
+};
+
+/// The paper's comparison: activity factor below which an STSCL
+/// implementation (all-static current gates * iss * vdd, iss set by the
+/// frequency) beats CMOS at the same frequency. \p cmos_vdd > 0 runs
+/// CMOS at that fixed supply (the realistic baseline: the paper argues
+/// process variation forbids deep supply scaling in subthreshold CMOS);
+/// cmos_vdd <= 0 grants CMOS ideal per-frequency DVFS. Returns the
+/// crossover activity, 1.0 if STSCL wins everywhere, 0.0 if never.
+double stscl_wins_below_activity(const CmosGateModel& cmos, double f,
+                                 double nl, int gates, double scl_vsw,
+                                 double scl_cl, double scl_vdd,
+                                 double cmos_vdd = 1.0);
+
+/// Frequency below which STSCL total power undercuts CMOS at the given
+/// fixed supply and activity (the leakage-domination crossover of
+/// Section II-A). Returns 0 if STSCL never wins in [f_lo, f_hi].
+double stscl_crossover_frequency(const CmosGateModel& cmos, double alpha,
+                                 double nl, int gates, double scl_vsw,
+                                 double scl_cl, double scl_vdd,
+                                 double cmos_vdd, double f_lo = 1.0,
+                                 double f_hi = 1e9);
+
+}  // namespace sscl::cmos

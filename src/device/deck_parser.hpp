@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file deck_parser.hpp
+/// SPICE-style netlist deck parser. Builds a spice::Circuit (with EKV
+/// MOSFETs and diodes from this library's device models) from classic
+/// deck text:
+///
+///   * STSCL inverter cell
+///   Vdd vdd 0 1.0
+///   Ib  vdd vbn 1n
+///   MB  vbn vbn 0 0 nmos_hvt W=2u L=1u
+///   .model mynmos NMOS (VT0=0.45 KP=300u N=1.35 LAMBDA=0.02)
+///   R1  a b 100k
+///   C1  b 0 10p
+///   Vin in 0 PULSE(0 1 1u 10n 10n 5u)
+///   .subckt divider top mid bot
+///   R1 top mid 1k
+///   R2 mid bot 1k
+///   .ends
+///   X1 vdd out 0 divider
+///   .tran 10u
+///   .end
+///
+/// Supported elements: R, C, L, V, I, E (VCVS), G (VCCS), D, M, X.
+/// Supported cards: .model (NMOS/PMOS/D), .subckt/.ends, .op, .dc,
+/// .tran, .ac, .end. Numbers use engineering suffixes (util::parse_si).
+/// Built-in model names: nmos, pmos, nmos_hvt, nmos_thick (the process
+/// cards of device::Process), d (default diode).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/mos_params.hpp"
+#include "spice/circuit.hpp"
+
+namespace sscl::device {
+
+/// An analysis request found in the deck.
+struct AnalysisCard {
+  enum class Kind { kOp, kTran, kAc, kDc };
+  Kind kind = Kind::kOp;
+  // .tran tstop  |  .ac points_per_decade f_start f_stop
+  // .dc source start stop step
+  double tstop = 0.0;
+  double f_start = 0.0, f_stop = 0.0;
+  int points_per_decade = 10;
+  std::string sweep_source;
+  double sweep_start = 0.0, sweep_stop = 0.0, sweep_step = 0.0;
+};
+
+struct ParsedDeck {
+  std::string title;
+  std::unique_ptr<spice::Circuit> circuit;
+  std::vector<AnalysisCard> analyses;
+};
+
+/// Thrown with a line number and message on malformed decks.
+class DeckError : public std::runtime_error {
+ public:
+  DeckError(int line, const std::string& message)
+      : std::runtime_error("deck line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a deck. \p process supplies the built-in MOS model cards.
+ParsedDeck parse_deck(const std::string& text,
+                      const Process& process = Process::c180());
+
+}  // namespace sscl::device

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file diode.hpp
+/// PN junction diode with exponential conduction (limited for Newton
+/// stability) and a graded junction capacitance. Used standalone for the
+/// nwell-to-substrate parasitic (DWell in the paper's Fig. 6) and by the
+/// MOSFET for its source/drain junctions.
+
+#include "spice/device.hpp"
+
+namespace sscl::device {
+
+struct DiodeParams {
+  double is = 1e-16;   ///< saturation current [A] (per unit area)
+  double n = 1.0;      ///< emission coefficient
+  double cj0 = 0.0;    ///< zero-bias junction capacitance [F] (per area)
+  double mj = 0.5;     ///< grading coefficient
+  double pb = 0.8;     ///< built-in potential [V]
+  double fc = 0.5;     ///< forward-bias depletion-cap linearisation point
+};
+
+/// Stand-alone two-terminal junction diode.
+class Diode final : public spice::Device {
+ public:
+  Diode(std::string name, spice::NodeId anode, spice::NodeId cathode,
+        DiodeParams params, double area = 1.0, double temperatureK = 300.15);
+
+  void setup(spice::SetupContext& ctx) override;
+  void load(spice::LoadContext& ctx) override;
+  void load_ac(spice::AcContext& ctx) const override;
+  void add_noise(spice::NoiseContext& ctx) const override;
+
+  /// Conduction current at the last computed operating point.
+  double current() const { return last_i_; }
+
+ private:
+  spice::NodeId anode_, cathode_;
+  DiodeParams params_;
+  double area_;
+  double ut_;     // n * thermal voltage
+  double vcrit_;  // junction limiting knee
+  int state_ = -1;
+  double v_last_ = 0.0;  // previous-iteration junction voltage (limiting)
+  mutable double last_i_ = 0.0;
+  mutable double last_g_ = 0.0;
+  mutable double last_c_ = 0.0;
+};
+
+/// Junction conduction current and conductance with an exponent clamp
+/// that continues linearly above u_max (keeps the Jacobian finite).
+void junction_current(double v, double is, double nvt, double& i, double& g);
+
+/// Junction depletion charge and capacitance (SPICE fc-linearised form).
+void junction_charge(double v, double cj0, double mj, double pb, double fc,
+                     double& q, double& c);
+
+/// SPICE3 pnjlim: limit a junction voltage update to the log curve.
+/// Sets *limited when the voltage was pulled back.
+double pnjlim(double vnew, double vold, double nvt, double vcrit,
+              bool* limited);
+
+}  // namespace sscl::device

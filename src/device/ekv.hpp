@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file ekv.hpp
+/// Core evaluation of the simplified EKV MOS model: drain current and
+/// all small-signal partial derivatives, valid from deep weak inversion
+/// through strong inversion with a single smooth expression.
+
+#include "device/mos_params.hpp"
+
+namespace sscl::device {
+
+/// Result of one EKV evaluation.
+///
+/// Sign convention: `id` is the channel current flowing from the drain
+/// terminal to the source terminal through the device (positive for a
+/// conducting NMOS with VD > VS, negative for a conducting PMOS).
+struct EkvResult {
+  double id = 0.0;   ///< drain->source channel current [A]
+  double gm = 0.0;   ///< d id / d vg [S]
+  double gds = 0.0;  ///< d id / d vd [S]
+  double gms = 0.0;  ///< -d id / d vs [S] (positive for a forward device)
+  double gmb = 0.0;  ///< d id / d vb [S]
+  double i_f = 0.0;  ///< normalised forward current (inversion level)
+  double i_r = 0.0;  ///< normalised reverse current
+  double ispec = 0.0;  ///< specific current 2 n beta UT^2 [A]
+};
+
+/// The EKV interpolation function F(v) = ln^2(1 + exp(v/2)) and its
+/// derivative. Exponential for v << 0 (weak inversion), quadratic for
+/// v >> 0 (strong inversion); overflow-free for all v.
+double ekv_f(double v);
+double ekv_f_derivative(double v);
+
+/// Evaluate the model. Terminal voltages are absolute node voltages;
+/// PMOS devices are handled internally by sign reflection.
+EkvResult ekv_evaluate(const MosParams& params, const MosGeometry& geometry,
+                       const MosMismatch& mismatch, double vg, double vd,
+                       double vs, double vb, double temperatureK);
+
+/// Gate-source voltage required to conduct \p id in saturation at the
+/// given inversion conditions (VS = VB). Used by bias planning: in weak
+/// inversion this is VT0 + n*UT*ln(id/ispec) (approximately). Solved by
+/// bisection on the full model, so it is exact in all regions.
+double ekv_vgs_for_current(const MosParams& params, const MosGeometry& geometry,
+                           double id, double vds, double temperatureK);
+
+/// Convenience: the weak-inversion slope n*UT*ln(10) in volts/decade.
+double subthreshold_swing(const MosParams& params, double temperatureK);
+
+}  // namespace sscl::device

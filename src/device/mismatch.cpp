@@ -1,0 +1,29 @@
+#include "device/mismatch.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace sscl::device {
+
+MosMismatch sample_mismatch(const MosParams& params,
+                            const MosGeometry& geometry, util::Rng& rng) {
+  const MismatchSigmas s = mismatch_sigmas(params, geometry);
+  MosMismatch mm;
+  mm.dvt = rng.gaussian(0.0, s.sigma_vt);
+  mm.dbeta_rel = rng.gaussian(0.0, s.sigma_beta_rel);
+  return mm;
+}
+
+double pair_offset_sigma(const MosParams& params, const MosGeometry& geometry,
+                         double temperatureK) {
+  const MismatchSigmas s = mismatch_sigmas(params, geometry);
+  // VT mismatch refers the full threshold difference to the input; beta
+  // mismatch refers as (n*UT/2) * (dB/B) in weak inversion.
+  const double nut = params.n * util::thermal_voltage(temperatureK);
+  const double vt_term = std::sqrt(2.0) * s.sigma_vt;
+  const double beta_term = std::sqrt(2.0) * 0.5 * nut * s.sigma_beta_rel;
+  return std::sqrt(vt_term * vt_term + beta_term * beta_term);
+}
+
+}  // namespace sscl::device

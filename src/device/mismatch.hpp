@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file mismatch.hpp
+/// Monte-Carlo sampling of per-instance device mismatch following the
+/// Pelgrom law: sigma scales as 1/sqrt(W*L). The paper relies on "large
+/// enough transistor sizes" to control mismatch (Section III-B); the ADC
+/// Monte-Carlo harness samples from here.
+
+#include "device/mos_params.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::device {
+
+/// Draw a mismatch sample for one MOS instance.
+MosMismatch sample_mismatch(const MosParams& params,
+                            const MosGeometry& geometry, util::Rng& rng);
+
+/// Sigma of the offset voltage of a differential pair built from two
+/// devices of this geometry: sqrt(2) * sigma_VT (beta mismatch is a
+/// second-order contribution in weak inversion and is folded in via the
+/// n*UT/2 factor).
+double pair_offset_sigma(const MosParams& params, const MosGeometry& geometry,
+                         double temperatureK);
+
+}  // namespace sscl::device

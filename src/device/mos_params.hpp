@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file mos_params.hpp
+/// MOS model cards, device geometry and Pelgrom mismatch descriptors for
+/// the simplified EKV model. Parameter values are grouped into a Process
+/// that mimics a generic 0.18um CMOS node (the paper's technology).
+
+#include <string>
+
+namespace sscl::device {
+
+/// Model card for the simplified EKV MOSFET.
+///
+/// The model is charge-symmetric and exact in weak inversion — the
+/// operating region every circuit in the platform lives in:
+///   ID = Ispec * [F((VP-VS)/UT) - F((VP-VD)/UT)],  F(v) = ln^2(1+e^(v/2))
+/// with VP = (VG-VT0)/n and Ispec = 2 n (KP W/L) UT^2, all voltages
+/// bulk-referenced.
+struct MosParams {
+  bool is_nmos = true;
+  double vt0 = 0.45;      ///< threshold voltage magnitude [V]
+  double n = 1.35;        ///< subthreshold slope factor
+  double kp = 300e-6;     ///< transconductance parameter mu*Cox [A/V^2]
+  double lambda = 0.02;   ///< channel-length modulation [1/V]
+  double cox = 8.5e-3;    ///< gate oxide capacitance per area [F/m^2]
+  double cov = 3.0e-10;   ///< gate overlap capacitance per width [F/m]
+  double cj0 = 1.0e-3;    ///< junction capacitance per area [F/m^2]
+  double mj = 0.5;        ///< junction grading coefficient
+  double pb = 0.8;        ///< junction built-in potential [V]
+  double js = 1.0e-7;     ///< junction saturation current per area [A/m^2]
+  double nj = 1.0;        ///< junction emission coefficient
+
+  // Pelgrom mismatch coefficients.
+  double avt = 3.5e-9;    ///< sigma(VT)*sqrt(WL): 3.5 mV*um [V*m]
+  double abeta = 1.0e-8;  ///< sigma(dB/B)*sqrt(WL): 1 %*um [m]
+};
+
+/// Drawn geometry of a MOS instance.
+struct MosGeometry {
+  double w = 1e-6;  ///< channel width [m]
+  double l = 1e-6;  ///< channel length [m]
+  /// Source/drain junction areas for parasitics [m^2]; 0 disables them.
+  double as = 0.0;
+  double ad = 0.0;
+};
+
+/// Sampled per-instance mismatch (zero by default).
+struct MosMismatch {
+  double dvt = 0.0;        ///< threshold shift [V]
+  double dbeta_rel = 0.0;  ///< relative current-factor error
+};
+
+/// A process corner: model cards for the device flavours the platform
+/// uses plus environmental conditions.
+struct Process {
+  MosParams nmos;
+  MosParams pmos;
+  MosParams nmos_hvt;  ///< high-VT tail device (precise bias control)
+  MosParams nmos_thick;  ///< thick-oxide device (negligible gate leakage)
+  double temperature = 300.15;  ///< [K]
+
+  /// Generic 0.18um-like CMOS process, typical corner. Calibrated so the
+  /// STSCL cells land in the paper's operating envelope (Vsw = 200 mV at
+  /// tail currents of 1 pA..100 nA, VDD down to 0.35 V).
+  static Process c180();
+
+  /// Corner variants used by the PVT sensitivity experiments.
+  static Process c180_fast();
+  static Process c180_slow();
+
+  /// Copy with a new temperature [K]. Applies the first-order silicon
+  /// temperature dependences to every card: VT drops ~1 mV/K and the
+  /// mobility follows T^-1.5 (so the on-current of a subthreshold
+  /// device still RISES with temperature through the exponential).
+  Process at_temperature(double kelvin) const;
+};
+
+/// Pelgrom-law standard deviations for a device of the given geometry.
+struct MismatchSigmas {
+  double sigma_vt = 0.0;
+  double sigma_beta_rel = 0.0;
+};
+MismatchSigmas mismatch_sigmas(const MosParams& params,
+                               const MosGeometry& geometry);
+
+}  // namespace sscl::device

@@ -1,0 +1,181 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+
+#include "device/diode.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::device {
+
+using spice::AnalysisMode;
+using spice::LoadContext;
+using spice::NodeId;
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+               NodeId bulk, MosParams params, MosGeometry geometry,
+               double temperatureK, MosMismatch mismatch)
+    : Device(std::move(name)),
+      d_(drain),
+      g_(gate),
+      s_(source),
+      b_(bulk),
+      params_(params),
+      geometry_(geometry),
+      temperature_(temperatureK),
+      mismatch_(mismatch) {
+  // Weak-inversion gate capacitance estimates: overlap plus a fraction
+  // of the channel capacitance to each diffusion, the rest to bulk.
+  const double c_channel = params_.cox * geometry_.w * geometry_.l;
+  const double c_overlap = params_.cov * geometry_.w;
+  cgs_ = c_overlap + 0.25 * c_channel;
+  cgd_ = c_overlap + 0.25 * c_channel;
+  cgb_ = 0.3 * c_channel;
+
+  jn_sign_ = params_.is_nmos ? 1.0 : -1.0;
+  nvt_ = params_.nj * util::thermal_voltage(temperatureK);
+  const double is_s = params_.js * geometry_.as;
+  const double is_d = params_.js * geometry_.ad;
+  vcrit_s_ = is_s > 0 ? nvt_ * std::log(nvt_ / (std::sqrt(2.0) * is_s)) : 1e9;
+  vcrit_d_ = is_d > 0 ? nvt_ * std::log(nvt_ / (std::sqrt(2.0) * is_d)) : 1e9;
+}
+
+void Mosfet::setup(spice::SetupContext& ctx) { state_ = ctx.alloc_state(10); }
+
+double Mosfet::gate_capacitance() const { return cgs_ + cgd_ + cgb_; }
+
+void Mosfet::load(LoadContext& ctx) {
+  const double vd = ctx.v(d_);
+  const double vg = ctx.v(g_);
+  const double vs = ctx.v(s_);
+  const double vb = ctx.v(b_);
+
+  // ---- channel current -------------------------------------------------
+  last_ = ekv_evaluate(params_, geometry_, mismatch_, vg, vd, vs, vb,
+                       temperature_);
+
+  if (ctx.mode() != AnalysisMode::kInitState) {
+    const double i = last_.id;
+    const double gm = last_.gm;
+    const double gds = last_.gds;
+    const double gms = last_.gms;
+    const double gmb = last_.gmb;
+
+    // Jacobian of the d->s current w.r.t. all four terminals.
+    ctx.a_nn(d_, g_, gm);
+    ctx.a_nn(d_, d_, gds);
+    ctx.a_nn(d_, s_, -gms);
+    ctx.a_nn(d_, b_, gmb);
+    ctx.a_nn(s_, g_, -gm);
+    ctx.a_nn(s_, d_, -gds);
+    ctx.a_nn(s_, s_, gms);
+    ctx.a_nn(s_, b_, -gmb);
+
+    const double ieq = i - (gm * vg + gds * vd - gms * vs + gmb * vb);
+    ctx.rhs_n(d_, -ieq);
+    ctx.rhs_n(s_, ieq);
+  }
+
+  // ---- source/drain junction diodes (bulk<->diffusion) ------------------
+  // NMOS: p-bulk anode to n+ diffusion cathode; PMOS mirrored.
+  auto do_junction = [&](NodeId diff, double area, double& v_last,
+                         double vcrit, int state_base, double& g_cache,
+                         double& c_cache) {
+    if (area <= 0) {
+      g_cache = 0;
+      c_cache = 0;
+      return;
+    }
+    const double is_eff = params_.js * area;
+    const double cj_eff = params_.cj0 * area;
+    double v = jn_sign_ * (vb - ctx.v(diff));
+    if (ctx.mode() != AnalysisMode::kInitState) {
+      bool limited = false;
+      v = pnjlim(v, v_last, nvt_, vcrit, &limited);
+      if (limited) ctx.set_not_converged();
+      v_last = v;
+    }
+    double ij = 0, gj = 0;
+    junction_current(v, is_eff, nvt_, ij, gj);
+    double qj = 0, cj = 0;
+    junction_charge(v, cj_eff, params_.mj, params_.pb, 0.5, qj, cj);
+    g_cache = gj;
+    c_cache = cj;
+
+    const NodeId anode = jn_sign_ > 0 ? b_ : diff;
+    const NodeId cathode = jn_sign_ > 0 ? diff : b_;
+    const double v_ak = ctx.v(anode) - ctx.v(cathode);
+    switch (ctx.mode()) {
+      case AnalysisMode::kDcOp:
+        ctx.stamp_nonlinear_current(anode, cathode, ij, gj, v_ak);
+        return;
+      case AnalysisMode::kInitState:
+        ctx.set_state(state_base, qj);
+        ctx.set_state(state_base + 1, 0.0);
+        return;
+      case AnalysisMode::kTransient: {
+        const double ic = ctx.integrate_charge(state_base, qj);
+        const double geq = ctx.integ_a0() * cj;
+        ctx.stamp_nonlinear_current(anode, cathode, ij + ic, gj + geq, v_ak);
+        return;
+      }
+    }
+  };
+  do_junction(s_, geometry_.as, vjs_last_, vcrit_s_, state_ + 6, jgs_, cbs_);
+  do_junction(d_, geometry_.ad, vjd_last_, vcrit_d_, state_ + 8, jgd_, cbd_);
+
+  // ---- gate capacitances -------------------------------------------------
+  auto do_cap = [&](NodeId a, NodeId bnode, double c, int state_base) {
+    const double v = ctx.v(a) - ctx.v(bnode);
+    const double q = c * v;
+    switch (ctx.mode()) {
+      case AnalysisMode::kDcOp:
+        return;
+      case AnalysisMode::kInitState:
+        ctx.set_state(state_base, q);
+        ctx.set_state(state_base + 1, 0.0);
+        return;
+      case AnalysisMode::kTransient: {
+        const double ic = ctx.integrate_charge(state_base, q);
+        ctx.stamp_nonlinear_current(a, bnode, ic, ctx.integ_a0() * c, v);
+        return;
+      }
+    }
+  };
+  do_cap(g_, s_, cgs_, state_);
+  do_cap(g_, d_, cgd_, state_ + 2);
+  do_cap(g_, b_, cgb_, state_ + 4);
+}
+
+void Mosfet::add_noise(spice::NoiseContext& ctx) const {
+  // In weak inversion the channel noise is full shot noise of the
+  // drain current: S_i = 2 q |ID| (equals 4kT*gm/2 via gm = I/(n UT),
+  // the Vittoz result). Junction leakage shot noise is negligible at
+  // the reverse biases used here but included for completeness.
+  constexpr double kQ = 1.602176634e-19;
+  ctx.add(d_, s_, 2.0 * kQ * std::fabs(last_.id), "channel(" + name() + ")");
+}
+
+void Mosfet::load_ac(spice::AcContext& ctx) const {
+  const double gm = last_.gm;
+  const double gds = last_.gds;
+  const double gms = last_.gms;
+  const double gmb = last_.gmb;
+
+  ctx.a_nn(d_, g_, {gm, 0});
+  ctx.a_nn(d_, d_, {gds, 0});
+  ctx.a_nn(d_, s_, {-gms, 0});
+  ctx.a_nn(d_, b_, {gmb, 0});
+  ctx.a_nn(s_, g_, {-gm, 0});
+  ctx.a_nn(s_, d_, {-gds, 0});
+  ctx.a_nn(s_, s_, {gms, 0});
+  ctx.a_nn(s_, b_, {-gmb, 0});
+
+  const double w = ctx.omega();
+  ctx.stamp_admittance(g_, s_, {0, w * cgs_});
+  ctx.stamp_admittance(g_, d_, {0, w * cgd_});
+  ctx.stamp_admittance(g_, b_, {0, w * cgb_});
+  if (jgs_ > 0 || cbs_ > 0) ctx.stamp_admittance(b_, s_, {jgs_, w * cbs_});
+  if (jgd_ > 0 || cbd_ > 0) ctx.stamp_admittance(b_, d_, {jgd_, w * cbd_});
+}
+
+}  // namespace sscl::device

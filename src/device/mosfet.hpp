@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file mosfet.hpp
+/// Four-terminal MOSFET circuit element wrapping the EKV evaluator, with
+/// gate capacitances, optional source/drain junction diodes and
+/// per-instance Pelgrom mismatch.
+
+#include "device/ekv.hpp"
+#include "device/mos_params.hpp"
+#include "spice/device.hpp"
+
+namespace sscl::device {
+
+class Mosfet final : public spice::Device {
+ public:
+  Mosfet(std::string name, spice::NodeId drain, spice::NodeId gate,
+         spice::NodeId source, spice::NodeId bulk, MosParams params,
+         MosGeometry geometry, double temperatureK = 300.15,
+         MosMismatch mismatch = {});
+
+  void setup(spice::SetupContext& ctx) override;
+  void load(spice::LoadContext& ctx) override;
+  void load_ac(spice::AcContext& ctx) const override;
+  void add_noise(spice::NoiseContext& ctx) const override;
+
+  /// Channel current drain->source at the last computed point [A].
+  double ids() const { return last_.id; }
+  /// Small-signal parameters at the last computed point.
+  const EkvResult& operating_point() const { return last_; }
+
+  const MosGeometry& geometry() const { return geometry_; }
+  const MosParams& params() const { return params_; }
+  void set_mismatch(const MosMismatch& mm) { mismatch_ = mm; }
+
+  /// Total gate capacitance estimate used by delay models [F].
+  double gate_capacitance() const;
+
+ private:
+  spice::NodeId d_, g_, s_, b_;
+  MosParams params_;
+  MosGeometry geometry_;
+  double temperature_;
+  MosMismatch mismatch_;
+
+  // Constant small-signal gate capacitances (weak-inversion estimates).
+  double cgs_ = 0.0, cgd_ = 0.0, cgb_ = 0.0;
+
+  // Junction diode parameters (only when as/ad are set).
+  double jn_sign_ = 1.0;  // +1 NMOS (bulk is anode), -1 PMOS
+  double nvt_ = 0.0;
+  double vcrit_s_ = 0.0, vcrit_d_ = 0.0;
+  double vjs_last_ = 0.0, vjd_last_ = 0.0;
+
+  int state_ = -1;  // [qgs,igs, qgd,igd, qgb,igb, qbs,ibs, qbd,ibd]
+
+  mutable EkvResult last_;
+  mutable double jgs_ = 0.0, jgd_ = 0.0;  // junction conductances (AC)
+  mutable double cbs_ = 0.0, cbd_ = 0.0;  // junction capacitances (AC)
+};
+
+}  // namespace sscl::device

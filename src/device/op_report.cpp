@@ -1,0 +1,76 @@
+#include "device/op_report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "device/mosfet.hpp"
+#include "spice/elements.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace sscl::device {
+
+OpReport collect_op_report(const spice::Circuit& circuit,
+                           const spice::Solution& solution) {
+  OpReport r;
+  for (int n = 0; n < circuit.node_count(); ++n) {
+    r.node_voltages.emplace_back(circuit.node_name(n), solution.v(n));
+  }
+  for (const auto& device : circuit.devices()) {
+    if (const auto* vs = dynamic_cast<const spice::VoltageSource*>(device.get())) {
+      const double i = solution.branch_current(vs->branch());
+      r.source_currents.emplace_back(vs->name(), i);
+      // Negative branch current = the source delivers current.
+      if (i < 0) r.total_supply_current += -i;
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(device.get())) {
+      MosOpInfo info;
+      info.name = m->name();
+      const EkvResult& op = m->operating_point();
+      info.id = op.id;
+      info.gm = op.gm;
+      info.gds = op.gds;
+      info.gm_over_id =
+          std::fabs(op.id) > 0 ? op.gm / std::fabs(op.id) : 0.0;
+      info.inversion = op.i_f;
+      info.weak_inversion = op.i_f < 0.1;
+      r.mosfets.push_back(info);
+    }
+  }
+  return r;
+}
+
+void print_op_report(const OpReport& report, std::ostream& os) {
+  os << "Operating point\n";
+  {
+    util::Table t({"node", "V"});
+    for (const auto& [name, v] : report.node_voltages) {
+      t.row().add(name).add_unit(v, "V");
+    }
+    t.print(os);
+  }
+  if (!report.source_currents.empty()) {
+    util::Table t({"source", "I(branch)"});
+    for (const auto& [name, i] : report.source_currents) {
+      t.row().add(name).add_unit(i, "A");
+    }
+    t.print(os);
+  }
+  if (!report.mosfets.empty()) {
+    util::Table t({"mosfet", "ID", "gm", "gds", "gm/ID", "i_f", "region"});
+    for (const MosOpInfo& m : report.mosfets) {
+      t.row()
+          .add(m.name)
+          .add_unit(m.id, "A")
+          .add_unit(m.gm, "S")
+          .add_unit(m.gds, "S")
+          .add_unit(m.gm_over_id, "/V", 3)
+          .add(m.inversion, 3)
+          .add(m.weak_inversion ? "weak" : "mod/strong");
+    }
+    t.print(os);
+  }
+  os << "total supply current: ";
+  os << util::format_si(report.total_supply_current, "A", 4) << "\n";
+}
+
+}  // namespace sscl::device

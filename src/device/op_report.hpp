@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file op_report.hpp
+/// Annotated operating-point report: node voltages, source branch
+/// currents and per-MOSFET bias summaries (ID, gm, gm/ID, inversion
+/// level, region) — the debugging view every analog designer expects
+/// from a simulator.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace sscl::device {
+
+struct MosOpInfo {
+  std::string name;
+  double id = 0.0;       ///< channel current [A]
+  double gm = 0.0;       ///< [S]
+  double gds = 0.0;      ///< [S]
+  double gm_over_id = 0.0;
+  double inversion = 0.0;  ///< forward inversion coefficient i_f
+  bool weak_inversion = false;  ///< i_f < 0.1
+};
+
+struct OpReport {
+  std::vector<std::pair<std::string, double>> node_voltages;
+  std::vector<std::pair<std::string, double>> source_currents;
+  std::vector<MosOpInfo> mosfets;
+  double total_supply_current = 0.0;  ///< sum of V-source delivery [A]
+};
+
+/// Collect the report. The devices' cached small-signal data comes from
+/// the load() of the final Newton iteration, so call right after a
+/// solve with this solution.
+OpReport collect_op_report(const spice::Circuit& circuit,
+                           const spice::Solution& solution);
+
+/// Pretty-print (engineering units, aligned columns).
+void print_op_report(const OpReport& report, std::ostream& os);
+
+}  // namespace sscl::device

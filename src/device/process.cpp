@@ -1,0 +1,87 @@
+#include "device/mos_params.hpp"
+
+#include <cmath>
+
+namespace sscl::device {
+
+Process Process::c180() {
+  Process p;
+
+  // NMOS, typical. kp = mu_n * Cox with mu_n ~ 350 cm^2/Vs, tox ~ 4 nm.
+  p.nmos.is_nmos = true;
+  p.nmos.vt0 = 0.45;
+  p.nmos.n = 1.35;
+  p.nmos.kp = 300e-6;
+  p.nmos.lambda = 0.02;
+  p.nmos.cox = 8.5e-3;
+  p.nmos.cov = 3.0e-10;
+  p.nmos.avt = 3.5e-9;
+  p.nmos.abeta = 1.0e-8;
+
+  // PMOS, typical (|VT| and the hole-mobility penalty).
+  p.pmos = p.nmos;
+  p.pmos.is_nmos = false;
+  p.pmos.vt0 = 0.42;
+  p.pmos.kp = 80e-6;
+  p.pmos.avt = 4.0e-9;
+
+  // High-VT NMOS used for tail current sources: the elevated threshold
+  // pushes the off-leakage floor orders of magnitude below the pA bias
+  // currents the platform runs at (paper Section II-A).
+  p.nmos_hvt = p.nmos;
+  p.nmos_hvt.vt0 = 0.62;
+
+  // Thick-oxide NMOS: smaller kp and Cox, negligible gate leakage (gate
+  // leakage is identically zero in this model; the card exists so designs
+  // can express the paper's device-selection freedom).
+  p.nmos_thick = p.nmos;
+  p.nmos_thick.kp = 180e-6;
+  p.nmos_thick.cox = 5.0e-3;
+  p.nmos_thick.vt0 = 0.55;
+
+  p.temperature = 300.15;
+  return p;
+}
+
+Process Process::c180_fast() {
+  Process p = c180();
+  // Fast corner: lower VT, higher mobility.
+  for (MosParams* m : {&p.nmos, &p.pmos, &p.nmos_hvt, &p.nmos_thick}) {
+    m->vt0 -= 0.06;
+    m->kp *= 1.15;
+  }
+  return p;
+}
+
+Process Process::c180_slow() {
+  Process p = c180();
+  for (MosParams* m : {&p.nmos, &p.pmos, &p.nmos_hvt, &p.nmos_thick}) {
+    m->vt0 += 0.06;
+    m->kp *= 0.85;
+  }
+  return p;
+}
+
+Process Process::at_temperature(double kelvin) const {
+  Process p = *this;
+  const double t0 = p.temperature;
+  p.temperature = kelvin;
+  const double dvt = -1.0e-3 * (kelvin - t0);        // ~-1 mV/K
+  const double kp_scale = std::pow(kelvin / t0, -1.5);  // mobility
+  for (MosParams* m : {&p.nmos, &p.pmos, &p.nmos_hvt, &p.nmos_thick}) {
+    m->vt0 += dvt;
+    m->kp *= kp_scale;
+  }
+  return p;
+}
+
+MismatchSigmas mismatch_sigmas(const MosParams& params,
+                               const MosGeometry& geometry) {
+  MismatchSigmas s;
+  const double sqrt_wl = std::sqrt(geometry.w * geometry.l);
+  s.sigma_vt = params.avt / sqrt_wl;
+  s.sigma_beta_rel = params.abeta / sqrt_wl;
+  return s;
+}
+
+}  // namespace sscl::device

@@ -1,0 +1,83 @@
+#include "digital/adder.hpp"
+
+#include <string>
+
+#include "stscl/scl_params.hpp"
+
+namespace sscl::digital {
+
+namespace {
+/// Phase of pipeline rank r. Rank 0 is transparent during the LOW
+/// half-cycle (like the encoder's sampling rank), so a testbench may
+/// change operands just after the rising edge.
+bool rank_phase(int r) { return r % 2 == 1; }
+}  // namespace
+
+AdderIo build_pipelined_adder(Netlist& nl, int bits,
+                              const AdderOptions& options) {
+  AdderIo io;
+  if (options.pipelined) nl.clock();
+  for (int i = 0; i < bits; ++i) io.a.push_back(nl.input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) io.b.push_back(nl.input("b" + std::to_string(i)));
+  io.cin = nl.input("cin");
+
+  const bool piped = options.pipelined;
+  auto delay_to_rank = [&](Ref sig, int from_rank, int to_rank,
+                           const std::string& base) -> Ref {
+    if (!piped) return sig;
+    Ref cur = sig;
+    for (int r = from_rank; r < to_rank; ++r) {
+      cur = Ref(nl.latch(cur, rank_phase(r),
+                         base + "_dl" + std::to_string(r)));
+    }
+    return cur;
+  };
+
+  // Bit i is processed at pipeline rank i: the carry arrives there after
+  // rippling one bit per half-cycle.
+  Ref carry = Ref(io.cin);
+  if (piped) {
+    carry = Ref(nl.latch(io.cin, rank_phase(0), "cin_l"));
+  }
+  std::vector<Ref> sums(bits);
+  for (int i = 0; i < bits; ++i) {
+    const std::string bi = "bit" + std::to_string(i);
+    // Skew operands to rank i.
+    const Ref ai = delay_to_rank(Ref(io.a[i]), 0, i + 1, bi + "_a");
+    const Ref bi_r = delay_to_rank(Ref(io.b[i]), 0, i + 1, bi + "_b");
+    // Carry out: the Fig. 8 compound majority + latch, one tail current.
+    Ref cnext;
+    if (piped) {
+      cnext = Ref(nl.maj3_latch(ai, bi_r, carry, rank_phase(i + 1), bi + "_c"));
+      // Sum: the 3-input compound XOR with merged latch -- one tail
+      // current per sum bit, like the majority carry.
+      sums[i] = Ref(nl.xor3_latch(ai, bi_r, carry, rank_phase(i + 1),
+                                  bi + "_s"));
+    } else {
+      cnext = Ref(nl.maj3(ai, bi_r, carry, bi + "_c"));
+      sums[i] = Ref(nl.xor3(ai, bi_r, carry, bi + "_s"));
+    }
+    carry = cnext;
+  }
+
+  // Deskew: align every sum bit (and cout) to rank bits+1.
+  for (int i = 0; i < bits; ++i) {
+    const Ref aligned = delay_to_rank(sums[i], i + 1, bits + 1,
+                                      "sum" + std::to_string(i));
+    io.sum.push_back(aligned.sig);
+  }
+  io.cout = delay_to_rank(carry, bits + 1, bits + 1, "cout").sig;
+  io.latency_cycles = piped ? (bits + 2) / 2 + 1 : 0;
+  return io;
+}
+
+double adder_pdp_per_stage(const stscl::SclModel& timing, double iss,
+                           double vdd) {
+  // Each stage holds ~2 cells (majority-latch + sum xor-latch) plus its
+  // share of skew latches; the [13] metric counts the energy one stage
+  // draws in one clock at the depth-2 pipeline rate fclk = 1/(4 td).
+  const double fclk = timing.fmax(iss, 2.0);
+  return iss * vdd / fclk;
+}
+
+}  // namespace sscl::digital

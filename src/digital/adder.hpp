@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file adder.hpp
+/// The paper's power-efficiency reference design ([13]: "ultra low power
+/// 32-bit pipelined adder using subthreshold source-coupled logic with
+/// 5 fJ/stage PDP"): a bit-pipelined ripple-carry adder where the carry
+/// of each stage IS the compound majority cell of Fig. 8 and the sum is
+/// a compound XOR with merged latch. Input skew and output deskew latch
+/// ranks make the logic depth per half-cycle exactly 1-2 gates, so the
+/// adder clocks at the same fmax as a single gate regardless of width.
+
+#include "digital/netlist.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::digital {
+
+struct AdderIo {
+  std::vector<SignalId> a, b;   ///< operand inputs, LSB first
+  SignalId cin = kNoSignal;
+  std::vector<SignalId> sum;    ///< result outputs, LSB first
+  SignalId cout = kNoSignal;
+  /// Cycles from operand sample to the matching (deskewed) result.
+  int latency_cycles = 0;
+};
+
+struct AdderOptions {
+  bool pipelined = true;  ///< false: plain combinational ripple carry
+};
+
+/// Build an \p bits wide adder into \p netlist.
+AdderIo build_pipelined_adder(Netlist& netlist, int bits,
+                              const AdderOptions& options = {});
+
+/// Energy figure of merit (the [13] metric): energy drawn per pipeline
+/// stage per operation at full throughput, E = Iss * Vdd / fclk with
+/// fclk = fmax of the depth-2 pipeline.
+double adder_pdp_per_stage(const stscl::SclModel& timing, double iss,
+                           double vdd);
+
+}  // namespace sscl::digital

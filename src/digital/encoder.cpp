@@ -1,0 +1,205 @@
+#include "digital/encoder.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace sscl::digital {
+
+namespace {
+int gray5(int i) { return i ^ (i >> 1); }
+}  // namespace
+
+std::uint64_t thermometer(int count, int width) {
+  std::uint64_t w = 0;
+  for (int i = 0; i < width && i < count; ++i) w |= (1ULL << i);
+  return w;
+}
+
+std::uint64_t fine_pattern(int segment, int pos) {
+  pos = std::clamp(pos, 0, kFineLines - 1);
+  std::uint64_t w = 0;
+  if ((segment & 1) == 0) {
+    // Even fold: ones-first thermometer, transition at index pos.
+    for (int i = 0; i < pos; ++i) w |= (1ULL << i);
+  } else {
+    // Odd fold: zeros-first, ones from pos upward.
+    for (int i = pos; i < kFineLines; ++i) w |= (1ULL << i);
+  }
+  return w;
+}
+
+int coarse_raw_count(int segment, int pos) {
+  return std::clamp(segment, 0, 7) + (pos >= 16 ? 1 : 0);
+}
+
+EncodedValue reference_encode(int coarse_count, int fine_position) {
+  EncodedValue e;
+  e.fine = std::clamp(fine_position, 0, kFineLines - 1);
+  const int cc = std::clamp(coarse_count, 0, kCoarseComparators);
+  e.coarse = std::clamp(cc - (e.fine >= 16 ? 1 : 0), 0, 7);
+  return e;
+}
+
+EncoderIo build_fai_encoder(Netlist& nl, const EncoderOptions& options) {
+  EncoderIo io;
+  io.clock = nl.clock();
+  for (int i = 0; i < kCoarseComparators; ++i) {
+    io.coarse_in.push_back(nl.input("c" + std::to_string(i)));
+  }
+  for (int i = 0; i < kFineLines; ++i) {
+    io.fine_in.push_back(nl.input("f" + std::to_string(i)));
+  }
+
+  const bool piped = options.pipelined;
+
+  auto LAT = [&](Ref d, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.latch(d, ph, n)) : d;
+  };
+  auto AND2L = [&](Ref a, Ref b, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.and2_latch(a, b, ph, n)) : Ref(nl.and2(a, b, n));
+  };
+  auto OR2L = [&](Ref a, Ref b, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.or2_latch(a, b, ph, n)) : Ref(nl.or2(a, b, n));
+  };
+  auto XOR2L = [&](Ref a, Ref b, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.xor2_latch(a, b, ph, n)) : Ref(nl.xor2(a, b, n));
+  };
+  auto OR4L = [&](Ref a, Ref b, Ref c, Ref d, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.or4_latch(a, b, c, d, ph, n)) : Ref(nl.or4(a, b, c, d, n));
+  };
+  auto MAJ3L = [&](Ref a, Ref b, Ref c, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.maj3_latch(a, b, c, ph, n)) : Ref(nl.maj3(a, b, c, n));
+  };
+  auto MUX2L = [&](Ref s, Ref a, Ref b, bool ph, const std::string& n) -> Ref {
+    return piped ? Ref(nl.mux2_latch(s, a, b, ph, n)) : Ref(nl.mux2(s, a, b, n));
+  };
+  auto OUT = [&](Ref r, const std::string& n) -> SignalId {
+    if (piped) return r.neg ? nl.buf(r, n) : r.sig;
+    return r.neg ? nl.buf(r, n) : r.sig;
+  };
+
+  // ---- S0 (phase 0): input sampling rank -------------------------------
+  std::vector<Ref> c(kCoarseComparators), f(kFineLines);
+  const bool sample = piped && options.sample_inputs;
+  for (int i = 0; i < kCoarseComparators; ++i) {
+    c[i] = sample ? Ref(nl.latch(io.coarse_in[i], false, "s0c" + std::to_string(i)))
+                  : Ref(io.coarse_in[i]);
+  }
+  for (int i = 0; i < kFineLines; ++i) {
+    f[i] = sample ? Ref(nl.latch(io.fine_in[i], false, "s0f" + std::to_string(i)))
+                  : Ref(io.fine_in[i]);
+  }
+
+  // ---- S1 (phase 1): bubble removal (Fig. 8 majority cells) ------------
+  std::vector<Ref> cb(kCoarseComparators), fb(kFineLines);
+  for (int i = 0; i < kCoarseComparators; ++i) {
+    cb[i] = MAJ3L(c[std::max(i - 1, 0)], c[i],
+                  c[std::min(i + 1, kCoarseComparators - 1)], true,
+                  "cb" + std::to_string(i));
+  }
+  for (int i = 0; i < kFineLines; ++i) {
+    fb[i] = MAJ3L(f[std::max(i - 1, 0)], f[i],
+                  f[std::min(i + 1, kFineLines - 1)], true,
+                  "fbb" + std::to_string(i));
+  }
+
+  // ---- S2 (phase 0): fine transition detect + two coarse Gray banks ----
+  // h[i] marks the thermometer boundary for either fold polarity.
+  std::vector<Ref> h(kFineLines);
+  h[0] = Ref();  // position 0 == no transition; never hot
+  for (int i = 1; i < kFineLines; ++i) {
+    h[i] = XOR2L(fb[i - 1], fb[i], false, "h" + std::to_string(i));
+  }
+
+  // Thermometer(7 lines) -> Gray for count (bank A: lines 0..6) and
+  // count-1 (bank B: lines 1..7).
+  struct GrayBank {
+    Ref g2, g1, g0;
+  };
+  auto gray_bank = [&](int base, const std::string& n) {
+    GrayBank gb;
+    auto line = [&](int k) { return cb[base + k]; };
+    gb.g2 = LAT(line(3), false, n + "_g2");
+    gb.g1 = AND2L(line(1), ~line(5), false, n + "_g1");
+    Ref t1 = nl.and2(line(0), ~line(2), n + "_t1");
+    Ref t2 = nl.and2(line(4), ~line(6), n + "_t2");
+    gb.g0 = OR2L(t1, t2, false, n + "_g0");
+    return gb;
+  };
+  GrayBank ga = gray_bank(0, "ga");  // encodes raw count (clamped to 7)
+  GrayBank gb_ = gray_bank(1, "gb");  // encodes raw count - 1
+
+  // ---- S3 (phase 1): fine one-hot -> Gray trees; coarse Gray -> binary -
+  std::vector<Ref> G(5);
+  for (int k = 0; k < 5; ++k) {
+    std::vector<Ref> members;
+    for (int i = 1; i < kFineLines; ++i) {
+      if (gray5(i) & (1 << k)) members.push_back(h[i]);
+    }
+    // 15 or 16 members; pad to a multiple of 4 by repeating the last.
+    while (members.size() % 4 != 0) members.push_back(members.back());
+    std::vector<Ref> level1;
+    for (std::size_t blk = 0; blk < members.size() / 4; ++blk) {
+      level1.push_back(nl.or4(members[4 * blk], members[4 * blk + 1],
+                              members[4 * blk + 2], members[4 * blk + 3],
+                              "G" + std::to_string(k) + "_l1_" +
+                                  std::to_string(blk)));
+    }
+    while (level1.size() < 4) level1.push_back(level1.back());
+    G[k] = OR4L(level1[0], level1[1], level1[2], level1[3], true,
+                "G" + std::to_string(k));
+  }
+  auto bank_bin_start = [&](const GrayBank& g, const std::string& n) {
+    struct Bin {
+      Ref b1, b2, g0;
+    } b;
+    b.b1 = XOR2L(g.g2, g.g1, true, n + "_b1");
+    b.b2 = LAT(g.g2, true, n + "_b2");
+    b.g0 = LAT(g.g0, true, n + "_g0r");
+    return b;
+  };
+  auto ba3 = bank_bin_start(ga, "ba");
+  auto bb3 = bank_bin_start(gb_, "bb");
+
+  // ---- S4 (phase 0): fine binary partials; coarse binary LSBs ----------
+  Ref p1 = LAT(G[4], false, "p1");  // = fine MSB fb4
+  Ref p2 = XOR2L(G[3], G[2], false, "p2");
+  Ref p3 = XOR2L(G[1], G[0], false, "p3");
+  Ref g3r = LAT(G[3], false, "g3r");
+  Ref g1r = LAT(G[1], false, "g1r");
+  Ref ba_b0 = XOR2L(ba3.b1, ba3.g0, false, "ba_b0");
+  Ref bb_b0 = XOR2L(bb3.b1, bb3.g0, false, "bb_b0");
+  Ref ba_b1 = LAT(ba3.b1, false, "ba_b1r");
+  Ref bb_b1 = LAT(bb3.b1, false, "bb_b1r");
+  Ref ba_b2 = LAT(ba3.b2, false, "ba_b2r");
+  Ref bb_b2 = LAT(bb3.b2, false, "bb_b2r");
+
+  // ---- S5 (phase 1): finish fine binary; select the coarse bank --------
+  // Correction: fine MSB (pos >= 16) selects count-1 (bank B).
+  Ref fb3 = XOR2L(p1, g3r, true, "fq3");
+  Ref fb2 = XOR2L(p1, p2, true, "fq2");
+  Ref p3r = LAT(p3, true, "p3r");
+  Ref g1r2 = LAT(g1r, true, "g1r2");
+  Ref fb4r = LAT(p1, true, "fb4r");
+  Ref cb0 = MUX2L(p1, bb_b0, ba_b0, true, "cs0");
+  Ref cb1 = MUX2L(p1, bb_b1, ba_b1, true, "cs1");
+  Ref cb2 = MUX2L(p1, bb_b2, ba_b2, true, "cs2");
+
+  // ---- S6 (phase 0): output rank ---------------------------------------
+  Ref fb1 = XOR2L(fb2, g1r2, false, "fq1");
+  Ref fb0 = XOR2L(fb2, p3r, false, "fq0");
+  Ref fb4o = LAT(fb4r, false, "fo4");
+  Ref fb3o = LAT(fb3, false, "fo3");
+  Ref fb2o = LAT(fb2, false, "fo2");
+  Ref cb0o = LAT(cb0, false, "co0");
+  Ref cb1o = LAT(cb1, false, "co1");
+  Ref cb2o = LAT(cb2, false, "co2");
+
+  io.fine_bits = {OUT(fb0, "fob0"), OUT(fb1, "fob1"), OUT(fb2o, "fob2"),
+                  OUT(fb3o, "fob3"), OUT(fb4o, "fob4")};
+  io.coarse_bits = {OUT(cb0o, "cob0"), OUT(cb1o, "cob1"), OUT(cb2o, "cob2")};
+  io.latency_cycles = piped ? 4 : 0;
+  return io;
+}
+
+}  // namespace sscl::digital

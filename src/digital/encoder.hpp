@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file encoder.hpp
+/// The digital back-end of the paper's folding-and-interpolating ADC
+/// (Section III-B), built entirely from STSCL gates with the paper's two
+/// power-efficiency techniques: compound stacked gates and depth-1..2
+/// pipelining (latches merged into the logic, alternating clock phases).
+///
+/// Architecture (matches the physics of the analog front end):
+///  * Coarse: 8 comparators with thresholds half a segment EARLY
+///    (k*32 - 16 LSB). After majority bubble filtering, two parallel
+///    thermometer->Gray->binary banks encode count and count-1; the fine
+///    MSB selects between them — the classic coarse/fine
+///    synchronisation and error correction the paper cites from [14].
+///    This tolerates coarse comparator offsets up to +-16 LSB.
+///  * Fine: 32 comparator lines form a thermometer whose polarity
+///    alternates with the fold direction; XOR of adjacent lines marks
+///    the transition regardless of polarity (no unfolding needed), then
+///    one-hot -> Gray (or4 trees) -> binary (xor prefix).
+
+#include <cstdint>
+#include <vector>
+
+#include "digital/netlist.hpp"
+
+namespace sscl::digital {
+
+inline constexpr int kCoarseComparators = 8;
+inline constexpr int kFineLines = 32;
+
+struct EncoderIo {
+  std::vector<SignalId> coarse_in;  ///< 8 thermometer lines (LSB first)
+  std::vector<SignalId> fine_in;    ///< 32 lines (polarity alternates)
+  SignalId clock = kNoSignal;
+  std::vector<SignalId> coarse_bits;  ///< 3 corrected segment bits (LSB first)
+  std::vector<SignalId> fine_bits;    ///< 5 position bits (LSB first)
+  /// Pipeline latency from input sample to matching output [cycles].
+  int latency_cycles = 0;
+};
+
+struct EncoderOptions {
+  /// Insert the input sampling latch rank (the comparator latches play
+  /// this role on silicon).
+  bool sample_inputs = true;
+  /// If false, build a purely combinational encoder (no pipelining):
+  /// the ablation baseline for the paper's pipelining claim.
+  bool pipelined = true;
+};
+
+/// Build the encoder into \p netlist. The gate count lands near the
+/// paper's 196-gate figure (exact value from Netlist::gate_count()).
+EncoderIo build_fai_encoder(Netlist& netlist, const EncoderOptions& options = {});
+
+/// Reference (software) encoding used to verify the netlist.
+/// \p coarse_count is the raw half-shifted comparator count (0..8),
+/// \p fine_position the transition position (0..31).
+struct EncodedValue {
+  int coarse = 0;  ///< corrected segment, 0..7
+  int fine = 0;    ///< position within segment, 0..31
+  int code() const { return coarse * 32 + fine; }
+};
+EncodedValue reference_encode(int coarse_count, int fine_position);
+
+/// Stimulus helpers -----------------------------------------------------
+
+/// Clean thermometer word: lowest \p count bits set of \p width.
+std::uint64_t thermometer(int count, int width);
+
+/// Fine comparator pattern for a sample in segment \p segment (0..7) at
+/// position \p pos (0..31): even segments fill ones from the bottom,
+/// odd segments fill ones from the top (fold direction).
+std::uint64_t fine_pattern(int segment, int pos);
+
+/// Raw coarse comparator count for (segment, pos) with the half-shifted
+/// thresholds: segment + (pos >= 16).
+int coarse_raw_count(int segment, int pos);
+
+}  // namespace sscl::digital

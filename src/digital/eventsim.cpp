@@ -1,0 +1,126 @@
+#include "digital/eventsim.hpp"
+
+#include <stdexcept>
+
+namespace sscl::digital {
+
+EventSim::EventSim(const Netlist& netlist, const stscl::SclModel& timing,
+                   double iss)
+    : netlist_(netlist),
+      timing_(timing),
+      delay_(timing.delay(iss)),
+      values_(netlist.signal_count(), 0),
+      fanout_(netlist.signal_count()) {
+  kind_factor_.fill(1.0);
+  const auto& gates = netlist_.gates();
+  for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {
+    const Gate& g = gates[gi];
+    for (int i = 0; i < input_count(g.kind); ++i) {
+      fanout_[g.in[i].sig].push_back(gi);
+    }
+    if (is_latching(g.kind)) {
+      fanout_[netlist_.clock_signal()].push_back(gi);
+    }
+  }
+  // Evaluate everything once so constant cones settle.
+  for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {
+    queue_.push({0.0, seq_++, gi});
+  }
+}
+
+void EventSim::set_iss(double iss) { delay_ = timing_.delay(iss); }
+
+bool EventSim::eval_gate(const Gate& g) const {
+  auto in = [&](int i) { return values_[g.in[i].sig] ^ g.in[i].neg; };
+  switch (g.kind) {
+    case GateKind::kBuf:
+      return in(0);
+    case GateKind::kAnd2:
+      return in(0) && in(1);
+    case GateKind::kOr2:
+      return in(0) || in(1);
+    case GateKind::kXor2:
+      return in(0) != in(1);
+    case GateKind::kOr4:
+      return in(0) || in(1) || in(2) || in(3);
+    case GateKind::kMux2:
+      return in(0) ? in(1) : in(2);
+    case GateKind::kMaj3:
+      return (in(0) && in(1)) || (in(1) && in(2)) || (in(0) && in(2));
+    case GateKind::kXor3:
+      return (in(0) != in(1)) != in(2);
+    case GateKind::kLatch:
+    case GateKind::kMaj3Latch:
+    case GateKind::kAnd2Latch:
+    case GateKind::kOr2Latch:
+    case GateKind::kXor2Latch:
+    case GateKind::kOr4Latch:
+    case GateKind::kMux2Latch:
+    case GateKind::kXor3Latch: {
+      const bool transparent =
+          values_[netlist_.clock_signal()] == g.clock_phase;
+      if (!transparent) return values_[g.out];
+      switch (g.kind) {
+        case GateKind::kLatch: return in(0);
+        case GateKind::kMaj3Latch:
+          return (in(0) && in(1)) || (in(1) && in(2)) || (in(0) && in(2));
+        case GateKind::kAnd2Latch: return in(0) && in(1);
+        case GateKind::kOr2Latch: return in(0) || in(1);
+        case GateKind::kXor2Latch: return in(0) != in(1);
+        case GateKind::kOr4Latch: return in(0) || in(1) || in(2) || in(3);
+        case GateKind::kMux2Latch: return in(0) ? in(1) : in(2);
+        case GateKind::kXor3Latch: return (in(0) != in(1)) != in(2);
+        default: return false;
+      }
+    }
+  }
+  return false;
+}
+
+void EventSim::schedule_fanout(SignalId sig) {
+  for (int gi : fanout_[sig]) {
+    const GateKind kind = netlist_.gates()[gi].kind;
+    queue_.push(
+        {now_ + delay_ * kind_factor_[static_cast<int>(kind)], seq_++, gi});
+  }
+}
+
+void EventSim::apply(SignalId sig, bool v) {
+  if (values_[sig] == static_cast<char>(v)) return;
+  values_[sig] = v;
+  ++transitions_;
+  schedule_fanout(sig);
+}
+
+void EventSim::set_input(SignalId sig, bool value) {
+  if (netlist_.driver_of(sig) != -1) {
+    throw std::invalid_argument("EventSim::set_input: signal is gate-driven");
+  }
+  apply(sig, value);
+}
+
+void EventSim::run_until(double t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    const Event e = queue_.top();
+    queue_.pop();
+    now_ = e.t;
+    const Gate& g = netlist_.gates()[e.gate];
+    // Inertial re-evaluation at maturity: the gate output takes the
+    // value its inputs imply *now*; stale glitch events dissolve.
+    apply(g.out, eval_gate(g));
+  }
+  now_ = t;
+}
+
+double EventSim::settle() {
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    now_ = e.t;
+    const Gate& g = netlist_.gates()[e.gate];
+    apply(g.out, eval_gate(g));
+  }
+  return now_;
+}
+
+}  // namespace sscl::digital

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file fmax.hpp
+/// Maximum-operating-frequency measurement of the STSCL encoder by
+/// gate-level simulation with bias-dependent delays (paper Fig. 9(a)).
+
+#include <utility>
+#include <vector>
+
+#include "digital/encoder.hpp"
+#include "digital/eventsim.hpp"
+
+namespace sscl::digital {
+
+/// Apply one (segment, position) stimulus: the coarse comparator word
+/// (half-shifted thresholds) and the fold-polarity-correct fine word.
+void apply_sample(EventSim& sim, const EncoderIo& io, int segment, int pos);
+
+/// Read the encoded output bits.
+EncodedValue read_outputs(const EventSim& sim, const EncoderIo& io);
+
+/// Expected output for a (segment, position) stimulus.
+EncodedValue expected_output(int segment, int pos);
+
+/// Default stimulus set: segment boundaries, mid-codes and deterministic
+/// pseudo-random samples.
+std::vector<std::pair<int, int>> default_stimuli(int n_random = 24,
+                                                 std::uint64_t seed = 1);
+
+/// Clock the encoder at \p period over \p stimuli (one sample per cycle)
+/// and check every output against the reference, automatically detecting
+/// the pipeline latency. Returns true when all codes match.
+bool encoder_works_at(const Netlist& netlist, const EncoderIo& io,
+                      const stscl::SclModel& timing, double iss, double period,
+                      const std::vector<std::pair<int, int>>& stimuli);
+
+/// Binary-search the maximum clock frequency at the given tail current.
+double measure_encoder_fmax(const Netlist& netlist, const EncoderIo& io,
+                            const stscl::SclModel& timing, double iss);
+
+}  // namespace sscl::digital

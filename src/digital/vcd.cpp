@@ -1,0 +1,92 @@
+#include "digital/vcd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::digital {
+
+namespace {
+std::vector<SignalId> all_signals(const Netlist& netlist) {
+  std::vector<SignalId> out(netlist.signal_count());
+  for (int i = 0; i < netlist.signal_count(); ++i) out[i] = i;
+  return out;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path, const Netlist& netlist,
+                     std::vector<SignalId> signals, long long timescale_fs)
+    : path_(path),
+      out_(path),
+      signals_(std::move(signals)),
+      last_(signals_.size(), -1),
+      timescale_fs_(timescale_fs) {
+  if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+  if (timescale_fs_ <= 0) {
+    throw std::invalid_argument("VcdWriter: timescale must be positive");
+  }
+  write_header(netlist);
+}
+
+VcdWriter::VcdWriter(const std::string& path, const Netlist& netlist,
+                     long long timescale_fs)
+    : VcdWriter(path, netlist, all_signals(netlist), timescale_fs) {}
+
+std::string VcdWriter::identifier(std::size_t index) {
+  // Printable-ASCII base-94 identifiers, as the VCD grammar allows.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::write_header(const Netlist& netlist) {
+  out_ << "$date sscl gate-level simulation $end\n";
+  out_ << "$version sscl-1.0 $end\n";
+  if (timescale_fs_ % 1000000 == 0) {
+    out_ << "$timescale " << timescale_fs_ / 1000000 << " ns $end\n";
+  } else if (timescale_fs_ % 1000 == 0) {
+    out_ << "$timescale " << timescale_fs_ / 1000 << " ps $end\n";
+  } else {
+    out_ << "$timescale " << timescale_fs_ << " fs $end\n";
+  }
+  out_ << "$scope module stscl $end\n";
+  for (std::size_t k = 0; k < signals_.size(); ++k) {
+    out_ << "$var wire 1 " << identifier(k) << " "
+         << netlist.signal_name(signals_[k]) << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(const EventSim& sim) {
+  if (closed_) throw std::logic_error("VcdWriter: sample after close");
+  const long long t =
+      static_cast<long long>(std::llround(sim.time() * 1e15 / timescale_fs_));
+  bool time_emitted = false;
+  for (std::size_t k = 0; k < signals_.size(); ++k) {
+    const char v = sim.value(signals_[k]) ? 1 : 0;
+    if (v == last_[k]) continue;
+    if (!time_emitted) {
+      if (t <= last_time_ && last_time_ >= 0) {
+        // Same (rounded) timestamp: merge into the previous block.
+      } else {
+        out_ << '#' << t << '\n';
+        last_time_ = t;
+      }
+      time_emitted = true;
+    }
+    out_ << (v ? '1' : '0') << identifier(k) << '\n';
+    last_[k] = v;
+  }
+}
+
+void VcdWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  closed_ = true;
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+}  // namespace sscl::digital

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file vcd.hpp
+/// Value-change-dump (IEEE 1364 VCD) export for the event-driven
+/// simulator, so gate-level runs can be inspected in GTKWave or any
+/// standard waveform viewer.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "digital/eventsim.hpp"
+
+namespace sscl::digital {
+
+/// Streams VCD while you drive an EventSim: construct with the netlist
+/// and the signals to trace, then call sample() at every point of
+/// interest (it emits only actual changes).
+class VcdWriter {
+ public:
+  /// Trace the given signals. \p timescale_fs sets the VCD time unit in
+  /// femtoseconds (1000 = 1 ps); times are rounded to it.
+  VcdWriter(const std::string& path, const Netlist& netlist,
+            std::vector<SignalId> signals, long long timescale_fs = 1000);
+
+  /// Trace ALL signals of the netlist.
+  VcdWriter(const std::string& path, const Netlist& netlist,
+            long long timescale_fs = 1000);
+
+  /// Record the current values at the simulator's current time.
+  void sample(const EventSim& sim);
+
+  /// Flush and finalise (also done by the destructor).
+  void close();
+  ~VcdWriter();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_header(const Netlist& netlist);
+  static std::string identifier(std::size_t index);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<SignalId> signals_;
+  std::vector<char> last_;  // -1 = not yet emitted
+  long long timescale_fs_;
+  long long last_time_ = -1;
+  bool closed_ = false;
+};
+
+}  // namespace sscl::digital

@@ -1,0 +1,43 @@
+#include "pmu/pll.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::pmu {
+
+double BiasPll::ring_frequency(double i_bias) const {
+  return 1.0 / (2.0 * config_.ring_stages * config_.timing.delay(i_bias));
+}
+
+double BiasPll::bias_for_frequency(double f) const {
+  if (f <= 0) throw std::invalid_argument("bias_for_frequency: f <= 0");
+  return config_.timing.iss_for_delay(1.0 / (2.0 * config_.ring_stages * f));
+}
+
+PllLockResult BiasPll::lock(double f_target, double i_start) const {
+  if (f_target <= 0) throw std::invalid_argument("lock: f_target <= 0");
+  PllLockResult r;
+  double x = std::log(std::clamp(i_start, config_.i_min, config_.i_max));
+  for (int k = 0; k < config_.max_iterations; ++k) {
+    const double i = std::exp(x);
+    const double f = ring_frequency(i);
+    r.trajectory.push_back(f);
+    r.iterations = k + 1;
+    if (std::fabs(f - f_target) <= config_.lock_tolerance * f_target) {
+      r.locked = true;
+      r.i_bias = i;
+      r.f_osc = f;
+      return r;
+    }
+    // Charge-pump integrator in the log-current domain (frequency is
+    // linear in current, so the log error converges geometrically).
+    x += config_.loop_gain * std::log(f_target / f);
+    x = std::clamp(x, std::log(config_.i_min), std::log(config_.i_max));
+  }
+  r.i_bias = std::exp(x);
+  r.f_osc = ring_frequency(r.i_bias);
+  return r;
+}
+
+}  // namespace sscl::pmu

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file pll.hpp
+/// Behavioural frequency-locked bias loop (the PLL block of paper
+/// Fig. 1): an STSCL replica ring oscillator runs from the shared bias
+/// current; a frequency detector compares it against the target clock
+/// and an integrating charge pump steers the bias DAC. Because STSCL
+/// frequency is linear in bias current, the loop is first-order and
+/// locks from any starting bias.
+
+#include <vector>
+
+#include "stscl/scl_params.hpp"
+
+namespace sscl::pmu {
+
+struct PllConfig {
+  stscl::SclModel timing{0.2, 12e-15};  ///< ring stage timing model
+  int ring_stages = 5;
+  double loop_gain = 0.4;   ///< integrator step per update (log domain)
+  double i_min = 1e-13;     ///< bias DAC range [A]
+  double i_max = 1e-5;
+  double lock_tolerance = 1e-3;  ///< relative frequency error at lock
+  int max_iterations = 200;
+};
+
+struct PllLockResult {
+  bool locked = false;
+  double i_bias = 0.0;        ///< bias current at lock [A]
+  double f_osc = 0.0;         ///< ring frequency at lock [Hz]
+  int iterations = 0;         ///< update cycles to lock
+  std::vector<double> trajectory;  ///< f_osc per iteration
+};
+
+class BiasPll {
+ public:
+  explicit BiasPll(const PllConfig& config) : config_(config) {}
+
+  /// Ring frequency at a bias current.
+  double ring_frequency(double i_bias) const;
+  /// Bias current that yields a ring frequency (analytic inverse).
+  double bias_for_frequency(double f) const;
+
+  /// Run the discrete-time loop from \p i_start until the ring matches
+  /// \p f_target.
+  PllLockResult lock(double f_target, double i_start = 1e-9) const;
+
+ private:
+  PllConfig config_;
+};
+
+}  // namespace sscl::pmu

@@ -1,0 +1,30 @@
+#include "pmu/pmu.hpp"
+
+#include <stdexcept>
+
+namespace sscl::pmu {
+
+BiasPlan PowerManager::plan_for_rate(double fs) const {
+  if (fs <= 0) throw std::invalid_argument("plan_for_rate: fs <= 0");
+  BiasPlan p;
+  p.fs = fs;
+  p.i_analog = config_.i_analog_ref * fs / config_.f_ref;
+  p.i_digital = config_.digital_fraction * p.i_analog;
+  p.iss_per_gate = p.i_digital / config_.encoder_gates;
+  p.p_analog = p.i_analog * config_.vdd;
+  p.p_digital = p.i_digital * config_.vdd;
+  p.p_total = p.p_analog + p.p_digital;
+  // Depth-2 pipelined encoder: fmax = 1 / (2 * 2 * td) at this bias.
+  p.encoder_fmax = config_.timing.fmax(p.iss_per_gate, 2.0);
+  p.speed_margin = p.encoder_fmax / fs;
+  return p;
+}
+
+double PowerManager::rate_for_analog_current(double i_analog) const {
+  if (i_analog <= 0) {
+    throw std::invalid_argument("rate_for_analog_current: i <= 0");
+  }
+  return config_.f_ref * i_analog / config_.i_analog_ref;
+}
+
+}  // namespace sscl::pmu

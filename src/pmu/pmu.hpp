@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file pmu.hpp
+/// The paper's headline system idea: one power-management unit scales
+/// the bias current of the ENTIRE mixed-signal chip linearly with the
+/// sampling rate. The analog current budget follows the settling
+/// requirement (I proportional to fs); the digital encoder rides along
+/// as a fixed fraction of the analog budget ("the bias current of the
+/// digital part is a fraction of the bias current of the analog part",
+/// Section III-B) — no separate regulator, no supply scaling.
+
+#include "stscl/scl_params.hpp"
+
+namespace sscl::pmu {
+
+struct PmuConfig {
+  double f_ref = 800.0;         ///< reference sampling rate [S/s]
+  double i_analog_ref = 42e-9;  ///< analog bias current at f_ref [A]
+  double digital_fraction = 0.047;  ///< I_digital / I_analog
+  double vdd = 1.0;             ///< common supply [V]
+  int encoder_gates = 179;      ///< STSCL gates sharing the digital bias
+  /// Gate timing model (for the speed-margin check).
+  stscl::SclModel timing{0.2, 12e-15};
+  /// Clock cycles of margin demanded between encoder fmax and fs.
+  double speed_margin = 4.0;
+};
+
+/// The bias plan for one sampling rate.
+struct BiasPlan {
+  double fs = 0.0;             ///< sampling rate [S/s]
+  double i_analog = 0.0;       ///< total analog bias [A]
+  double i_digital = 0.0;      ///< total digital bias [A]
+  double iss_per_gate = 0.0;   ///< encoder tail current per gate [A]
+  double p_analog = 0.0;       ///< [W]
+  double p_digital = 0.0;      ///< [W]
+  double p_total = 0.0;        ///< [W]
+  double encoder_fmax = 0.0;   ///< gate-level speed at iss_per_gate [Hz]
+  double speed_margin = 0.0;   ///< encoder_fmax / fs
+};
+
+class PowerManager {
+ public:
+  explicit PowerManager(const PmuConfig& config) : config_(config) {}
+
+  const PmuConfig& config() const { return config_; }
+
+  /// Linear bias scaling (the single control knob of Fig. 1).
+  BiasPlan plan_for_rate(double fs) const;
+
+  /// The inverse map: the sampling rate a given analog budget affords.
+  double rate_for_analog_current(double i_analog) const;
+
+  /// True when the digital part meets timing at this rate with the
+  /// configured margin.
+  bool digital_meets_timing(const BiasPlan& plan) const {
+    return plan.speed_margin >= config_.speed_margin;
+  }
+
+ private:
+  PmuConfig config_;
+};
+
+}  // namespace sscl::pmu

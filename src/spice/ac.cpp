@@ -1,0 +1,101 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+
+#include "util/numeric.hpp"
+
+namespace sscl::spice {
+
+std::vector<double> AcResult::frequencies() const {
+  std::vector<double> out(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) out[i] = points_[i].frequency;
+  return out;
+}
+
+std::vector<double> AcResult::magnitude(NodeId node) const {
+  std::vector<double> out(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    out[i] = std::abs(points_[i].v(node));
+  }
+  return out;
+}
+
+std::vector<double> AcResult::magnitude_db(NodeId node) const {
+  std::vector<double> out = magnitude(node);
+  for (double& v : out) v = 20.0 * std::log10(std::max(v, 1e-300));
+  return out;
+}
+
+std::vector<double> AcResult::phase_deg(NodeId node) const {
+  std::vector<double> out(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    out[i] = std::arg(points_[i].v(node)) * 180.0 / M_PI;
+  }
+  return out;
+}
+
+double AcResult::low_frequency_gain(NodeId node) const {
+  if (points_.empty()) return 0.0;
+  return std::abs(points_.front().v(node));
+}
+
+double AcResult::bandwidth_3db(NodeId node) const {
+  if (points_.size() < 2) return 0.0;
+  const double ref = low_frequency_gain(node);
+  const double target = ref / std::sqrt(2.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double m0 = std::abs(points_[i - 1].v(node));
+    const double m1 = std::abs(points_[i].v(node));
+    if (m0 >= target && m1 < target) {
+      // Log-log interpolation between the bracketing points.
+      const double lf0 = std::log(points_[i - 1].frequency);
+      const double lf1 = std::log(points_[i].frequency);
+      const double lm0 = std::log(m0);
+      const double lm1 = std::log(m1);
+      const double t = (std::log(target) - lm0) / (lm1 - lm0);
+      return std::exp(lf0 + t * (lf1 - lf0));
+    }
+  }
+  return 0.0;
+}
+
+AcResult run_ac(Engine& engine, const std::vector<double>& frequencies) {
+  Circuit& circuit = engine.circuit();
+  // Operating point first: devices cache small-signal parameters during
+  // their final load() call.
+  engine.solve_op();
+
+  const int n = circuit.unknown_count();
+  const int nodes = circuit.node_count();
+  AcResult result(nodes);
+  DenseMatrix<std::complex<double>> system(n);
+  std::vector<std::complex<double>> rhs(n);
+
+  for (double f : frequencies) {
+    system.clear();
+    std::fill(rhs.begin(), rhs.end(), std::complex<double>(0.0));
+    AcContext ctx(system, rhs, nodes, 2.0 * M_PI * f);
+    for (const auto& device : circuit.devices()) device->load_ac(ctx);
+    // Same diagonal floor as the DC solve.
+    for (int i = 0; i < nodes; ++i) {
+      system.add(i, i, {engine.options().gmin, 0.0});
+    }
+    system.factor_and_solve(rhs);
+    AcPoint point;
+    point.frequency = f;
+    point.x = std::move(rhs);
+    result.append(std::move(point));
+    rhs.assign(n, std::complex<double>(0.0));
+  }
+  return result;
+}
+
+AcResult run_ac_decade(Engine& engine, double f_start, double f_stop,
+                       int points_per_decade) {
+  const double decades = std::log10(f_stop / f_start);
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(decades * points_per_decade)) + 1;
+  return run_ac(engine, util::logspace(f_start, f_stop, n));
+}
+
+}  // namespace sscl::spice

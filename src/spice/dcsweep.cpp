@@ -1,0 +1,35 @@
+#include "spice/dcsweep.hpp"
+
+namespace sscl::spice {
+
+DcSweepResult run_dc_sweep(Engine& engine, const std::vector<double>& values,
+                           const std::function<void(double)>& set_param) {
+  DcSweepResult result;
+  result.values = values;
+  result.solutions.reserve(values.size());
+
+  std::vector<double> x = engine.make_initial_guess();
+  bool have_previous = false;
+
+  for (double value : values) {
+    set_param(value);
+    bool ok = false;
+    if (have_previous) {
+      std::vector<double> x_try = x;
+      ok = engine.newton(x_try, AnalysisMode::kDcOp, 0.0,
+                         IntegrationMethod::kTrapezoidal, 0.0,
+                         engine.options().gmin, 1.0);
+      if (ok) x = std::move(x_try);
+    }
+    if (!ok) {
+      // Cold start (first point) or continuation failure: full robust op.
+      Solution op = engine.solve_op();
+      x = op.raw();
+    }
+    result.solutions.emplace_back(x, engine.circuit().node_count());
+    have_previous = true;
+  }
+  return result;
+}
+
+}  // namespace sscl::spice

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file dcsweep.hpp
+/// DC sweep: repeatedly solve the operating point while stepping a
+/// circuit parameter, using the previous solution as the Newton starting
+/// point (continuation).
+
+#include <functional>
+#include <vector>
+
+#include "spice/engine.hpp"
+
+namespace sscl::spice {
+
+/// Result of a DC sweep: one Solution per swept value.
+struct DcSweepResult {
+  std::vector<double> values;       ///< the swept parameter values
+  std::vector<Solution> solutions;  ///< aligned with values
+
+  /// Extract one node's voltage across the sweep.
+  std::vector<double> voltage(NodeId node) const {
+    std::vector<double> out(solutions.size());
+    for (std::size_t i = 0; i < solutions.size(); ++i) out[i] = solutions[i].v(node);
+    return out;
+  }
+
+  /// Extract one branch current across the sweep.
+  std::vector<double> current(BranchId branch) const {
+    std::vector<double> out(solutions.size());
+    for (std::size_t i = 0; i < solutions.size(); ++i) {
+      out[i] = solutions[i].branch_current(branch);
+    }
+    return out;
+  }
+};
+
+/// Sweep: \p set_param is called with each value (it typically updates a
+/// source spec or a device parameter), then the DC point is solved with
+/// continuation from the previous point. Falls back to the full robust
+/// solve_op() on Newton failure.
+DcSweepResult run_dc_sweep(Engine& engine,
+                           const std::vector<double>& values,
+                           const std::function<void(double)>& set_param);
+
+}  // namespace sscl::spice

@@ -1,0 +1,304 @@
+#pragma once
+
+/// \file device.hpp
+/// The Device interface every circuit element implements, plus the
+/// contexts through which devices allocate resources (SetupContext) and
+/// stamp the MNA system (LoadContext / AcContext).
+///
+/// Conventions (identical to Berkeley SPICE):
+///  * KCL row per non-ground node; auxiliary branch rows after them.
+///  * A conductance g between nodes a,b stamps +g on the diagonals and
+///    -g off-diagonal.
+///  * A current i flowing a -> b subtracts from rhs[a] and adds to
+///    rhs[b] (rhs holds source currents *into* each node).
+///  * Nonlinear currents are stamped as their Newton companion:
+///    G = di/dv at the candidate point and Ieq = i - G*v.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "spice/linear_system.hpp"
+#include "spice/matrix.hpp"
+#include "spice/types.hpp"
+
+namespace sscl::spice {
+
+class Circuit;
+class Solution;
+
+/// What the engine is currently computing. Devices branch on this to
+/// decide between static, companion-model and state-recording behaviour.
+enum class AnalysisMode {
+  kDcOp,       ///< static solve; capacitors open, inductors short
+  kInitState,  ///< after a DC op: record integrator state, no stamping
+  kTransient,  ///< timestep solve with integrator companion models
+};
+
+/// Numerical integration method for transient analysis.
+enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
+
+/// Handed to Device::setup() during Circuit::elaborate().
+class SetupContext {
+ public:
+  SetupContext(Circuit& circuit, int& branch_counter, int& state_counter)
+      : circuit_(circuit),
+        branch_counter_(branch_counter),
+        state_counter_(state_counter) {}
+
+  Circuit& circuit() { return circuit_; }
+
+  /// Allocate one auxiliary MNA branch (voltage-source current etc.).
+  BranchId alloc_branch() { return branch_counter_++; }
+
+  /// Allocate \p count doubles of integrator state; returns base index.
+  int alloc_state(int count) {
+    const int base = state_counter_;
+    state_counter_ += count;
+    return base;
+  }
+
+ private:
+  Circuit& circuit_;
+  int& branch_counter_;
+  int& state_counter_;
+};
+
+/// Handed to Device::load() on every Newton iteration.
+class LoadContext {
+ public:
+  LoadContext(LinearSystem& system, int node_count, AnalysisMode mode)
+      : system_(system), node_count_(node_count), mode_(mode) {}
+
+  AnalysisMode mode() const { return mode_; }
+  double time() const { return time_; }
+  double gmin() const { return gmin_; }
+  double source_scale() const { return source_scale_; }
+  bool first_iteration() const { return first_iteration_; }
+
+  // ---- candidate solution access -------------------------------------
+  double v(NodeId n) const { return n == kGround ? 0.0 : (*x_)[n]; }
+  double branch_current(BranchId b) const { return (*x_)[node_count_ + b]; }
+  /// Previous Newton iterate, for junction/FET limiting.
+  double prev_v(NodeId n) const {
+    return n == kGround ? 0.0 : (*x_prev_)[n];
+  }
+  bool has_prev_iterate() const { return x_prev_ != nullptr && !first_iteration_; }
+
+  // ---- integrator state ----------------------------------------------
+  double state_prev(int idx) const { return (*state_prev_)[idx]; }
+  void set_state(int idx, double v) { (*state_now_)[idx] = v; }
+
+  /// dI/dQ of the integration method at the current timestep.
+  double integ_a0() const { return a0_; }
+
+  /// Companion current for a charge-based branch: given the candidate
+  /// charge q and the device's state base (slot 0 = charge, slot 1 =
+  /// current), returns the branch current this timestep and records the
+  /// new state.
+  double integrate_charge(int state_base, double q) {
+    const double q_prev = state_prev(state_base);
+    const double i_prev = state_prev(state_base + 1);
+    double i = 0.0;
+    if (method_ == IntegrationMethod::kTrapezoidal) {
+      i = a0_ * (q - q_prev) - i_prev;
+    } else {
+      i = a0_ * (q - q_prev);
+    }
+    set_state(state_base, q);
+    set_state(state_base + 1, i);
+    return i;
+  }
+
+  // ---- stamping --------------------------------------------------------
+  void a_nn(NodeId r, NodeId c, double v) {
+    if (r == kGround || c == kGround) return;
+    system_.add(r, c, v);
+  }
+  void a_nb(NodeId r, BranchId b, double v) {
+    if (r == kGround) return;
+    system_.add(r, node_count_ + b, v);
+  }
+  void a_bn(BranchId b, NodeId c, double v) {
+    if (c == kGround) return;
+    system_.add(node_count_ + b, c, v);
+  }
+  void a_bb(BranchId r, BranchId c, double v) {
+    system_.add(node_count_ + r, node_count_ + c, v);
+  }
+  void rhs_n(NodeId r, double v) {
+    if (r == kGround) return;
+    system_.add_rhs(r, v);
+  }
+  void rhs_b(BranchId b, double v) { system_.add_rhs(node_count_ + b, v); }
+
+  /// Linear conductance g between a and b.
+  void stamp_conductance(NodeId a, NodeId b, double g) {
+    a_nn(a, a, g);
+    a_nn(b, b, g);
+    a_nn(a, b, -g);
+    a_nn(b, a, -g);
+  }
+
+  /// Independent current i flowing from a to b.
+  void stamp_current_source(NodeId a, NodeId b, double i) {
+    rhs_n(a, -i);
+    rhs_n(b, i);
+  }
+
+  /// Newton companion for a nonlinear two-terminal current i(v_ab) with
+  /// derivative g evaluated at the candidate v_ab.
+  void stamp_nonlinear_current(NodeId a, NodeId b, double i, double g,
+                               double v_ab) {
+    stamp_conductance(a, b, g);
+    stamp_current_source(a, b, i - g * v_ab);
+  }
+
+  /// Devices call this when they limited their evaluation voltages; the
+  /// engine then runs at least one more iteration.
+  void set_not_converged() { limited_ = true; }
+  bool limited() const { return limited_; }
+
+  // ---- engine wiring (set once per iteration by the engine) -----------
+  void configure(const std::vector<double>* x, const std::vector<double>* x_prev,
+                 std::vector<double>* state_now,
+                 const std::vector<double>* state_prev, double time,
+                 double gmin, double source_scale, bool first_iteration,
+                 IntegrationMethod method, double a0) {
+    x_ = x;
+    x_prev_ = x_prev;
+    state_now_ = state_now;
+    state_prev_ = state_prev;
+    time_ = time;
+    gmin_ = gmin;
+    source_scale_ = source_scale;
+    first_iteration_ = first_iteration;
+    method_ = method;
+    a0_ = a0;
+    limited_ = false;
+  }
+
+  void set_mode(AnalysisMode mode) { mode_ = mode; }
+
+ private:
+  LinearSystem& system_;
+  int node_count_;
+  AnalysisMode mode_;
+  const std::vector<double>* x_ = nullptr;
+  const std::vector<double>* x_prev_ = nullptr;
+  std::vector<double>* state_now_ = nullptr;
+  const std::vector<double>* state_prev_ = nullptr;
+  double time_ = 0.0;
+  double gmin_ = 1e-12;
+  double source_scale_ = 1.0;
+  bool first_iteration_ = true;
+  IntegrationMethod method_ = IntegrationMethod::kTrapezoidal;
+  double a0_ = 0.0;
+  bool limited_ = false;
+};
+
+/// Handed to Device::load_ac(). Devices stamp complex admittances using
+/// small-signal parameters cached during the preceding DC operating
+/// point load.
+class AcContext {
+ public:
+  AcContext(DenseMatrix<std::complex<double>>& system,
+            std::vector<std::complex<double>>& rhs, int node_count,
+            double omega)
+      : system_(system), rhs_(rhs), node_count_(node_count), omega_(omega) {}
+
+  double omega() const { return omega_; }
+
+  void a_nn(NodeId r, NodeId c, std::complex<double> v) {
+    if (r == kGround || c == kGround) return;
+    system_.add(r, c, v);
+  }
+  void a_nb(NodeId r, BranchId b, std::complex<double> v) {
+    if (r == kGround) return;
+    system_.add(r, node_count_ + b, v);
+  }
+  void a_bn(BranchId b, NodeId c, std::complex<double> v) {
+    if (c == kGround) return;
+    system_.add(node_count_ + b, c, v);
+  }
+  void a_bb(BranchId r, BranchId c, std::complex<double> v) {
+    system_.add(node_count_ + r, node_count_ + c, v);
+  }
+  void rhs_n(NodeId r, std::complex<double> v) {
+    if (r == kGround) return;
+    rhs_[r] += v;
+  }
+  void rhs_b(BranchId b, std::complex<double> v) { rhs_[node_count_ + b] += v; }
+
+  /// Complex admittance y between nodes a and b.
+  void stamp_admittance(NodeId a, NodeId b, std::complex<double> y) {
+    a_nn(a, a, y);
+    a_nn(b, b, y);
+    a_nn(a, b, -y);
+    a_nn(b, a, -y);
+  }
+
+ private:
+  DenseMatrix<std::complex<double>>& system_;
+  std::vector<std::complex<double>>& rhs_;
+  int node_count_;
+  double omega_;
+};
+
+/// Collects elementary noise current sources from devices (definitions
+/// of the analysis live in noise.hpp).
+class NoiseContext {
+ public:
+  struct Source {
+    NodeId a = kGround;  ///< noise current flows a -> b
+    NodeId b = kGround;
+    double psd = 0.0;  ///< white PSD [A^2/Hz] at the operating point
+    std::string label;
+  };
+
+  explicit NoiseContext(double temperature) : temperature_(temperature) {}
+  double temperature() const { return temperature_; }
+  void add(NodeId a, NodeId b, double psd, std::string label) {
+    sources_.push_back({a, b, psd, std::move(label)});
+  }
+  const std::vector<Source>& sources() const { return sources_; }
+
+ private:
+  double temperature_;
+  std::vector<Source> sources_;
+};
+
+/// Base class of every circuit element.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Allocate branches/state. Called once by Circuit::elaborate().
+  virtual void setup(SetupContext& /*ctx*/) {}
+
+  /// Stamp the MNA system for the current Newton iteration.
+  virtual void load(LoadContext& ctx) = 0;
+
+  /// Stamp the small-signal system at the given frequency. Devices that
+  /// cached their operating point during the last load() use it here.
+  virtual void load_ac(AcContext& /*ctx*/) const {}
+
+  /// Append transient breakpoints (source edges) in (0, tstop].
+  virtual void add_breakpoints(double /*tstop*/,
+                               std::vector<double>& /*breakpoints*/) const {}
+
+  /// Register physical noise sources evaluated at the last operating
+  /// point (called after a DC solve). Default: noiseless.
+  virtual void add_noise(NoiseContext& /*ctx*/) const {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sscl::spice

@@ -1,0 +1,354 @@
+#include "spice/elements.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::spice {
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  if (resistance_ <= 0) {
+    throw std::invalid_argument("Resistor " + this->name() +
+                                ": resistance must be positive");
+  }
+}
+
+void Resistor::set_resistance(double r) {
+  if (r <= 0) throw std::invalid_argument("Resistor: resistance must be positive");
+  resistance_ = r;
+}
+
+void Resistor::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.stamp_conductance(a_, b_, 1.0 / resistance_);
+}
+
+void Resistor::load_ac(AcContext& ctx) const {
+  ctx.stamp_admittance(a_, b_, {1.0 / resistance_, 0.0});
+}
+
+void Resistor::add_noise(NoiseContext& ctx) const {
+  // Johnson-Nyquist thermal noise: S_i = 4kT/R.
+  constexpr double kB = 1.380649e-23;
+  ctx.add(a_, b_, 4.0 * kB * ctx.temperature() / resistance_,
+          "thermal(" + name() + ")");
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+  if (capacitance_ < 0) {
+    throw std::invalid_argument("Capacitor " + this->name() +
+                                ": capacitance must be non-negative");
+  }
+}
+
+void Capacitor::setup(SetupContext& ctx) { state_ = ctx.alloc_state(2); }
+
+void Capacitor::load(LoadContext& ctx) {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  const double q = capacitance_ * v;
+  switch (ctx.mode()) {
+    case AnalysisMode::kDcOp:
+      return;  // open circuit
+    case AnalysisMode::kInitState:
+      ctx.set_state(state_, q);
+      ctx.set_state(state_ + 1, 0.0);
+      return;
+    case AnalysisMode::kTransient: {
+      const double i = ctx.integrate_charge(state_, q);
+      const double geq = ctx.integ_a0() * capacitance_;
+      ctx.stamp_nonlinear_current(a_, b_, i, geq, v);
+      return;
+    }
+  }
+}
+
+void Capacitor::load_ac(AcContext& ctx) const {
+  ctx.stamp_admittance(a_, b_, {0.0, ctx.omega() * capacitance_});
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), inductance_(inductance) {
+  if (inductance_ <= 0) {
+    throw std::invalid_argument("Inductor " + this->name() +
+                                ": inductance must be positive");
+  }
+}
+
+void Inductor::setup(SetupContext& ctx) {
+  branch_ = ctx.alloc_branch();
+  state_ = ctx.alloc_state(2);  // [current, voltage]
+}
+
+void Inductor::load(LoadContext& ctx) {
+  // Branch current j is the unknown; KCL rows get +-j.
+  ctx.a_nb(a_, branch_, 1.0);
+  ctx.a_nb(b_, branch_, -1.0);
+  ctx.a_bn(branch_, a_, 1.0);
+  ctx.a_bn(branch_, b_, -1.0);
+
+  switch (ctx.mode()) {
+    case AnalysisMode::kDcOp:
+      // Branch equation: v_a - v_b = 0 (DC short), rows already stamped.
+      return;
+    case AnalysisMode::kInitState:
+      // State is [flux, voltage]; at the DC operating point the inductor
+      // voltage is zero.
+      ctx.set_state(state_, inductance_ * ctx.branch_current(branch_));
+      ctx.set_state(state_ + 1, 0.0);
+      return;
+    case AnalysisMode::kTransient: {
+      // Flux-based companion: v_L = d(flux)/dt via the same integrator
+      // helper as capacitor charge. v_L is linear in j with slope a0*L.
+      const double a0 = ctx.integ_a0();
+      const double j = ctx.branch_current(branch_);
+      const double v_l = ctx.integrate_charge(state_, inductance_ * j);
+      // Branch equation: v_a - v_b - v_L(j) = 0.
+      ctx.a_bb(branch_, branch_, -a0 * inductance_);
+      ctx.rhs_b(branch_, v_l - a0 * inductance_ * j);
+      return;
+    }
+  }
+}
+
+void Inductor::load_ac(AcContext& ctx) const {
+  ctx.a_nb(a_, branch_, {1.0, 0.0});
+  ctx.a_nb(b_, branch_, {-1.0, 0.0});
+  ctx.a_bn(branch_, a_, {1.0, 0.0});
+  ctx.a_bn(branch_, b_, {-1.0, 0.0});
+  ctx.a_bb(branch_, branch_, {0.0, -ctx.omega() * inductance_});
+}
+
+// ------------------------------------------------------------ VoltageSource
+
+VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
+                             SourceSpec spec)
+    : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
+
+void VoltageSource::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
+
+void VoltageSource::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  const double value =
+      spec_.value(ctx.mode() == AnalysisMode::kTransient ? ctx.time() : 0.0) *
+      ctx.source_scale();
+  ctx.a_nb(pos_, branch_, 1.0);
+  ctx.a_nb(neg_, branch_, -1.0);
+  ctx.a_bn(branch_, pos_, 1.0);
+  ctx.a_bn(branch_, neg_, -1.0);
+  ctx.rhs_b(branch_, value);
+}
+
+void VoltageSource::load_ac(AcContext& ctx) const {
+  ctx.a_nb(pos_, branch_, {1.0, 0.0});
+  ctx.a_nb(neg_, branch_, {-1.0, 0.0});
+  ctx.a_bn(branch_, pos_, {1.0, 0.0});
+  ctx.a_bn(branch_, neg_, {-1.0, 0.0});
+  if (spec_.ac_magnitude() != 0.0) {
+    const double phase = spec_.ac_phase_deg() * M_PI / 180.0;
+    ctx.rhs_b(branch_, std::polar(spec_.ac_magnitude(), phase));
+  }
+}
+
+void VoltageSource::add_breakpoints(double tstop,
+                                    std::vector<double>& breakpoints) const {
+  spec_.add_breakpoints(tstop, breakpoints);
+}
+
+// ------------------------------------------------------------ CurrentSource
+
+CurrentSource::CurrentSource(std::string name, NodeId pos, NodeId neg,
+                             SourceSpec spec)
+    : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
+
+void CurrentSource::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  const double value =
+      spec_.value(ctx.mode() == AnalysisMode::kTransient ? ctx.time() : 0.0) *
+      ctx.source_scale();
+  ctx.stamp_current_source(pos_, neg_, value);
+}
+
+void CurrentSource::load_ac(AcContext& ctx) const {
+  if (spec_.ac_magnitude() != 0.0) {
+    const double phase = spec_.ac_phase_deg() * M_PI / 180.0;
+    const std::complex<double> i = std::polar(spec_.ac_magnitude(), phase);
+    ctx.rhs_n(pos_, -i);
+    ctx.rhs_n(neg_, i);
+  }
+}
+
+void CurrentSource::add_breakpoints(double tstop,
+                                    std::vector<double>& breakpoints) const {
+  spec_.add_breakpoints(tstop, breakpoints);
+}
+
+// --------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
+           NodeId ctrl_neg, double gain)
+    : Device(std::move(name)),
+      op_(out_pos),
+      on_(out_neg),
+      cp_(ctrl_pos),
+      cn_(ctrl_neg),
+      gain_(gain) {}
+
+void Vcvs::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
+
+void Vcvs::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.a_nb(op_, branch_, 1.0);
+  ctx.a_nb(on_, branch_, -1.0);
+  ctx.a_bn(branch_, op_, 1.0);
+  ctx.a_bn(branch_, on_, -1.0);
+  ctx.a_bn(branch_, cp_, -gain_);
+  ctx.a_bn(branch_, cn_, gain_);
+}
+
+void Vcvs::load_ac(AcContext& ctx) const {
+  ctx.a_nb(op_, branch_, {1.0, 0.0});
+  ctx.a_nb(on_, branch_, {-1.0, 0.0});
+  ctx.a_bn(branch_, op_, {1.0, 0.0});
+  ctx.a_bn(branch_, on_, {-1.0, 0.0});
+  ctx.a_bn(branch_, cp_, {-gain_, 0.0});
+  ctx.a_bn(branch_, cn_, {gain_, 0.0});
+}
+
+// --------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
+           NodeId ctrl_neg, double gm)
+    : Device(std::move(name)),
+      op_(out_pos),
+      on_(out_neg),
+      cp_(ctrl_pos),
+      cn_(ctrl_neg),
+      gm_(gm) {}
+
+void Vccs::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.a_nn(op_, cp_, gm_);
+  ctx.a_nn(op_, cn_, -gm_);
+  ctx.a_nn(on_, cp_, -gm_);
+  ctx.a_nn(on_, cn_, gm_);
+}
+
+void Vccs::load_ac(AcContext& ctx) const {
+  ctx.a_nn(op_, cp_, {gm_, 0.0});
+  ctx.a_nn(op_, cn_, {-gm_, 0.0});
+  ctx.a_nn(on_, cp_, {-gm_, 0.0});
+  ctx.a_nn(on_, cn_, {gm_, 0.0});
+}
+
+// --------------------------------------------------------------------- Cccs
+
+Cccs::Cccs(std::string name, NodeId out_pos, NodeId out_neg,
+           const VoltageSource* sense, double gain)
+    : Device(std::move(name)),
+      op_(out_pos),
+      on_(out_neg),
+      sense_(sense),
+      gain_(gain) {
+  if (!sense_) throw std::invalid_argument("Cccs: null sense source");
+}
+
+void Cccs::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.a_nb(op_, sense_->branch(), gain_);
+  ctx.a_nb(on_, sense_->branch(), -gain_);
+}
+
+void Cccs::load_ac(AcContext& ctx) const {
+  ctx.a_nb(op_, sense_->branch(), {gain_, 0.0});
+  ctx.a_nb(on_, sense_->branch(), {-gain_, 0.0});
+}
+
+// --------------------------------------------------------------------- Ccvs
+
+Ccvs::Ccvs(std::string name, NodeId out_pos, NodeId out_neg,
+           const VoltageSource* sense, double transresistance)
+    : Device(std::move(name)),
+      op_(out_pos),
+      on_(out_neg),
+      sense_(sense),
+      r_(transresistance) {
+  if (!sense_) throw std::invalid_argument("Ccvs: null sense source");
+}
+
+void Ccvs::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
+
+void Ccvs::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.a_nb(op_, branch_, 1.0);
+  ctx.a_nb(on_, branch_, -1.0);
+  ctx.a_bn(branch_, op_, 1.0);
+  ctx.a_bn(branch_, on_, -1.0);
+  ctx.a_bb(branch_, sense_->branch(), -r_);
+}
+
+void Ccvs::load_ac(AcContext& ctx) const {
+  ctx.a_nb(op_, branch_, {1.0, 0.0});
+  ctx.a_nb(on_, branch_, {-1.0, 0.0});
+  ctx.a_bn(branch_, op_, {1.0, 0.0});
+  ctx.a_bn(branch_, on_, {-1.0, 0.0});
+  ctx.a_bb(branch_, sense_->branch(), {-r_, 0.0});
+}
+
+// ---------------------------------------------------------------- SoftOpamp
+
+SoftOpamp::SoftOpamp(std::string name, NodeId out, NodeId in_pos, NodeId in_neg,
+                     double gain, double v_lo, double v_hi, double r_out)
+    : Device(std::move(name)),
+      out_(out),
+      ip_(in_pos),
+      in_(in_neg),
+      gain_(gain),
+      v_lo_(v_lo),
+      v_hi_(v_hi),
+      r_out_(r_out) {
+  if (v_hi_ <= v_lo_) throw std::invalid_argument("SoftOpamp: v_hi <= v_lo");
+  if (gain_ <= 0) throw std::invalid_argument("SoftOpamp: gain must be positive");
+}
+
+void SoftOpamp::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
+
+void SoftOpamp::load(LoadContext& ctx) {
+  if (ctx.mode() == AnalysisMode::kInitState) return;
+  const double vmid = 0.5 * (v_lo_ + v_hi_);
+  const double vamp = 0.5 * (v_hi_ - v_lo_);
+  const double vd = ctx.v(ip_) - ctx.v(in_);
+  const double u = gain_ * vd / vamp;
+  const double f = vmid + vamp * std::tanh(u);
+  const double sech2 = 1.0 / (std::cosh(std::min(std::fabs(u), 350.0)) *
+                              std::cosh(std::min(std::fabs(u), 350.0)));
+  const double dfd = gain_ * sech2;  // d f / d vd
+  ac_gain_ = dfd;
+
+  // Branch equation: v(out) - Rout*j - f(vd) = 0 (j counts as leaving
+  // the output node in its KCL row, so the Thevenin drop enters with a
+  // minus sign), linearised:
+  //   v(out) - Rout*j - dfd*(v(ip)-v(in)) = f(vd*) - dfd*vd*
+  ctx.a_nb(out_, branch_, 1.0);
+  ctx.a_bn(branch_, out_, 1.0);
+  ctx.a_bb(branch_, branch_, -r_out_);
+  ctx.a_bn(branch_, ip_, -dfd);
+  ctx.a_bn(branch_, in_, dfd);
+  ctx.rhs_b(branch_, f - dfd * vd);
+}
+
+void SoftOpamp::load_ac(AcContext& ctx) const {
+  ctx.a_nb(out_, branch_, {1.0, 0.0});
+  ctx.a_bn(branch_, out_, {1.0, 0.0});
+  ctx.a_bb(branch_, branch_, {-r_out_, 0.0});
+  ctx.a_bn(branch_, ip_, {-ac_gain_, 0.0});
+  ctx.a_bn(branch_, in_, {ac_gain_, 0.0});
+}
+
+}  // namespace sscl::spice

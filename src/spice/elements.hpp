@@ -1,0 +1,197 @@
+#pragma once
+
+/// \file elements.hpp
+/// Linear and controlled-source circuit elements: R, C, L, V, I, E
+/// (VCVS), G (VCCS), F (CCCS), H (CCVS) and a behavioural soft-clipping
+/// op-amp used by bias generators.
+
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+#include "spice/sources.hpp"
+#include "spice/types.hpp"
+
+namespace sscl::spice {
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+  void add_noise(NoiseContext& ctx) const override;
+
+  double resistance() const { return resistance_; }
+  void set_resistance(double r);
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double resistance_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+  double capacitance() const { return capacitance_; }
+  void set_capacitance(double c) { capacitance_ = c; }
+
+ private:
+  NodeId a_, b_;
+  double capacitance_;
+  int state_ = -1;  // [charge, current]
+};
+
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double inductance);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+  BranchId branch() const { return branch_; }
+
+ private:
+  NodeId a_, b_;
+  double inductance_;
+  BranchId branch_ = -1;
+  int state_ = -1;  // [current, voltage]
+};
+
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+  void add_breakpoints(double tstop,
+                       std::vector<double>& breakpoints) const override;
+
+  const SourceSpec& spec() const { return spec_; }
+  void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+  /// Branch whose MNA unknown is the source current (flows pos -> neg
+  /// internally, i.e. positive when the source absorbs current).
+  BranchId branch() const { return branch_; }
+
+ private:
+  NodeId pos_, neg_;
+  SourceSpec spec_;
+  BranchId branch_ = -1;
+};
+
+class CurrentSource final : public Device {
+ public:
+  /// Current flows from \p pos through the source to \p neg (SPICE
+  /// convention: positive value pushes current out of neg).
+  CurrentSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
+
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+  void add_breakpoints(double tstop,
+                       std::vector<double>& breakpoints) const override;
+
+  const SourceSpec& spec() const { return spec_; }
+  void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+
+ private:
+  NodeId pos_, neg_;
+  SourceSpec spec_;
+};
+
+/// E element: v(out+, out-) = gain * v(ctrl+, ctrl-).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
+       NodeId ctrl_neg, double gain);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+ private:
+  NodeId op_, on_, cp_, cn_;
+  double gain_;
+  BranchId branch_ = -1;
+};
+
+/// G element: i(out+ -> out-) = gm * v(ctrl+, ctrl-).
+class Vccs final : public Device {
+ public:
+  Vccs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
+       NodeId ctrl_neg, double gm);
+
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+  void set_gm(double gm) { gm_ = gm; }
+
+ private:
+  NodeId op_, on_, cp_, cn_;
+  double gm_;
+};
+
+/// F element: i(out) = gain * i(through a named voltage source).
+class Cccs final : public Device {
+ public:
+  Cccs(std::string name, NodeId out_pos, NodeId out_neg,
+       const VoltageSource* sense, double gain);
+
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+ private:
+  NodeId op_, on_;
+  const VoltageSource* sense_;
+  double gain_;
+};
+
+/// H element: v(out) = r * i(through a named voltage source).
+class Ccvs final : public Device {
+ public:
+  Ccvs(std::string name, NodeId out_pos, NodeId out_neg,
+       const VoltageSource* sense, double transresistance);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+ private:
+  NodeId op_, on_;
+  const VoltageSource* sense_;
+  double r_;
+  BranchId branch_ = -1;
+};
+
+/// Behavioural op-amp with a smooth tanh output clamp:
+///   v(out) = vmid + 0.5*(vhi-vlo) * tanh( gain*(v+ - v-) / (0.5*(vhi-vlo)) )
+/// Single-ended output referenced to ground; used for replica-bias
+/// feedback loops where an ideal high-gain element keeps Newton stable.
+class SoftOpamp final : public Device {
+ public:
+  /// \p r_out models the amplifier's finite output resistance; combined
+  /// with an external decoupling capacitor it gives the loop realistic
+  /// first-order dynamics (0 = ideal voltage output).
+  SoftOpamp(std::string name, NodeId out, NodeId in_pos, NodeId in_neg,
+            double gain, double v_lo, double v_hi, double r_out = 0.0);
+
+  void setup(SetupContext& ctx) override;
+  void load(LoadContext& ctx) override;
+  void load_ac(AcContext& ctx) const override;
+
+ private:
+  NodeId out_, ip_, in_;
+  double gain_, v_lo_, v_hi_, r_out_;
+  BranchId branch_ = -1;
+  mutable double ac_gain_ = 0.0;  // linearised gain cached at the OP
+};
+
+}  // namespace sscl::spice

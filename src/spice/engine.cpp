@@ -1,0 +1,191 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace sscl::spice {
+
+Engine::Engine(Circuit& circuit, SolverOptions options)
+    : circuit_(circuit), options_(options), system_(0) {
+  circuit_.elaborate();
+  system_ = LinearSystem(circuit_.unknown_count());
+  state_prev_.assign(circuit_.state_count(), 0.0);
+  state_now_.assign(circuit_.state_count(), 0.0);
+}
+
+std::vector<double> Engine::make_initial_guess() const {
+  std::vector<double> x(circuit_.unknown_count(), 0.0);
+  for (const auto& [node, v] : nodeset_) {
+    if (node != kGround) x[node] = v;
+  }
+  return x;
+}
+
+bool Engine::converged(const std::vector<double>& x,
+                       const std::vector<double>& x_old) const {
+  const int nodes = circuit_.node_count();
+  for (int i = 0; i < static_cast<int>(x.size()); ++i) {
+    const double delta = std::fabs(x[i] - x_old[i]);
+    const double magnitude = std::max(std::fabs(x[i]), std::fabs(x_old[i]));
+    const double tol = (i < nodes ? options_.vntol : options_.itol) +
+                       options_.reltol * magnitude;
+    if (delta > tol) return false;
+  }
+  return true;
+}
+
+bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
+                    IntegrationMethod method, double a0, double gmin,
+                    double source_scale, int* iterations_out) {
+  const int n = circuit_.unknown_count();
+  const int nodes = circuit_.node_count();
+  LoadContext ctx(system_, nodes, mode);
+
+  bool first = true;
+  auto assemble = [&](const std::vector<double>& at) {
+    system_.clear();
+    ctx.set_mode(mode);
+    ctx.configure(&at, &at, &state_now_, &state_prev_, time, gmin,
+                  source_scale, first, method, a0);
+    for (const auto& device : circuit_.devices()) device->load(ctx);
+    // Diagonal gmin keeps floating nodes and deep-subthreshold devices
+    // from producing a singular Jacobian.
+    for (int i = 0; i < nodes; ++i) system_.add(i, i, gmin);
+    first = false;
+  };
+
+  assemble(x);
+  double norm_x = system_.residual_norm(x);
+
+  std::vector<double> x_new(n);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++total_iterations_;
+
+    // The system is currently assembled at x (linearised there).
+    if (!system_.solve(x_new)) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return false;
+    }
+
+    bool bad = false;
+    for (double v : x_new) {
+      if (!std::isfinite(v)) {
+        bad = true;
+        break;
+      }
+    }
+    if (bad) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return false;
+    }
+
+    // Damping: clamp node-voltage steps to max_step_v to stop the
+    // exponential devices from overshooting into overflow.
+    for (int i = 0; i < nodes; ++i) {
+      const double step = x_new[i] - x[i];
+      if (std::fabs(step) > options_.max_step_v) {
+        x_new[i] = x[i] + std::copysign(options_.max_step_v, step);
+      }
+    }
+
+    // Backtracking line search on the KCL residual: if the full step
+    // makes the residual much worse (classic overshoot of exponential
+    // devices), halve the step towards x.
+    assemble(x_new);
+    bool limited = ctx.limited();
+    double norm_new = system_.residual_norm(x_new);
+    for (int bt = 0; bt < 6 && norm_new > 3.0 * norm_x + 1e-18; ++bt) {
+      for (int i = 0; i < n; ++i) x_new[i] = 0.5 * (x[i] + x_new[i]);
+      assemble(x_new);
+      limited = ctx.limited();
+      norm_new = system_.residual_norm(x_new);
+    }
+
+    const bool conv = converged(x_new, x) && !limited;
+    if (!conv && iter == options_.max_iterations - 1 &&
+        util::log_level() <= util::LogLevel::kDebug) {
+      // Diagnostic: report the worst-converging unknown.
+      int worst = 0;
+      double worst_delta = 0;
+      for (int i = 0; i < n; ++i) {
+        const double d = std::fabs(x_new[i] - x[i]);
+        if (d > worst_delta) {
+          worst_delta = d;
+          worst = i;
+        }
+      }
+      util::log_debug("newton: no convergence; worst unknown ",
+                      worst < nodes ? circuit_.node_name(worst)
+                                    : "branch" + std::to_string(worst - nodes),
+                      " delta=", worst_delta, " value=", x_new[worst],
+                      " limited=", limited, " residual=", norm_new);
+    }
+    x.swap(x_new);
+    norm_x = norm_new;
+    if (conv) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return true;
+    }
+    // Loop continues with the system already assembled at the new x.
+  }
+  if (iterations_out) *iterations_out = options_.max_iterations;
+  return false;
+}
+
+Solution Engine::solve_op() {
+  std::vector<double> x = make_initial_guess();
+
+  // 1. Plain Newton at target gmin.
+  if (newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal, 0.0,
+             options_.gmin, 1.0)) {
+    return Solution(std::move(x), circuit_.node_count());
+  }
+
+  // 2. Gmin stepping: converge with a heavy diagonal, then relax it.
+  util::log_debug("solve_op: plain Newton failed; gmin stepping");
+  x = make_initial_guess();
+  bool ok = true;
+  for (double g = 1e-3; g >= options_.gmin * 0.99; g *= 1e-2) {
+    if (!newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
+                0.0, g, 1.0)) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
+                   0.0, options_.gmin, 1.0)) {
+    return Solution(std::move(x), circuit_.node_count());
+  }
+
+  // 3. Source stepping: ramp all independent sources from zero.
+  util::log_debug("solve_op: gmin stepping failed; source stepping");
+  x = make_initial_guess();
+  ok = true;
+  for (double scale = 0.05; scale < 1.0 + 1e-12; scale += 0.05) {
+    if (!newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
+                0.0, options_.gmin * 1e3, std::min(scale, 1.0))) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
+                   0.0, options_.gmin, 1.0)) {
+    return Solution(std::move(x), circuit_.node_count());
+  }
+
+  throw ConvergenceError("DC operating point did not converge");
+}
+
+void Engine::initialize_state(const std::vector<double>& x) {
+  LoadContext ctx(system_, circuit_.node_count(), AnalysisMode::kInitState);
+  ctx.configure(&x, &x, &state_now_, &state_prev_, 0.0, options_.gmin, 1.0,
+                true, IntegrationMethod::kTrapezoidal, 0.0);
+  for (const auto& device : circuit_.devices()) device->load(ctx);
+  accept_state();
+}
+
+void Engine::accept_state() { state_prev_ = state_now_; }
+
+}  // namespace sscl::spice

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file engine.hpp
+/// The nonlinear solve engine shared by every analysis: damped Newton
+/// iteration over the MNA system with gmin stepping and source stepping
+/// continuation for difficult operating points.
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+#include "spice/linear_system.hpp"
+
+namespace sscl::spice {
+
+/// Tolerances and iteration limits. Defaults are tuned for the
+/// pico-ampere current levels of subthreshold source-coupled circuits
+/// (much tighter than SPICE's 1 pA abstol).
+struct SolverOptions {
+  double reltol = 1e-4;        ///< relative delta-x tolerance
+  double vntol = 1e-7;         ///< absolute node-voltage tolerance [V]
+  double itol = 1e-15;         ///< absolute branch-current tolerance [A]
+  int max_iterations = 200;    ///< Newton iterations per solve point
+  double gmin = 1e-15;         ///< diagonal conductance floor [S]
+  double max_step_v = 0.5;     ///< Newton voltage-step damping limit [V]
+};
+
+/// Thrown when an analysis cannot converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  explicit Engine(Circuit& circuit, SolverOptions options = {});
+
+  Circuit& circuit() { return circuit_; }
+  const SolverOptions& options() const { return options_; }
+  SolverOptions& options() { return options_; }
+
+  /// Suggest an initial guess for a node (SPICE .nodeset).
+  void set_nodeset(NodeId node, double voltage) { nodeset_[node] = voltage; }
+  void clear_nodesets() { nodeset_.clear(); }
+
+  /// Robust DC operating point: plain Newton, then gmin stepping, then
+  /// source stepping. Throws ConvergenceError if all fail.
+  Solution solve_op();
+
+  /// Newton solve from the given starting point (modified in place).
+  /// Returns true on convergence. Used directly by sweeps and transient.
+  bool newton(std::vector<double>& x, AnalysisMode mode, double time,
+              IntegrationMethod method, double a0, double gmin,
+              double source_scale, int* iterations_out = nullptr);
+
+  /// Run the kInitState pass: devices record integrator state from the
+  /// solution x, then the state becomes the "previous timestep" state.
+  void initialize_state(const std::vector<double>& x);
+
+  /// Promote the just-solved state to previous (after an accepted step).
+  void accept_state();
+
+  std::vector<double> make_initial_guess() const;
+
+  int unknown_count() const { return circuit_.unknown_count(); }
+
+  /// Total Newton iterations since construction (for benchmarking).
+  long long total_iterations() const { return total_iterations_; }
+
+ private:
+  bool converged(const std::vector<double>& x,
+                 const std::vector<double>& x_old) const;
+
+  Circuit& circuit_;
+  SolverOptions options_;
+  LinearSystem system_;
+  std::vector<double> state_prev_, state_now_;
+  std::map<NodeId, double> nodeset_;
+  long long total_iterations_ = 0;
+};
+
+}  // namespace sscl::spice

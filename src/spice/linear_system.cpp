@@ -1,0 +1,66 @@
+#include "spice/linear_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sscl::spice {
+
+LinearSystem::LinearSystem(int n, bool force_dense, bool force_sparse)
+    : n_(n), rhs_(n, 0.0) {
+  const bool use_sparse = force_sparse || (!force_dense && n > kSparseThreshold);
+  if (use_sparse) {
+    sparse_ = std::make_unique<SparseMatrix>(n);
+  } else {
+    dense_ = std::make_unique<DenseMatrix<double>>(n);
+  }
+}
+
+void LinearSystem::clear() {
+  if (sparse_) {
+    sparse_->clear();
+  } else {
+    dense_->clear();
+  }
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+}
+
+void LinearSystem::add(int r, int c, double v) {
+  if (sparse_) {
+    sparse_->add(r, c, v);
+  } else {
+    dense_->add(r, c, v);
+  }
+}
+
+void LinearSystem::multiply(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  if (sparse_) {
+    sparse_->multiply(x, y);
+  } else {
+    dense_->multiply(x, y);
+  }
+}
+
+double LinearSystem::residual_norm(const std::vector<double>& x) const {
+  std::vector<double> ax;
+  multiply(x, ax);
+  double norm = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    norm = std::max(norm, std::fabs(ax[i] - rhs_[i]));
+  }
+  return norm;
+}
+
+bool LinearSystem::solve(std::vector<double>& x_out) {
+  x_out = rhs_;
+  if (sparse_) {
+    if (!sparse_->factor()) return false;
+    sparse_->solve(x_out);
+    return true;
+  }
+  if (!dense_->factor()) return false;
+  dense_->solve(x_out);
+  return true;
+}
+
+}  // namespace sscl::spice

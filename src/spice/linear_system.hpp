@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file linear_system.hpp
+/// Real MNA system that switches between dense and sparse storage based
+/// on dimension. Analyses assemble through the uniform add()/rhs()
+/// interface and call solve().
+
+#include <memory>
+#include <vector>
+
+#include "spice/matrix.hpp"
+#include "spice/sparse.hpp"
+
+namespace sscl::spice {
+
+/// Dimension above which the sparse path is used.
+inline constexpr int kSparseThreshold = 80;
+
+class LinearSystem {
+ public:
+  explicit LinearSystem(int n = 0, bool force_dense = false,
+                        bool force_sparse = false);
+
+  int size() const { return n_; }
+  bool is_sparse() const { return sparse_ != nullptr; }
+
+  /// Zero the matrix and right-hand side (pattern kept when sparse).
+  void clear();
+
+  void add(int r, int c, double v);
+  void add_rhs(int r, double v) { rhs_[r] += v; }
+  double rhs(int r) const { return rhs_[r]; }
+  std::vector<double>& rhs_vector() { return rhs_; }
+
+  /// y = A x with the currently assembled values. Must be called before
+  /// solve() (dense factorisation overwrites A).
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Infinity norm of the KCL residual A x - b for the assembled system.
+  double residual_norm(const std::vector<double>& x) const;
+
+  /// Factor and solve in place; the solution replaces the rhs and is also
+  /// returned. Returns false on singular matrix.
+  bool solve(std::vector<double>& x_out);
+
+ private:
+  int n_ = 0;
+  std::unique_ptr<DenseMatrix<double>> dense_;
+  std::unique_ptr<SparseMatrix> sparse_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace sscl::spice

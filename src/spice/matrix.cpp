@@ -1,0 +1,65 @@
+#include "spice/matrix.hpp"
+
+#include <cmath>
+
+namespace sscl::spice {
+
+namespace {
+double magnitude(double v) { return std::fabs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+bool DenseMatrix<T>::factor() {
+  constexpr double kPivotTiny = 1e-300;
+  for (int k = 0; k < n_; ++k) {
+    // Partial pivoting: find the largest magnitude entry in column k.
+    int pivot_row = k;
+    double best = magnitude(at(k, k));
+    for (int r = k + 1; r < n_; ++r) {
+      const double m = magnitude(at(r, k));
+      if (m > best) {
+        best = m;
+        pivot_row = r;
+      }
+    }
+    if (best < kPivotTiny) return false;
+    pivots_[k] = pivot_row;
+    if (pivot_row != k) {
+      for (int c = 0; c < n_; ++c) std::swap(at(k, c), at(pivot_row, c));
+    }
+    const T pivot = at(k, k);
+    for (int r = k + 1; r < n_; ++r) {
+      const T mult = at(r, k) / pivot;
+      at(r, k) = mult;
+      if (mult == T{}) continue;
+      for (int c = k + 1; c < n_; ++c) at(r, c) -= mult * at(k, c);
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+template <typename T>
+void DenseMatrix<T>::solve(std::vector<T>& b) const {
+  // Apply the full row permutation first (the factor step swaps whole
+  // rows including the L part, so interleaving swaps with elimination
+  // would pair multipliers with the wrong b entries).
+  for (int k = 0; k < n_; ++k) {
+    if (pivots_[k] != k) std::swap(b[k], b[pivots_[k]]);
+  }
+  // Forward substitution (unit lower triangle).
+  for (int k = 0; k < n_; ++k) {
+    for (int r = k + 1; r < n_; ++r) b[r] -= at(r, k) * b[k];
+  }
+  // Back substitution.
+  for (int k = n_ - 1; k >= 0; --k) {
+    for (int c = k + 1; c < n_; ++c) b[k] -= at(k, c) * b[c];
+    b[k] /= at(k, k);
+  }
+}
+
+template class DenseMatrix<double>;
+template class DenseMatrix<std::complex<double>>;
+
+}  // namespace sscl::spice

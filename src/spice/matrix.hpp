@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense LU factorisation with partial pivoting over real or complex
+/// scalars. Circuits below the sparse threshold (see linear_system.hpp)
+/// and all AC solves use this path.
+
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+namespace sscl::spice {
+
+/// Row-major dense matrix with in-place LU solve. T is double or
+/// std::complex<double>.
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(int n) { resize(n); }
+
+  void resize(int n) {
+    n_ = n;
+    data_.assign(static_cast<std::size_t>(n) * n, T{});
+    pivots_.assign(n, 0);
+    factored_ = false;
+  }
+
+  int size() const { return n_; }
+
+  void clear() {
+    std::fill(data_.begin(), data_.end(), T{});
+    factored_ = false;
+  }
+
+  T& at(int r, int c) { return data_[static_cast<std::size_t>(r) * n_ + c]; }
+  const T& at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * n_ + c];
+  }
+
+  void add(int r, int c, T v) { at(r, c) += v; }
+
+  /// y = A x. Only valid before factor() (which overwrites A with LU).
+  void multiply(const std::vector<T>& x, std::vector<T>& y) const {
+    y.assign(n_, T{});
+    for (int r = 0; r < n_; ++r) {
+      T acc{};
+      const T* row = &data_[static_cast<std::size_t>(r) * n_];
+      for (int c = 0; c < n_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  }
+
+  /// LU-factor in place with partial pivoting. Returns false if the
+  /// matrix is numerically singular (pivot below tiny threshold).
+  bool factor();
+
+  /// Solve A x = b using the stored factors; b is overwritten with x.
+  /// factor() must have succeeded.
+  void solve(std::vector<T>& b) const;
+
+  /// Convenience: factor (throwing on singularity) then solve.
+  void factor_and_solve(std::vector<T>& b) {
+    if (!factor()) throw std::runtime_error("DenseMatrix: singular matrix");
+    solve(b);
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<T> data_;
+  std::vector<int> pivots_;
+  bool factored_ = false;
+};
+
+extern template class DenseMatrix<double>;
+extern template class DenseMatrix<std::complex<double>>;
+
+}  // namespace sscl::spice

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file noise.hpp
+/// Small-signal noise analysis: every device contributes its physical
+/// noise current sources (thermal 4kT/R for resistors, shot-like 2qI
+/// for subthreshold channels and junctions); the analysis solves the
+/// AC system once per frequency and accumulates |H|^2 * S_i from each
+/// source to the chosen output, yielding the output noise spectral
+/// density and its integrated rms. Used to derive the converter's
+/// input-referred noise floor from first principles.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "spice/engine.hpp"
+
+namespace sscl::spice {
+
+struct NoiseResult {
+  std::vector<double> frequencies;
+  /// Output noise voltage PSD [V^2/Hz] per frequency point.
+  std::vector<double> s_out;
+  /// Per-source integrated contribution [V^2] (same order as labels).
+  std::vector<double> source_contribution;
+  std::vector<std::string> source_labels;
+  /// Integrated output noise over the swept band [V rms].
+  double v_rms = 0.0;
+
+  /// Index of the dominant noise contributor.
+  std::size_t dominant_source() const;
+};
+
+/// Run noise analysis: operating point, then per-frequency AC solves
+/// with each device's noise sources as excitations. The output is the
+/// differential voltage v(out_p) - v(out_n).
+NoiseResult run_noise(Engine& engine, NodeId out_p, NodeId out_n,
+                      const std::vector<double>& frequencies,
+                      double temperature = 300.15);
+
+/// Logarithmic frequency grid convenience (mirrors run_ac_decade).
+NoiseResult run_noise_decade(Engine& engine, NodeId out_p, NodeId out_n,
+                             double f_start, double f_stop,
+                             int points_per_decade = 10,
+                             double temperature = 300.15);
+
+}  // namespace sscl::spice

@@ -1,0 +1,149 @@
+#include "spice/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::spice {
+
+SourceSpec SourceSpec::dc(double value) {
+  SourceSpec s(Kind::kDc);
+  s.p_[0] = value;
+  return s;
+}
+
+SourceSpec SourceSpec::pulse(double v1, double v2, double delay, double rise,
+                             double fall, double width, double period) {
+  SourceSpec s(Kind::kPulse);
+  s.p_[0] = v1;
+  s.p_[1] = v2;
+  s.p_[2] = delay;
+  // Zero rise/fall would make the waveform discontinuous; substitute a
+  // tiny but finite edge as SPICE does with its default (tstep).
+  s.p_[3] = std::max(rise, 1e-15);
+  s.p_[4] = std::max(fall, 1e-15);
+  s.p_[5] = width;
+  s.p_[6] = period;
+  return s;
+}
+
+SourceSpec SourceSpec::sine(double offset, double amplitude, double freq,
+                            double delay, double damping) {
+  SourceSpec s(Kind::kSin);
+  s.p_[0] = offset;
+  s.p_[1] = amplitude;
+  s.p_[2] = freq;
+  s.p_[3] = delay;
+  s.p_[4] = damping;
+  return s;
+}
+
+SourceSpec SourceSpec::pwl(std::vector<double> times,
+                           std::vector<double> values) {
+  if (times.size() != values.size() || times.empty()) {
+    throw std::invalid_argument("SourceSpec::pwl: bad point list");
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) {
+      throw std::invalid_argument("SourceSpec::pwl: times must increase");
+    }
+  }
+  SourceSpec s(Kind::kPwl);
+  s.pwl_t_ = std::move(times);
+  s.pwl_v_ = std::move(values);
+  return s;
+}
+
+SourceSpec SourceSpec::exp(double v1, double v2, double td1, double tau1,
+                           double td2, double tau2) {
+  SourceSpec s(Kind::kExp);
+  s.p_[0] = v1;
+  s.p_[1] = v2;
+  s.p_[2] = td1;
+  s.p_[3] = std::max(tau1, 1e-15);
+  s.p_[4] = td2;
+  s.p_[5] = std::max(tau2, 1e-15);
+  return s;
+}
+
+double SourceSpec::value(double t) const {
+  if (t < 0) t = 0;
+  switch (kind_) {
+    case Kind::kDc:
+      return p_[0];
+    case Kind::kPulse: {
+      const double v1 = p_[0], v2 = p_[1], td = p_[2], tr = p_[3], tf = p_[4],
+                   pw = p_[5], per = p_[6];
+      if (t < td) return v1;
+      double tl = t - td;
+      if (per > 0) tl = std::fmod(tl, per);
+      if (tl < tr) return v1 + (v2 - v1) * tl / tr;
+      if (tl < tr + pw) return v2;
+      if (tl < tr + pw + tf) return v2 + (v1 - v2) * (tl - tr - pw) / tf;
+      return v1;
+    }
+    case Kind::kSin: {
+      const double vo = p_[0], va = p_[1], f = p_[2], td = p_[3], theta = p_[4];
+      if (t < td) return vo;
+      const double tp = t - td;
+      const double damp = theta > 0 ? std::exp(-tp * theta) : 1.0;
+      return vo + va * damp * std::sin(2.0 * M_PI * f * tp);
+    }
+    case Kind::kPwl: {
+      if (t <= pwl_t_.front()) return pwl_v_.front();
+      if (t >= pwl_t_.back()) return pwl_v_.back();
+      const auto it = std::upper_bound(pwl_t_.begin(), pwl_t_.end(), t);
+      const std::size_t hi = static_cast<std::size_t>(it - pwl_t_.begin());
+      const std::size_t lo = hi - 1;
+      const double frac = (t - pwl_t_[lo]) / (pwl_t_[hi] - pwl_t_[lo]);
+      return pwl_v_[lo] + frac * (pwl_v_[hi] - pwl_v_[lo]);
+    }
+    case Kind::kExp: {
+      const double v1 = p_[0], v2 = p_[1], td1 = p_[2], tau1 = p_[3],
+                   td2 = p_[4], tau2 = p_[5];
+      double v = v1;
+      if (t >= td1) v += (v2 - v1) * (1.0 - std::exp(-(t - td1) / tau1));
+      if (t >= td2) v += (v1 - v2) * (1.0 - std::exp(-(t - td2) / tau2));
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+void SourceSpec::add_breakpoints(double tstop,
+                                 std::vector<double>& breakpoints) const {
+  auto push = [&](double t) {
+    if (t > 0 && t <= tstop) breakpoints.push_back(t);
+  };
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSin:
+      break;  // smooth (SIN handled by step control)
+    case Kind::kPulse: {
+      const double td = p_[2], tr = p_[3], tf = p_[4], pw = p_[5], per = p_[6];
+      if (per > 0) {
+        for (double base = td; base <= tstop; base += per) {
+          push(base);
+          push(base + tr);
+          push(base + tr + pw);
+          push(base + tr + pw + tf);
+        }
+      } else {
+        push(td);
+        push(td + tr);
+        push(td + tr + pw);
+        push(td + tr + pw + tf);
+      }
+      break;
+    }
+    case Kind::kPwl:
+      for (double t : pwl_t_) push(t);
+      break;
+    case Kind::kExp:
+      push(p_[2]);
+      push(p_[4]);
+      break;
+  }
+}
+
+}  // namespace sscl::spice

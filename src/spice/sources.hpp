@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file sources.hpp
+/// Time-domain waveform specifications shared by the independent voltage
+/// and current sources: DC, PULSE, SIN, PWL and EXP, matching SPICE
+/// semantics. Each provides its value at time t and its breakpoints so
+/// the transient engine never steps over an edge.
+
+#include <vector>
+
+namespace sscl::spice {
+
+/// A SPICE source waveform. Construct through the static factories.
+class SourceSpec {
+ public:
+  /// Constant value (also the pre-transient value of every waveform).
+  static SourceSpec dc(double value);
+
+  /// PULSE(v1 v2 td tr tf pw per). A period of 0 means non-repeating.
+  static SourceSpec pulse(double v1, double v2, double delay, double rise,
+                          double fall, double width, double period = 0.0);
+
+  /// SIN(offset amplitude freq td damping).
+  static SourceSpec sine(double offset, double amplitude, double freq,
+                         double delay = 0.0, double damping = 0.0);
+
+  /// PWL: piecewise-linear (time, value) points; times strictly increase.
+  static SourceSpec pwl(std::vector<double> times, std::vector<double> values);
+
+  /// EXP(v1 v2 td1 tau1 td2 tau2).
+  static SourceSpec exp(double v1, double v2, double td1, double tau1,
+                        double td2, double tau2);
+
+  SourceSpec() : SourceSpec(dc(0.0)) {}
+
+  /// Waveform value at time t (>= 0). t < 0 returns the DC value.
+  double value(double t) const;
+
+  /// DC operating-point value (waveform value at t = 0).
+  double dc_value() const { return value(0.0); }
+
+  /// Append the waveform's corner times within (0, tstop].
+  void add_breakpoints(double tstop, std::vector<double>& breakpoints) const;
+
+  /// An AC small-signal magnitude used by the AC analysis (defaults 0).
+  SourceSpec& with_ac(double magnitude, double phase_deg = 0.0) {
+    ac_magnitude_ = magnitude;
+    ac_phase_deg_ = phase_deg;
+    return *this;
+  }
+  double ac_magnitude() const { return ac_magnitude_; }
+  double ac_phase_deg() const { return ac_phase_deg_; }
+
+ private:
+  enum class Kind { kDc, kPulse, kSin, kPwl, kExp };
+
+  SourceSpec(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  // Parameter storage; meaning depends on kind.
+  double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<double> pwl_t_;
+  std::vector<double> pwl_v_;
+  double ac_magnitude_ = 0.0;
+  double ac_phase_deg_ = 0.0;
+};
+
+}  // namespace sscl::spice

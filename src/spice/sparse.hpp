@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Sparse LU factorisation for larger MNA systems. Left-looking
+/// Gilbert-Peierls factorisation with partial pivoting (the same
+/// algorithm family as SPICE3 / CSparse). The assembly pattern is cached
+/// between Newton iterations: after the first load only values change,
+/// so add() is a hash-free slot write on the hot path.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sscl::spice {
+
+/// Square sparse matrix with accumulate-style assembly and LU solve.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(int n = 0);
+
+  void resize(int n);
+  int size() const { return n_; }
+
+  /// Zero all values, keeping the sparsity pattern.
+  void clear();
+
+  /// Accumulate v into entry (r, c). Grows the pattern on first touch.
+  void add(int r, int c, double v);
+
+  /// Reserve a pattern slot for (r, c) without changing its value.
+  void touch(int r, int c) { slot(r, c); }
+
+  /// y = A x using the assembly entries (independent of factorisation).
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Factor the current values. Returns false on numerical singularity.
+  bool factor();
+
+  /// Solve A x = b using the factors; b is overwritten with x.
+  void solve(std::vector<double>& b) const;
+
+  /// Number of structural nonzeros in the assembled matrix.
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// Fill-in of the factors (for diagnostics/benchmarks).
+  std::size_t factor_nonzeros() const { return li_.size() + ui_.size(); }
+
+ private:
+  int slot(int r, int c);
+  void build_csc() const;
+
+  int n_ = 0;
+
+  // Assembly storage: entry list plus a (row,col)->slot map.
+  std::vector<int> rows_, cols_;
+  std::vector<double> values_;
+  std::unordered_map<std::uint64_t, int> slot_map_;
+
+  // Column-compressed copy of the assembled matrix (rebuilt when the
+  // pattern changes, values refreshed each factor()).
+  mutable std::vector<int> ap_, ai_;
+  mutable std::vector<double> ax_;
+  mutable std::vector<int> slot_to_csc_;
+  mutable bool pattern_dirty_ = true;
+
+  // LU factors in CSC form. L has a unit diagonal stored explicitly as
+  // the first entry of each column; U stores its diagonal last.
+  std::vector<int> lp_, li_;
+  std::vector<double> lx_;
+  std::vector<int> up_, ui_;
+  std::vector<double> ux_;
+  std::vector<int> pinv_;  // original row -> pivot position
+  bool factored_ = false;
+};
+
+}  // namespace sscl::spice

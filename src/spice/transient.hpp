@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file transient.hpp
+/// Variable-step transient analysis with trapezoidal integration,
+/// predictor-based local truncation error control and source breakpoint
+/// handling. Backward Euler is used for the first step and immediately
+/// after each breakpoint (discontinuity damping).
+
+#include <functional>
+
+#include "spice/engine.hpp"
+#include "spice/waveform.hpp"
+
+namespace sscl::spice {
+
+struct TransientOptions {
+  double tstop = 0.0;        ///< end time [s] (required)
+  double dt_initial = 0.0;   ///< 0 = auto (tstop / 1000)
+  double dt_min = 0.0;       ///< 0 = auto (tstop * 1e-12)
+  double dt_max = 0.0;       ///< 0 = auto (tstop / 50)
+  double lte_scale = 7.0;    ///< SPICE trtol: LTE relaxation factor
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  bool use_ic_op = true;     ///< solve DC op at t=0 first
+};
+
+/// Run a transient simulation of the circuit behind \p engine.
+/// Returns the recorded waveform (all node voltages at every accepted
+/// point, starting with t = 0). Throws ConvergenceError if the timestep
+/// underflows.
+Waveform run_transient(Engine& engine, const TransientOptions& options);
+
+}  // namespace sscl::spice

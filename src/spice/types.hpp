@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental identifiers for the MNA-based circuit simulator.
+
+namespace sscl::spice {
+
+/// Index of a circuit node. Non-ground nodes are numbered 0..N-1 and map
+/// directly to MNA matrix rows; ground is kGround and never stamped.
+using NodeId = int;
+
+/// The reference (ground) node.
+inline constexpr NodeId kGround = -1;
+
+/// Index of an auxiliary MNA branch row (voltage-source currents etc.).
+/// Branch b occupies matrix row/column node_count() + b.
+using BranchId = int;
+
+}  // namespace sscl::spice

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file waveform.hpp
+/// Result storage for transient analysis plus the measurement helpers a
+/// characterisation flow needs (crossings, delays, extrema, swing,
+/// frequency).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/types.hpp"
+
+namespace sscl::spice {
+
+/// Direction of a threshold crossing.
+enum class Edge { kRise, kFall, kEither };
+
+/// A set of signals sampled on a shared (non-uniform) time axis. The
+/// transient analysis stores every node voltage; signals are addressed
+/// by NodeId.
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(int node_count) : node_count_(node_count) {}
+
+  void append(double time, const std::vector<double>& x);
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  int node_count() const { return node_count_; }
+
+  const std::vector<double>& times() const { return times_; }
+  double time(std::size_t i) const { return times_[i]; }
+
+  /// Sample i of a node's voltage (ground reads 0).
+  double value(NodeId node, std::size_t i) const;
+
+  /// Linear interpolation at time t (clamped to the simulated range).
+  double at(NodeId node, double t) const;
+
+  /// Copy one signal out as a dense vector aligned with times().
+  std::vector<double> signal(NodeId node) const;
+
+  // ---- measurements ----------------------------------------------------
+
+  /// First time the signal crosses \p level with the given edge at or
+  /// after t_start. Linear interpolation between samples.
+  std::optional<double> cross(NodeId node, double level, Edge edge,
+                              double t_start = 0.0) const;
+
+  /// All crossings of \p level with the given edge.
+  std::vector<double> crossings(NodeId node, double level, Edge edge) const;
+
+  /// Propagation delay: time from `from` crossing `level_from` to the
+  /// next `to` crossing `level_to`, both measured at/after t_start.
+  std::optional<double> delay(NodeId from, double level_from, Edge edge_from,
+                              NodeId to, double level_to, Edge edge_to,
+                              double t_start = 0.0) const;
+
+  double minimum(NodeId node, double t_start = 0.0) const;
+  double maximum(NodeId node, double t_start = 0.0) const;
+  double peak_to_peak(NodeId node, double t_start = 0.0) const {
+    return maximum(node, t_start) - minimum(node, t_start);
+  }
+  double final_value(NodeId node) const;
+
+  /// Mean period between successive rising crossings of \p level after
+  /// t_start (nullopt if fewer than two crossings).
+  std::optional<double> period(NodeId node, double level,
+                               double t_start = 0.0) const;
+
+ private:
+  int node_count_ = 0;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> samples_;  // one vector per time point
+};
+
+}  // namespace sscl::spice

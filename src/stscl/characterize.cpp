@@ -1,0 +1,246 @@
+#include "stscl/characterize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "stscl/fabric.hpp"
+#include "util/numeric.hpp"
+
+namespace sscl::stscl {
+
+using spice::Circuit;
+using spice::Edge;
+using spice::Engine;
+using spice::TransientOptions;
+using spice::Waveform;
+
+DelayResult measure_buffer_delay(const device::Process& process,
+                                 const SclParams& params, int fanout) {
+  Circuit c;
+  SclFabric fab(c, process, params);
+
+  // Driver buffer shapes the input edge like a real on-chip signal.
+  DiffSignal in = fab.signal("in");
+  DiffSignal drv = fab.buffer(in, "drv");
+  DiffSignal out = fab.buffer(drv, "dut");
+  for (int i = 0; i < fanout; ++i) {
+    fab.buffer(out, "load" + std::to_string(i));
+  }
+
+  // Expected timescale from the analytic model (order of magnitude;
+  // deliberately pessimistic so the window always contains both edges).
+  SclModel rough;
+  rough.vsw = params.vsw;
+  rough.cl = 10e-15;
+  const double td0 = rough.delay(params.iss);
+
+  const double t_edge = 5 * td0;
+  const double width = 15 * td0;
+  fab.drive_pulse(in, t_edge, td0 / 10, width);
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = t_edge + 2.5 * width;
+  opts.dt_max = td0 / 4;
+  const Waveform w = run_transient(engine, opts);
+
+  const double mid = params.v_mid();
+  DelayResult r;
+  // Buffers are non-inverting: the input rising edge propagates as a
+  // rise on drv.p then a rise on dut.p. Use the driver output as the
+  // timing reference so the DUT sees a realistic on-chip edge.
+  const auto drv_rise = w.cross(drv.p, mid, Edge::kRise, t_edge * 0.5);
+  const auto dut_rise =
+      drv_rise ? w.cross(out.p, mid, Edge::kRise, *drv_rise) : std::nullopt;
+  if (drv_rise && dut_rise) r.td_rise = *dut_rise - *drv_rise;
+
+  const auto drv_fall =
+      drv_rise ? w.cross(drv.p, mid, Edge::kFall, *drv_rise) : std::nullopt;
+  const auto dut_fall =
+      drv_fall ? w.cross(out.p, mid, Edge::kFall, *drv_fall) : std::nullopt;
+  if (drv_fall && dut_fall) r.td_fall = *dut_fall - *drv_fall;
+
+  if (r.td_rise <= 0 || r.td_fall <= 0) {
+    throw std::runtime_error(
+        "measure_buffer_delay: output did not toggle (iss too low for the "
+        "simulated window?)");
+  }
+  r.td_avg = 0.5 * (r.td_rise + r.td_fall);
+  // Settled levels: just before the falling input edge the output has
+  // been high for ~12 delays.
+  r.out_high = w.maximum(out.p, t_edge);
+  r.out_low = w.minimum(out.p, t_edge);
+  r.swing = r.out_high - r.out_low;
+  return r;
+}
+
+double measure_dc_swing(const device::Process& process,
+                        const SclParams& params) {
+  Circuit c;
+  SclFabric fab(c, process, params);
+  DiffSignal in = fab.signal("in");
+  DiffSignal out = fab.buffer(in, "dut");
+  fab.drive_const(in, true);
+  Engine engine(c);
+  const spice::Solution op = engine.solve_op();
+  return op.v(out.p) - op.v(out.n);
+}
+
+double measure_min_vdd(const device::Process& process, SclParams params,
+                       double swing_fraction, double vdd_low,
+                       double vdd_high) {
+  Circuit c;
+  SclFabric fab(c, process, params);
+  DiffSignal in = fab.signal("in");
+  DiffSignal out = fab.buffer(in, "dut");
+  // Drive the input at the *current* VDD level: rebuild the drive each
+  // probe so logic high tracks the supply.
+  auto driver = fab.drive_const(in, true);
+  Engine engine(c);
+
+  auto swing_ok = [&](double vdd) {
+    fab.set_vdd(vdd);
+    driver.pos->set_spec(spice::SourceSpec::dc(vdd));
+    driver.neg->set_spec(spice::SourceSpec::dc(vdd - params.vsw));
+    try {
+      const spice::Solution op = engine.solve_op();
+      const double swing = op.v(out.p) - op.v(out.n);
+      return swing >= swing_fraction * params.vsw;
+    } catch (const spice::ConvergenceError&) {
+      return false;
+    }
+  };
+
+  if (swing_ok(vdd_low)) return vdd_low;
+  if (!swing_ok(vdd_high)) {
+    throw std::runtime_error("measure_min_vdd: cell broken even at vdd_high");
+  }
+  // Boundary between failing (low) and passing (high).
+  const double v = util::binary_search_boundary(
+      [&](double vdd) { return !swing_ok(vdd); }, vdd_low, vdd_high, 2e-3);
+  return v;
+}
+
+double measure_static_current(const device::Process& process,
+                              const SclParams& params, int n_buffers) {
+  Circuit c;
+  SclFabric fab(c, process, params);
+  DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  DiffSignal s = in;
+  for (int i = 0; i < n_buffers; ++i) {
+    s = fab.buffer(s, "b" + std::to_string(i));
+  }
+  Engine engine(c);
+  const spice::Solution op = engine.solve_op();
+  // The VDD source absorbs the total supply current: branch current is
+  // negative when the source delivers current.
+  auto* vdd_src =
+      dynamic_cast<spice::VoltageSource*>(c.find_device("Vdd_fab"));
+  return -op.branch_current(vdd_src->branch());
+}
+
+DelayResult measure_cell_delay(const device::Process& process,
+                               const SclParams& params, CellKind kind,
+                               int fanout) {
+  Circuit c;
+  SclFabric fab(c, process, params);
+
+  DiffSignal in = fab.signal("in");
+  DiffSignal drv = fab.buffer(in, "drv");
+  // Side inputs chosen so toggling the deep input toggles the output.
+  DiffSignal one = fab.signal("one");
+  DiffSignal zero = fab.signal("zero");
+  fab.drive_const(one, true);
+  fab.drive_const(zero, false);
+
+  DiffSignal out{};
+  switch (kind) {
+    case CellKind::kBuffer:
+      out = fab.buffer(drv, "dut");
+      break;
+    case CellKind::kAnd2:
+      // Switch the LOWER (deep) input b; a tied high.
+      out = fab.and2(one, drv, "dut");
+      break;
+    case CellKind::kXor2:
+      out = fab.xor2(zero, drv, "dut");
+      break;
+    case CellKind::kXor3:
+      // Deepest input is c (level 3).
+      out = fab.xor3(zero, zero, drv, "dut");
+      break;
+    case CellKind::kMaj3:
+      // With b=1, c=0 the output equals a through the deep branches.
+      out = fab.majority3(drv, one, zero, "dut");
+      break;
+  }
+  for (int i = 0; i < fanout; ++i) {
+    fab.buffer(out, "load" + std::to_string(i));
+  }
+
+  SclModel rough;
+  rough.vsw = params.vsw;
+  rough.cl = 10e-15;
+  const double td0 = rough.delay(params.iss);
+  const double t_edge = 5 * td0;
+  const double width = 15 * td0;
+  fab.drive_pulse(in, t_edge, td0 / 10, width);
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = t_edge + 2.5 * width;
+  opts.dt_max = td0 / 4;
+  const Waveform w = run_transient(engine, opts);
+
+  const double mid = params.v_mid();
+  DelayResult r;
+  const auto drv_rise = w.cross(drv.p, mid, Edge::kRise, t_edge * 0.5);
+  const auto out_edge1 =
+      drv_rise ? w.cross(out.p, mid, Edge::kEither, *drv_rise) : std::nullopt;
+  if (drv_rise && out_edge1) r.td_rise = *out_edge1 - *drv_rise;
+  const auto drv_fall =
+      drv_rise ? w.cross(drv.p, mid, Edge::kFall, *drv_rise) : std::nullopt;
+  const auto out_edge2 =
+      drv_fall ? w.cross(out.p, mid, Edge::kEither, *drv_fall) : std::nullopt;
+  if (drv_fall && out_edge2) r.td_fall = *out_edge2 - *drv_fall;
+  if (r.td_rise <= 0 || r.td_fall <= 0) {
+    throw std::runtime_error("measure_cell_delay: output did not toggle");
+  }
+  r.td_avg = 0.5 * (r.td_rise + r.td_fall);
+  r.out_high = w.maximum(out.p, t_edge);
+  r.out_low = w.minimum(out.p, t_edge);
+  r.swing = r.out_high - r.out_low;
+  return r;
+}
+
+std::vector<std::pair<CellKind, double>> relative_cell_delays(
+    const device::Process& process, const SclParams& params) {
+  const double base = measure_cell_delay(process, params, CellKind::kBuffer).td_avg;
+  std::vector<std::pair<CellKind, double>> out;
+  for (CellKind k : {CellKind::kBuffer, CellKind::kAnd2, CellKind::kXor2,
+                     CellKind::kXor3, CellKind::kMaj3}) {
+    out.emplace_back(k, measure_cell_delay(process, params, k).td_avg / base);
+  }
+  return out;
+}
+
+SclModel fit_scl_model(const device::Process& process, const SclParams& params,
+                       const std::vector<double>& iss_points, int fanout) {
+  constexpr double kLn2 = 0.6931471805599453;
+  std::vector<double> cls;
+  for (double iss : iss_points) {
+    SclParams p = params;
+    p.iss = iss;
+    const DelayResult d = measure_buffer_delay(process, p, fanout);
+    cls.push_back(d.td_avg * iss / (kLn2 * params.vsw));
+  }
+  SclModel m;
+  m.vsw = params.vsw;
+  m.cl = util::mean(cls);
+  return m;
+}
+
+}  // namespace sscl::stscl

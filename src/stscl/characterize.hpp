@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file characterize.hpp
+/// Circuit-level characterisation of STSCL cells: propagation delay,
+/// output swing, minimum supply voltage, static current, and analytic
+/// model fitting. These are the measurements behind the paper's Fig. 9
+/// and the per-gate numbers the gate-level simulator consumes.
+
+#include <vector>
+
+#include "device/mos_params.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::stscl {
+
+/// Transient delay measurement of a buffer cell.
+struct DelayResult {
+  double td_rise = 0.0;   ///< input rise -> output rise (50%) [s]
+  double td_fall = 0.0;   ///< input fall -> output fall (50%) [s]
+  double td_avg = 0.0;    ///< (td_rise + td_fall) / 2 [s]
+  double out_high = 0.0;  ///< settled high level of outp [V]
+  double out_low = 0.0;   ///< settled low level of outp [V]
+  double swing = 0.0;     ///< out_high - out_low [V]
+};
+
+/// Measure buffer propagation delay with the given fanout by transient
+/// simulation of a driver -> DUT -> loads chain.
+DelayResult measure_buffer_delay(const device::Process& process,
+                                 const SclParams& params, int fanout = 1);
+
+/// DC output swing of a buffer with a static high input.
+double measure_dc_swing(const device::Process& process,
+                        const SclParams& params);
+
+/// Smallest VDD at which a buffer still develops at least
+/// swing_fraction * Vsw of differential output (paper Fig. 9(b)).
+double measure_min_vdd(const device::Process& process, SclParams params,
+                       double swing_fraction = 0.9, double vdd_low = 0.12,
+                       double vdd_high = 1.5);
+
+/// Static supply current of an n-cell fabric, from the VDD source branch
+/// (validates that total current = cells * Iss + bias overhead).
+double measure_static_current(const device::Process& process,
+                              const SclParams& params, int n_buffers);
+
+/// Fit the analytic SclModel (effective CL) from measured delays across
+/// a tail-current sweep: CL = td * Iss / (ln2 * Vsw), averaged.
+SclModel fit_scl_model(const device::Process& process, const SclParams& params,
+                       const std::vector<double>& iss_points, int fanout = 1);
+
+/// Cell types the gate-delay characterisation covers.
+enum class CellKind { kBuffer, kAnd2, kXor2, kXor3, kMaj3 };
+
+/// Transistor-level propagation delay of one cell type, switching the
+/// input that exercises its deepest stacked path (other inputs tied so
+/// the output toggles).
+DelayResult measure_cell_delay(const device::Process& process,
+                               const SclParams& params, CellKind kind,
+                               int fanout = 1);
+
+/// Delay of each cell kind relative to the buffer at the same bias:
+/// the correction factors the event-driven simulator applies to
+/// compound gates.
+std::vector<std::pair<CellKind, double>> relative_cell_delays(
+    const device::Process& process, const SclParams& params);
+
+}  // namespace sscl::stscl

@@ -1,0 +1,310 @@
+#include "stscl/fabric.hpp"
+
+#include "device/mosfet.hpp"
+
+namespace sscl::stscl {
+
+using spice::CurrentSource;
+using spice::kGround;
+using spice::NodeId;
+using spice::SoftOpamp;
+using spice::SourceSpec;
+using spice::VoltageSource;
+
+SclFabric::SclFabric(spice::Circuit& circuit, const device::Process& process,
+                     SclParams params)
+    : circuit_(circuit), process_(process), params_(params) {
+  vdd_ = circuit_.node("vdd");
+  vdd_source_ = circuit_.add<VoltageSource>("Vdd_fab", vdd_, kGround,
+                                            SourceSpec::dc(params_.vdd));
+  build_bias();
+}
+
+void SclFabric::build_bias() {
+  // ---- VBN: diode-connected high-VT NMOS carrying the reference Iss.
+  vbn_ = circuit_.node("vbn");
+  iref_mirror_ = circuit_.add<CurrentSource>("Iref_vbn", vdd_, vbn_,
+                                             SourceSpec::dc(params_.iss));
+  circuit_.add<device::Mosfet>("Mbn_diode", vbn_, vbn_, kGround, kGround,
+                               process_.nmos_hvt, params_.tail,
+                               process_.temperature);
+  ++mos_count_;
+
+  // ---- VBP: replica-bias loop (paper: "replica bias generator").
+  // A copy of the load device carries Iss; a high-gain amplifier servos
+  // its gate so the drop across it equals Vsw.
+  vbp_ = circuit_.node("vbp");
+  const NodeId rep = circuit_.node("vbp_rep");
+  circuit_.add<device::Mosfet>("Mbp_rep", rep, vbp_, vdd_, rep, process_.pmos,
+                               params_.load, process_.temperature);
+  ++mos_count_;
+  iref_replica_ = circuit_.add<CurrentSource>("Iref_vbp", rep, kGround,
+                                              SourceSpec::dc(params_.iss));
+  // Reference node at VDD - Vsw.
+  const NodeId vref = circuit_.node("vbp_ref");
+  vsw_ref_ = circuit_.add<VoltageSource>("Vsw_ref", vdd_, vref,
+                                         SourceSpec::dc(params_.vsw));
+  // v(rep) above the reference means the drop is too small: raise VBP
+  // (weaken the load). Rails are fixed and generous so VDD can be swept
+  // (Vdd,min experiments) without re-building the bias generator.
+  circuit_.add<SoftOpamp>("Abias", vbp_, rep, vref, 500.0, -0.8, 2.4, 1e3);
+
+  // Loop compensation: the dominant pole sits at the replica node (the
+  // 10 pF there is the integrator), while the amplifier output pole is
+  // parked far out (1 kohm output resistance, 100 fF). Because the
+  // replica resistance scales as 1/Iss and its transconductance as Iss,
+  // the crossover tracks the bias and the loop stays single-pole at any
+  // tail current. The VBN mirror line gets standard decoupling.
+  circuit_.add<spice::Capacitor>("Cdec_vbp", vbp_, kGround, 100e-15);
+  circuit_.add<spice::Capacitor>("Cdec_vbn", vbn_, kGround, 1e-12);
+  circuit_.add<spice::Capacitor>("Cdec_rep", rep, kGround, 10e-12);
+}
+
+DiffSignal SclFabric::signal(const std::string& name) {
+  return {circuit_.node(name + "_p"), circuit_.node(name + "_n")};
+}
+
+void SclFabric::add_load(const std::string& name, spice::NodeId out) {
+  // PMOS load: source at VDD, drain and bulk shorted to the output.
+  circuit_.add<device::Mosfet>(name, out, vbp_, vdd_, out, process_.pmos,
+                               params_.load, process_.temperature);
+  ++mos_count_;
+}
+
+spice::NodeId SclFabric::add_tail(const std::string& name) {
+  const NodeId tail = circuit_.internal_node(name + "_tail");
+  circuit_.add<device::Mosfet>(name + "_Mtail", tail, vbn_, kGround, kGround,
+                               process_.nmos_hvt, params_.tail,
+                               process_.temperature);
+  ++mos_count_;
+  return tail;
+}
+
+void SclFabric::add_switch(const std::string& name, spice::NodeId drain,
+                           spice::NodeId gate, spice::NodeId source) {
+  circuit_.add<device::Mosfet>(name, drain, gate, source, kGround,
+                               process_.nmos, params_.pair,
+                               process_.temperature);
+  ++mos_count_;
+}
+
+DiffSignal SclFabric::finish_cell(const std::string& name, spice::NodeId outp,
+                                  spice::NodeId outn) {
+  add_load(name + "_MLp", outp);
+  add_load(name + "_MLn", outn);
+  if (params_.wire_cap > 0) {
+    circuit_.add<spice::Capacitor>(name + "_Cwp", outp, kGround,
+                                   params_.wire_cap);
+    circuit_.add<spice::Capacitor>(name + "_Cwn", outn, kGround,
+                                   params_.wire_cap);
+  }
+  ++cell_count_;
+  return {outp, outn};
+}
+
+DiffSignal SclFabric::buffer(DiffSignal in, const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  // Input high steers the tail current into the outn side (pulls it low).
+  add_switch(name + "_M1", outn, in.p, tail);
+  add_switch(name + "_M2", outp, in.n, tail);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::and2(DiffSignal a, DiffSignal b,
+                           const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  const NodeId t1 = circuit_.internal_node(name + "_t1");
+  // Level 1 (A): a=0 forces out low directly; a=1 hands over to B.
+  add_switch(name + "_Ma1", t1, a.p, tail);
+  add_switch(name + "_Ma0", outp, a.n, tail);
+  // Level 2 (B): with a=1, out = b.
+  add_switch(name + "_Mb1", outn, b.p, t1);
+  add_switch(name + "_Mb0", outp, b.n, t1);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::or2(DiffSignal a, DiffSignal b, const std::string& name) {
+  // a | b = !(!a & !b): free inversions around an AND tree.
+  return and2(a.inverted(), b.inverted(), name).inverted();
+}
+
+DiffSignal SclFabric::xor2(DiffSignal a, DiffSignal b,
+                           const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  const NodeId t1 = circuit_.internal_node(name + "_t1");
+  const NodeId t2 = circuit_.internal_node(name + "_t2");
+  add_switch(name + "_Ma1", t1, a.p, tail);  // a=1: out = !b
+  add_switch(name + "_Ma0", t2, a.n, tail);  // a=0: out = b
+  add_switch(name + "_Mb1a", outp, b.p, t1);
+  add_switch(name + "_Mb0a", outn, b.n, t1);
+  add_switch(name + "_Mb1b", outn, b.p, t2);
+  add_switch(name + "_Mb0b", outp, b.n, t2);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::xor3(DiffSignal a, DiffSignal b, DiffSignal c,
+                           const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  const NodeId ta1 = circuit_.internal_node(name + "_ta1");
+  const NodeId ta0 = circuit_.internal_node(name + "_ta0");
+  add_switch(name + "_Ma1", ta1, a.p, tail);  // a=1: out = ~(b^c)
+  add_switch(name + "_Ma0", ta0, a.n, tail);  // a=0: out =  (b^c)
+  // One two-level xor subtree per side; 'invert' swaps the outputs.
+  auto subtree = [&](NodeId t, bool invert, const std::string& n) {
+    const NodeId on = invert ? outp : outn;
+    const NodeId op = invert ? outn : outp;
+    const NodeId tb1 = circuit_.internal_node(n + "_tb1");
+    const NodeId tb0 = circuit_.internal_node(n + "_tb0");
+    add_switch(n + "_Mb1", tb1, b.p, t);
+    add_switch(n + "_Mb0", tb0, b.n, t);
+    // b=1: out = !c ; b=0: out = c (out=1 steers current to 'on').
+    add_switch(n + "_Mc1a", on, c.n, tb1);
+    add_switch(n + "_Mc0a", op, c.p, tb1);
+    add_switch(n + "_Mc1b", on, c.p, tb0);
+    add_switch(n + "_Mc0b", op, c.n, tb0);
+  };
+  subtree(ta0, false, name + "_s0");
+  subtree(ta1, true, name + "_s1");
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::mux2(DiffSignal sel, DiffSignal a, DiffSignal b,
+                           const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  const NodeId t1 = circuit_.internal_node(name + "_t1");
+  const NodeId t2 = circuit_.internal_node(name + "_t2");
+  add_switch(name + "_Ms1", t1, sel.p, tail);  // sel=1: out = a
+  add_switch(name + "_Ms0", t2, sel.n, tail);  // sel=0: out = b
+  add_switch(name + "_Ma1", outn, a.p, t1);
+  add_switch(name + "_Ma0", outp, a.n, t1);
+  add_switch(name + "_Mb1", outn, b.p, t2);
+  add_switch(name + "_Mb0", outp, b.n, t2);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::latch(DiffSignal d, DiffSignal clk,
+                            const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  const NodeId t_sample = circuit_.internal_node(name + "_ts");
+  const NodeId t_hold = circuit_.internal_node(name + "_th");
+  add_switch(name + "_Mc1", t_sample, clk.p, tail);
+  add_switch(name + "_Mc0", t_hold, clk.n, tail);
+  // Transparent: out = d.
+  add_switch(name + "_Md1", outn, d.p, t_sample);
+  add_switch(name + "_Md0", outp, d.n, t_sample);
+  // Hold: cross-coupled pair regenerates the stored value.
+  add_switch(name + "_Mx1", outn, outp, t_hold);
+  add_switch(name + "_Mx0", outp, outn, t_hold);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::majority3(DiffSignal a, DiffSignal b, DiffSignal c,
+                                const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  // maj(a,b,c) = c ? (a|b) : (a&b) -- three stacked pair levels.
+  const NodeId t_or = circuit_.internal_node(name + "_tor");
+  const NodeId t_and = circuit_.internal_node(name + "_tand");
+  add_switch(name + "_Mc1", t_or, c.p, tail);
+  add_switch(name + "_Mc0", t_and, c.n, tail);
+  // OR(a,b) on t_or: a=1 -> out high; a=0 -> out = b.
+  const NodeId t_or2 = circuit_.internal_node(name + "_tor2");
+  add_switch(name + "_Moa1", outn, a.p, t_or);
+  add_switch(name + "_Moa0", t_or2, a.n, t_or);
+  add_switch(name + "_Mob1", outn, b.p, t_or2);
+  add_switch(name + "_Mob0", outp, b.n, t_or2);
+  // AND(a,b) on t_and: a=0 -> out low; a=1 -> out = b.
+  const NodeId t_and2 = circuit_.internal_node(name + "_tand2");
+  add_switch(name + "_Maa1", t_and2, a.p, t_and);
+  add_switch(name + "_Maa0", outp, a.n, t_and);
+  add_switch(name + "_Mab1", outn, b.p, t_and2);
+  add_switch(name + "_Mab0", outp, b.n, t_and2);
+  return finish_cell(name, outp, outn);
+}
+
+DiffSignal SclFabric::majority3_latch(DiffSignal a, DiffSignal b, DiffSignal c,
+                                      DiffSignal clk, const std::string& name) {
+  const NodeId tail = add_tail(name);
+  const NodeId outp = circuit_.node(name + "_p");
+  const NodeId outn = circuit_.node(name + "_n");
+  // Clock steering on top (paper Fig. 8): evaluate on clk = 1, hold on 0.
+  const NodeId t_eval = circuit_.internal_node(name + "_te");
+  const NodeId t_hold = circuit_.internal_node(name + "_th");
+  add_switch(name + "_Mck1", t_eval, clk.p, tail);
+  add_switch(name + "_Mck0", t_hold, clk.n, tail);
+  // Majority tree under t_eval.
+  const NodeId t_or = circuit_.internal_node(name + "_tor");
+  const NodeId t_and = circuit_.internal_node(name + "_tand");
+  add_switch(name + "_Mc1", t_or, c.p, t_eval);
+  add_switch(name + "_Mc0", t_and, c.n, t_eval);
+  const NodeId t_or2 = circuit_.internal_node(name + "_tor2");
+  add_switch(name + "_Moa1", outn, a.p, t_or);
+  add_switch(name + "_Moa0", t_or2, a.n, t_or);
+  add_switch(name + "_Mob1", outn, b.p, t_or2);
+  add_switch(name + "_Mob0", outp, b.n, t_or2);
+  const NodeId t_and2 = circuit_.internal_node(name + "_tand2");
+  add_switch(name + "_Maa1", t_and2, a.p, t_and);
+  add_switch(name + "_Maa0", outp, a.n, t_and);
+  add_switch(name + "_Mab1", outn, b.p, t_and2);
+  add_switch(name + "_Mab0", outp, b.n, t_and2);
+  // Hold pair.
+  add_switch(name + "_Mx1", outn, outp, t_hold);
+  add_switch(name + "_Mx0", outp, outn, t_hold);
+  return finish_cell(name, outp, outn);
+}
+
+SclFabric::Driver SclFabric::drive(DiffSignal sig,
+                                   const spice::SourceSpec& p_spec,
+                                   const spice::SourceSpec& n_spec) {
+  Driver d;
+  const std::string base = circuit_.node_name(sig.p);
+  d.pos = circuit_.add<VoltageSource>("Vdrv_" + base + std::to_string(unique_),
+                                      sig.p, kGround, p_spec);
+  d.neg = circuit_.add<VoltageSource>(
+      "Vdrv_n_" + base + std::to_string(unique_), sig.n, kGround, n_spec);
+  ++unique_;
+  return d;
+}
+
+SclFabric::Driver SclFabric::drive_const(DiffSignal sig, bool value) {
+  const double hi = params_.v_high();
+  const double lo = params_.v_low();
+  return drive(sig, SourceSpec::dc(value ? hi : lo),
+               SourceSpec::dc(value ? lo : hi));
+}
+
+SclFabric::Driver SclFabric::drive_pulse(DiffSignal sig, double t_edge,
+                                         double t_rise, double width,
+                                         double period) {
+  const double hi = params_.v_high();
+  const double lo = params_.v_low();
+  return drive(sig,
+               SourceSpec::pulse(lo, hi, t_edge, t_rise, t_rise, width, period),
+               SourceSpec::pulse(hi, lo, t_edge, t_rise, t_rise, width, period));
+}
+
+void SclFabric::set_iss(double iss) {
+  params_.iss = iss;
+  iref_mirror_->set_spec(SourceSpec::dc(iss));
+  iref_replica_->set_spec(SourceSpec::dc(iss));
+}
+
+void SclFabric::set_vdd(double vdd) {
+  params_.vdd = vdd;
+  vdd_source_->set_spec(SourceSpec::dc(vdd));
+}
+
+}  // namespace sscl::stscl

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file fabric.hpp
+/// SclFabric: builds transistor-level STSCL logic inside a spice::Circuit.
+/// One fabric owns the shared rails and the shared bias generators —
+/// exactly the paper's "single controlling unit" — and stamps out cells
+/// (buffer, AND/OR/XOR, MUX, latch, majority, clocked majority) as
+/// current-steering trees under bulk-drain-shorted PMOS loads (Fig. 2).
+
+#include <string>
+#include <vector>
+
+#include "device/mos_params.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::stscl {
+
+/// A differential logic signal: out = v(p) - v(n) interpreted as high
+/// when positive. Inversion is free (swap wires).
+struct DiffSignal {
+  spice::NodeId p = spice::kGround;
+  spice::NodeId n = spice::kGround;
+
+  DiffSignal inverted() const { return {n, p}; }
+};
+
+class SclFabric {
+ public:
+  SclFabric(spice::Circuit& circuit, const device::Process& process,
+            SclParams params);
+
+  spice::Circuit& circuit() { return circuit_; }
+  const SclParams& params() const { return params_; }
+
+  spice::NodeId vdd() const { return vdd_; }
+  spice::NodeId vbn() const { return vbn_; }
+  spice::NodeId vbp() const { return vbp_; }
+
+  /// Create a named differential signal (nodes <name>_p / <name>_n).
+  DiffSignal signal(const std::string& name);
+
+  // ---- cells ----------------------------------------------------------
+  /// out = in (one pair). Inversion is free via DiffSignal::inverted().
+  DiffSignal buffer(DiffSignal in, const std::string& name);
+  /// out = a AND b (two-level tree).
+  DiffSignal and2(DiffSignal a, DiffSignal b, const std::string& name);
+  DiffSignal or2(DiffSignal a, DiffSignal b, const std::string& name);
+  DiffSignal xor2(DiffSignal a, DiffSignal b, const std::string& name);
+  /// Three-input XOR in one tail current (full-adder sum; compound
+  /// three-level stack like the majority cell).
+  DiffSignal xor3(DiffSignal a, DiffSignal b, DiffSignal c,
+                  const std::string& name);
+  /// out = sel ? a : b.
+  DiffSignal mux2(DiffSignal sel, DiffSignal a, DiffSignal b,
+                  const std::string& name);
+  /// Transparent-high latch: out follows d while clk = 1, holds at clk = 0.
+  DiffSignal latch(DiffSignal d, DiffSignal clk, const std::string& name);
+  /// Three-input majority (compound stacked gate, paper Fig. 8 without
+  /// the output latch).
+  DiffSignal majority3(DiffSignal a, DiffSignal b, DiffSignal c,
+                       const std::string& name);
+  /// Paper Fig. 8: majority evaluation merged with an output latch in a
+  /// single tail current (clk = 1 evaluates, clk = 0 holds).
+  DiffSignal majority3_latch(DiffSignal a, DiffSignal b, DiffSignal c,
+                             DiffSignal clk, const std::string& name);
+
+  // ---- stimulus -------------------------------------------------------
+  /// Drive a signal from ideal differential sources (returns them so a
+  /// test can change the waveform).
+  struct Driver {
+    spice::VoltageSource* pos;
+    spice::VoltageSource* neg;
+  };
+  Driver drive(DiffSignal sig, const spice::SourceSpec& when_high_p,
+               const spice::SourceSpec& when_high_n);
+  /// Convenience: constant logic level.
+  Driver drive_const(DiffSignal sig, bool value);
+  /// Convenience: differential pulse that toggles low->high at t_edge.
+  Driver drive_pulse(DiffSignal sig, double t_edge, double t_rise,
+                     double width, double period = 0.0);
+
+  /// Change the tail bias current of every cell (updates the reference
+  /// mirrors). The paper's power-management knob.
+  void set_iss(double iss);
+  /// Change the supply voltage (Vdd,min experiments).
+  void set_vdd(double vdd);
+
+  /// Number of logic cells built (each one tail current).
+  int cell_count() const { return cell_count_; }
+  /// Number of MOS devices instantiated by the fabric (bias included).
+  int mos_count() const { return mos_count_; }
+  /// Total static supply current drawn by the cells: cells * iss.
+  double static_current() const { return cell_count_ * params_.iss; }
+
+ private:
+  /// One load PMOS (bulk-drain shorted) from VDD to the output node.
+  void add_load(const std::string& name, spice::NodeId out);
+  /// Tail current source mirror; returns the tail node.
+  spice::NodeId add_tail(const std::string& name);
+  /// One NMOS switch of a steering pair.
+  void add_switch(const std::string& name, spice::NodeId drain,
+                  spice::NodeId gate, spice::NodeId source);
+  /// Finish a cell: attach loads and wire capacitance to outp/outn.
+  DiffSignal finish_cell(const std::string& name, spice::NodeId outp,
+                         spice::NodeId outn);
+  void build_bias();
+
+  spice::Circuit& circuit_;
+  const device::Process& process_;
+  SclParams params_;
+
+  spice::NodeId vdd_ = spice::kGround;
+  spice::NodeId vbn_ = spice::kGround;
+  spice::NodeId vbp_ = spice::kGround;
+  spice::VoltageSource* vdd_source_ = nullptr;
+  spice::CurrentSource* iref_mirror_ = nullptr;
+  spice::CurrentSource* iref_replica_ = nullptr;
+  spice::VoltageSource* vsw_ref_ = nullptr;
+
+  int cell_count_ = 0;
+  int mos_count_ = 0;
+  int unique_ = 0;
+};
+
+}  // namespace sscl::stscl

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file ring.hpp
+/// STSCL ring oscillator: the frequency reference of the platform's
+/// power-management loop (a replica of the logic it feeds, so its
+/// frequency tracks the logic's fmax across bias, supply and process).
+
+#include "device/mos_params.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::stscl {
+
+struct RingResult {
+  double frequency = 0.0;  ///< measured oscillation frequency [Hz]
+  double amplitude = 0.0;  ///< single-ended peak-to-peak swing [V]
+  double stage_delay = 0.0;  ///< 1 / (2 * N * f) [s]
+};
+
+/// Simulate an N-stage STSCL inverter ring (N >= 3) at the given bias
+/// and return its frequency. Differential rings oscillate for any N
+/// because inversion is a wire swap; a small nodeset kick breaks the
+/// metastable symmetric start.
+RingResult measure_ring_oscillator(const device::Process& process,
+                                   const SclParams& params, int stages = 5);
+
+/// Analytic prediction 1/(2*N*td) from a fitted model, for comparison.
+double predicted_ring_frequency(const SclModel& model, double iss, int stages);
+
+}  // namespace sscl::stscl

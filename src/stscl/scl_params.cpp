@@ -1,0 +1,31 @@
+#include "stscl/scl_params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::stscl {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+double SclModel::delay(double iss) const {
+  if (iss <= 0) throw std::invalid_argument("SclModel::delay: iss <= 0");
+  return kLn2 * vsw * cl / iss;
+}
+
+double SclModel::iss_for_delay(double td) const {
+  if (td <= 0) throw std::invalid_argument("SclModel::iss_for_delay: td <= 0");
+  return kLn2 * vsw * cl / td;
+}
+
+double SclModel::path_power(double nl, double fop, double vdd) const {
+  return 2.0 * kLn2 * vsw * cl * nl * fop * vdd;
+}
+
+double SclModel::fmax(double iss, double nl) const {
+  // One half-period must fit nl gate delays.
+  return 1.0 / (2.0 * nl * delay(iss));
+}
+
+}  // namespace sscl::stscl

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file scl_params.hpp
+/// Design parameters of an STSCL cell family: supply, output swing, tail
+/// bias current and device geometries. One SclParams instance describes
+/// the whole library — the paper's point is that a single bias pair
+/// (VBN, VBP) services every gate on the die.
+
+#include "device/mos_params.hpp"
+
+namespace sscl::stscl {
+
+struct SclParams {
+  double vdd = 1.0;    ///< supply voltage [V]
+  double vsw = 0.2;    ///< single-ended output swing [V] (paper: 200 mV)
+  double iss = 1e-9;   ///< tail bias current per gate [A]
+
+  /// NMOS differential-pair device.
+  device::MosGeometry pair{1.0e-6, 0.5e-6, 0.5e-12, 0.5e-12};
+  /// High-VT NMOS tail current source (precise mirror, low leakage).
+  device::MosGeometry tail{2.0e-6, 1.0e-6, 1.0e-12, 1.0e-12};
+  /// PMOS load with bulk shorted to drain (the paper's high-value
+  /// resistance, Fig. 2 / Fig. 7(b)). Narrow and longer than minimum for
+  /// resistance, but small in area to keep its gate capacitance off the
+  /// output node.
+  device::MosGeometry load{0.3e-6, 1.2e-6, 0.15e-12, 0.15e-12};
+
+  /// Extra wiring capacitance added at every gate output [F].
+  double wire_cap = 0.5e-15;
+
+  /// Logic high/low voltages at a driven input.
+  double v_high() const { return vdd; }
+  double v_low() const { return vdd - vsw; }
+  double v_mid() const { return vdd - 0.5 * vsw; }
+};
+
+/// First-order analytic STSCL model (paper Section II-A):
+///   gate delay  td = ln2 * Vsw * CL / Iss
+///   cell power  P  = Iss * VDD
+///   eq. (1)     P_path = 2 ln2 * Vsw * CL * NL * fop * VDD
+struct SclModel {
+  double vsw = 0.2;  ///< output swing [V]
+  double cl = 2e-15; ///< effective load capacitance per gate [F]
+
+  double delay(double iss) const;
+  /// Tail current needed for a target delay.
+  double iss_for_delay(double td) const;
+  /// Static (and total) power of one cell.
+  static double cell_power(double iss, double vdd) { return iss * vdd; }
+  /// Paper eq. (1): power of a longest-path cell at operating frequency
+  /// fop with logic depth nl.
+  double path_power(double nl, double fop, double vdd) const;
+  /// Maximum toggle frequency for a pipeline of depth nl.
+  double fmax(double iss, double nl) const;
+};
+
+}  // namespace sscl::stscl

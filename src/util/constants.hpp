@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical constants and thermal-voltage helpers used throughout the
+/// platform. All quantities are SI (volts, amperes, seconds, farads,
+/// kelvins) unless a suffix says otherwise.
+
+namespace sscl::util {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsOxRel = 3.9;
+
+/// Relative permittivity of silicon.
+inline constexpr double kEpsSiRel = 11.7;
+
+/// Absolute zero offset: 27 Celsius in kelvin, the SPICE nominal.
+inline constexpr double kTNominal = 300.15;
+
+/// Thermal voltage kT/q at absolute temperature \p temperatureK [V].
+/// At the 300.15 K nominal this is approximately 25.9 mV.
+constexpr double thermal_voltage(double temperatureK = kTNominal) {
+  return kBoltzmann * temperatureK / kElementaryCharge;
+}
+
+/// Convert Celsius to kelvin.
+constexpr double celsius_to_kelvin(double celsius) { return celsius + 273.15; }
+
+}  // namespace sscl::util

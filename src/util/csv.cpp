@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace sscl::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), column_count_(columns.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  if (values.size() != column_count_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  out_.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+}  // namespace sscl::util

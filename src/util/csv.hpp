@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer so every bench can dump machine-readable series
+/// next to its console table (useful for replotting the paper's figures).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sscl::util {
+
+/// Writes rows of doubles with a header line. The file is created on
+/// construction and flushed on destruction; write failures throw.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Append one data row; must match the column count.
+  void write_row(const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t column_count_;
+  std::ofstream out_;
+};
+
+}  // namespace sscl::util

@@ -1,0 +1,148 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sscl::util {
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: endpoints must be positive");
+  }
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("interp1: bad input sizes");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("linear_fit: need >= 2 points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double xtol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0) == (fhi > 0)) return std::nullopt;
+  for (int i = 0; i < max_iter && (hi - lo) > xtol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double binary_search_boundary(const std::function<bool(double)>& pred,
+                              double lo, double hi, double rel_tol,
+                              int max_iter) {
+  if (!pred(lo)) {
+    throw std::invalid_argument(
+        "binary_search_boundary: predicate must hold at lo");
+  }
+  if (pred(hi)) return hi;
+  for (int i = 0; i < max_iter; ++i) {
+    // Geometric midpoint when both endpoints are positive: the searches
+    // here span decades (bias currents, clock rates).
+    const double mid = (lo > 0 && hi > 0) ? std::sqrt(lo * hi)
+                                          : 0.5 * (lo + hi);
+    if (pred(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= rel_tol * std::max(std::fabs(lo), std::fabs(hi))) break;
+  }
+  return lo;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double max_abs(const std::vector<double>& xs) {
+  double m = 0;
+  for (double x : xs) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace sscl::util

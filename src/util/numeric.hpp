@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file numeric.hpp
+/// Small numerical helpers shared across the platform: robust linear
+/// interpolation, log-spaced sweeps, linear regression, root bracketing
+/// and a scalar bisection/Brent-style solver used by characterisation
+/// code (e.g. the Vdd,min search and the fmax binary search).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace sscl::util {
+
+/// N logarithmically spaced points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// N linearly spaced points from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Piecewise-linear interpolation of (xs, ys) at x; xs must be strictly
+/// increasing. Clamps outside the range.
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x);
+
+/// Least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Find x in [lo, hi] with f(x) == 0 by bisection, assuming f(lo) and
+/// f(hi) bracket a root. Returns nullopt if they do not.
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double xtol = 1e-12,
+                             int max_iter = 200);
+
+/// Largest x in a monotone predicate search: returns the boundary between
+/// the region where pred(x) is true (towards lo) and false (towards hi).
+/// Requires pred(lo) == true; if pred(hi) is also true, returns hi.
+double binary_search_boundary(const std::function<bool(double)>& pred,
+                              double lo, double hi, double rel_tol = 1e-3,
+                              int max_iter = 100);
+
+/// Mean of a vector (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (0 for fewer than two points).
+double stddev(const std::vector<double>& xs);
+
+/// Maximum absolute element (0 for empty input).
+double max_abs(const std::vector<double>& xs);
+
+}  // namespace sscl::util

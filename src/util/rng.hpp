@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation for Monte-Carlo
+/// mismatch analysis. A thin wrapper over xoshiro256++ so results are
+/// reproducible across platforms and standard-library versions (std::
+/// distributions are not portable bit-for-bit).
+
+#include <cstdint>
+
+namespace sscl::util {
+
+/// xoshiro256++ generator (Blackman & Vigna, public domain algorithm).
+/// Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double sigma);
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Split off an independent stream (for per-instance mismatch seeds).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace sscl::util

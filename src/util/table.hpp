@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table printer used by every benchmark harness to emit
+/// paper-style result tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sscl::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Numeric cells can be added pre-formatted in engineering notation via
+/// Table::cell(double) helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row. Cells are appended with add().
+  Table& row();
+
+  /// Append a string cell to the current row.
+  Table& add(std::string cell);
+
+  /// Append a numeric cell formatted in engineering notation.
+  Table& add(double value, int digits = 4);
+
+  /// Append a numeric cell with a unit, e.g. add_unit(4.7e-9, "A").
+  Table& add_unit(double value, std::string_view unit, int digits = 4);
+
+  /// Append an integer cell.
+  Table& add(long long value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table with a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace sscl::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file units.hpp
+/// Engineering-notation formatting and parsing ("4.7n", "1.2meg", "800m")
+/// as used by the SPICE-style netlist parser and by all result tables.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sscl::util {
+
+/// Format \p value with an SI prefix and \p digits significant digits,
+/// e.g. 4.7e-9 -> "4.7n". Values exactly zero format as "0".
+std::string format_si(double value, int digits = 4);
+
+/// Format \p value with an SI prefix followed by \p unit, e.g. "4.7nA".
+std::string format_si(double value, std::string_view unit, int digits);
+
+/// Parse a SPICE-style engineering number: an optional sign, mantissa and
+/// either an exponent ("1e-9") or an SI suffix. Recognised suffixes
+/// (case-insensitive): f p n u m k meg g t, plus "mil" (2.54e-5, SPICE
+/// compatibility). Trailing unit letters after the suffix are ignored
+/// ("10pF" parses as 10e-12). Returns std::nullopt on malformed input.
+std::optional<double> parse_si(std::string_view text);
+
+}  // namespace sscl::util

@@ -1,0 +1,160 @@
+#include "adc/fai_adc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "digital/encoder.hpp"
+#include "digital/eventsim.hpp"
+#include "digital/fmax.hpp"
+
+namespace sscl::adc {
+namespace {
+
+TEST(SoftwareEncoder, MatchesReferenceOnCleanPatterns) {
+  using digital::coarse_raw_count;
+  using digital::fine_pattern;
+  using digital::thermometer;
+  for (int seg = 0; seg <= 7; ++seg) {
+    for (int pos = 0; pos < 32; ++pos) {
+      const auto cw = static_cast<std::uint32_t>(
+          thermometer(coarse_raw_count(seg, pos), 8));
+      const std::uint64_t fw = fine_pattern(seg, pos);
+      EXPECT_EQ(software_encode(cw, fw), seg * 32 + pos)
+          << seg << "," << pos;
+    }
+  }
+}
+
+TEST(SoftwareEncoder, MatchesGateLevelNetlistOnRandomPatterns) {
+  // The strongest digital check: arbitrary (even invalid) patterns give
+  // the same answer in software and in the event-driven netlist.
+  digital::Netlist nl;
+  digital::EncoderIo io = digital::build_fai_encoder(nl);
+  stscl::SclModel timing;
+  timing.vsw = 0.2;
+  timing.cl = 12e-15;
+  digital::EventSim sim(nl, timing, 1e-9);
+  sim.set_input(io.clock, false);
+
+  util::Rng rng(77);
+  const double period = 30.0 * timing.delay(1e-9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto cw = static_cast<std::uint32_t>(rng.bounded(256));
+    const std::uint64_t fw = rng.next_u64() & 0xFFFFFFFFULL;
+    for (int i = 0; i < 8; ++i) sim.set_input(io.coarse_in[i], (cw >> i) & 1);
+    for (int i = 0; i < 32; ++i) sim.set_input(io.fine_in[i], (fw >> i) & 1);
+    for (int k = 0; k < 10; ++k) {
+      sim.run_until(sim.time() + period / 2);
+      sim.set_input(io.clock, true);
+      sim.run_until(sim.time() + period / 2);
+      sim.set_input(io.clock, false);
+    }
+    sim.settle();
+    const digital::EncodedValue v = digital::read_outputs(sim, io);
+    EXPECT_EQ(v.coarse * 32 + v.fine, software_encode(cw, fw))
+        << "cw=" << cw << " fw=" << fw;
+  }
+}
+
+TEST(FaiAdc, NominalTransferIsExact) {
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  FaiAdc adc(cfg);
+  for (int code = 0; code < 256; ++code) {
+    const double x = adc.v_bottom() + (code + 0.5) * adc.lsb();
+    EXPECT_EQ(adc.convert_noiseless(x), code) << code;
+  }
+}
+
+TEST(FaiAdc, NominalLinearitySubLsb) {
+  FaiAdcConfig cfg;
+  FaiAdc adc(cfg);
+  const analysis::LinearityResult lin = adc.linearity();
+  // Only the interpolation bow remains: well under an LSB.
+  EXPECT_LT(lin.max_abs_inl, 0.4);
+  EXPECT_LT(lin.max_abs_dnl, 0.3);
+  EXPECT_EQ(lin.missing_codes, 0);
+}
+
+TEST(FaiAdc, MonteCarloLinearityInPaperBand) {
+  // Paper Fig. 11: INL = 1.0 LSB, DNL = 0.4 LSB for the fabricated chip.
+  FaiAdcConfig cfg;
+  const MonteCarloLinearity mc = monte_carlo_linearity(cfg, 8);
+  EXPECT_GT(mc.mean_inl, 0.15);
+  EXPECT_LT(mc.mean_inl, 2.0);
+  EXPECT_GT(mc.mean_dnl, 0.1);
+  EXPECT_LT(mc.mean_dnl, 1.2);
+  EXPECT_LT(mc.worst_dnl, 2.0);
+}
+
+TEST(FaiAdc, NominalEnobNearEightBits) {
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  FaiAdc adc(cfg);
+  const analysis::DynamicMetrics m = adc.sine_enob();
+  EXPECT_GT(m.enob, 7.3);
+}
+
+TEST(FaiAdc, EnobWithNoiseAndMismatchNearPaper) {
+  // Paper: ENOB 6.5. Average a few Monte-Carlo instances.
+  FaiAdcConfig cfg;
+  util::Rng rng(11);
+  double sum = 0;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    FaiAdc adc(cfg, rng);
+    sum += adc.sine_enob().enob;
+  }
+  const double mean_enob = sum / n;
+  EXPECT_GT(mean_enob, 5.0);
+  EXPECT_LT(mean_enob, 7.8);
+}
+
+TEST(FaiAdc, NoiseReducesEnob) {
+  FaiAdcConfig clean;
+  clean.input_noise_rms = 0.0;
+  FaiAdcConfig noisy;
+  noisy.input_noise_rms = 4e-3;
+  FaiAdc a(clean), b(noisy);
+  EXPECT_GT(a.sine_enob().enob, b.sine_enob().enob + 0.7);
+}
+
+TEST(FaiAdc, HistogramAndEdgeMethodsAgreeNominally) {
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  FaiAdc adc(cfg);
+  const auto edges = adc.linearity();
+  const auto hist = adc.linearity_histogram(64);
+  EXPECT_NEAR(edges.max_abs_dnl, hist.max_abs_dnl, 0.25);
+  EXPECT_NEAR(edges.max_abs_inl, hist.max_abs_inl, 0.4);
+}
+
+TEST(FaiAdc, PatternsFeedTheRealEncoder) {
+  // End-to-end via the gate-level encoder at a mid-scale input.
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  FaiAdc adc(cfg);
+  const double x = adc.v_bottom() + 100.5 * adc.lsb();
+  EXPECT_EQ(software_encode(adc.coarse_pattern(x), adc.fine_pattern_bits(x)),
+            100);
+  EXPECT_EQ(adc.convert_noiseless(x), 100);
+}
+
+TEST(FaiAdc, MonotoneAwayFromSliverWindows) {
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  FaiAdc adc(cfg);
+  int prev = -1;
+  int nonmono = 0;
+  for (int k = 0; k < 256 * 4; ++k) {
+    const double x = adc.v_bottom() + (k + 0.5) * adc.lsb() / 4.0;
+    const int c = adc.convert_noiseless(x);
+    if (c < prev) ++nonmono;
+    prev = c;
+  }
+  EXPECT_EQ(nonmono, 0);
+}
+
+}  // namespace
+}  // namespace sscl::adc

@@ -1,0 +1,72 @@
+#include "adc/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::adc {
+namespace {
+
+TEST(ComparatorDynamics, TauScalesInverselyWithBias) {
+  ComparatorDynamics d;
+  EXPECT_NEAR(d.tau(1e-9) / d.tau(1e-8), 10.0, 1e-9);
+  // Sanity: 5 fF at 1 nA with gm = I/(n UT) gives tau ~ 175 ns.
+  EXPECT_NEAR(d.tau(1e-9), 5e-15 * 1.35 * 0.02586 / 1e-9, 5e-9);
+}
+
+TEST(ComparatorDynamics, WindowShrinksExponentiallyWithTime) {
+  ComparatorDynamics d;
+  const double tau = d.tau(1e-9);
+  const double w1 = d.metastable_window(1e-9, 5 * tau);
+  const double w2 = d.metastable_window(1e-9, 10 * tau);
+  EXPECT_NEAR(w1 / w2, std::exp(5.0), std::exp(5.0) * 1e-6);
+}
+
+TEST(SampledFaiAdc, MatchesStaticConverterWhenSlow) {
+  // With ample regeneration time the sampled converter equals the
+  // static one on every code.
+  FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  util::Rng rng(123);
+  SampledFaiAdc sampled(cfg, rng);
+  util::Rng rng2(123);
+  FaiAdc ref(cfg, rng2);
+  for (int code = 0; code < 256; code += 7) {
+    const double x = ref.v_bottom() + (code + 0.5) * ref.lsb();
+    EXPECT_EQ(sampled.convert(x, 100.0, 1e-9), ref.convert_noiseless(x))
+        << code;
+  }
+}
+
+TEST(SampledFaiAdc, EnobCollapsesBeyondTheCliff) {
+  FaiAdcConfig cfg;
+  util::Rng rng(5);
+  SampledFaiAdc adc(cfg, rng);
+  const double i_unit = 0.3e-9;
+  const double e_slow = adc.sine_enob(1e3, i_unit, 1024).enob;
+  const double e_fast = adc.sine_enob(2e6, i_unit, 1024).enob;
+  EXPECT_GT(e_slow, e_fast + 1.5);
+}
+
+TEST(SampledFaiAdc, ScaledBiasHoldsEnob) {
+  FaiAdcConfig cfg;
+  util::Rng rng(5);
+  SampledFaiAdc adc(cfg, rng);
+  // Bias scaled with rate: same tau budget at both rates.
+  const double e1 = adc.sine_enob(1e3, 0.3e-9, 1024).enob;
+  util::Rng rng2(5);
+  SampledFaiAdc adc2(cfg, rng2);
+  const double e2 = adc2.sine_enob(1e5, 30e-9, 1024).enob;
+  EXPECT_NEAR(e1, e2, 0.5);
+}
+
+TEST(SampledFaiAdc, MaxRateScalesWithBias) {
+  FaiAdcConfig cfg;
+  const double f1 = max_sampling_rate(cfg, 0.3e-9, 4.0);
+  const double f10 = max_sampling_rate(cfg, 3e-9, 4.0);
+  EXPECT_GT(f1, 1e3);
+  EXPECT_NEAR(f10 / f1, 10.0, 4.0);
+}
+
+}  // namespace
+}  // namespace sscl::adc

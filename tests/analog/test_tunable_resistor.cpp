@@ -1,0 +1,122 @@
+#include "analog/tunable_resistor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analog/ladder.hpp"
+#include "spice/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::analog {
+namespace {
+
+const device::Process kProc = device::Process::c180();
+
+TEST(TunableResistor, ResistanceDecreasesWithIres) {
+  // Fig. 7(c): IRES controls the resistivity over decades.
+  const double r_small_bias = measure_resistance(kProc, 1e-12, 0.8);
+  const double r_mid = measure_resistance(kProc, 1e-10, 0.8);
+  const double r_big_bias = measure_resistance(kProc, 1e-8, 0.8);
+  EXPECT_GT(r_small_bias, 5.0 * r_mid);
+  EXPECT_GT(r_mid, 5.0 * r_big_bias);
+}
+
+TEST(TunableResistor, UltraHighValuesReachable) {
+  // The paper needs > 10 Gohm to build sub-uW ladders.
+  EXPECT_GT(measure_resistance(kProc, 1e-12, 0.8), 1e10);
+}
+
+// Tuning range across bias: R roughly inversely proportional to IRES
+// (exponential VSG control makes it slightly super-linear).
+class ResistorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResistorSweep, ResistanceScalesInversely) {
+  const double ires = GetParam();
+  const double r = measure_resistance(kProc, ires, 0.8);
+  const double r10 = measure_resistance(kProc, 10 * ires, 0.8);
+  EXPECT_GT(r / r10, 3.0);
+  EXPECT_LT(r / r10, 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(IresDecades, ResistorSweep,
+                         ::testing::Values(1e-12, 1e-11, 1e-10, 1e-9));
+
+TEST(TunableResistor, LinearOverSmallDrops) {
+  // Bulk-drain shorting linearises the I-V: R at 5 mV and at 20 mV drop
+  // should agree within ~30%.
+  const double r5 = measure_resistance(kProc, 1e-10, 0.8, 5e-3);
+  const double r20 = measure_resistance(kProc, 1e-10, 0.8, 20e-3);
+  EXPECT_NEAR(r5 / r20, 1.0, 0.35);
+}
+
+TEST(LadderModel, IdealTapsUniform) {
+  LadderParams p;
+  p.taps = 7;
+  LadderModel ladder(p);
+  // 8 resistors between 0.18 and 0.82: taps every 80 mV.
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_NEAR(ladder.tap_voltage(t), 0.18 + 0.08 * (t + 1), 1e-12);
+  }
+  EXPECT_THROW(ladder.tap_voltage(7), std::out_of_range);
+  EXPECT_THROW(ladder.tap_voltage(-1), std::out_of_range);
+}
+
+TEST(LadderModel, DefaultIsTheFineReferenceLadder) {
+  LadderParams p;
+  EXPECT_EQ(p.taps, 255);  // the paper's 256-resistor example
+  LadderModel ladder(p);
+  // 2.5 mV per tap.
+  EXPECT_NEAR(ladder.tap_voltage(1) - ladder.tap_voltage(0), 2.5e-3, 1e-5);
+}
+
+TEST(LadderModel, MismatchPerturbsTapsModestly) {
+  LadderParams p;
+  p.taps = 7;
+  p.sigma_r_rel = 0.02;
+  util::Rng rng(42);
+  LadderModel ladder(p, rng);
+  LadderModel ideal(p);
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_NEAR(ladder.tap_voltage(t), ideal.tap_voltage(t), 0.01);
+    EXPECT_NE(ladder.tap_voltage(t), ideal.tap_voltage(t));
+  }
+}
+
+TEST(LadderModel, SharedBiasSavesPower) {
+  // Fig. 7(d): sharing MLS/IRES across a group cuts the bias overhead.
+  LadderParams p;
+  p.taps = 255;  // the paper's 256-resistor example
+  p.share_group = 8;
+  LadderModel ladder(p);
+  EXPECT_LT(ladder.power(), 0.55 * ladder.power_unshared());
+  // Far below the conventional >1 uW floor at 1 nA string current.
+  EXPECT_LT(ladder.power(), 1e-7);
+}
+
+TEST(LadderCircuit, CircuitTapsMatchModel) {
+  // A fine-ladder slice: 16 resistors over 40 mV (2.5 mV per tap, like
+  // the paper's 256-tap reference ladder), shared bias per Fig. 7(d).
+  spice::Circuit c;
+  LadderParams p;
+  p.taps = 15;
+  p.v_top = 0.82;
+  p.v_bottom = 0.78;
+  p.i_ladder = 1e-9;
+  p.share_group = 4;
+  p.ires_ratio = 0.05;
+  const LadderInstance inst = build_ladder(c, kProc, p);
+  spice::Engine engine(c);
+  const spice::Solution op = engine.solve_op();
+  LadderModel model(p);
+  // Taps monotone and near the uniform division (bias loading and the
+  // in-group VSG cascade allow a fraction of a tap of error).
+  double prev = p.v_bottom;
+  for (int t = 0; t < p.taps; ++t) {
+    const double v = op.v(inst.tap_nodes[t]);
+    EXPECT_GT(v, prev) << "tap " << t;
+    EXPECT_NEAR(v, model.tap_voltage(t), 2.0e-3) << "tap " << t;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace sscl::analog

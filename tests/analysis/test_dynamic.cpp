@@ -1,0 +1,75 @@
+#include "analysis/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sscl::analysis {
+namespace {
+
+std::vector<double> quantized_sine(std::size_t n, int cycles, int bits,
+                                   double noise_lsb, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double full = std::pow(2.0, bits);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v =
+        0.5 * full * (1.0 + 0.99 * std::sin(2 * M_PI * cycles * i / n));
+    const double noisy = v + rng.gaussian(0.0, noise_lsb);
+    out[i] = std::floor(std::min(std::max(noisy, 0.0), full - 1));
+  }
+  return out;
+}
+
+TEST(Dynamic, CoherentCyclesProperties) {
+  const int m = coherent_cycles(4096, 61);
+  EXPECT_EQ(m % 2, 1);
+  EXPECT_LE(m, 61);
+  EXPECT_EQ(std::gcd<std::size_t>(m, 4096), 1u);
+  // Even requests step down to an odd co-prime.
+  EXPECT_EQ(coherent_cycles(1024, 64) % 2, 1);
+  EXPECT_EQ(coherent_cycles(100, 0), 1);
+}
+
+TEST(Dynamic, IdealQuantizerEnobNearBits) {
+  const auto samples = quantized_sine(4096, 61, 8, 0.0, 1);
+  const DynamicMetrics m = sine_test(samples, 61);
+  EXPECT_NEAR(m.enob, 8.0, 0.35);
+  EXPECT_GT(m.sndr_db, 45.0);
+  EXPECT_EQ(m.signal_bin, 61);
+}
+
+TEST(Dynamic, NoiseDegradesEnob) {
+  const auto clean = quantized_sine(4096, 61, 8, 0.0, 1);
+  const auto noisy = quantized_sine(4096, 61, 8, 2.0, 1);
+  EXPECT_GT(sine_test(clean, 61).enob, sine_test(noisy, 61).enob + 1.0);
+}
+
+TEST(Dynamic, FindsFundamentalAutomatically) {
+  const auto samples = quantized_sine(2048, 33, 10, 0.0, 2);
+  const DynamicMetrics m = sine_test(samples);
+  EXPECT_EQ(m.signal_bin, 33);
+}
+
+TEST(Dynamic, DistortionLowersSfdr) {
+  // Add a 3rd harmonic and verify SFDR tracks it.
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2 * M_PI * 61 * i / static_cast<double>(n);
+    x[i] = std::sin(ph) + 0.01 * std::sin(3 * ph);
+  }
+  const DynamicMetrics m = sine_test(x, 61);
+  EXPECT_NEAR(m.sfdr_db, 40.0, 1.0);  // 1% harmonic = -40 dBc
+}
+
+TEST(Dynamic, RejectsBadRecord) {
+  EXPECT_THROW(sine_test(std::vector<double>(100)), std::invalid_argument);
+  EXPECT_THROW(sine_test(std::vector<double>(4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sscl::analysis

@@ -1,0 +1,104 @@
+#include "analysis/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::analysis {
+namespace {
+
+TEST(Fft, PowerOfTwoCheck) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> z(3);
+  EXPECT_THROW(fft(z), std::invalid_argument);
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<std::complex<double>> z(16, {0, 0});
+  z[0] = {1, 0};
+  fft(z);
+  for (const auto& v : z) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInBin) {
+  const std::size_t n = 256;
+  const int bin = 13;
+  std::vector<std::complex<double>> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = std::cos(2 * M_PI * bin * i / static_cast<double>(n));
+  }
+  fft(z);
+  EXPECT_NEAR(std::abs(z[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(z[n - bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(z[bin + 2]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripWithIfft) {
+  std::vector<std::complex<double>> z(64);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = {std::sin(0.3 * i), std::cos(0.7 * i)};
+  }
+  const auto original = z;
+  fft(z);
+  ifft(z);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_NEAR(std::abs(z[i] - original[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> z(128);
+  double time_energy = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = {std::sin(0.1 * i * i), 0.0};
+    time_energy += std::norm(z[i]);
+  }
+  fft(z);
+  double freq_energy = 0;
+  for (const auto& v : z) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / z.size(), time_energy, 1e-9 * time_energy);
+}
+
+TEST(Spectrum, AmplitudeCalibrated) {
+  const std::size_t n = 512;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.7 * std::sin(2 * M_PI * 31 * i / static_cast<double>(n)) + 0.2;
+  }
+  const auto mag = amplitude_spectrum(x);
+  EXPECT_NEAR(mag[31], 0.7, 1e-9);
+  EXPECT_NEAR(mag[0], 0.2, 1e-9);
+}
+
+TEST(Spectrum, HannReducesLeakage) {
+  const std::size_t n = 512;
+  // Non-coherent tone: rectangular leaks, Hann contains it.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2 * M_PI * 31.37 * i / static_cast<double>(n));
+  }
+  const auto rect = amplitude_spectrum(x, Window::kRect);
+  const auto hann = amplitude_spectrum(x, Window::kHann);
+  // Compare leakage far from the tone.
+  EXPECT_LT(hann[100], 0.05 * rect[100] + 1e-12);
+}
+
+TEST(Spectrum, WindowCoefficientsSane) {
+  const auto hann = window_coefficients(Window::kHann, 64);
+  EXPECT_NEAR(hann[0], 0.0, 1e-12);
+  EXPECT_NEAR(hann[32], 1.0, 1e-12);
+  const auto bm = window_coefficients(Window::kBlackman, 64);
+  EXPECT_NEAR(bm[0], 0.0, 1e-9);
+  const auto rect = window_coefficients(Window::kRect, 8);
+  for (double r : rect) EXPECT_EQ(r, 1.0);
+}
+
+}  // namespace
+}  // namespace sscl::analysis

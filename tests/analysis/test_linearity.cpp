@@ -1,0 +1,93 @@
+#include "analysis/linearity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::analysis {
+namespace {
+
+/// Ideal n-bit quantiser over [0, 1).
+int ideal_quantizer(double v, int codes) {
+  const int c = static_cast<int>(std::floor(v * codes));
+  return std::min(std::max(c, 0), codes - 1);
+}
+
+TEST(LinearityEdges, IdealQuantizerIsPerfect) {
+  const LinearityResult r = measure_linearity_edges(
+      [](double v) { return ideal_quantizer(v, 64); }, 64, 0.0, 1.0);
+  EXPECT_LT(r.max_abs_dnl, 1e-6);
+  EXPECT_LT(r.max_abs_inl, 1e-6);
+  EXPECT_EQ(r.missing_codes, 0);
+}
+
+TEST(LinearityEdges, DetectsWideCode) {
+  // Code 10 is twice as wide: its upper edge is shifted by one LSB.
+  auto conv = [](double v) {
+    const double lsb = 1.0 / 64;
+    if (v >= 11 * lsb) v -= lsb;  // codes above 10 start one LSB late
+    return ideal_quantizer(v, 64);
+  };
+  const LinearityResult r = measure_linearity_edges(conv, 64, 0.0, 1.0);
+  EXPECT_NEAR(r.max_abs_dnl, 1.0, 0.1);
+}
+
+TEST(LinearityEdges, DetectsMissingCode) {
+  auto conv = [](double v) {
+    int c = ideal_quantizer(v, 64);
+    if (c == 20) c = 21;  // code 20 never appears
+    return c;
+  };
+  const LinearityResult r = measure_linearity_edges(conv, 64, 0.0, 1.0);
+  EXPECT_GE(r.missing_codes, 1);
+}
+
+TEST(LinearityEdges, GainErrorRemovedByEndpointFit) {
+  // A pure gain error must not register as INL.
+  const LinearityResult r = measure_linearity_edges(
+      [](double v) { return ideal_quantizer(v * 0.9, 64); }, 64, 0.0, 1.2);
+  EXPECT_LT(r.max_abs_inl, 1e-6);
+}
+
+TEST(LinearityEdges, BowShowsAsInl) {
+  // Quadratic transfer bow: INL ~ bow amplitude, DNL small.
+  auto conv = [](double v) {
+    const double bowed = v + 0.02 * std::sin(M_PI * v);
+    return ideal_quantizer(bowed, 256);
+  };
+  const LinearityResult r = measure_linearity_edges(conv, 256, 0.0, 1.0);
+  EXPECT_GT(r.max_abs_inl, 3.0);  // 0.02 of FS = ~5 LSB at 8 bits
+  EXPECT_LT(r.max_abs_dnl, 0.5);
+}
+
+TEST(LinearityHistogram, UniformRampIsClean) {
+  std::vector<int> codes;
+  for (int k = 0; k < 64 * 100; ++k) {
+    codes.push_back(ideal_quantizer((k + 0.5) / (64.0 * 100), 64));
+  }
+  const LinearityResult r = measure_linearity_histogram(codes, 64);
+  EXPECT_LT(r.max_abs_dnl, 0.05);
+  EXPECT_LT(r.max_abs_inl, 0.05);
+}
+
+TEST(LinearityHistogram, DetectsWideCode) {
+  std::vector<int> codes;
+  for (int k = 0; k < 64 * 200; ++k) {
+    double v = (k + 0.5) / (64.0 * 200);
+    const double lsb = 1.0 / 64;
+    if (v >= 11 * lsb) v -= lsb;
+    codes.push_back(ideal_quantizer(v, 64));
+  }
+  const LinearityResult r = measure_linearity_histogram(codes, 64);
+  EXPECT_NEAR(r.max_abs_dnl, 1.0, 0.15);
+}
+
+TEST(LinearityHistogram, RejectsDegenerateInput) {
+  EXPECT_THROW(measure_linearity_histogram({}, 16), std::invalid_argument);
+  // All samples on end codes -> empty interior.
+  EXPECT_THROW(measure_linearity_histogram({0, 0, 15, 15}, 16),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sscl::analysis

@@ -1,0 +1,82 @@
+#include "analysis/sinefit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adc/fai_adc.hpp"
+#include "analysis/dynamic.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::analysis {
+namespace {
+
+std::vector<double> make_sine(std::size_t n, double cycles, double amp,
+                              double phase, double offset, double noise,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = offset + amp * std::sin(2 * M_PI * cycles * k / n + phase) +
+             rng.gaussian(0.0, noise);
+  }
+  return out;
+}
+
+TEST(SineFit, ThreeParamRecoversCleanSine) {
+  const auto x = make_sine(1024, 17, 0.8, 0.6, 0.25, 0.0, 1);
+  const SineFit fit = sine_fit_3param(x, 17.0 / 1024);
+  EXPECT_NEAR(fit.amplitude, 0.8, 1e-9);
+  EXPECT_NEAR(fit.offset, 0.25, 1e-9);
+  EXPECT_LT(fit.residual_rms, 1e-9);
+  EXPECT_GT(fit.sinad_db, 150.0);
+}
+
+TEST(SineFit, ThreeParamSinadMatchesNoise) {
+  const double noise = 0.01;
+  const auto x = make_sine(4096, 61, 1.0, 0.0, 0.0, noise, 2);
+  const SineFit fit = sine_fit_3param(x, 61.0 / 4096);
+  EXPECT_NEAR(fit.residual_rms, noise, noise * 0.1);
+  const double expected_sinad = 20 * std::log10((1 / std::sqrt(2.0)) / noise);
+  EXPECT_NEAR(fit.sinad_db, expected_sinad, 0.5);
+}
+
+TEST(SineFit, FourParamRefinesFrequency) {
+  const double true_cycles = 17.37;
+  const auto x = make_sine(2048, true_cycles, 0.5, 1.0, 0.0, 0.0, 3);
+  // Start 2% off.
+  const SineFit fit = sine_fit_4param(x, 1.02 * true_cycles / 2048);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.frequency * 2048, true_cycles, 1e-6);
+  EXPECT_NEAR(fit.amplitude, 0.5, 1e-6);
+  EXPECT_LT(fit.residual_rms, 1e-6);
+}
+
+TEST(SineFit, RejectsTinyRecords) {
+  EXPECT_THROW(sine_fit_3param(std::vector<double>(4), 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(sine_fit_4param(std::vector<double>(4), 0.1),
+               std::invalid_argument);
+}
+
+TEST(SineFit, AgreesWithFftEnobOnAdc) {
+  // Cross-validation of the two lab methods on the actual converter.
+  adc::FaiAdcConfig cfg;
+  adc::FaiAdc adc_inst(cfg);
+  const std::size_t record = 2048;
+  const int cycles = coherent_cycles(record, 61);
+  const double mid = 0.5 * (adc_inst.v_bottom() + adc_inst.v_top());
+  const double amp = 0.495 * (adc_inst.v_top() - adc_inst.v_bottom());
+  std::vector<double> samples(record);
+  for (std::size_t k = 0; k < record; ++k) {
+    const double ph = 2 * M_PI * cycles * static_cast<double>(k) / record;
+    samples[k] = adc_inst.convert(mid + amp * std::sin(ph));
+  }
+  const DynamicMetrics fft = sine_test(samples, cycles);
+  const SineFit fit =
+      sine_fit_3param(samples, static_cast<double>(cycles) / record);
+  EXPECT_NEAR(fit.enob, fft.enob, 0.3);
+}
+
+}  // namespace
+}  // namespace sscl::analysis

@@ -1,0 +1,120 @@
+#include "cmos/cmos_logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stscl/scl_params.hpp"
+
+namespace sscl::cmos {
+namespace {
+
+const device::Process kProc = device::Process::c180();
+
+CmosGateModel model() { return CmosGateModel(kProc, CmosGateParams{}); }
+
+TEST(CmosModel, OnCurrentGrowsWithVdd) {
+  const CmosGateModel m = model();
+  EXPECT_GT(m.i_on(0.6), 10 * m.i_on(0.3));
+  EXPECT_GT(m.i_on(1.2), m.i_on(0.6));
+}
+
+TEST(CmosModel, LeakageIndependentKnob) {
+  // Subthreshold leakage at vgs = 0: orders below the on-current.
+  const CmosGateModel m = model();
+  EXPECT_LT(m.i_leak(1.0), 1e-3 * m.i_on(1.0));
+  EXPECT_GT(m.i_leak(1.0), 0.0);
+}
+
+TEST(CmosModel, DelayFallsWithVdd) {
+  const CmosGateModel m = model();
+  EXPECT_GT(m.delay(0.3), 10 * m.delay(0.6));
+  EXPECT_THROW(m.delay(0.0), std::invalid_argument);
+}
+
+TEST(CmosModel, DvfsFindsMinimumSupply) {
+  const CmosGateModel m = model();
+  const double f = 1e5;
+  const double vdd = m.min_vdd_for_frequency(f, 5);
+  EXPECT_GE(m.fmax(vdd * 1.02, 5), f);
+  EXPECT_LT(m.fmax(vdd * 0.9, 5), f);
+  EXPECT_THROW(m.min_vdd_for_frequency(1e12, 5), std::runtime_error);
+}
+
+TEST(CmosModel, PowerComposition) {
+  const CmosGateModel m = model();
+  const double f = 1e5, vdd = 0.6;
+  EXPECT_NEAR(m.power(f, vdd, 0.1, 100),
+              m.dynamic_power(f, vdd, 0.1, 100) + m.leakage_power(vdd, 100),
+              1e-15);
+  // Dynamic power linear in activity.
+  EXPECT_NEAR(m.dynamic_power(f, vdd, 0.2, 100),
+              2 * m.dynamic_power(f, vdd, 0.1, 100), 1e-15);
+}
+
+TEST(Comparison, StsclWinsAtUltraLowRates) {
+  // The paper's regime: at sub-kS/s operating rates the CMOS leakage
+  // floor (at a practical fixed supply) dominates and STSCL's
+  // scaled-down static current wins.
+  const CmosGateModel m = model();
+  const double nl = 2.0, gates = 179;
+  stscl::SclModel scl;
+  scl.vsw = 0.2;
+  scl.cl = 12e-15;
+  auto scl_power = [&](double f) {
+    return gates * scl.iss_for_delay(1.0 / (2.0 * nl * f)) * 1.0;
+  };
+  const double f_lo = 800.0;
+  EXPECT_LT(scl_power(f_lo), m.power(f_lo, 1.0, 0.05, gates));
+  // At MHz clocks a DVFS-capable CMOS implementation wins (the paper
+  // never claims STSCL replaces CMOS generally; it needs the separate
+  // precisely controlled supply the paper mentions).
+  const double f_hi = 5e6;
+  EXPECT_GT(scl_power(f_hi), m.power_dvfs(f_hi, 2.0, 1.0, gates));
+}
+
+TEST(Comparison, CrossoverActivityBehaviour) {
+  const CmosGateModel m = model();
+  // At low frequency STSCL wins across all activities (fixed-VDD CMOS).
+  EXPECT_GT(stscl_wins_below_activity(m, 500.0, 2, 179, 0.2, 12e-15, 1.0),
+            0.9);
+  // At high frequency both powers scale with f and the crossover
+  // settles at the iso-VDD dynamic-vs-static ratio (STSCL still wins
+  // for low-activity logic, the paper's "low activity rate systems").
+  const double hi = stscl_wins_below_activity(m, 5e6, 2, 179, 0.2, 12e-15, 1.0);
+  EXPECT_GT(hi, 0.2);
+  EXPECT_LT(hi, 0.9);
+}
+
+TEST(Comparison, CrossoverFrequencyInUltraLowPowerBand) {
+  // The leakage-domination crossover lands in the kS/s decade for the
+  // encoder-sized block -- exactly where the paper's ADC operates.
+  const CmosGateModel m = model();
+  const double f_cross =
+      stscl_crossover_frequency(m, 0.1, 2, 179, 0.2, 12e-15, 1.0, 1.0);
+  EXPECT_GT(f_cross, 100.0);
+  EXPECT_LT(f_cross, 1e6);
+}
+
+TEST(Comparison, IdealDvfsIsTheStrongestBaseline) {
+  // With ideal per-frequency supply scaling CMOS beats STSCL even at
+  // low rates -- the paper's caveat that such scaling needs "a separate
+  // precisely controlled supply voltage" is what makes STSCL attractive.
+  const CmosGateModel m = model();
+  EXPECT_LT(stscl_wins_below_activity(m, 800.0, 2, 179, 0.2, 12e-15, 1.0,
+                                      /*cmos_vdd=*/-1.0),
+            0.05);
+}
+
+TEST(Comparison, StsclPowerIsActivityIndependent) {
+  // Fig. 3's message: STSCL decouples power from switching statistics.
+  stscl::SclModel scl;
+  scl.vsw = 0.2;
+  scl.cl = 12e-15;
+  const double iss = scl.iss_for_delay(1e-6);
+  const double p = 179 * iss * 1.0;
+  // No alpha anywhere in the computation: trivially constant, asserted
+  // for documentation value.
+  EXPECT_GT(p, 0.0);
+}
+
+}  // namespace
+}  // namespace sscl::cmos

@@ -1,0 +1,158 @@
+#include "device/diode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::device {
+namespace {
+
+using spice::Circuit;
+using spice::Engine;
+using spice::kGround;
+using spice::NodeId;
+using spice::Resistor;
+using spice::Solution;
+using spice::SourceSpec;
+using spice::VoltageSource;
+
+TEST(JunctionMath, CurrentAndConductanceConsistent) {
+  const double is = 1e-15, nvt = 0.0259;
+  for (double v : {-0.5, -0.1, 0.0, 0.3, 0.6, 0.9}) {
+    double i, g;
+    junction_current(v, is, nvt, i, g);
+    double i2, g2;
+    const double h = 1e-7;
+    junction_current(v + h, is, nvt, i2, g2);
+    double i3, g3;
+    junction_current(v - h, is, nvt, i3, g3);
+    EXPECT_NEAR(g, (i2 - i3) / (2 * h), std::fabs(g) * 1e-3 + 1e-18) << v;
+  }
+}
+
+TEST(JunctionMath, ClampContinuity) {
+  const double is = 1e-15, nvt = 0.0259;
+  const double v_clamp = 80.0 * nvt;
+  double i_lo, g_lo, i_hi, g_hi;
+  junction_current(v_clamp - 1e-9, is, nvt, i_lo, g_lo);
+  junction_current(v_clamp + 1e-9, is, nvt, i_hi, g_hi);
+  EXPECT_NEAR(i_lo / i_hi, 1.0, 1e-6);
+  EXPECT_NEAR(g_lo / g_hi, 1.0, 1e-6);
+  // Beyond the clamp the current keeps increasing but stays finite.
+  double i_far, g_far;
+  junction_current(5.0, is, nvt, i_far, g_far);
+  EXPECT_TRUE(std::isfinite(i_far));
+  EXPECT_GT(i_far, i_hi);
+}
+
+TEST(JunctionMath, ChargeCapacitanceConsistent) {
+  const double cj0 = 1e-15, mj = 0.5, pb = 0.8, fc = 0.5;
+  for (double v : {-2.0, -0.5, 0.0, 0.3, 0.39, 0.41, 0.6}) {
+    double q1, c1, q2, c2;
+    const double h = 1e-6;
+    junction_charge(v + h, cj0, mj, pb, fc, q2, c2);
+    junction_charge(v - h, cj0, mj, pb, fc, q1, c1);
+    double q, c;
+    junction_charge(v, cj0, mj, pb, fc, q, c);
+    EXPECT_NEAR(c, (q2 - q1) / (2 * h), c * 1e-3 + 1e-20) << v;
+  }
+  // Reverse bias shrinks the capacitance.
+  double q_rev, c_rev, q_zero, c_zero;
+  junction_charge(-1.0, cj0, mj, pb, fc, q_rev, c_rev);
+  junction_charge(0.0, cj0, mj, pb, fc, q_zero, c_zero);
+  EXPECT_LT(c_rev, c_zero);
+  EXPECT_NEAR(c_zero, cj0, 1e-20);
+}
+
+TEST(Diode, ForwardDropInCircuit) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(2.0));
+  c.add<Resistor>("R1", in, a, 1e3);
+  DiodeParams dp;
+  dp.is = 1e-15;
+  c.add<Diode>("D1", a, kGround, dp);
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  // Forward drop in the 0.55-0.75 V range for ~1.3 mA.
+  EXPECT_GT(op.v(a), 0.5);
+  EXPECT_LT(op.v(a), 0.8);
+  // KCL: resistor current equals diode current.
+  const double ir = (2.0 - op.v(a)) / 1e3;
+  const double ut = util::thermal_voltage();
+  const double id = 1e-15 * (std::exp(op.v(a) / ut) - 1.0);
+  EXPECT_NEAR(ir / id, 1.0, 1e-3);
+}
+
+TEST(Diode, ReverseBlocks) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(-2.0));
+  c.add<Resistor>("R1", in, a, 1e3);
+  DiodeParams dp;
+  c.add<Diode>("D1", a, kGround, dp);
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  // Nearly the full -2 V appears across the diode.
+  EXPECT_LT(op.v(a), -1.99);
+}
+
+TEST(Diode, AreaScalesCurrent) {
+  auto solve_with_area = [](double area) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId a = c.node("a");
+    c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(1.0));
+    c.add<Resistor>("R1", in, a, 1e6);
+    DiodeParams dp;
+    c.add<Diode>("D1", a, kGround, dp, area);
+    Engine engine(c);
+    return engine.solve_op().v(a);
+  };
+  // Larger area -> same current at lower forward voltage.
+  EXPECT_LT(solve_with_area(10.0), solve_with_area(1.0));
+}
+
+TEST(Diode, JunctionCapacitanceSlowsTransient) {
+  // Reverse-biased diode with cap vs without: the RC settling differs.
+  auto settle_time = [](double cj0) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId a = c.node("a");
+    c.add<VoltageSource>("V1", in, kGround,
+                         SourceSpec::pulse(0, -1, 1e-9, 1e-9, 1e-9, 1));
+    c.add<Resistor>("R1", in, a, 1e6);
+    DiodeParams dp;
+    dp.cj0 = cj0;
+    c.add<Diode>("D1", a, kGround, dp);
+    Engine engine(c);
+    spice::TransientOptions opts;
+    opts.tstop = 2e-5;
+    const auto w = run_transient(engine, opts);
+    const auto t = w.cross(a, -0.5, spice::Edge::kFall);
+    return t.value_or(opts.tstop);
+  };
+  EXPECT_GT(settle_time(5e-12), 3.0 * settle_time(1e-15));
+}
+
+TEST(Diode, PnjlimPullsBackLargeSteps) {
+  bool limited = false;
+  const double nvt = 0.0259;
+  const double v = pnjlim(2.0, 0.6, nvt, 0.6, &limited);
+  EXPECT_TRUE(limited);
+  EXPECT_LT(v, 0.75);  // pulled onto the log curve, far below the raw 2 V
+  // Small steps pass through untouched.
+  limited = false;
+  EXPECT_DOUBLE_EQ(pnjlim(0.61, 0.6, nvt, 0.7, &limited), 0.61);
+  EXPECT_FALSE(limited);
+}
+
+}  // namespace
+}  // namespace sscl::device

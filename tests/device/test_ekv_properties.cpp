@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/ekv.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::device {
+namespace {
+
+const Process kProc = Process::c180();
+const MosGeometry kGeo{2e-6, 1e-6, 0, 0};
+const MosMismatch kNoMm;
+constexpr double kT = 300.15;
+
+// Gummel symmetry: swapping source and drain negates the current, at
+// random bias points across all regions.
+class GummelSymmetryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GummelSymmetryTest, HoldsAtRandomBias) {
+  util::Rng rng(GetParam());
+  for (int k = 0; k < 50; ++k) {
+    const double vg = rng.uniform(0.0, 1.2);
+    const double va = rng.uniform(0.0, 1.0);
+    const double vb_t = rng.uniform(0.0, 1.0);
+    const EkvResult fwd =
+        ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, va, vb_t, 0.0, kT);
+    const EkvResult rev =
+        ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, vb_t, va, 0.0, kT);
+    const double scale = std::max(std::fabs(fwd.id), 1e-18);
+    EXPECT_NEAR(fwd.id, -rev.id, 0.05 * scale) << vg << " " << va << " " << vb_t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GummelSymmetryTest, ::testing::Values(1, 2, 3));
+
+// Monotonicity: ID strictly increases with VGS at fixed VDS (saturation).
+TEST(EkvProperty, MonotoneInGateVoltage) {
+  double prev = -1.0;
+  for (double vg = 0.0; vg <= 1.2; vg += 0.01) {
+    const double id =
+        ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, 0.6, 0.0, 0.0, kT).id;
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+// Passivity: with VD >= VS >= 0 and any VG, the drain current never
+// flows backwards (no negative conductance anywhere).
+TEST(EkvProperty, PassiveForwardOperation) {
+  util::Rng rng(4);
+  for (int k = 0; k < 200; ++k) {
+    const double vs = rng.uniform(0.0, 0.8);
+    const double vd = vs + rng.uniform(0.0, 0.8);
+    const double vg = rng.uniform(-0.2, 1.4);
+    const EkvResult r = ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, vd, vs, 0.0, kT);
+    EXPECT_GE(r.id, -1e-18);
+    EXPECT_GE(r.gds, -1e-15);  // bounded CLM keeps this non-negative
+  }
+}
+
+// Continuity: no jumps across the weak/strong inversion transition.
+TEST(EkvProperty, SmoothAcrossInversionRegions) {
+  double prev_id = 0, prev_gm = 0;
+  bool first = true;
+  for (double vg = 0.2; vg <= 0.9; vg += 0.001) {
+    const EkvResult r = ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, 0.6, 0, 0, kT);
+    if (!first) {
+      // Relative step between adjacent points stays small.
+      EXPECT_LT(std::fabs(r.id - prev_id) / std::max(prev_id, 1e-18), 0.12);
+      EXPECT_LT(std::fabs(r.gm - prev_gm) / std::max(prev_gm, 1e-18), 0.12);
+    }
+    prev_id = r.id;
+    prev_gm = r.gm;
+    first = false;
+  }
+}
+
+// gm/ID in deep weak inversion approaches the theoretical 1/(n UT).
+TEST(EkvProperty, GmOverIdLimit) {
+  const EkvResult r = ekv_evaluate(kProc.nmos, kGeo, kNoMm, 0.1, 0.6, 0, 0, kT);
+  const double gm_over_id = r.gm / r.id;
+  const double limit = 1.0 / (kProc.nmos.n * 0.025852);
+  EXPECT_NEAR(gm_over_id / limit, 1.0, 0.03);
+}
+
+// Saturation current matches the EKV weak-inversion closed form.
+TEST(EkvProperty, WeakInversionClosedForm) {
+  const double ut = 0.025852;
+  // Deep weak inversion only: at vg = 0.26 the moderate-inversion
+  // tail of F(v) already deviates ~6% from the pure exponential.
+  for (double vg : {0.06, 0.10, 0.16}) {
+    const EkvResult r = ekv_evaluate(kProc.nmos, kGeo, kNoMm, vg, 0.6, 0, 0, kT);
+    const double vp = (vg - kProc.nmos.vt0) / kProc.nmos.n;
+    const double clm = 1.0 + kProc.nmos.lambda * 2.0 * std::tanh(0.3);
+    const double analytic = r.ispec * std::exp(vp / ut) * clm;
+    EXPECT_NEAR(r.id / analytic, 1.0, 0.02) << vg;
+  }
+}
+
+// Temperature: the subthreshold swing n*UT*ln10 grows linearly with T.
+TEST(EkvProperty, SwingLinearInTemperature) {
+  const double s300 = subthreshold_swing(kProc.nmos, 300.0);
+  const double s400 = subthreshold_swing(kProc.nmos, 400.0);
+  EXPECT_NEAR(s400 / s300, 400.0 / 300.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sscl::device

@@ -1,0 +1,63 @@
+#include "device/mismatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/numeric.hpp"
+
+namespace sscl::device {
+namespace {
+
+const Process kProc = Process::c180();
+
+TEST(Mismatch, PelgromScaling) {
+  const MosGeometry small{1e-6, 1e-6, 0, 0};
+  const MosGeometry big{4e-6, 4e-6, 0, 0};
+  const auto s_small = mismatch_sigmas(kProc.nmos, small);
+  const auto s_big = mismatch_sigmas(kProc.nmos, big);
+  // 4x area -> 4x sqrt(WL) ... W*L grows 16x, sqrt grows 4x.
+  EXPECT_NEAR(s_small.sigma_vt / s_big.sigma_vt, 4.0, 1e-9);
+  EXPECT_NEAR(s_small.sigma_beta_rel / s_big.sigma_beta_rel, 4.0, 1e-9);
+}
+
+TEST(Mismatch, SigmaMagnitudeMatchesAvt) {
+  // 1 um x 1 um with AVT = 3.5 mV*um -> sigma 3.5 mV.
+  const MosGeometry geo{1e-6, 1e-6, 0, 0};
+  const auto s = mismatch_sigmas(kProc.nmos, geo);
+  EXPECT_NEAR(s.sigma_vt, 3.5e-3, 1e-6);
+}
+
+TEST(Mismatch, SampledDistributionMatchesSigmas) {
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const auto s = mismatch_sigmas(kProc.nmos, geo);
+  util::Rng rng(2024);
+  std::vector<double> dvt, dbeta;
+  for (int i = 0; i < 20000; ++i) {
+    const MosMismatch mm = sample_mismatch(kProc.nmos, geo, rng);
+    dvt.push_back(mm.dvt);
+    dbeta.push_back(mm.dbeta_rel);
+  }
+  EXPECT_NEAR(util::mean(dvt), 0.0, s.sigma_vt * 0.05);
+  EXPECT_NEAR(util::stddev(dvt), s.sigma_vt, s.sigma_vt * 0.05);
+  EXPECT_NEAR(util::stddev(dbeta), s.sigma_beta_rel, s.sigma_beta_rel * 0.05);
+}
+
+TEST(Mismatch, PairOffsetSigmaDominatedByVt) {
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const double sigma = pair_offset_sigma(kProc.nmos, geo, 300.15);
+  const auto s = mismatch_sigmas(kProc.nmos, geo);
+  EXPECT_GT(sigma, std::sqrt(2.0) * s.sigma_vt * 0.99);
+  EXPECT_LT(sigma, std::sqrt(2.0) * s.sigma_vt * 1.2);
+}
+
+TEST(Mismatch, LargerDevicesGiveSmallerPairOffset) {
+  const MosGeometry small{1e-6, 1e-6, 0, 0};
+  const MosGeometry big{10e-6, 10e-6, 0, 0};
+  EXPECT_GT(pair_offset_sigma(kProc.nmos, small, 300.15),
+            5 * pair_offset_sigma(kProc.nmos, big, 300.15));
+}
+
+}  // namespace
+}  // namespace sscl::device

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/mosfet.hpp"
+#include "spice/ac.hpp"
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::device {
+namespace {
+
+using spice::Circuit;
+using spice::CurrentSource;
+using spice::Engine;
+using spice::kGround;
+using spice::NodeId;
+using spice::Resistor;
+using spice::Solution;
+using spice::SourceSpec;
+using spice::VoltageSource;
+
+const Process kProc = Process::c180();
+
+TEST(MosfetCircuit, DiodeConnectedSettlesToVgsForCurrent) {
+  // Current source pulls 1 nA through a diode-connected NMOS; the gate
+  // voltage must match ekv_vgs_for_current.
+  Circuit c;
+  const NodeId g = c.node("g");
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+  c.add<CurrentSource>("I1", vdd, g, SourceSpec::dc(1e-9));
+  MosGeometry geo{2e-6, 1e-6, 0, 0};
+  c.add<Mosfet>("M1", g, g, kGround, kGround, kProc.nmos, geo);
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  const double expected =
+      ekv_vgs_for_current(kProc.nmos, geo, 1e-9, op.v(g), 300.15);
+  EXPECT_NEAR(op.v(g), expected, 2e-3);
+}
+
+TEST(MosfetCircuit, CurrentMirrorCopiesAcrossDecades) {
+  // NMOS mirror: reference current into a diode-connected device, output
+  // device drives a load held at 0.6 V.
+  for (double iref : {1e-11, 1e-9, 1e-7}) {
+    Circuit c;
+    const NodeId g = c.node("g");
+    const NodeId d2 = c.node("d2");
+    const NodeId vdd = c.node("vdd");
+    c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+    c.add<CurrentSource>("Iref", vdd, g, SourceSpec::dc(iref));
+    MosGeometry geo{4e-6, 2e-6, 0, 0};
+    c.add<Mosfet>("M1", g, g, kGround, kGround, kProc.nmos_hvt, geo);
+    auto* m2 = c.add<Mosfet>("M2", d2, g, kGround, kGround, kProc.nmos_hvt, geo);
+    c.add<VoltageSource>("Vd2", d2, kGround, SourceSpec::dc(0.6));
+    Engine engine(c);
+    engine.solve_op();
+    EXPECT_NEAR(m2->ids() / iref, 1.0, 0.05) << "iref=" << iref;
+  }
+}
+
+TEST(MosfetCircuit, MirrorRatioFollowsWidth) {
+  Circuit c;
+  const NodeId g = c.node("g");
+  const NodeId d2 = c.node("d2");
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+  c.add<CurrentSource>("Iref", vdd, g, SourceSpec::dc(1e-9));
+  c.add<Mosfet>("M1", g, g, kGround, kGround, kProc.nmos,
+                MosGeometry{2e-6, 1e-6, 0, 0});
+  auto* m2 = c.add<Mosfet>("M2", d2, g, kGround, kGround, kProc.nmos,
+                           MosGeometry{8e-6, 1e-6, 0, 0});
+  c.add<VoltageSource>("Vd2", d2, kGround, SourceSpec::dc(0.6));
+  Engine engine(c);
+  engine.solve_op();
+  EXPECT_NEAR(m2->ids() / 1e-9, 4.0, 0.2);
+}
+
+TEST(MosfetCircuit, CommonSourceAmpDcGain) {
+  // Subthreshold common-source stage with resistor load; check the DC
+  // small-signal gain against gm*Rout from the model.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+  auto* vin = c.add<VoltageSource>("Vin", in, kGround, SourceSpec::dc(0.0));
+  const double rl = 1e8;
+  c.add<Resistor>("RL", vdd, out, rl);
+  MosGeometry geo{2e-6, 1e-6, 0, 0};
+  auto* m1 = c.add<Mosfet>("M1", out, in, kGround, kGround, kProc.nmos, geo);
+
+  // Bias the gate so the device pulls ~half the supply across RL.
+  const double vbias = ekv_vgs_for_current(kProc.nmos, geo, 0.6 / rl, 0.6, 300.15);
+  vin->set_spec(SourceSpec::dc(vbias).with_ac(1.0));
+
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  EXPECT_NEAR(op.v(out), 0.6, 0.1);
+
+  const auto& ssp = m1->operating_point();
+  const double gain_expected = ssp.gm / (1.0 / rl + ssp.gds);
+  spice::AcResult res = run_ac(engine, {1.0});
+  EXPECT_NEAR(res.magnitude(out)[0] / gain_expected, 1.0, 0.02);
+  // Subthreshold gm/ID = 1/(n UT) = ~28/V, so gm*RL = 0.6V drop * 28/V.
+  EXPECT_GT(gain_expected, 10.0);
+}
+
+TEST(MosfetCircuit, SourceFollowerLevelShift) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.5));
+  c.add<VoltageSource>("Vin", in, kGround, SourceSpec::dc(0.9));
+  MosGeometry geo{4e-6, 1e-6, 0, 0};
+  c.add<Mosfet>("M1", vdd, in, out, kGround, kProc.nmos, geo);
+  c.add<CurrentSource>("Ibias", out, kGround, SourceSpec::dc(1e-9));
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  const double vgs = 0.9 - op.v(out);
+  // The follower sits one VGS below the input. With the bulk at ground
+  // the EKV body effect raises the required VGS by (n-1)*VSB.
+  const double vgs_no_body =
+      ekv_vgs_for_current(kProc.nmos, geo, 1e-9, op.v(vdd) - op.v(out), 300.15);
+  const double expected_vgs =
+      vgs_no_body + (kProc.nmos.n - 1.0) * op.v(out);
+  EXPECT_NEAR(vgs, expected_vgs, 0.02);
+}
+
+TEST(MosfetCircuit, PmosLoadBulkDrainShortedActsAsResistor) {
+  // The STSCL load device: PMOS, source at VDD... in the paper's load the
+  // bulk is shorted to the drain (output). Sweep the output current and
+  // verify a monotonic, finite, resistor-like V(I) over a 200 mV swing.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId out = c.node("out");
+  const NodeId vbp = c.node("vbp");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.0));
+  auto* vb = c.add<VoltageSource>("Vbp", vbp, kGround, SourceSpec::dc(0.0));
+  MosGeometry geo{1e-6, 4e-6, 0, 0};
+  c.add<Mosfet>("ML", out, vbp, vdd, out, kProc.pmos, geo);
+  auto* iload = c.add<CurrentSource>("IL", out, kGround, SourceSpec::dc(0.0));
+
+  // Find a gate bias where the device carries 1 nA with a 0.2 V drop.
+  // (Replica bias would do this automatically; here: crude manual scan
+  // from strongly-on, raising the gate until the drop reaches 0.2 V.)
+  Engine engine(c);
+  double chosen_vbp = -0.4;
+  iload->set_spec(SourceSpec::dc(1e-9));
+  for (double vg = -0.4; vg < 0.95; vg += 0.01) {
+    vb->set_spec(SourceSpec::dc(vg));
+    const Solution op = engine.solve_op();
+    if (op.v(vdd) - op.v(out) >= 0.2) {
+      chosen_vbp = vg;
+      break;
+    }
+  }
+  vb->set_spec(SourceSpec::dc(chosen_vbp));
+
+  // Now sweep the load current 0 -> 1 nA and require monotonic drop.
+  double prev_drop = -1.0;
+  for (double i = 0.0; i <= 1.001e-9; i += 0.2e-9) {
+    iload->set_spec(SourceSpec::dc(i));
+    const Solution op = engine.solve_op();
+    const double drop = op.v(vdd) - op.v(out);
+    EXPECT_GT(drop, prev_drop - 1e-6);
+    prev_drop = drop;
+    EXPECT_LT(drop, 0.35);
+  }
+  EXPECT_NEAR(prev_drop, 0.2, 0.05);
+}
+
+TEST(MosfetCircuit, GateCapacitanceReported) {
+  Circuit c;
+  MosGeometry geo{2e-6, 1e-6, 0, 0};
+  auto* m = c.add<Mosfet>("M1", c.node("d"), c.node("g"), kGround, kGround,
+                          kProc.nmos, geo);
+  // cgs + cgd + cgb > overlap-only floor and below full channel cap.
+  const double c_channel = kProc.nmos.cox * geo.w * geo.l;
+  const double c_overlap = kProc.nmos.cov * geo.w;
+  EXPECT_GT(m->gate_capacitance(), 2 * c_overlap);
+  EXPECT_LT(m->gate_capacitance(), c_channel + 3 * c_overlap);
+}
+
+TEST(MosfetCircuit, InverterSwitchesInTransient) {
+  // Resistor-load NMOS inverter driven by a pulse: output must swing.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+  c.add<VoltageSource>("Vin", in, kGround,
+                       SourceSpec::pulse(0.0, 1.2, 1e-6, 10e-9, 10e-9, 5e-6));
+  c.add<Resistor>("RL", vdd, out, 1e6);
+  c.add<Mosfet>("M1", out, in, kGround, kGround, kProc.nmos,
+                MosGeometry{4e-6, 0.5e-6, 0, 0});
+  Engine engine(c);
+  spice::TransientOptions opts;
+  opts.tstop = 10e-6;
+  const auto w = run_transient(engine, opts);
+  EXPECT_GT(w.at(out, 0.9e-6), 1.1);   // high before the pulse
+  EXPECT_LT(w.at(out, 5.0e-6), 0.15);  // pulled low during the pulse
+  EXPECT_GT(w.at(out, 9.9e-6), 1.0);   // recovers
+}
+
+TEST(MosfetCircuit, JunctionDiodesLeakWhenForward) {
+  // NMOS with source junction area: pulling the bulk above the source
+  // forward-biases the junction and conducts.
+  Circuit c;
+  const NodeId b = c.node("b");
+  MosGeometry geo{2e-6, 1e-6, 4e-12, 4e-12};
+  c.add<Mosfet>("M1", c.node("d"), kGround, kGround, b, kProc.nmos, geo);
+  c.add<VoltageSource>("Vd", c.node("d"), kGround, SourceSpec::dc(0.5));
+  auto* vb = c.add<VoltageSource>("Vb", b, kGround, SourceSpec::dc(0.7));
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  // Bulk source current must be significant (junction forward).
+  EXPECT_GT(std::fabs(op.branch_current(vb->branch())), 1e-9);
+}
+
+}  // namespace
+}  // namespace sscl::device

@@ -1,0 +1,182 @@
+#include "digital/eventsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sscl::digital {
+namespace {
+
+stscl::SclModel timing() {
+  stscl::SclModel m;
+  m.vsw = 0.2;
+  m.cl = 10e-15;
+  return m;
+}
+
+TEST(EventSim, CombinationalGatesEvaluate) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId b = nl.input("b");
+  const SignalId y_and = nl.and2(a, b, "and");
+  const SignalId y_or = nl.or2(a, b, "or");
+  const SignalId y_xor = nl.xor2(a, b, "xor");
+  const SignalId y_inv = nl.buf(~Ref(a), "inv");
+
+  EventSim sim(nl, timing(), 1e-9);
+  for (int row = 0; row < 4; ++row) {
+    sim.set_input(a, row & 1);
+    sim.set_input(b, row & 2);
+    sim.settle();
+    EXPECT_EQ(sim.value(y_and), (row & 1) && (row & 2));
+    EXPECT_EQ(sim.value(y_or), (row & 1) || (row & 2));
+    EXPECT_EQ(sim.value(y_xor), ((row & 1) != 0) != ((row & 2) != 0));
+    EXPECT_EQ(sim.value(y_inv), !(row & 1));
+  }
+}
+
+TEST(EventSim, Maj3AndMux) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId b = nl.input("b");
+  const SignalId c = nl.input("c");
+  const SignalId m = nl.maj3(a, b, c, "maj");
+  const SignalId x = nl.mux2(a, b, c, "mux");
+  EventSim sim(nl, timing(), 1e-9);
+  for (int row = 0; row < 8; ++row) {
+    const bool va = row & 1, vb = row & 2, vc = row & 4;
+    sim.set_input(a, va);
+    sim.set_input(b, vb);
+    sim.set_input(c, vc);
+    sim.settle();
+    EXPECT_EQ(sim.value(m), (va && vb) || (vb && vc) || (va && vc));
+    EXPECT_EQ(sim.value(x), va ? vb : vc);
+  }
+}
+
+TEST(EventSim, GateDelayMatchesModel) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId y = nl.buf(a, "y");
+  const double iss = 1e-9;
+  EventSim sim(nl, timing(), iss);
+  sim.settle();
+  const double td = timing().delay(iss);
+  EXPECT_DOUBLE_EQ(sim.gate_delay(), td);
+  sim.set_input(a, true);
+  sim.run_until(sim.time() + 0.99 * td);
+  EXPECT_FALSE(sim.value(y));  // not yet propagated
+  sim.run_until(sim.time() + 0.02 * td);
+  EXPECT_TRUE(sim.value(y));
+}
+
+TEST(EventSim, InertialGlitchSuppression) {
+  // A pulse shorter than the gate delay must not reach the output.
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId y = nl.buf(a, "y");
+  EventSim sim(nl, timing(), 1e-9);
+  sim.settle();
+  const double td = sim.gate_delay();
+  sim.set_input(a, true);
+  sim.run_until(sim.time() + 0.3 * td);
+  sim.set_input(a, false);  // pulse 0.3 td wide
+  sim.settle();
+  EXPECT_FALSE(sim.value(y));
+  // Transition count: y never toggled.
+  EXPECT_EQ(sim.value(y), false);
+}
+
+TEST(EventSim, LatchTransparencyAndHold) {
+  Netlist nl;
+  const SignalId clk = nl.clock();
+  const SignalId d = nl.input("d");
+  const SignalId q = nl.latch(d, true, "q");
+  EventSim sim(nl, timing(), 1e-9);
+  sim.set_input(clk, true);  // transparent
+  sim.set_input(d, true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(clk, false);  // hold
+  sim.settle();
+  sim.set_input(d, false);
+  sim.settle();
+  EXPECT_TRUE(sim.value(q));  // held
+  sim.set_input(clk, true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(q));  // follows again
+}
+
+TEST(EventSim, LatchPhasePolarity) {
+  Netlist nl;
+  const SignalId clk = nl.clock();
+  const SignalId d = nl.input("d");
+  const SignalId q0 = nl.latch(d, false, "q0");  // transparent when clk=0
+  EventSim sim(nl, timing(), 1e-9);
+  sim.set_input(clk, false);
+  sim.set_input(d, true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(q0));
+  sim.set_input(clk, true);
+  sim.settle();
+  sim.set_input(d, false);
+  sim.settle();
+  EXPECT_TRUE(sim.value(q0));  // holding while clk=1
+}
+
+TEST(EventSim, SetIssRescalesDelay) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  nl.buf(a, "y");
+  EventSim sim(nl, timing(), 1e-9);
+  const double d1 = sim.gate_delay();
+  sim.set_iss(1e-8);
+  EXPECT_NEAR(sim.gate_delay(), d1 / 10.0, d1 * 1e-9);
+}
+
+TEST(EventSim, PerKindDelayFactors) {
+  Netlist nl;
+  nl.clock();
+  const SignalId a = nl.input("a");
+  const SignalId b = nl.input("b");
+  const SignalId c = nl.input("c");
+  const SignalId y_buf = nl.buf(a, "yb");
+  const SignalId y_maj = nl.maj3(a, b, c, "ym");
+  EventSim sim(nl, timing(), 1e-9);
+  sim.set_kind_factor(GateKind::kMaj3, 1.5);
+  sim.set_input(b, true);  // maj(a,1,0) = a
+  sim.settle();
+  const double td = sim.gate_delay();
+  sim.set_input(a, true);
+  sim.run_until(sim.time() + 1.2 * td);
+  EXPECT_TRUE(sim.value(y_buf));   // buffer already switched
+  EXPECT_FALSE(sim.value(y_maj));  // compound gate still in flight
+  sim.run_until(sim.time() + 0.5 * td);
+  EXPECT_TRUE(sim.value(y_maj));
+  EXPECT_DOUBLE_EQ(sim.kind_factor(GateKind::kMaj3), 1.5);
+  EXPECT_DOUBLE_EQ(sim.kind_factor(GateKind::kBuf), 1.0);
+}
+
+TEST(EventSim, RejectsDrivingGateOutput) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId y = nl.buf(a, "y");
+  EventSim sim(nl, timing(), 1e-9);
+  EXPECT_THROW(sim.set_input(y, true), std::invalid_argument);
+}
+
+TEST(EventSim, TransitionCounting) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  nl.buf(a, "y");
+  EventSim sim(nl, timing(), 1e-9);
+  sim.settle();
+  const long long before = sim.transition_count();
+  sim.set_input(a, true);
+  sim.settle();
+  sim.set_input(a, false);
+  sim.settle();
+  // 2 input toggles + 2 output toggles.
+  EXPECT_EQ(sim.transition_count() - before, 4);
+}
+
+}  // namespace
+}  // namespace sscl::digital

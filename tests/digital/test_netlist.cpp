@@ -1,0 +1,96 @@
+#include "digital/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sscl::digital {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId b = nl.input("b");
+  const SignalId y = nl.and2(a, b, "y");
+  EXPECT_EQ(nl.gate_count(), 1);
+  EXPECT_EQ(nl.signal_count(), 3);
+  EXPECT_EQ(nl.driver_of(y), 0);
+  EXPECT_EQ(nl.driver_of(a), -1);
+  EXPECT_EQ(nl.signal_name(y), "y");
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  EXPECT_THROW(nl.add(GateKind::kAnd2, {Ref(a)}, "bad"), std::invalid_argument);
+  EXPECT_THROW(nl.add(GateKind::kBuf, {Ref(a), Ref(a)}, "bad2"),
+               std::invalid_argument);
+}
+
+TEST(Netlist, RejectsBadSignal) {
+  Netlist nl;
+  EXPECT_THROW(nl.add(GateKind::kBuf, {Ref(42)}, "bad"), std::invalid_argument);
+}
+
+TEST(Netlist, LatchRequiresClock) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  EXPECT_THROW(nl.latch(a, true, "l"), std::logic_error);
+  nl.clock();
+  EXPECT_NO_THROW(nl.latch(a, true, "l"));
+  EXPECT_EQ(nl.latch_count(), 1);
+}
+
+TEST(Netlist, StackLevelsAndInputCounts) {
+  EXPECT_EQ(stack_levels(GateKind::kBuf), 1);
+  EXPECT_EQ(stack_levels(GateKind::kAnd2), 2);
+  EXPECT_EQ(stack_levels(GateKind::kMaj3), 3);
+  EXPECT_EQ(stack_levels(GateKind::kMaj3Latch), 4);
+  EXPECT_EQ(input_count(GateKind::kOr4), 4);
+  EXPECT_EQ(input_count(GateKind::kMux2), 3);
+  EXPECT_TRUE(is_latching(GateKind::kXor2Latch));
+  EXPECT_FALSE(is_latching(GateKind::kXor2));
+}
+
+TEST(Netlist, CombinationalDepth) {
+  Netlist nl;
+  nl.clock();
+  const SignalId a = nl.input("a");
+  const SignalId b = nl.input("b");
+  const SignalId x = nl.and2(a, b, "x");
+  const SignalId y = nl.or2(x, b, "y");
+  const SignalId z = nl.xor2(y, a, "z");
+  EXPECT_EQ(nl.max_combinational_depth(), 3);
+  // A latch resets the depth count.
+  const SignalId l = nl.latch(z, true, "l");
+  nl.and2(l, a, "w");
+  EXPECT_EQ(nl.max_combinational_depth(), 4);  // a->x->y->z->latch cone
+}
+
+TEST(Netlist, StaticPowerBudget) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  nl.buf(a, "b1");
+  nl.buf(a, "b2");
+  EXPECT_DOUBLE_EQ(nl.static_current(1e-9), 2e-9);
+  EXPECT_DOUBLE_EQ(nl.static_power(1e-9, 1.0), 2e-9);
+}
+
+TEST(Netlist, AreaGrowsWithGates) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  nl.buf(a, "b1");
+  const double a1 = nl.area_estimate();
+  nl.maj3(a, a, a, "m");
+  EXPECT_GT(nl.area_estimate(), a1);
+}
+
+TEST(Netlist, RefInversion) {
+  Ref r(3);
+  EXPECT_FALSE(r.neg);
+  Ref inv = ~r;
+  EXPECT_TRUE(inv.neg);
+  EXPECT_EQ(inv.sig, 3);
+  EXPECT_FALSE((~inv).neg);
+}
+
+}  // namespace
+}  // namespace sscl::digital

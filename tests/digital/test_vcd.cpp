@@ -1,0 +1,107 @@
+#include "digital/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace sscl::digital {
+namespace {
+
+stscl::SclModel timing() {
+  stscl::SclModel m;
+  m.vsw = 0.2;
+  m.cl = 12e-15;
+  return m;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Vcd, HeaderAndChanges) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  const SignalId y = nl.buf(a, "y");
+  (void)y;
+
+  const std::string path = testing::TempDir() + "sscl_test.vcd";
+  EventSim sim(nl, timing(), 1e-9);
+  sim.settle();
+  {
+    VcdWriter vcd(path, nl);
+    vcd.sample(sim);
+    sim.set_input(a, true);
+    sim.settle();
+    vcd.sample(sim);
+  }
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find(" a $end"), std::string::npos);
+  EXPECT_NE(text.find(" y $end"), std::string::npos);
+  // Initial zeros then ones after the toggle.
+  EXPECT_NE(text.find("0!"), std::string::npos);
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, OnlyChangesEmitted) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  nl.buf(a, "y");
+  const std::string path = testing::TempDir() + "sscl_test2.vcd";
+  EventSim sim(nl, timing(), 1e-9);
+  sim.settle();
+  {
+    VcdWriter vcd(path, nl, std::vector<SignalId>{a});
+    vcd.sample(sim);
+    vcd.sample(sim);  // no change: no new time block
+    vcd.sample(sim);
+  }
+  const std::string text = slurp(path);
+  // Exactly one '#' time marker (the initial dump).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '#'), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, ManySignalsGetUniqueIds) {
+  Netlist nl;
+  const SignalId a = nl.input("a");
+  for (int i = 0; i < 200; ++i) nl.buf(a, "b" + std::to_string(i));
+  const std::string path = testing::TempDir() + "sscl_test3.vcd";
+  {
+    EventSim sim(nl, timing(), 1e-9);
+    VcdWriter vcd(path, nl);
+    vcd.sample(sim);
+  }
+  const std::string text = slurp(path);
+  // 201 signals -> 201 unique $var identifiers (two-char ids past 94).
+  std::set<std::string> ids;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("$var wire 1 ", 0) == 0) {
+      const auto rest = line.substr(12);
+      ids.insert(rest.substr(0, rest.find(' ')));
+    }
+  }
+  EXPECT_EQ(ids.size(), 201u);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, RejectsBadUsage) {
+  Netlist nl;
+  nl.input("a");
+  EXPECT_THROW(VcdWriter("/no_such_dir_xyz/x.vcd", nl), std::runtime_error);
+  EXPECT_THROW(VcdWriter(testing::TempDir() + "t.vcd", nl, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sscl::digital

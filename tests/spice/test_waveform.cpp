@@ -1,0 +1,108 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::spice {
+namespace {
+
+Waveform make_ramp() {
+  // One node ramping 0 -> 1 over 1 s sampled at 11 points.
+  Waveform w(1);
+  for (int i = 0; i <= 10; ++i) {
+    w.append(i * 0.1, {i * 0.1});
+  }
+  return w;
+}
+
+TEST(Waveform, InterpolatesBetweenSamples) {
+  const Waveform w = make_ramp();
+  EXPECT_NEAR(w.at(0, 0.55), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(w.at(0, -1.0), 0.0);  // clamp below
+  EXPECT_DOUBLE_EQ(w.at(0, 2.0), 1.0);   // clamp above
+}
+
+TEST(Waveform, CrossDetectsRise) {
+  const Waveform w = make_ramp();
+  const auto t = w.cross(0, 0.5, Edge::kRise);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+  EXPECT_FALSE(w.cross(0, 0.5, Edge::kFall).has_value());
+}
+
+TEST(Waveform, CrossRespectsStartTime) {
+  Waveform w(1);
+  // Triangle: up, down, up.
+  const double ts[] = {0, 1, 2, 3};
+  const double vs[] = {0, 1, 0, 1};
+  for (int i = 0; i < 4; ++i) w.append(ts[i], {vs[i]});
+  const auto t1 = w.cross(0, 0.5, Edge::kRise);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_NEAR(*t1, 0.5, 1e-12);
+  const auto t2 = w.cross(0, 0.5, Edge::kRise, 1.0);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_NEAR(*t2, 2.5, 1e-12);
+  const auto tf = w.cross(0, 0.5, Edge::kFall);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_NEAR(*tf, 1.5, 1e-12);
+}
+
+TEST(Waveform, CrossingsEnumeratesAll) {
+  Waveform w(1);
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 0.01;
+    w.append(t, {std::sin(2 * M_PI * 2.0 * t)});  // 2 Hz over 1 s
+  }
+  const auto rises = w.crossings(0, 0.25, Edge::kRise);
+  EXPECT_EQ(rises.size(), 2u);
+  const auto falls = w.crossings(0, 0.25, Edge::kFall);
+  EXPECT_EQ(falls.size(), 2u);
+}
+
+TEST(Waveform, DelayBetweenSignals) {
+  Waveform w(2);
+  // Signal 0 rises at t=1; signal 1 rises at t=1.4.
+  w.append(0.0, {0.0, 0.0});
+  w.append(1.0, {0.0, 0.0});
+  w.append(1.2, {1.0, 0.0});
+  w.append(1.4, {1.0, 0.0});
+  w.append(1.6, {1.0, 1.0});
+  const auto d = w.delay(0, 0.5, Edge::kRise, 1, 0.5, Edge::kRise);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.4, 1e-9);
+}
+
+TEST(Waveform, MinMaxWindows) {
+  const Waveform w = make_ramp();
+  EXPECT_DOUBLE_EQ(w.minimum(0), 0.0);
+  EXPECT_DOUBLE_EQ(w.maximum(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.minimum(0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.peak_to_peak(0), 1.0);
+}
+
+TEST(Waveform, PeriodOfSine) {
+  Waveform w(1);
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 1e-3;
+    w.append(t, {std::sin(2 * M_PI * 10.0 * t)});
+  }
+  const auto p = w.period(0, 0.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 0.1, 1e-3);
+}
+
+TEST(Waveform, GroundNodeReadsZero) {
+  const Waveform w = make_ramp();
+  EXPECT_DOUBLE_EQ(w.at(kGround, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(kGround, 3), 0.0);
+}
+
+TEST(Waveform, RejectsBackwardsTime) {
+  Waveform w(1);
+  w.append(1.0, {0.0});
+  EXPECT_THROW(w.append(0.5, {0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sscl::spice

@@ -1,0 +1,231 @@
+#include "stscl/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/engine.hpp"
+
+namespace sscl::stscl {
+namespace {
+
+using spice::Circuit;
+using spice::Engine;
+using spice::Solution;
+
+const device::Process kProc = device::Process::c180();
+
+/// Helper: build a fabric, drive inputs statically, return the DC diff
+/// output of the cell built by `build`.
+template <typename BuildFn>
+double dc_output(BuildFn build, const std::vector<bool>& inputs,
+                 double iss = 1e-9) {
+  Circuit c;
+  SclParams p;
+  p.iss = iss;
+  SclFabric fab(c, kProc, p);
+  std::vector<DiffSignal> ins;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    DiffSignal s = fab.signal("in" + std::to_string(i));
+    fab.drive_const(s, inputs[i]);
+    ins.push_back(s);
+  }
+  DiffSignal out = build(fab, ins);
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  return op.v(out.p) - op.v(out.n);
+}
+
+/// Truth-table check: the differential output must exceed +threshold for
+/// logic 1 and be below -threshold for logic 0.
+template <typename BuildFn>
+void check_truth_table(BuildFn build, int arity,
+                       const std::vector<bool>& expected, double iss = 1e-9) {
+  const double threshold = 0.8 * 0.2;  // 80% of nominal swing
+  for (int row = 0; row < (1 << arity); ++row) {
+    std::vector<bool> in(arity);
+    for (int b = 0; b < arity; ++b) in[b] = (row >> b) & 1;
+    const double v = dc_output(build, in, iss);
+    if (expected[row]) {
+      EXPECT_GT(v, threshold) << "row " << row;
+    } else {
+      EXPECT_LT(v, -threshold) << "row " << row;
+    }
+  }
+}
+
+TEST(SclFabric, BufferTruthTable) {
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.buffer(in[0], "dut");
+      },
+      1, {false, true});
+}
+
+TEST(SclFabric, InverterIsFree) {
+  const double v = dc_output(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.buffer(in[0], "dut").inverted();
+      },
+      {true});
+  EXPECT_LT(v, -0.15);
+}
+
+TEST(SclFabric, And2TruthTable) {
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.and2(in[0], in[1], "dut");
+      },
+      2, {false, false, false, true});
+}
+
+TEST(SclFabric, Or2TruthTable) {
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.or2(in[0], in[1], "dut");
+      },
+      2, {false, true, true, true});
+}
+
+TEST(SclFabric, Xor2TruthTable) {
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.xor2(in[0], in[1], "dut");
+      },
+      2, {false, true, true, false});
+}
+
+TEST(SclFabric, Mux2TruthTable) {
+  // inputs: in0 = sel, in1 = a, in2 = b; out = sel ? a : b.
+  std::vector<bool> expected(8);
+  for (int row = 0; row < 8; ++row) {
+    const bool sel = row & 1, a = row & 2, b = row & 4;
+    expected[row] = sel ? a : b;
+  }
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.mux2(in[0], in[1], in[2], "dut");
+      },
+      3, expected);
+}
+
+TEST(SclFabric, Xor3TruthTable) {
+  std::vector<bool> expected(8);
+  for (int row = 0; row < 8; ++row) {
+    expected[row] = ((row & 1) ^ ((row >> 1) & 1) ^ ((row >> 2) & 1)) != 0;
+  }
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.xor3(in[0], in[1], in[2], "dut");
+      },
+      3, expected);
+}
+
+TEST(SclFabric, Majority3TruthTable) {
+  std::vector<bool> expected(8);
+  for (int row = 0; row < 8; ++row) {
+    const int ones = (row & 1) + ((row >> 1) & 1) + ((row >> 2) & 1);
+    expected[row] = ones >= 2;
+  }
+  check_truth_table(
+      [](SclFabric& f, const std::vector<DiffSignal>& in) {
+        return f.majority3(in[0], in[1], in[2], "dut");
+      },
+      3, expected);
+}
+
+TEST(SclFabric, LatchTransparentWhenClockHigh) {
+  // clk = 1: out follows d.
+  for (bool d : {false, true}) {
+    const double v = dc_output(
+        [](SclFabric& f, const std::vector<DiffSignal>& in) {
+          return f.latch(in[0], in[1], "dut");
+        },
+        {d, true});
+    if (d) {
+      EXPECT_GT(v, 0.15);
+    } else {
+      EXPECT_LT(v, -0.15);
+    }
+  }
+}
+
+TEST(SclFabric, SwingIndependentOfBiasCurrent) {
+  // The decoupling of swing from bias current is the paper's headline
+  // property: replica bias holds Vsw constant over 5 decades of Iss.
+  for (double iss : {1e-12, 1e-10, 1e-8, 1e-7}) {
+    const double v = dc_output(
+        [](SclFabric& f, const std::vector<DiffSignal>& in) {
+          return f.buffer(in[0], "dut");
+        },
+        {true}, iss);
+    EXPECT_NEAR(v, 0.2, 0.01) << "iss=" << iss;
+  }
+}
+
+TEST(SclFabric, StaticCurrentScalesWithCellCount) {
+  Circuit c;
+  SclParams p;
+  p.iss = 1e-9;
+  SclFabric fab(c, kProc, p);
+  DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  DiffSignal s = in;
+  for (int i = 0; i < 5; ++i) s = fab.buffer(s, "b" + std::to_string(i));
+  EXPECT_EQ(fab.cell_count(), 5);
+  EXPECT_NEAR(fab.static_current(), 5e-9, 1e-15);
+  // Each buffer adds 3 MOS (tail + 2 switches) + 2 loads.
+  EXPECT_EQ(fab.mos_count(), 2 + 5 * 5);
+}
+
+TEST(SclFabric, SupplyCurrentMatchesCellBudget) {
+  // Measured VDD current = cells * Iss + bias overhead (2 mirrors).
+  Circuit c;
+  SclParams p;
+  p.iss = 1e-9;
+  SclFabric fab(c, kProc, p);
+  DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  DiffSignal s = in;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) s = fab.buffer(s, "b" + std::to_string(i));
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  auto* vdd = dynamic_cast<spice::VoltageSource*>(c.find_device("Vdd_fab"));
+  ASSERT_NE(vdd, nullptr);
+  const double i_total = -op.branch_current(vdd->branch());
+  // Cells draw n*Iss; the VBN reference and VBP replica each draw Iss.
+  EXPECT_NEAR(i_total, (n + 2) * 1e-9, 0.15 * (n + 2) * 1e-9);
+}
+
+TEST(SclFabric, SetIssRetunes) {
+  Circuit c;
+  SclParams p;
+  p.iss = 1e-9;
+  SclFabric fab(c, kProc, p);
+  DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  DiffSignal out = fab.buffer(in, "dut");
+  Engine engine(c);
+  Solution op = engine.solve_op();
+  const double swing_1n = op.v(out.p) - op.v(out.n);
+  fab.set_iss(1e-11);
+  op = engine.solve_op();
+  const double swing_10p = op.v(out.p) - op.v(out.n);
+  EXPECT_NEAR(swing_1n, swing_10p, 0.005);
+  EXPECT_NEAR(fab.params().iss, 1e-11, 1e-20);
+}
+
+TEST(SclFabric, OutputCommonModeNearVddMinusHalfSwing) {
+  Circuit c;
+  SclParams p;
+  SclFabric fab(c, kProc, p);
+  DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  DiffSignal out = fab.buffer(in, "dut");
+  Engine engine(c);
+  const Solution op = engine.solve_op();
+  const double cm = 0.5 * (op.v(out.p) + op.v(out.n));
+  EXPECT_NEAR(cm, p.vdd - 0.5 * p.vsw, 0.02);
+}
+
+}  // namespace
+}  // namespace sscl::stscl

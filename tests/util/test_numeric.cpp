@@ -1,0 +1,89 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::util {
+namespace {
+
+TEST(Numeric, LogspaceEndpointsAndMonotonicity) {
+  const auto v = logspace(1e-12, 1e-6, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_NEAR(v.front(), 1e-12, 1e-18);
+  EXPECT_NEAR(v.back(), 1e-6, 1e-12);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+  // One point per decade for this span.
+  EXPECT_NEAR(v[1] / v[0], 10.0, 1e-6);
+}
+
+TEST(Numeric, LogspaceRejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Numeric, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_TRUE(linspace(1.0, 2.0, 0).empty());
+  EXPECT_EQ(linspace(1.0, 2.0, 1).size(), 1u);
+}
+
+TEST(Numeric, Interp1) {
+  const std::vector<double> xs = {0, 1, 2};
+  const std::vector<double> ys = {0, 10, 40};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+  // Clamping outside range.
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 3.0), 40.0);
+}
+
+TEST(Numeric, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Numeric, BisectFindsRoot) {
+  const auto root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Numeric, BisectRequiresBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0).has_value());
+}
+
+TEST(Numeric, BinarySearchBoundary) {
+  // Predicate true below 3.7e-6 (log-scale search domain).
+  const double edge = binary_search_boundary(
+      [](double x) { return x < 3.7e-6; }, 1e-9, 1e-3, 1e-6);
+  EXPECT_NEAR(edge, 3.7e-6, 3.7e-6 * 1e-4);
+}
+
+TEST(Numeric, BinarySearchBoundaryAllTrue) {
+  EXPECT_DOUBLE_EQ(
+      binary_search_boundary([](double) { return true; }, 1.0, 8.0), 8.0);
+}
+
+TEST(Numeric, Statistics) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(max_abs({-7, 3, 5}), 7.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace sscl::util

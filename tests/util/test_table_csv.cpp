@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace sscl::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"Iss", "fmax"});
+  t.row().add_unit(1e-9, "A").add_unit(1.5e6, "Hz");
+  t.row().add_unit(10e-12, "A").add_unit(20e3, "Hz");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Iss"), std::string::npos);
+  EXPECT_NE(s.find("1nA"), std::string::npos);
+  EXPECT_NE(s.find("10pA"), std::string::npos);
+  EXPECT_NE(s.find("1.5MHz"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, IntegerAndStringCells) {
+  Table t({"name", "count"});
+  t.row().add("encoder").add(196LL);
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("196"), std::string::npos);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "sscl_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.write_row({1.0, 2.0});
+    csv.write_row({3.5, -4.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,-4.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = testing::TempDir() + "sscl_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.write_row({1.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sscl::util

@@ -1,0 +1,79 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::util {
+namespace {
+
+TEST(Units, FormatBasic) {
+  EXPECT_EQ(format_si(0.0), "0");
+  EXPECT_EQ(format_si(1.0), "1");
+  EXPECT_EQ(format_si(4.7e-9), "4.7n");
+  EXPECT_EQ(format_si(1e-12), "1p");
+  EXPECT_EQ(format_si(2.2e3), "2.2k");
+  EXPECT_EQ(format_si(3.3e6), "3.3M");
+  EXPECT_EQ(format_si(-4.4e-6), "-4.4u");
+}
+
+TEST(Units, FormatWithUnit) {
+  EXPECT_EQ(format_si(4.7e-9, "A", 4), "4.7nA");
+  EXPECT_EQ(format_si(200e-3, "V", 4), "200mV");
+}
+
+TEST(Units, FormatEdgeCases) {
+  EXPECT_EQ(format_si(std::nan("")), "nan");
+  EXPECT_EQ(format_si(1.0 / 0.0), "inf");
+  EXPECT_EQ(format_si(-1.0 / 0.0), "-inf");
+  // Below the smallest prefix: falls back to atto scaling.
+  EXPECT_EQ(format_si(1e-18), "1a");
+}
+
+TEST(Units, ParsePlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_si("42").value(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_si("-3.5").value(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_si("1e-9").value(), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_si("2.5E6").value(), 2.5e6);
+}
+
+TEST(Units, ParseSiSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_si("10p").value(), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_si("4.7n").value(), 4.7e-9);
+  EXPECT_DOUBLE_EQ(parse_si("100u").value(), 100e-6);
+  EXPECT_DOUBLE_EQ(parse_si("200m").value(), 0.2);
+  EXPECT_DOUBLE_EQ(parse_si("2k").value(), 2000.0);
+  EXPECT_DOUBLE_EQ(parse_si("3meg").value(), 3e6);
+  EXPECT_DOUBLE_EQ(parse_si("1g").value(), 1e9);
+  EXPECT_DOUBLE_EQ(parse_si("5f").value(), 5e-15);
+}
+
+TEST(Units, ParseSuffixWithUnit) {
+  EXPECT_DOUBLE_EQ(parse_si("10pF").value(), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_si("4.7nA").value(), 4.7e-9);
+  EXPECT_DOUBLE_EQ(parse_si("2kHz").value(), 2000.0);
+  EXPECT_DOUBLE_EQ(parse_si("1V").value(), 1.0);
+}
+
+TEST(Units, ParseCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(parse_si("3MEG").value(), 3e6);
+  EXPECT_DOUBLE_EQ(parse_si("10P").value(), 10e-12);
+}
+
+TEST(Units, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_si("").has_value());
+  EXPECT_FALSE(parse_si("abc").has_value());
+  EXPECT_FALSE(parse_si("1.2.3x!").has_value());
+  EXPECT_FALSE(parse_si("3n9").has_value());
+}
+
+TEST(Units, RoundTrip) {
+  for (double v : {1e-15, 3.3e-12, 4.7e-9, 1e-6, 2.2e-3, 1.0, 47e3, 1.8e6}) {
+    const auto parsed = parse_si(format_si(v, 9));
+    ASSERT_TRUE(parsed.has_value()) << v;
+    EXPECT_NEAR(parsed.value(), v, 1e-9 * v);
+  }
+}
+
+}  // namespace
+}  // namespace sscl::util
