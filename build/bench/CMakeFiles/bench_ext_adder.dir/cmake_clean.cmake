@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adder.dir/bench_ext_adder.cpp.o"
+  "CMakeFiles/bench_ext_adder.dir/bench_ext_adder.cpp.o.d"
+  "bench_ext_adder"
+  "bench_ext_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

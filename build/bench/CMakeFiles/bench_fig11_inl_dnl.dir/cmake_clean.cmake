@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_inl_dnl.dir/bench_fig11_inl_dnl.cpp.o"
+  "CMakeFiles/bench_fig11_inl_dnl.dir/bench_fig11_inl_dnl.cpp.o.d"
+  "bench_fig11_inl_dnl"
+  "bench_fig11_inl_dnl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_inl_dnl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

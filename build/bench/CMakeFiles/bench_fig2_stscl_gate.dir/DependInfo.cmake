@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_stscl_gate.cpp" "bench/CMakeFiles/bench_fig2_stscl_gate.dir/bench_fig2_stscl_gate.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_stscl_gate.dir/bench_fig2_stscl_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adc/CMakeFiles/sscl_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sscl_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/sscl_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/stscl/CMakeFiles/sscl_stscl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/sscl_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmos/CMakeFiles/sscl_cmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sscl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

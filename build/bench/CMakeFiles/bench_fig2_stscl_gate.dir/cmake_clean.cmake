@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_stscl_gate.dir/bench_fig2_stscl_gate.cpp.o"
+  "CMakeFiles/bench_fig2_stscl_gate.dir/bench_fig2_stscl_gate.cpp.o.d"
+  "bench_fig2_stscl_gate"
+  "bench_fig2_stscl_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_stscl_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_folder_interp.dir/bench_fig5_folder_interp.cpp.o"
+  "CMakeFiles/bench_fig5_folder_interp.dir/bench_fig5_folder_interp.cpp.o.d"
+  "bench_fig5_folder_interp"
+  "bench_fig5_folder_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_folder_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

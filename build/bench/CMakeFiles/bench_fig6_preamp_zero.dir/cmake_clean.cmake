@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_preamp_zero.dir/bench_fig6_preamp_zero.cpp.o"
+  "CMakeFiles/bench_fig6_preamp_zero.dir/bench_fig6_preamp_zero.cpp.o.d"
+  "bench_fig6_preamp_zero"
+  "bench_fig6_preamp_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_preamp_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

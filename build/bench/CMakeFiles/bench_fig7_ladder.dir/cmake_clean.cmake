@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ladder.dir/bench_fig7_ladder.cpp.o"
+  "CMakeFiles/bench_fig7_ladder.dir/bench_fig7_ladder.cpp.o.d"
+  "bench_fig7_ladder"
+  "bench_fig7_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

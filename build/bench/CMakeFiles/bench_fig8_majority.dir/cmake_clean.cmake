@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_majority.dir/bench_fig8_majority.cpp.o"
+  "CMakeFiles/bench_fig8_majority.dir/bench_fig8_majority.cpp.o.d"
+  "bench_fig8_majority"
+  "bench_fig8_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

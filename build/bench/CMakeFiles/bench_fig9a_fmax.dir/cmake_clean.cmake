@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_fmax.dir/bench_fig9a_fmax.cpp.o"
+  "CMakeFiles/bench_fig9a_fmax.dir/bench_fig9a_fmax.cpp.o.d"
+  "bench_fig9a_fmax"
+  "bench_fig9a_fmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_fmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_vddmin.dir/bench_fig9b_vddmin.cpp.o"
+  "CMakeFiles/bench_fig9b_vddmin.dir/bench_fig9b_vddmin.cpp.o.d"
+  "bench_fig9b_vddmin"
+  "bench_fig9b_vddmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_vddmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvt.dir/bench_pvt.cpp.o"
+  "CMakeFiles/bench_pvt.dir/bench_pvt.cpp.o.d"
+  "bench_pvt"
+  "bench_pvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stscl_vs_cmos.dir/bench_stscl_vs_cmos.cpp.o"
+  "CMakeFiles/bench_stscl_vs_cmos.dir/bench_stscl_vs_cmos.cpp.o.d"
+  "bench_stscl_vs_cmos"
+  "bench_stscl_vs_cmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stscl_vs_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

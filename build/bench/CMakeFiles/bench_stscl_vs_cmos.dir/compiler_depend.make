@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_stscl_vs_cmos.
+# This may be replaced when dependencies are built.

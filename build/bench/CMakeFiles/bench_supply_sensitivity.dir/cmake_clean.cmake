@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supply_sensitivity.dir/bench_supply_sensitivity.cpp.o"
+  "CMakeFiles/bench_supply_sensitivity.dir/bench_supply_sensitivity.cpp.o.d"
+  "bench_supply_sensitivity"
+  "bench_supply_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supply_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_biomedical.dir/adc_biomedical.cpp.o"
+  "CMakeFiles/adc_biomedical.dir/adc_biomedical.cpp.o.d"
+  "adc_biomedical"
+  "adc_biomedical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_biomedical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

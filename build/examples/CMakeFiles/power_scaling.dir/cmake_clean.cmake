@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_scaling.dir/power_scaling.cpp.o"
+  "CMakeFiles/power_scaling.dir/power_scaling.cpp.o.d"
+  "power_scaling"
+  "power_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stscl_counter.dir/stscl_counter.cpp.o"
+  "CMakeFiles/stscl_counter.dir/stscl_counter.cpp.o.d"
+  "stscl_counter"
+  "stscl_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stscl_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_adc.dir/fai_adc.cpp.o"
+  "CMakeFiles/sscl_adc.dir/fai_adc.cpp.o.d"
+  "CMakeFiles/sscl_adc.dir/sampling.cpp.o"
+  "CMakeFiles/sscl_adc.dir/sampling.cpp.o.d"
+  "libsscl_adc.a"
+  "libsscl_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/folding.cpp" "src/analog/CMakeFiles/sscl_analog.dir/folding.cpp.o" "gcc" "src/analog/CMakeFiles/sscl_analog.dir/folding.cpp.o.d"
+  "/root/repo/src/analog/ladder.cpp" "src/analog/CMakeFiles/sscl_analog.dir/ladder.cpp.o" "gcc" "src/analog/CMakeFiles/sscl_analog.dir/ladder.cpp.o.d"
+  "/root/repo/src/analog/preamp.cpp" "src/analog/CMakeFiles/sscl_analog.dir/preamp.cpp.o" "gcc" "src/analog/CMakeFiles/sscl_analog.dir/preamp.cpp.o.d"
+  "/root/repo/src/analog/tunable_resistor.cpp" "src/analog/CMakeFiles/sscl_analog.dir/tunable_resistor.cpp.o" "gcc" "src/analog/CMakeFiles/sscl_analog.dir/tunable_resistor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_analog.dir/folding.cpp.o"
+  "CMakeFiles/sscl_analog.dir/folding.cpp.o.d"
+  "CMakeFiles/sscl_analog.dir/ladder.cpp.o"
+  "CMakeFiles/sscl_analog.dir/ladder.cpp.o.d"
+  "CMakeFiles/sscl_analog.dir/preamp.cpp.o"
+  "CMakeFiles/sscl_analog.dir/preamp.cpp.o.d"
+  "CMakeFiles/sscl_analog.dir/tunable_resistor.cpp.o"
+  "CMakeFiles/sscl_analog.dir/tunable_resistor.cpp.o.d"
+  "libsscl_analog.a"
+  "libsscl_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dynamic.cpp" "src/analysis/CMakeFiles/sscl_analysis.dir/dynamic.cpp.o" "gcc" "src/analysis/CMakeFiles/sscl_analysis.dir/dynamic.cpp.o.d"
+  "/root/repo/src/analysis/fft.cpp" "src/analysis/CMakeFiles/sscl_analysis.dir/fft.cpp.o" "gcc" "src/analysis/CMakeFiles/sscl_analysis.dir/fft.cpp.o.d"
+  "/root/repo/src/analysis/linearity.cpp" "src/analysis/CMakeFiles/sscl_analysis.dir/linearity.cpp.o" "gcc" "src/analysis/CMakeFiles/sscl_analysis.dir/linearity.cpp.o.d"
+  "/root/repo/src/analysis/sinefit.cpp" "src/analysis/CMakeFiles/sscl_analysis.dir/sinefit.cpp.o" "gcc" "src/analysis/CMakeFiles/sscl_analysis.dir/sinefit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

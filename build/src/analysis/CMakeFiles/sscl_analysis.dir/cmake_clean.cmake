@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_analysis.dir/dynamic.cpp.o"
+  "CMakeFiles/sscl_analysis.dir/dynamic.cpp.o.d"
+  "CMakeFiles/sscl_analysis.dir/fft.cpp.o"
+  "CMakeFiles/sscl_analysis.dir/fft.cpp.o.d"
+  "CMakeFiles/sscl_analysis.dir/linearity.cpp.o"
+  "CMakeFiles/sscl_analysis.dir/linearity.cpp.o.d"
+  "CMakeFiles/sscl_analysis.dir/sinefit.cpp.o"
+  "CMakeFiles/sscl_analysis.dir/sinefit.cpp.o.d"
+  "libsscl_analysis.a"
+  "libsscl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

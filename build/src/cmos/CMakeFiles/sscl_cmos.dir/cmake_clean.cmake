@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_cmos.dir/cmos_logic.cpp.o"
+  "CMakeFiles/sscl_cmos.dir/cmos_logic.cpp.o.d"
+  "libsscl_cmos.a"
+  "libsscl_cmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/deck_parser.cpp" "src/device/CMakeFiles/sscl_device.dir/deck_parser.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/deck_parser.cpp.o.d"
+  "/root/repo/src/device/diode.cpp" "src/device/CMakeFiles/sscl_device.dir/diode.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/diode.cpp.o.d"
+  "/root/repo/src/device/ekv.cpp" "src/device/CMakeFiles/sscl_device.dir/ekv.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/ekv.cpp.o.d"
+  "/root/repo/src/device/mismatch.cpp" "src/device/CMakeFiles/sscl_device.dir/mismatch.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/mismatch.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/device/CMakeFiles/sscl_device.dir/mosfet.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/mosfet.cpp.o.d"
+  "/root/repo/src/device/op_report.cpp" "src/device/CMakeFiles/sscl_device.dir/op_report.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/op_report.cpp.o.d"
+  "/root/repo/src/device/process.cpp" "src/device/CMakeFiles/sscl_device.dir/process.cpp.o" "gcc" "src/device/CMakeFiles/sscl_device.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

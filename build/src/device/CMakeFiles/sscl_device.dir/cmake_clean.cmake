@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_device.dir/deck_parser.cpp.o"
+  "CMakeFiles/sscl_device.dir/deck_parser.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/diode.cpp.o"
+  "CMakeFiles/sscl_device.dir/diode.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/ekv.cpp.o"
+  "CMakeFiles/sscl_device.dir/ekv.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/mismatch.cpp.o"
+  "CMakeFiles/sscl_device.dir/mismatch.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/mosfet.cpp.o"
+  "CMakeFiles/sscl_device.dir/mosfet.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/op_report.cpp.o"
+  "CMakeFiles/sscl_device.dir/op_report.cpp.o.d"
+  "CMakeFiles/sscl_device.dir/process.cpp.o"
+  "CMakeFiles/sscl_device.dir/process.cpp.o.d"
+  "libsscl_device.a"
+  "libsscl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/adder.cpp" "src/digital/CMakeFiles/sscl_digital.dir/adder.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/adder.cpp.o.d"
+  "/root/repo/src/digital/encoder.cpp" "src/digital/CMakeFiles/sscl_digital.dir/encoder.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/encoder.cpp.o.d"
+  "/root/repo/src/digital/eventsim.cpp" "src/digital/CMakeFiles/sscl_digital.dir/eventsim.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/eventsim.cpp.o.d"
+  "/root/repo/src/digital/fmax.cpp" "src/digital/CMakeFiles/sscl_digital.dir/fmax.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/fmax.cpp.o.d"
+  "/root/repo/src/digital/netlist.cpp" "src/digital/CMakeFiles/sscl_digital.dir/netlist.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/netlist.cpp.o.d"
+  "/root/repo/src/digital/vcd.cpp" "src/digital/CMakeFiles/sscl_digital.dir/vcd.cpp.o" "gcc" "src/digital/CMakeFiles/sscl_digital.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stscl/CMakeFiles/sscl_stscl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

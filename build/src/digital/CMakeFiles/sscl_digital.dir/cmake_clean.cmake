@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_digital.dir/adder.cpp.o"
+  "CMakeFiles/sscl_digital.dir/adder.cpp.o.d"
+  "CMakeFiles/sscl_digital.dir/encoder.cpp.o"
+  "CMakeFiles/sscl_digital.dir/encoder.cpp.o.d"
+  "CMakeFiles/sscl_digital.dir/eventsim.cpp.o"
+  "CMakeFiles/sscl_digital.dir/eventsim.cpp.o.d"
+  "CMakeFiles/sscl_digital.dir/fmax.cpp.o"
+  "CMakeFiles/sscl_digital.dir/fmax.cpp.o.d"
+  "CMakeFiles/sscl_digital.dir/netlist.cpp.o"
+  "CMakeFiles/sscl_digital.dir/netlist.cpp.o.d"
+  "CMakeFiles/sscl_digital.dir/vcd.cpp.o"
+  "CMakeFiles/sscl_digital.dir/vcd.cpp.o.d"
+  "libsscl_digital.a"
+  "libsscl_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

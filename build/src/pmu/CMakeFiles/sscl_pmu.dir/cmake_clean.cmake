@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_pmu.dir/pll.cpp.o"
+  "CMakeFiles/sscl_pmu.dir/pll.cpp.o.d"
+  "CMakeFiles/sscl_pmu.dir/pmu.cpp.o"
+  "CMakeFiles/sscl_pmu.dir/pmu.cpp.o.d"
+  "libsscl_pmu.a"
+  "libsscl_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/sscl_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/sscl_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/dcsweep.cpp" "src/spice/CMakeFiles/sscl_spice.dir/dcsweep.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/dcsweep.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/spice/CMakeFiles/sscl_spice.dir/elements.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/elements.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "src/spice/CMakeFiles/sscl_spice.dir/engine.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/engine.cpp.o.d"
+  "/root/repo/src/spice/linear_system.cpp" "src/spice/CMakeFiles/sscl_spice.dir/linear_system.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/linear_system.cpp.o.d"
+  "/root/repo/src/spice/matrix.cpp" "src/spice/CMakeFiles/sscl_spice.dir/matrix.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/matrix.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/spice/CMakeFiles/sscl_spice.dir/noise.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/noise.cpp.o.d"
+  "/root/repo/src/spice/sources.cpp" "src/spice/CMakeFiles/sscl_spice.dir/sources.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/sources.cpp.o.d"
+  "/root/repo/src/spice/sparse.cpp" "src/spice/CMakeFiles/sscl_spice.dir/sparse.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/sparse.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/sscl_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/sscl_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/sscl_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

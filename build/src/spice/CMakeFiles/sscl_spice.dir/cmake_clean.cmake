@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_spice.dir/ac.cpp.o"
+  "CMakeFiles/sscl_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/circuit.cpp.o"
+  "CMakeFiles/sscl_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/dcsweep.cpp.o"
+  "CMakeFiles/sscl_spice.dir/dcsweep.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/elements.cpp.o"
+  "CMakeFiles/sscl_spice.dir/elements.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/engine.cpp.o"
+  "CMakeFiles/sscl_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/linear_system.cpp.o"
+  "CMakeFiles/sscl_spice.dir/linear_system.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/matrix.cpp.o"
+  "CMakeFiles/sscl_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/noise.cpp.o"
+  "CMakeFiles/sscl_spice.dir/noise.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/sources.cpp.o"
+  "CMakeFiles/sscl_spice.dir/sources.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/sparse.cpp.o"
+  "CMakeFiles/sscl_spice.dir/sparse.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/transient.cpp.o"
+  "CMakeFiles/sscl_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/sscl_spice.dir/waveform.cpp.o"
+  "CMakeFiles/sscl_spice.dir/waveform.cpp.o.d"
+  "libsscl_spice.a"
+  "libsscl_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

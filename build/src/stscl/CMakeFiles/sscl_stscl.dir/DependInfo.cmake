@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stscl/characterize.cpp" "src/stscl/CMakeFiles/sscl_stscl.dir/characterize.cpp.o" "gcc" "src/stscl/CMakeFiles/sscl_stscl.dir/characterize.cpp.o.d"
+  "/root/repo/src/stscl/fabric.cpp" "src/stscl/CMakeFiles/sscl_stscl.dir/fabric.cpp.o" "gcc" "src/stscl/CMakeFiles/sscl_stscl.dir/fabric.cpp.o.d"
+  "/root/repo/src/stscl/ring.cpp" "src/stscl/CMakeFiles/sscl_stscl.dir/ring.cpp.o" "gcc" "src/stscl/CMakeFiles/sscl_stscl.dir/ring.cpp.o.d"
+  "/root/repo/src/stscl/scl_params.cpp" "src/stscl/CMakeFiles/sscl_stscl.dir/scl_params.cpp.o" "gcc" "src/stscl/CMakeFiles/sscl_stscl.dir/scl_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_stscl.dir/characterize.cpp.o"
+  "CMakeFiles/sscl_stscl.dir/characterize.cpp.o.d"
+  "CMakeFiles/sscl_stscl.dir/fabric.cpp.o"
+  "CMakeFiles/sscl_stscl.dir/fabric.cpp.o.d"
+  "CMakeFiles/sscl_stscl.dir/ring.cpp.o"
+  "CMakeFiles/sscl_stscl.dir/ring.cpp.o.d"
+  "CMakeFiles/sscl_stscl.dir/scl_params.cpp.o"
+  "CMakeFiles/sscl_stscl.dir/scl_params.cpp.o.d"
+  "libsscl_stscl.a"
+  "libsscl_stscl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_stscl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sscl_stscl.
+# This may be replaced when dependencies are built.

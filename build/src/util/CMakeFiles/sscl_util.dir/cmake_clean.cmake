@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscl_util.dir/csv.cpp.o"
+  "CMakeFiles/sscl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sscl_util.dir/log.cpp.o"
+  "CMakeFiles/sscl_util.dir/log.cpp.o.d"
+  "CMakeFiles/sscl_util.dir/numeric.cpp.o"
+  "CMakeFiles/sscl_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/sscl_util.dir/rng.cpp.o"
+  "CMakeFiles/sscl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sscl_util.dir/table.cpp.o"
+  "CMakeFiles/sscl_util.dir/table.cpp.o.d"
+  "CMakeFiles/sscl_util.dir/units.cpp.o"
+  "CMakeFiles/sscl_util.dir/units.cpp.o.d"
+  "libsscl_util.a"
+  "libsscl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

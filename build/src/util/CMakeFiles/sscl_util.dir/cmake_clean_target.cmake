@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsscl_util.a"
+)

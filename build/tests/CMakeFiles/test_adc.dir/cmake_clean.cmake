@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc.dir/adc/test_fai_adc.cpp.o"
+  "CMakeFiles/test_adc.dir/adc/test_fai_adc.cpp.o.d"
+  "CMakeFiles/test_adc.dir/adc/test_sampling.cpp.o"
+  "CMakeFiles/test_adc.dir/adc/test_sampling.cpp.o.d"
+  "test_adc"
+  "test_adc.pdb"
+  "test_adc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

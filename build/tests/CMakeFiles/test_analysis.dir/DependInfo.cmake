@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_dynamic.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_dynamic.cpp.o.d"
+  "/root/repo/tests/analysis/test_fft.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_fft.cpp.o.d"
+  "/root/repo/tests/analysis/test_linearity.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_linearity.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_linearity.cpp.o.d"
+  "/root/repo/tests/analysis/test_sinefit.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_sinefit.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_sinefit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sscl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adc/CMakeFiles/sscl_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sscl_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

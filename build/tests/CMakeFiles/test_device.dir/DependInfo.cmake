@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/test_deck_parser.cpp" "tests/CMakeFiles/test_device.dir/device/test_deck_parser.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_deck_parser.cpp.o.d"
+  "/root/repo/tests/device/test_diode.cpp" "tests/CMakeFiles/test_device.dir/device/test_diode.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_diode.cpp.o.d"
+  "/root/repo/tests/device/test_ekv.cpp" "tests/CMakeFiles/test_device.dir/device/test_ekv.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_ekv.cpp.o.d"
+  "/root/repo/tests/device/test_ekv_properties.cpp" "tests/CMakeFiles/test_device.dir/device/test_ekv_properties.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_ekv_properties.cpp.o.d"
+  "/root/repo/tests/device/test_mismatch.cpp" "tests/CMakeFiles/test_device.dir/device/test_mismatch.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_mismatch.cpp.o.d"
+  "/root/repo/tests/device/test_mosfet_circuits.cpp" "tests/CMakeFiles/test_device.dir/device/test_mosfet_circuits.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_mosfet_circuits.cpp.o.d"
+  "/root/repo/tests/device/test_op_report.cpp" "tests/CMakeFiles/test_device.dir/device/test_op_report.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/device/test_op_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/test_deck_parser.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_deck_parser.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_diode.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_diode.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_ekv.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_ekv.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_ekv_properties.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_ekv_properties.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_mismatch.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_mismatch.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_mosfet_circuits.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_mosfet_circuits.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_op_report.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_op_report.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/digital/test_adder.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_adder.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_adder.cpp.o.d"
+  "/root/repo/tests/digital/test_encoder.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_encoder.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_encoder.cpp.o.d"
+  "/root/repo/tests/digital/test_eventsim.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_eventsim.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_eventsim.cpp.o.d"
+  "/root/repo/tests/digital/test_netlist.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_netlist.cpp.o.d"
+  "/root/repo/tests/digital/test_vcd.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/sscl_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/stscl/CMakeFiles/sscl_stscl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digital.dir/digital/test_adder.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_adder.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_encoder.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_encoder.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_eventsim.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_eventsim.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_netlist.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_netlist.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_vcd.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_vcd.cpp.o.d"
+  "test_digital"
+  "test_digital.pdb"
+  "test_digital[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

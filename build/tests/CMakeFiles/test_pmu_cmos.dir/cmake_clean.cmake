@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmu_cmos.dir/cmos/test_cmos.cpp.o"
+  "CMakeFiles/test_pmu_cmos.dir/cmos/test_cmos.cpp.o.d"
+  "CMakeFiles/test_pmu_cmos.dir/pmu/test_pmu.cpp.o"
+  "CMakeFiles/test_pmu_cmos.dir/pmu/test_pmu.cpp.o.d"
+  "test_pmu_cmos"
+  "test_pmu_cmos.pdb"
+  "test_pmu_cmos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmu_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_ac.cpp.o"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_ac.cpp.o.d"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_noise.cpp.o"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_noise.cpp.o.d"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_transient.cpp.o"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_transient.cpp.o.d"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_waveform.cpp.o"
+  "CMakeFiles/test_spice_dynamics.dir/spice/test_waveform.cpp.o.d"
+  "test_spice_dynamics"
+  "test_spice_dynamics.pdb"
+  "test_spice_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

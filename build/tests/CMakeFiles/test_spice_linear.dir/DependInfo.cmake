@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_linear_circuits.cpp" "tests/CMakeFiles/test_spice_linear.dir/spice/test_linear_circuits.cpp.o" "gcc" "tests/CMakeFiles/test_spice_linear.dir/spice/test_linear_circuits.cpp.o.d"
+  "/root/repo/tests/spice/test_matrix.cpp" "tests/CMakeFiles/test_spice_linear.dir/spice/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_spice_linear.dir/spice/test_matrix.cpp.o.d"
+  "/root/repo/tests/spice/test_properties.cpp" "tests/CMakeFiles/test_spice_linear.dir/spice/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_spice_linear.dir/spice/test_properties.cpp.o.d"
+  "/root/repo/tests/spice/test_sources.cpp" "tests/CMakeFiles/test_spice_linear.dir/spice/test_sources.cpp.o" "gcc" "tests/CMakeFiles/test_spice_linear.dir/spice/test_sources.cpp.o.d"
+  "/root/repo/tests/spice/test_sparse.cpp" "tests/CMakeFiles/test_spice_linear.dir/spice/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/test_spice_linear.dir/spice/test_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sscl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sscl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sscl_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

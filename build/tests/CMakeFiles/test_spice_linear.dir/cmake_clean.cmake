@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_linear.dir/spice/test_linear_circuits.cpp.o"
+  "CMakeFiles/test_spice_linear.dir/spice/test_linear_circuits.cpp.o.d"
+  "CMakeFiles/test_spice_linear.dir/spice/test_matrix.cpp.o"
+  "CMakeFiles/test_spice_linear.dir/spice/test_matrix.cpp.o.d"
+  "CMakeFiles/test_spice_linear.dir/spice/test_properties.cpp.o"
+  "CMakeFiles/test_spice_linear.dir/spice/test_properties.cpp.o.d"
+  "CMakeFiles/test_spice_linear.dir/spice/test_sources.cpp.o"
+  "CMakeFiles/test_spice_linear.dir/spice/test_sources.cpp.o.d"
+  "CMakeFiles/test_spice_linear.dir/spice/test_sparse.cpp.o"
+  "CMakeFiles/test_spice_linear.dir/spice/test_sparse.cpp.o.d"
+  "test_spice_linear"
+  "test_spice_linear.pdb"
+  "test_spice_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stscl.dir/stscl/test_characterize.cpp.o"
+  "CMakeFiles/test_stscl.dir/stscl/test_characterize.cpp.o.d"
+  "CMakeFiles/test_stscl.dir/stscl/test_fabric.cpp.o"
+  "CMakeFiles/test_stscl.dir/stscl/test_fabric.cpp.o.d"
+  "test_stscl"
+  "test_stscl.pdb"
+  "test_stscl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stscl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_stscl[1]_include.cmake")
+include("/root/repo/build/tests/test_digital[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_adc[1]_include.cmake")
+include("/root/repo/build/tests/test_pmu_cmos[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
