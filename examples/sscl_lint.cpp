@@ -1,0 +1,92 @@
+/// sscl-lint: electrical-rule-check a SPICE deck before wasting a
+/// simulation on it. Exit status: 0 clean, 1 lint errors, 2 usage or
+/// parse failure.
+///
+///   sscl-lint bias.sp ladder.sp        lint decks, human-readable
+///   sscl-lint --csv bias.sp            machine-readable CSV
+///   sscl-lint --no-info bias.sp        drop informational findings
+///   sscl-lint --disable weak-inversion-bias bias.sp
+///   sscl-lint --list-rules             print every rule and exit
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "device/deck_parser.hpp"
+#include "lint/check.hpp"
+#include "lint/rule.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: sscl-lint [--csv] [--no-info] [--disable RULE]... DECK...\n"
+        "       sscl-lint --list-rules\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sscl;
+
+  bool csv = false;
+  lint::Options options;
+  std::vector<std::string> decks;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--no-info") {
+      options.include_info = false;
+    } else if (arg == "--disable") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      options.disabled.push_back(argv[i]);
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : lint::make_default_rules()) {
+        std::cout << rule->id() << "\n    " << rule->description() << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sscl-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      decks.push_back(arg);
+    }
+  }
+  if (decks.empty()) return usage(std::cerr, 2);
+
+  int total_errors = 0;
+  for (const std::string& path : decks) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "sscl-lint: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    device::ParsedDeck deck;
+    try {
+      deck = device::parse_deck(text.str());
+    } catch (const std::exception& e) {
+      std::cerr << "sscl-lint: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+
+    const lint::Report report = lint::check_circuit(*deck.circuit, options);
+    total_errors += report.error_count();
+    if (csv) {
+      std::cout << report.csv();
+    } else {
+      std::cout << path << ": " << report.error_count() << " error(s), "
+                << report.count(lint::Severity::kWarning) << " warning(s)\n";
+      if (!report.empty()) std::cout << report.text();
+    }
+  }
+  return total_errors > 0 ? 1 : 0;
+}

@@ -236,7 +236,9 @@ void parse_element(ParserState& st, const LogicalLine& ll,
 std::string map_node(const std::string& name, const std::string& prefix,
                      const std::map<std::string, std::string>& port_map) {
   const std::string key = lowercase(name);
-  if (key == "0" || key == "gnd") return "0";
+  // Every Circuit ground alias must stay global, or subckt expansion
+  // would prefix it into a phantom floating local node ("x1.vss!").
+  if (spice::is_ground_name(key)) return "0";
   const auto it = port_map.find(key);
   if (it != port_map.end()) return it->second;
   return prefix.empty() ? key : prefix + "." + key;

@@ -126,4 +126,11 @@ void Diode::add_noise(spice::NoiseContext& ctx) const {
           "shot(" + name() + ")");
 }
 
+bool Diode::describe(spice::DeviceInfo& info) const {
+  info.kind = "diode";
+  info.terminals = {{"anode", anode_}, {"cathode", cathode_}};
+  info.edges = {{anode_, cathode_, spice::DcCoupling::kConductive, 0.0}};
+  return true;
+}
+
 }  // namespace sscl::device

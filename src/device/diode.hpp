@@ -29,6 +29,7 @@ class Diode final : public spice::Device {
   void load(spice::LoadContext& ctx) override;
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
+  bool describe(spice::DeviceInfo& info) const override;
 
   /// Conduction current at the last computed operating point.
   double current() const { return last_i_; }

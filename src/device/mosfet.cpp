@@ -178,4 +178,29 @@ void Mosfet::load_ac(spice::AcContext& ctx) const {
   if (jgd_ > 0 || cbd_ > 0) ctx.stamp_admittance(b_, d_, {jgd_, w * cbd_});
 }
 
+bool Mosfet::describe(spice::DeviceInfo& info) const {
+  info.kind = "mosfet";
+  info.terminals = {{"drain", d_}, {"gate", g_}, {"source", s_}, {"bulk", b_}};
+  // The channel conducts at every bias in EKV (weak-inversion leakage),
+  // and the bulk junctions conduct as diodes; the gate only couples
+  // capacitively.
+  info.edges = {
+      {d_, s_, spice::DcCoupling::kConductive, 0.0},
+      {b_, s_, spice::DcCoupling::kConductive, 0.0},
+      {b_, d_, spice::DcCoupling::kConductive, 0.0},
+      {g_, s_, spice::DcCoupling::kOpen, cgs_},
+      {g_, d_, spice::DcCoupling::kOpen, cgd_},
+  };
+  info.is_mosfet = true;
+  info.is_nmos = params_.is_nmos;
+  info.ispec =
+      ekv_evaluate(params_, geometry_, mismatch_, 0, 0, 0, 0, temperature_)
+          .ispec;
+  info.mos_d = d_;
+  info.mos_g = g_;
+  info.mos_s = s_;
+  info.mos_b = b_;
+  return true;
+}
+
 }  // namespace sscl::device

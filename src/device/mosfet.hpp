@@ -22,6 +22,7 @@ class Mosfet final : public spice::Device {
   void load(spice::LoadContext& ctx) override;
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
+  bool describe(spice::DeviceInfo& info) const override;
 
   /// Channel current drain->source at the last computed point [A].
   double ids() const { return last_.id; }

@@ -2,15 +2,21 @@
 
 #include <stdexcept>
 
+#include "lint/check.hpp"
+
 namespace sscl::digital {
 
 EventSim::EventSim(const Netlist& netlist, const stscl::SclModel& timing,
-                   double iss)
+                   double iss, bool lint)
     : netlist_(netlist),
       timing_(timing),
       delay_(timing.delay(iss)),
       values_(netlist.signal_count(), 0),
       fanout_(netlist.signal_count()) {
+  // DRC before touching gate inputs: an imported netlist with kNoSignal
+  // inputs or out-of-range ids would index fanout_/values_ out of
+  // bounds below.
+  if (lint) lint::enforce_netlist(netlist_);
   kind_factor_.fill(1.0);
   const auto& gates = netlist_.gates();
   for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {

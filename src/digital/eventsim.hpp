@@ -21,7 +21,11 @@ namespace sscl::digital {
 class EventSim {
  public:
   /// \p timing supplies the per-gate delay at the given tail current.
-  EventSim(const Netlist& netlist, const stscl::SclModel& timing, double iss);
+  /// With \p lint (the default) the netlist is run through the DRC rules
+  /// first; errors (undriven signals, combinational loops, ...) throw
+  /// lint::LintError before any fanout tables are built.
+  EventSim(const Netlist& netlist, const stscl::SclModel& timing, double iss,
+           bool lint = true);
 
   /// Current simulated time [s].
   double time() const { return now_; }

@@ -108,6 +108,13 @@ SignalId Netlist::add(GateKind kind, const std::vector<Ref>& inputs,
   return g.out;
 }
 
+void Netlist::add_gate(const Gate& g) {
+  if (g.out >= 0 && g.out < signal_count_ && driver_[g.out] < 0) {
+    driver_[g.out] = static_cast<int>(gates_.size());
+  }
+  gates_.push_back(g);
+}
+
 int Netlist::latch_count() const {
   int n = 0;
   for (const Gate& g : gates_) {

@@ -83,6 +83,19 @@ class Netlist {
   SignalId add(GateKind kind, const std::vector<Ref>& inputs,
                const std::string& name, bool clock_phase = true);
 
+  /// Create a bare wire with no driver. For netlist importers that see
+  /// consumers before producers; lint's undriven-signal rule flags any
+  /// wire that never receives a driver.
+  SignalId signal(const std::string& name) { return new_signal(name); }
+
+  /// Raw gate import: append \p g exactly as given, with none of add()'s
+  /// arity/range validation. Importers use this and then run
+  /// lint::check_netlist() — the analyzer, not the builder, is the
+  /// validator for external netlists. Records the driver when g.out is a
+  /// valid, still-undriven signal; otherwise leaves driver_of untouched
+  /// so lint can report the conflict.
+  void add_gate(const Gate& g);
+
   // Convenience builders.
   SignalId buf(Ref a, const std::string& n) { return add(GateKind::kBuf, {a}, n); }
   SignalId and2(Ref a, Ref b, const std::string& n) {

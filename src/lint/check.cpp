@@ -1,0 +1,101 @@
+#include "lint/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "digital/netlist.hpp"
+#include "lint/circuit_view.hpp"
+#include "lint/rule.hpp"
+#include "spice/circuit.hpp"
+#include "util/log.hpp"
+
+namespace sscl::lint {
+
+namespace {
+
+bool id_disabled(const Options& options, const std::string& id) {
+  return std::find(options.disabled.begin(), options.disabled.end(), id) !=
+         options.disabled.end();
+}
+
+Report run_rules(const LintContext& ctx, const Options& options) {
+  Report all;
+  for (const auto& rule : make_default_rules()) {
+    if (id_disabled(options, rule->id())) continue;
+    rule->run(ctx, all);
+  }
+  if (options.include_info && options.disabled.empty()) return all;
+  // Filter again by diagnostic id: family rules (dc-path) emit diagnostics
+  // under per-cause ids (floating-node, ...), and both must be disableable.
+  Report filtered;
+  for (const Diagnostic& d : all.diagnostics()) {
+    if (!options.include_info && d.severity == Severity::kInfo) continue;
+    if (id_disabled(options, d.rule)) continue;
+    filtered.add(d.severity, d.rule, d.location, d.message);
+  }
+  return filtered;
+}
+
+}  // namespace
+
+Report check_circuit(const spice::Circuit& circuit, const Options& options) {
+  CircuitView view(circuit);
+  LintContext ctx;
+  ctx.view = &view;
+  return run_rules(ctx, options);
+}
+
+Report check_netlist(const digital::Netlist& netlist, const Options& options) {
+  LintContext ctx;
+  ctx.netlist = &netlist;
+  return run_rules(ctx, options);
+}
+
+Report check_ladder_taps(const std::vector<double>& taps, double v_bottom,
+                         double v_top) {
+  Report report;
+  const char* id = "ladder-taps";
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    if (!std::isfinite(taps[i])) {
+      report.error(id, "tap " + std::to_string(i),
+                   "ladder tap is not finite");
+      return report;
+    }
+  }
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    if (taps[i] <= taps[i - 1]) {
+      report.error(id, "tap " + std::to_string(i),
+                   "ladder taps are not strictly increasing (" +
+                       std::to_string(taps[i - 1]) + " then " +
+                       std::to_string(taps[i]) + ")");
+    }
+  }
+  if (v_bottom <= v_top && !taps.empty()) {
+    if (taps.front() < v_bottom || taps.back() > v_top) {
+      report.error(id, "-",
+                   "ladder taps leave the [" + std::to_string(v_bottom) +
+                       ", " + std::to_string(v_top) + "] reference span");
+    }
+  }
+  return report;
+}
+
+void enforce(const Report& report, const char* what) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == Severity::kWarning) {
+      util::log_warn("lint(", what, "): [", d.rule, "] ", d.location, ": ",
+                     d.message);
+    }
+  }
+  if (!report.clean()) throw LintError(report);
+}
+
+void enforce_circuit(const spice::Circuit& circuit, const Options& options) {
+  enforce(check_circuit(circuit, options), "circuit");
+}
+
+void enforce_netlist(const digital::Netlist& netlist, const Options& options) {
+  enforce(check_netlist(netlist, options), "netlist");
+}
+
+}  // namespace sscl::lint

@@ -1,0 +1,58 @@
+#include "lint/circuit_view.hpp"
+
+#include <numeric>
+
+namespace sscl::lint {
+
+namespace {
+int find_root(std::vector<int>& parent, int i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+}  // namespace
+
+CircuitView::CircuitView(const spice::Circuit& circuit) : circuit_(circuit) {
+  const int slots = circuit.node_count() + 1;
+  incidences_.resize(slots);
+  terminal_counts_.assign(slots, 0);
+
+  devices_.reserve(circuit.devices().size());
+  for (const auto& device : circuit.devices()) {
+    DeviceEntry entry;
+    entry.device = device.get();
+    entry.described = device->describe(entry.info);
+    if (!entry.described) fully_described_ = false;
+    devices_.push_back(std::move(entry));
+  }
+
+  std::vector<int> parent(slots);
+  std::iota(parent.begin(), parent.end(), 0);
+
+  for (int di = 0; di < static_cast<int>(devices_.size()); ++di) {
+    const spice::DeviceInfo& info = devices_[di].info;
+    for (int ti = 0; ti < static_cast<int>(info.terminals.size()); ++ti) {
+      const int s = slot(info.terminals[ti].node);
+      ++terminal_counts_[s];
+      incidences_[s].push_back({di, -1, ti});
+    }
+    for (int ei = 0; ei < static_cast<int>(info.edges.size()); ++ei) {
+      const spice::DcEdge& e = info.edges[ei];
+      incidences_[slot(e.a)].push_back({di, ei, -1});
+      if (e.b != e.a) incidences_[slot(e.b)].push_back({di, ei, -1});
+      if (e.coupling == spice::DcCoupling::kConductive ||
+          e.coupling == spice::DcCoupling::kRigid) {
+        const int ra = find_root(parent, slot(e.a));
+        const int rb = find_root(parent, slot(e.b));
+        if (ra != rb) parent[ra] = rb;
+      }
+    }
+  }
+
+  component_.resize(slots);
+  for (int s = 0; s < slots; ++s) component_[s] = find_root(parent, s);
+}
+
+}  // namespace sscl::lint

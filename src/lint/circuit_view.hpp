@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file circuit_view.hpp
+/// Flattened electrical graph of a spice::Circuit assembled from the
+/// Device::describe() self-descriptions. Analog ERC rules query this
+/// view instead of walking devices themselves: per-node incidences and
+/// the DC connected components over conductive + rigid couplings.
+///
+/// Slot indexing: ground (kGround == -1) occupies slot 0, node n sits
+/// at slot n + 1, so every NodeId maps to a valid vector index.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace sscl::lint {
+
+class CircuitView {
+ public:
+  explicit CircuitView(const spice::Circuit& circuit);
+
+  struct DeviceEntry {
+    const spice::Device* device = nullptr;
+    spice::DeviceInfo info;
+    bool described = false;  ///< Device::describe() returned true
+  };
+
+  /// One device contact at a node: either a DC edge endpoint
+  /// (edge >= 0) or a bare high-impedance terminal (edge == -1,
+  /// terminal indexes DeviceEntry::info.terminals).
+  struct Incidence {
+    int device = -1;
+    int edge = -1;
+    int terminal = -1;
+  };
+
+  const spice::Circuit& circuit() const { return circuit_; }
+  const std::vector<DeviceEntry>& devices() const { return devices_; }
+  /// False when any device could not describe itself; connectivity
+  /// rules then downgrade their findings to warnings.
+  bool fully_described() const { return fully_described_; }
+
+  static int slot(spice::NodeId n) { return n + 1; }
+  spice::NodeId node_of_slot(int s) const { return s - 1; }
+  int slot_count() const { return static_cast<int>(incidences_.size()); }
+
+  std::string node_label(spice::NodeId n) const {
+    return circuit_.node_name(n);
+  }
+
+  const std::vector<Incidence>& incidences(spice::NodeId n) const {
+    return incidences_[slot(n)];
+  }
+  /// Number of device terminals touching the node (0 = created but
+  /// never connected).
+  int terminal_count(spice::NodeId n) const {
+    return terminal_counts_[slot(n)];
+  }
+
+  /// Connected-component id over kConductive + kRigid edges.
+  int component_of(spice::NodeId n) const { return component_[slot(n)]; }
+  /// True when the node has a DC path to ground.
+  bool grounded(spice::NodeId n) const {
+    return component_[slot(n)] == component_[0];
+  }
+
+ private:
+  const spice::Circuit& circuit_;
+  std::vector<DeviceEntry> devices_;
+  std::vector<std::vector<Incidence>> incidences_;  // per slot
+  std::vector<int> terminal_counts_;                // per slot
+  std::vector<int> component_;                      // per slot
+  bool fully_described_ = true;
+};
+
+}  // namespace sscl::lint

@@ -1,0 +1,90 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace sscl::lint {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Severity severity, std::string rule, std::string location,
+                 std::string message) {
+  diags_.push_back({severity, std::move(rule), std::move(location),
+                    std::move(message)});
+}
+
+int Report::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+bool Report::has(const std::string& rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << severity_name(d.severity) << " [" << d.rule << "] " << d.location
+       << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Report::csv() const {
+  std::string out = "severity,rule,location,message\n";
+  for (const Diagnostic& d : diags_) {
+    out += severity_name(d.severity);
+    out += ',';
+    out += csv_quote(d.rule);
+    out += ',';
+    out += csv_quote(d.location);
+    out += ',';
+    out += csv_quote(d.message);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+std::string error_summary(const Report& report) {
+  std::string msg = "lint found " + std::to_string(report.error_count()) +
+                    " error(s):\n" + report.text();
+  if (!msg.empty() && msg.back() == '\n') msg.pop_back();
+  return msg;
+}
+}  // namespace
+
+LintError::LintError(Report report)
+    : std::runtime_error(error_summary(report)), report_(std::move(report)) {}
+
+}  // namespace sscl::lint

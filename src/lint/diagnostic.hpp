@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file diagnostic.hpp
+/// Findings produced by the electrical-rule-check static analyzer:
+/// Diagnostic (one finding), Report (a run's findings with text and CSV
+/// renderings) and LintError (thrown by the enforcing entry points).
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sscl::lint {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* severity_name(Severity severity);
+
+/// One finding: which rule fired, how bad, and where.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;      ///< rule id, e.g. "floating-node"
+  std::string location;  ///< node / device / gate name ("-" when global)
+  std::string message;
+};
+
+class Report {
+ public:
+  void add(Severity severity, std::string rule, std::string location,
+           std::string message);
+  void info(std::string rule, std::string location, std::string message) {
+    add(Severity::kInfo, std::move(rule), std::move(location),
+        std::move(message));
+  }
+  void warning(std::string rule, std::string location, std::string message) {
+    add(Severity::kWarning, std::move(rule), std::move(location),
+        std::move(message));
+  }
+  void error(std::string rule, std::string location, std::string message) {
+    add(Severity::kError, std::move(rule), std::move(location),
+        std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int count(Severity severity) const;
+  int error_count() const { return count(Severity::kError); }
+  bool clean() const { return error_count() == 0; }
+  bool empty() const { return diags_.empty(); }
+
+  void merge(const Report& other);
+
+  /// True when any diagnostic's rule id equals \p rule.
+  bool has(const std::string& rule) const;
+
+  /// Human-readable multi-line listing ("" when empty).
+  std::string text() const;
+  /// Machine-readable CSV with a severity,rule,location,message header.
+  std::string csv() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Thrown by the enforcing entry points when a report contains errors.
+class LintError : public std::runtime_error {
+ public:
+  explicit LintError(Report report);
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace sscl::lint

@@ -1,0 +1,32 @@
+/// Default rule registry. An explicit factory list (rather than static
+/// self-registration) so rules cannot be dead-stripped out of the
+/// static library — and so the execution order is deterministic:
+/// structural rules first, then bias heuristics, then digital DRC.
+
+#include "lint/rule.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint {
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  // Analog ERC.
+  out.push_back(rules::make_element_value_rule());
+  out.push_back(rules::make_dc_path_rule());
+  out.push_back(rules::make_vsource_loop_rule());
+  out.push_back(rules::make_dangling_terminal_rule());
+  out.push_back(rules::make_unused_node_rule());
+  // Subthreshold bias heuristics.
+  out.push_back(rules::make_unbiased_tail_rule());
+  out.push_back(rules::make_weak_inversion_rule());
+  // Digital DRC.
+  out.push_back(rules::make_multi_driven_rule());
+  out.push_back(rules::make_undriven_signal_rule());
+  out.push_back(rules::make_unconnected_input_rule());
+  out.push_back(rules::make_comb_loop_rule());
+  out.push_back(rules::make_latch_phase_rule());
+  out.push_back(rules::make_dead_output_rule());
+  return out;
+}
+
+}  // namespace sscl::lint

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file rule.hpp
+/// The rule registry of the ERC static analyzer. Every check is a Rule
+/// subclass living in its own translation unit under src/lint/rules/;
+/// adding a rule means writing that one file and listing its factory in
+/// registry.cpp. Rules read the prepared LintContext and append
+/// Diagnostics to a Report — they never mutate the design.
+
+#include <memory>
+#include <vector>
+
+#include "lint/circuit_view.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace sscl::digital {
+class Netlist;
+}
+
+namespace sscl::lint {
+
+/// What a lint run is looking at. Analog rules no-op when view is null,
+/// digital rules when netlist is null, so one registry serves both
+/// check_circuit() and check_netlist().
+struct LintContext {
+  const CircuitView* view = nullptr;
+  const digital::Netlist* netlist = nullptr;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  Rule() = default;
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  /// Stable kebab-case identifier ("floating-node").
+  virtual const char* id() const = 0;
+  /// One-line human description for --list-rules and docs.
+  virtual const char* description() const = 0;
+  virtual void run(const LintContext& ctx, Report& report) const = 0;
+};
+
+/// Every built-in rule, in reporting order.
+std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+}  // namespace sscl::lint

@@ -1,0 +1,91 @@
+/// Combinational-loop DRC: a cycle through non-latching gates has no
+/// stable evaluation order — the event simulator would oscillate at the
+/// gate delay and a transistor-level realisation sits at an undefined
+/// analog operating point. Latching kinds legitimately close loops
+/// (that is what makes them state), so they cut the search graph.
+
+#include <string>
+#include <vector>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class CombLoopRule final : public Rule {
+ public:
+  const char* id() const override { return "comb-loop"; }
+  const char* description() const override {
+    return "no combinational cycles through non-latching gates";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    const auto& gates = nl.gates();
+    const int n = static_cast<int>(gates.size());
+
+    // colour: 0 unvisited, 1 on stack, 2 done. Iterative DFS over
+    // gate -> driver-gate edges restricted to combinational gates.
+    std::vector<char> colour(n, 0);
+    std::vector<std::pair<int, int>> stack;  // (gate, next input index)
+    std::vector<int> path;
+
+    auto pred = [&](int gi, int input) -> int {
+      const digital::SignalId sig = gates[gi].in[input].sig;
+      if (sig < 0 || sig >= nl.signal_count()) return -1;
+      const int driver = nl.driver_of(sig);
+      if (driver < 0 || digital::is_latching(gates[driver].kind)) return -1;
+      return driver;
+    };
+
+    for (int start = 0; start < n; ++start) {
+      if (colour[start] != 0 || digital::is_latching(gates[start].kind)) {
+        continue;
+      }
+      stack.push_back({start, 0});
+      colour[start] = 1;
+      path.push_back(start);
+      while (!stack.empty()) {
+        auto& [gi, next] = stack.back();
+        if (next >= digital::input_count(gates[gi].kind)) {
+          colour[gi] = 2;
+          stack.pop_back();
+          path.pop_back();
+          continue;
+        }
+        const int p = pred(gi, next++);
+        if (p < 0 || colour[p] == 2) continue;
+        if (colour[p] == 1) {
+          // Back edge: p .. path.back() is the cycle.
+          std::string names;
+          bool in_cycle = false;
+          for (const int g : path) {
+            if (g == p) in_cycle = true;
+            if (!in_cycle) continue;
+            if (!names.empty()) names += " -> ";
+            names += gates[g].name;
+          }
+          report.error(id(), gates[p].name,
+                       "combinational loop: " + names + " -> " +
+                           gates[p].name);
+          colour[p] = 2;  // report each loop once
+          continue;
+        }
+        colour[p] = 1;
+        stack.push_back({p, 0});
+        path.push_back(p);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_comb_loop_rule() {
+  return std::make_unique<CombLoopRule>();
+}
+
+}  // namespace sscl::lint::rules

@@ -1,0 +1,48 @@
+/// Dangling-terminal check: a (grounded) node touched by exactly one
+/// device terminal carries no current by construction — usually a typo
+/// in a node name or a half-deleted element. Warning, not error: probe
+/// and spare terminals are legitimate.
+
+#include <string>
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class DanglingTerminalRule final : public Rule {
+ public:
+  const char* id() const override { return "dangling-terminal"; }
+  const char* description() const override {
+    return "a node touched by exactly one device terminal is suspicious";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+    for (int s = 1; s < view.slot_count(); ++s) {
+      const spice::NodeId n = view.node_of_slot(s);
+      if (view.terminal_count(n) != 1) continue;
+      if (!view.grounded(n)) continue;  // dc-path already reports those
+      for (const CircuitView::Incidence& inc : view.incidences(n)) {
+        if (inc.terminal < 0) continue;
+        const CircuitView::DeviceEntry& entry = view.devices()[inc.device];
+        report.warning(
+            id(), view.node_label(n),
+            "only terminal '" +
+                std::string(entry.info.terminals[inc.terminal].role) +
+                "' of " + entry.device->name() +
+                " touches this node; no current can flow");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_dangling_terminal_rule() {
+  return std::make_unique<DanglingTerminalRule>();
+}
+
+}  // namespace sscl::lint::rules

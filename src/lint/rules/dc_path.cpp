@@ -1,0 +1,119 @@
+/// DC-path analysis: every node must reach ground through conductive or
+/// voltage-defined couplings, or the MNA matrix is singular (the engine
+/// only survives on its gmin floor and the solution is garbage). The
+/// non-grounded components are diagnosed by cause:
+///   isource-cutset  a current source needs a DC return path
+///   cap-only-node   the node is driven only by capacitors
+///   dangling-input  only high-impedance inputs (MOS gates, amp/ctrl
+///                   inputs) touch the node — an undriven input
+///   floating-node   conductive island with no ground reference
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+using spice::DcCoupling;
+
+class DcPathRule final : public Rule {
+ public:
+  const char* id() const override { return "dc-path"; }
+  const char* description() const override {
+    return "every connected node must have a DC path to ground";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+    // Incomplete self-description means a device lint cannot see might
+    // provide the missing path: report, but do not block simulation.
+    const Severity sev =
+        view.fully_described() ? Severity::kError : Severity::kWarning;
+
+    // Group non-grounded, connected slots by component.
+    std::map<int, std::vector<spice::NodeId>> components;
+    for (int s = 1; s < view.slot_count(); ++s) {
+      const spice::NodeId n = view.node_of_slot(s);
+      if (view.terminal_count(n) == 0) continue;  // unused-node's job
+      if (view.grounded(n)) continue;
+      components[view.component_of(n)].push_back(n);
+    }
+
+    for (const auto& [comp, nodes] : components) {
+      (void)comp;
+      bool has_current = false, has_cap = false, has_high_z = false;
+      for (const spice::NodeId n : nodes) {
+        const auto& incs = view.incidences(n);
+        // A terminal is high-impedance here only if its device carries
+        // no current at this node: kOpen edges (gate capacitances) do
+        // not count, so a MOS gate or amplifier input stays high-Z.
+        auto device_has_edge = [&](int di) {
+          for (const CircuitView::Incidence& other : incs) {
+            if (other.device != di || other.edge < 0) continue;
+            const auto& info = view.devices()[di].info;
+            if (info.edges[other.edge].coupling != DcCoupling::kOpen) {
+              return true;
+            }
+          }
+          return false;
+        };
+        for (const CircuitView::Incidence& inc : incs) {
+          const auto& info = view.devices()[inc.device].info;
+          if (inc.edge >= 0) {
+            const spice::DcEdge& e = info.edges[inc.edge];
+            if (e.coupling == DcCoupling::kCurrent) has_current = true;
+            if (e.coupling == DcCoupling::kOpen &&
+                std::string_view(info.kind) == "capacitor") {
+              has_cap = true;
+            }
+          } else if (!device_has_edge(inc.device)) {
+            has_high_z = true;
+          }
+        }
+      }
+
+      std::string names;
+      for (std::size_t i = 0; i < nodes.size() && i < 4; ++i) {
+        if (i) names += ", ";
+        names += view.node_label(nodes[i]);
+      }
+      if (nodes.size() > 4) {
+        names += ", ... (" + std::to_string(nodes.size()) + " nodes)";
+      }
+
+      if (has_current) {
+        report.add(sev, "isource-cutset", view.node_label(nodes.front()),
+                   "current source drives {" + names +
+                       "} but the current has no DC return path to ground");
+      } else if (has_cap) {
+        report.add(sev, "cap-only-node", view.node_label(nodes.front()),
+                   "node(s) {" + names +
+                       "} are driven only by capacitors; the DC matrix is "
+                       "singular there");
+      } else if (has_high_z) {
+        report.add(sev, "dangling-input", view.node_label(nodes.front()),
+                   "input node(s) {" + names +
+                       "} connect only to high-impedance terminals (MOS "
+                       "gates / amplifier inputs) and are never driven");
+      } else {
+        report.add(sev, "floating-node", view.node_label(nodes.front()),
+                   "node(s) {" + names + "} have no DC path to ground");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_dc_path_rule() {
+  return std::make_unique<DcPathRule>();
+}
+
+}  // namespace sscl::lint::rules

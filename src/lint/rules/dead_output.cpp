@@ -1,0 +1,61 @@
+/// Dead-output audit (info): driven signals nothing consumes. These are
+/// either the block's primary outputs (fine) or dead logic — and in
+/// STSCL dead logic is not free: every gate burns its tail current
+/// Iss * VDD forever. Reported as one summary so block outputs do not
+/// drown real findings.
+
+#include <string>
+#include <vector>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class DeadOutputRule final : public Rule {
+ public:
+  const char* id() const override { return "dead-output"; }
+  const char* description() const override {
+    return "driven signals with no fanout (outputs or dead logic)";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    std::vector<char> consumed(nl.signal_count(), 0);
+    for (const digital::Gate& g : nl.gates()) {
+      for (int i = 0; i < digital::input_count(g.kind); ++i) {
+        const digital::SignalId sig = g.in[i].sig;
+        if (sig >= 0 && sig < nl.signal_count()) consumed[sig] = 1;
+      }
+    }
+    std::vector<digital::SignalId> dead;
+    for (const digital::Gate& g : nl.gates()) {
+      if (g.out >= 0 && g.out < nl.signal_count() && !consumed[g.out]) {
+        dead.push_back(g.out);
+      }
+    }
+    if (dead.empty()) return;
+    std::string names;
+    for (std::size_t i = 0; i < dead.size() && i < 6; ++i) {
+      if (i) names += ", ";
+      names += nl.signal_name(dead[i]);
+    }
+    if (dead.size() > 6) names += ", ...";
+    report.info(id(), "-",
+                std::to_string(dead.size()) +
+                    " driven signal(s) have no fanout (primary outputs or "
+                    "dead logic): " +
+                    names);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_dead_output_rule() {
+  return std::make_unique<DeadOutputRule>();
+}
+
+}  // namespace sscl::lint::rules

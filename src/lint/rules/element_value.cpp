@@ -1,0 +1,54 @@
+/// Element-value sanity: non-finite or non-physical element values that
+/// produce NaNs or singular Jacobians deep inside the solver where the
+/// root cause is invisible.
+
+#include <cmath>
+#include <string_view>
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class ElementValueRule final : public Rule {
+ public:
+  const char* id() const override { return "element-value"; }
+  const char* description() const override {
+    return "element values must be finite and physical";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    for (const CircuitView::DeviceEntry& entry : ctx.view->devices()) {
+      if (!entry.described) continue;
+      const std::string_view kind = entry.info.kind;
+      const std::string& name = entry.device->name();
+      for (const spice::DcEdge& e : entry.info.edges) {
+        if (!std::isfinite(e.value)) {
+          report.error(id(), name, "non-finite value");
+          continue;
+        }
+        if (kind == "resistor" && e.value <= 0.0) {
+          report.error(id(), name,
+                       "non-positive resistance (" + std::to_string(e.value) +
+                           " ohm) — infinite or negative conductance");
+        } else if (kind == "capacitor" && e.value < 0.0) {
+          report.error(id(), name, "negative capacitance");
+        } else if (kind == "capacitor" && e.value == 0.0) {
+          report.info(id(), name, "zero capacitance (open circuit)");
+        } else if (kind == "inductor" && e.value < 0.0) {
+          report.error(id(), name, "negative inductance");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_element_value_rule() {
+  return std::make_unique<ElementValueRule>();
+}
+
+}  // namespace sscl::lint::rules

@@ -1,0 +1,53 @@
+/// Latch-phase DRC (warning): a latch whose data input comes directly
+/// from another latch transparent on the same clock phase forms a race
+/// — while that phase is active both are transparent and the data
+/// shoots through two pipeline ranks in one half-cycle. Master-slave
+/// operation needs alternating phases (the paper's two-phase
+/// pipelining, Section III-B).
+
+#include <string>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class LatchPhaseRule final : public Rule {
+ public:
+  const char* id() const override { return "latch-phase"; }
+  const char* description() const override {
+    return "back-to-back latches must use alternating clock phases";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    const auto& gates = nl.gates();
+    for (const digital::Gate& g : gates) {
+      if (!digital::is_latching(g.kind)) continue;
+      for (int i = 0; i < digital::input_count(g.kind); ++i) {
+        const digital::SignalId sig = g.in[i].sig;
+        if (sig < 0 || sig >= nl.signal_count()) continue;
+        const int driver = nl.driver_of(sig);
+        if (driver < 0) continue;
+        const digital::Gate& h = gates[driver];
+        if (digital::is_latching(h.kind) && h.clock_phase == g.clock_phase) {
+          report.warning(id(), g.name,
+                         "latch is fed by latch '" + h.name +
+                             "' transparent on the same clock phase; data "
+                             "races through both in one half-cycle");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_latch_phase_rule() {
+  return std::make_unique<LatchPhaseRule>();
+}
+
+}  // namespace sscl::lint::rules

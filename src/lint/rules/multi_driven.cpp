@@ -1,0 +1,59 @@
+/// Multi-driven DRC: each signal may have exactly one driving gate.
+/// Netlist::add() guarantees this, but raw imports (Netlist::add_gate,
+/// future netlist readers) do not — two STSCL cells shorting their
+/// differential outputs fight each other's tail currents.
+
+#include <string>
+#include <vector>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class MultiDrivenRule final : public Rule {
+ public:
+  const char* id() const override { return "multi-driven"; }
+  const char* description() const override {
+    return "a signal may be driven by at most one gate";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    std::vector<int> drivers(nl.signal_count(), 0);
+    for (const digital::Gate& g : nl.gates()) {
+      if (g.out == digital::kNoSignal) {
+        report.error(id(), g.name, "gate has no output signal");
+        continue;
+      }
+      if (g.out < 0 || g.out >= nl.signal_count()) {
+        report.error(id(), g.name,
+                     "gate output references invalid signal id " +
+                         std::to_string(g.out));
+        continue;
+      }
+      if (++drivers[g.out] == 2) {
+        report.error(id(), nl.signal_name(g.out),
+                     "signal is driven by more than one gate ('" + g.name +
+                         "' conflicts with an earlier driver)");
+      }
+    }
+    for (const digital::SignalId in : nl.inputs()) {
+      if (in >= 0 && in < nl.signal_count() && drivers[in] > 0) {
+        report.error(id(), nl.signal_name(in),
+                     "primary input is also driven by a gate");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_multi_driven_rule() {
+  return std::make_unique<MultiDrivenRule>();
+}
+
+}  // namespace sscl::lint::rules

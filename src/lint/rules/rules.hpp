@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file rules.hpp
+/// Factory declarations for the built-in lint rules. Each factory lives
+/// in its own translation unit in this directory; registry.cpp lists
+/// them. To add a rule: write the one file, declare its factory here,
+/// append it to the registry.
+
+#include <memory>
+
+#include "lint/rule.hpp"
+
+namespace sscl::lint::rules {
+
+// ---- analog (spice::Circuit) -----------------------------------------
+std::unique_ptr<Rule> make_dc_path_rule();          // floating-node family
+std::unique_ptr<Rule> make_vsource_loop_rule();     // vsource-loop
+std::unique_ptr<Rule> make_dangling_terminal_rule();// dangling-terminal
+std::unique_ptr<Rule> make_unused_node_rule();      // unused-node
+std::unique_ptr<Rule> make_element_value_rule();    // element-value
+std::unique_ptr<Rule> make_unbiased_tail_rule();    // unbiased-tail
+std::unique_ptr<Rule> make_weak_inversion_rule();   // weak-inversion-bias
+
+// ---- digital (digital::Netlist) --------------------------------------
+std::unique_ptr<Rule> make_unconnected_input_rule();// unconnected-input
+std::unique_ptr<Rule> make_undriven_signal_rule();  // undriven-signal
+std::unique_ptr<Rule> make_multi_driven_rule();     // multi-driven
+std::unique_ptr<Rule> make_comb_loop_rule();        // comb-loop
+std::unique_ptr<Rule> make_dead_output_rule();      // dead-output
+std::unique_ptr<Rule> make_latch_phase_rule();      // latch-phase
+
+}  // namespace sscl::lint::rules

@@ -1,0 +1,140 @@
+/// Subthreshold bias rules for source-coupled logic. An STSCL cell is a
+/// source-coupled pair over a tail device: the pair's common source
+/// node must have a bias path that is not part of the pair itself
+/// (unbiased-tail), and the tail current must keep the pair in the EKV
+/// weak-inversion region — IC = Iss / Ispec well below ~10 — or the
+/// cell leaves the operating region every model in the platform assumes
+/// (weak-inversion-bias).
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+/// Common-source groups: node -> indices of same-polarity MOSFETs whose
+/// source sits there (only nodes with >= 2 such devices, ground excluded).
+std::map<spice::NodeId, std::vector<int>> source_coupled_pairs(
+    const CircuitView& view) {
+  std::map<std::pair<spice::NodeId, bool>, std::vector<int>> by_source;
+  const auto& devices = view.devices();
+  for (int di = 0; di < static_cast<int>(devices.size()); ++di) {
+    const spice::DeviceInfo& info = devices[di].info;
+    if (!info.is_mosfet || info.mos_s == spice::kGround) continue;
+    by_source[{info.mos_s, info.is_nmos}].push_back(di);
+  }
+  std::map<spice::NodeId, std::vector<int>> pairs;
+  for (auto& [key, list] : by_source) {
+    if (list.size() >= 2) pairs[key.first] = std::move(list);
+  }
+  return pairs;
+}
+
+class UnbiasedTailRule final : public Rule {
+ public:
+  const char* id() const override { return "unbiased-tail"; }
+  const char* description() const override {
+    return "a source-coupled pair needs a tail bias path";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+    const Severity sev =
+        view.fully_described() ? Severity::kError : Severity::kWarning;
+    for (const auto& [node, pair] : source_coupled_pairs(view)) {
+      bool has_bias = false;
+      for (const CircuitView::Incidence& inc : view.incidences(node)) {
+        bool from_pair = false;
+        for (const int di : pair) from_pair = from_pair || di == inc.device;
+        if (!from_pair) {
+          has_bias = true;
+          break;
+        }
+      }
+      if (!has_bias) {
+        std::string members;
+        for (std::size_t i = 0; i < pair.size(); ++i) {
+          if (i) members += ", ";
+          members += view.devices()[pair[i]].device->name();
+        }
+        report.add(sev, id(), view.node_label(node),
+                   "source-coupled pair {" + members +
+                       "} shares this source node but nothing biases it "
+                       "(no tail device, current source or resistor)");
+      }
+    }
+  }
+};
+
+class WeakInversionRule final : public Rule {
+ public:
+  const char* id() const override { return "weak-inversion-bias"; }
+  const char* description() const override {
+    return "tail currents must keep source-coupled pairs in weak inversion";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+    for (const auto& [node, pair] : source_coupled_pairs(view)) {
+      // Total DC tail current supplied by current sources at the node.
+      double iss = 0.0;
+      bool has_isource = false;
+      for (const CircuitView::Incidence& inc : view.incidences(node)) {
+        if (inc.edge < 0) continue;
+        const spice::DcEdge& e =
+            view.devices()[inc.device].info.edges[inc.edge];
+        if (e.coupling == spice::DcCoupling::kCurrent) {
+          has_isource = true;
+          iss += std::fabs(e.value);
+        }
+      }
+      if (!has_isource) continue;  // tail is a mirror device: bias unknown
+
+      double ispec_min = 0.0;
+      std::string worst;
+      for (const int di : pair) {
+        const spice::DeviceInfo& info = view.devices()[di].info;
+        if (info.ispec <= 0.0) continue;
+        if (ispec_min == 0.0 || info.ispec < ispec_min) {
+          ispec_min = info.ispec;
+          worst = view.devices()[di].device->name();
+        }
+      }
+      if (ispec_min <= 0.0) continue;
+
+      // Worst case the whole tail current flows through one branch.
+      const double ic = iss / ispec_min;
+      if (iss == 0.0) {
+        report.info(id(), view.node_label(node),
+                    "tail current source has zero DC value; the pair only "
+                    "conducts leakage at the operating point");
+      } else if (ic > 10.0) {
+        report.warning(
+            id(), view.node_label(node),
+            "tail current " + std::to_string(iss) +
+                " A biases " + worst + " at inversion coefficient " +
+                std::to_string(ic) +
+                " — outside the EKV weak-inversion region (IC <~ 10)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_unbiased_tail_rule() {
+  return std::make_unique<UnbiasedTailRule>();
+}
+
+std::unique_ptr<Rule> make_weak_inversion_rule() {
+  return std::make_unique<WeakInversionRule>();
+}
+
+}  // namespace sscl::lint::rules

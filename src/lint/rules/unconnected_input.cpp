@@ -1,0 +1,49 @@
+/// Unconnected-input DRC: every data input a GateKind's arity demands
+/// must reference a real signal. A kNoSignal (or out-of-range) ref
+/// indexes straight past the simulator's value array — in an STSCL cell
+/// it is a floating differential pair input.
+
+#include <string>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class UnconnectedInputRule final : public Rule {
+ public:
+  const char* id() const override { return "unconnected-input"; }
+  const char* description() const override {
+    return "every gate input within the kind's arity must be connected";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    for (const digital::Gate& g : nl.gates()) {
+      const int arity = digital::input_count(g.kind);
+      for (int i = 0; i < arity; ++i) {
+        const digital::SignalId sig = g.in[i].sig;
+        if (sig == digital::kNoSignal) {
+          report.error(id(), g.name,
+                       "input " + std::to_string(i) + " is unconnected");
+        } else if (sig < 0 || sig >= nl.signal_count()) {
+          report.error(id(), g.name,
+                       "input " + std::to_string(i) +
+                           " references invalid signal id " +
+                           std::to_string(sig));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_unconnected_input_rule() {
+  return std::make_unique<UnconnectedInputRule>();
+}
+
+}  // namespace sscl::lint::rules

@@ -1,0 +1,52 @@
+/// Undriven-signal DRC: a signal consumed by some gate must be a
+/// primary input, the clock, or another gate's output. Anything else
+/// reads the simulator's power-on default forever.
+
+#include <algorithm>
+#include <string>
+
+#include "digital/netlist.hpp"
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class UndrivenSignalRule final : public Rule {
+ public:
+  const char* id() const override { return "undriven-signal"; }
+  const char* description() const override {
+    return "every consumed signal needs a driver (gate, input or clock)";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.netlist) return;
+    const digital::Netlist& nl = *ctx.netlist;
+    const auto& inputs = nl.inputs();
+    std::vector<char> reported(nl.signal_count(), 0);
+    for (const digital::Gate& g : nl.gates()) {
+      for (int i = 0; i < digital::input_count(g.kind); ++i) {
+        const digital::SignalId sig = g.in[i].sig;
+        if (sig < 0 || sig >= nl.signal_count()) continue;  // other rule
+        if (reported[sig]) continue;
+        if (nl.driver_of(sig) >= 0) continue;
+        if (sig == nl.clock_signal()) continue;
+        if (std::find(inputs.begin(), inputs.end(), sig) != inputs.end()) {
+          continue;
+        }
+        reported[sig] = 1;
+        report.error(id(), nl.signal_name(sig),
+                     "signal is consumed (first by gate '" + g.name +
+                         "') but nothing drives it");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_undriven_signal_rule() {
+  return std::make_unique<UndrivenSignalRule>();
+}
+
+}  // namespace sscl::lint::rules

@@ -1,0 +1,39 @@
+/// Unused-node check: a node created through Circuit::node() that no
+/// device terminal ever touches. Harmless to the solver (its MNA row is
+/// pure gmin) but it inflates the matrix and usually signals dead
+/// builder code.
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class UnusedNodeRule final : public Rule {
+ public:
+  const char* id() const override { return "unused-node"; }
+  const char* description() const override {
+    return "nodes created but never connected to any device";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+    if (!view.fully_described()) return;  // the unknown device may use them
+    for (int s = 1; s < view.slot_count(); ++s) {
+      const spice::NodeId n = view.node_of_slot(s);
+      if (view.terminal_count(n) == 0 && view.incidences(n).empty()) {
+        report.info(id(), view.node_label(n),
+                    "node is never connected to any device terminal");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_unused_node_rule() {
+  return std::make_unique<UnusedNodeRule>();
+}
+
+}  // namespace sscl::lint::rules

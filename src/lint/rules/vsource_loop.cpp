@@ -1,0 +1,68 @@
+/// Voltage-source loop detection: a cycle of voltage-defined branches
+/// (independent sources, VCVS/CCVS outputs, ideal amplifier outputs)
+/// over-determines the node voltages — KVL around the loop either
+/// contradicts or leaves the circulating current unbounded. Classic
+/// SPICE "voltage source loop" ERC, found with a union-find over the
+/// rigid edges.
+
+#include <numeric>
+#include <vector>
+
+#include "lint/rules/rules.hpp"
+
+namespace sscl::lint::rules {
+
+namespace {
+
+class VsourceLoopRule final : public Rule {
+ public:
+  const char* id() const override { return "vsource-loop"; }
+  const char* description() const override {
+    return "no cycles of voltage-defined branches";
+  }
+
+  void run(const LintContext& ctx, Report& report) const override {
+    if (!ctx.view) return;
+    const CircuitView& view = *ctx.view;
+
+    std::vector<int> parent(view.slot_count());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](int i) {
+      while (parent[i] != i) {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+      }
+      return i;
+    };
+
+    for (const CircuitView::DeviceEntry& entry : view.devices()) {
+      for (const spice::DcEdge& e : entry.info.edges) {
+        if (e.coupling != spice::DcCoupling::kRigid) continue;
+        if (e.a == e.b) {
+          report.error(id(), entry.device->name(),
+                       "voltage-defined branch shorts node '" +
+                           view.node_label(e.a) + "' to itself");
+          continue;
+        }
+        const int ra = find(CircuitView::slot(e.a));
+        const int rb = find(CircuitView::slot(e.b));
+        if (ra == rb) {
+          report.error(id(), entry.device->name(),
+                       "closes a loop of voltage-defined branches between '" +
+                           view.node_label(e.a) + "' and '" +
+                           view.node_label(e.b) + "'");
+        } else {
+          parent[ra] = rb;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_vsource_loop_rule() {
+  return std::make_unique<VsourceLoopRule>();
+}
+
+}  // namespace sscl::lint::rules

@@ -12,16 +12,18 @@ std::string lowercase(std::string_view s) {
   return out;
 }
 
-bool is_ground_name(const std::string& lower) {
-  return lower == "0" || lower == "gnd" || lower == "vss!";
-}
-
 const std::string kGroundName = "0";
 }  // namespace
 
+bool is_ground_name(std::string_view name) {
+  const std::string lower = lowercase(name);
+  return lower == "0" || lower == "gnd" || lower == "gnd!" ||
+         lower == "ground" || lower == "vss!";
+}
+
 NodeId Circuit::node(std::string_view name) {
+  if (is_ground_name(name)) return kGround;
   const std::string key = lowercase(name);
-  if (is_ground_name(key)) return kGround;
   auto it = node_ids_.find(key);
   if (it != node_ids_.end()) return it->second;
   const NodeId id = static_cast<NodeId>(node_names_.size());
@@ -38,8 +40,8 @@ NodeId Circuit::internal_node(std::string_view prefix) {
 }
 
 std::optional<NodeId> Circuit::find_node(std::string_view name) const {
+  if (is_ground_name(name)) return kGround;
   const std::string key = lowercase(name);
-  if (is_ground_name(key)) return kGround;
   auto it = node_ids_.find(key);
   if (it == node_ids_.end()) return std::nullopt;
   return it->second;

@@ -37,12 +37,18 @@ class Solution {
   int node_count_ = 0;
 };
 
+/// True when \p name (any case) is an alias of the ground node: "0",
+/// "gnd", "gnd!", "ground", "vss!". Shared by Circuit and the deck
+/// parser so hierarchical netlist expansion cannot turn a ground alias
+/// into a phantom local node.
+bool is_ground_name(std::string_view name);
+
 class Circuit {
  public:
   Circuit() = default;
 
-  /// Get-or-create the node with this name. "0" and "gnd"
-  /// (case-insensitive) are the ground node.
+  /// Get-or-create the node with this name. Ground aliases (see
+  /// is_ground_name) all map to kGround.
   NodeId node(std::string_view name);
 
   /// Create a fresh, uniquely named internal node.

@@ -268,6 +268,48 @@ class NoiseContext {
   std::vector<Source> sources_;
 };
 
+// ---- Static electrical self-description (consumed by sscl::lint) -----
+
+/// How a device couples a pair of terminals at DC.
+enum class DcCoupling {
+  kConductive,  ///< finite nonzero conductance (R, L, MOS channel, junction)
+  kRigid,       ///< voltage-defined branch (V source, E/H outputs, opamp out)
+  kCurrent,     ///< current injection, infinite DC impedance (I, G/F outputs)
+  kOpen,        ///< no DC path (capacitor, MOS gate coupling)
+};
+
+/// One named device terminal. A terminal that appears in no kConductive,
+/// kRigid or kCurrent edge is high-impedance (it draws no DC current).
+struct TerminalDesc {
+  const char* role;  ///< "a", "pos", "drain", "ctrl+", ... device-specific
+  NodeId node;
+};
+
+/// DC coupling between two terminals (or a terminal and ground).
+struct DcEdge {
+  NodeId a;
+  NodeId b;
+  DcCoupling coupling;
+  /// Magnitude whose meaning depends on coupling: ohms (kConductive
+  /// resistors), volts (kRigid), DC amps (kCurrent), farads (kOpen
+  /// capacitors). 0 when not meaningful.
+  double value = 0.0;
+};
+
+/// Filled by Device::describe() for electrical-rule checking.
+struct DeviceInfo {
+  const char* kind = "";  ///< "resistor", "mosfet", ...
+  std::vector<TerminalDesc> terminals;
+  std::vector<DcEdge> edges;
+
+  // MOSFET payload for the subthreshold bias rules (set by
+  // device::Mosfet; is_mosfet stays false for everything else).
+  bool is_mosfet = false;
+  bool is_nmos = true;
+  double ispec = 0.0;  ///< EKV specific current 2 n beta UT^2 [A]
+  NodeId mos_d = kGround, mos_g = kGround, mos_s = kGround, mos_b = kGround;
+};
+
 /// Base class of every circuit element.
 class Device {
  public:
@@ -296,6 +338,12 @@ class Device {
   /// Register physical noise sources evaluated at the last operating
   /// point (called after a DC solve). Default: noiseless.
   virtual void add_noise(NoiseContext& /*ctx*/) const {}
+
+  /// Fill a static electrical description for ERC (sscl::lint). Returns
+  /// false when the device cannot describe itself; the linter then
+  /// treats the circuit as incompletely described and downgrades its
+  /// connectivity findings to warnings.
+  virtual bool describe(DeviceInfo& /*info*/) const { return false; }
 
  private:
   std::string name_;

@@ -351,4 +351,81 @@ void SoftOpamp::load_ac(AcContext& ctx) const {
   ctx.a_bn(branch_, in_, {ac_gain_, 0.0});
 }
 
+// ---- ERC self-descriptions -------------------------------------------
+
+bool Resistor::describe(DeviceInfo& info) const {
+  info.kind = "resistor";
+  info.terminals = {{"a", a_}, {"b", b_}};
+  info.edges = {{a_, b_, DcCoupling::kConductive, resistance_}};
+  return true;
+}
+
+bool Capacitor::describe(DeviceInfo& info) const {
+  info.kind = "capacitor";
+  info.terminals = {{"a", a_}, {"b", b_}};
+  info.edges = {{a_, b_, DcCoupling::kOpen, capacitance_}};
+  return true;
+}
+
+bool Inductor::describe(DeviceInfo& info) const {
+  info.kind = "inductor";
+  info.terminals = {{"a", a_}, {"b", b_}};
+  // An inductor is a short at DC; the value carries the inductance.
+  info.edges = {{a_, b_, DcCoupling::kConductive, inductance_}};
+  return true;
+}
+
+bool VoltageSource::describe(DeviceInfo& info) const {
+  info.kind = "vsource";
+  info.terminals = {{"pos", pos_}, {"neg", neg_}};
+  info.edges = {{pos_, neg_, DcCoupling::kRigid, spec_.dc_value()}};
+  return true;
+}
+
+bool CurrentSource::describe(DeviceInfo& info) const {
+  info.kind = "isource";
+  info.terminals = {{"pos", pos_}, {"neg", neg_}};
+  info.edges = {{pos_, neg_, DcCoupling::kCurrent, spec_.dc_value()}};
+  return true;
+}
+
+bool Vcvs::describe(DeviceInfo& info) const {
+  info.kind = "vcvs";
+  info.terminals = {{"out+", op_}, {"out-", on_}, {"ctrl+", cp_}, {"ctrl-", cn_}};
+  info.edges = {{op_, on_, DcCoupling::kRigid, 0.0}};
+  return true;
+}
+
+bool Vccs::describe(DeviceInfo& info) const {
+  info.kind = "vccs";
+  info.terminals = {{"out+", op_}, {"out-", on_}, {"ctrl+", cp_}, {"ctrl-", cn_}};
+  info.edges = {{op_, on_, DcCoupling::kCurrent, 0.0}};
+  return true;
+}
+
+bool Cccs::describe(DeviceInfo& info) const {
+  info.kind = "cccs";
+  info.terminals = {{"out+", op_}, {"out-", on_}};
+  info.edges = {{op_, on_, DcCoupling::kCurrent, 0.0}};
+  return true;
+}
+
+bool Ccvs::describe(DeviceInfo& info) const {
+  info.kind = "ccvs";
+  info.terminals = {{"out+", op_}, {"out-", on_}};
+  info.edges = {{op_, on_, DcCoupling::kRigid, 0.0}};
+  return true;
+}
+
+bool SoftOpamp::describe(DeviceInfo& info) const {
+  info.kind = "opamp";
+  info.terminals = {{"out", out_}, {"in+", ip_}, {"in-", in_}};
+  // The output is driven against ground: rigidly when ideal, through
+  // the finite output resistance otherwise.
+  info.edges = {{out_, kGround,
+                 r_out_ > 0.0 ? DcCoupling::kConductive : DcCoupling::kRigid,
+                 r_out_}};
+  return true;
+}
+
 }  // namespace sscl::spice

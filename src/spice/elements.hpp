@@ -21,6 +21,7 @@ class Resistor final : public Device {
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   void add_noise(NoiseContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
   double resistance() const { return resistance_; }
   void set_resistance(double r);
@@ -39,6 +40,7 @@ class Capacitor final : public Device {
   void setup(SetupContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
   double capacitance() const { return capacitance_; }
   void set_capacitance(double c) { capacitance_ = c; }
@@ -56,6 +58,7 @@ class Inductor final : public Device {
   void setup(SetupContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
   BranchId branch() const { return branch_; }
 
@@ -75,6 +78,7 @@ class VoltageSource final : public Device {
   void load_ac(AcContext& ctx) const override;
   void add_breakpoints(double tstop,
                        std::vector<double>& breakpoints) const override;
+  bool describe(DeviceInfo& info) const override;
 
   const SourceSpec& spec() const { return spec_; }
   void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
@@ -98,6 +102,7 @@ class CurrentSource final : public Device {
   void load_ac(AcContext& ctx) const override;
   void add_breakpoints(double tstop,
                        std::vector<double>& breakpoints) const override;
+  bool describe(DeviceInfo& info) const override;
 
   const SourceSpec& spec() const { return spec_; }
   void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
@@ -116,6 +121,7 @@ class Vcvs final : public Device {
   void setup(SetupContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
  private:
   NodeId op_, on_, cp_, cn_;
@@ -131,6 +137,7 @@ class Vccs final : public Device {
 
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
   void set_gm(double gm) { gm_ = gm; }
 
@@ -147,6 +154,7 @@ class Cccs final : public Device {
 
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
  private:
   NodeId op_, on_;
@@ -163,6 +171,7 @@ class Ccvs final : public Device {
   void setup(SetupContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
  private:
   NodeId op_, on_;
@@ -186,6 +195,7 @@ class SoftOpamp final : public Device {
   void setup(SetupContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
+  bool describe(DeviceInfo& info) const override;
 
  private:
   NodeId out_, ip_, in_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lint/check.hpp"
 #include "util/log.hpp"
 
 namespace sscl::spice {
@@ -10,6 +11,7 @@ namespace sscl::spice {
 Engine::Engine(Circuit& circuit, SolverOptions options)
     : circuit_(circuit), options_(options), system_(0) {
   circuit_.elaborate();
+  if (options_.lint) lint::enforce_circuit(circuit_);
   system_ = LinearSystem(circuit_.unknown_count());
   state_prev_.assign(circuit_.state_count(), 0.0);
   state_now_.assign(circuit_.state_count(), 0.0);

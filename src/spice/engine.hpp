@@ -26,6 +26,10 @@ struct SolverOptions {
   int max_iterations = 200;    ///< Newton iterations per solve point
   double gmin = 1e-15;         ///< diagonal conductance floor [S]
   double max_step_v = 0.5;     ///< Newton voltage-step damping limit [V]
+  /// Run the lint ERC rules over the elaborated circuit before solving;
+  /// errors (floating nodes, voltage-source loops, ...) throw
+  /// lint::LintError instead of surfacing as convergence mysteries.
+  bool lint = true;
 };
 
 /// Thrown when an analysis cannot converge.

@@ -1,0 +1,7 @@
+* node held only by capacitors: singular DC matrix
+V1 vdd 0 1.0
+R1 vdd 0 1meg
+C1 vdd hold 1p
+C2 hold 0 1p
+.op
+.end

@@ -1,0 +1,7 @@
+* resistive island with no DC path to ground
+V1 vdd 0 1.0
+R1 vdd 0 1meg
+Ra a b 1k
+Rb b c 1k
+.op
+.end

@@ -1,0 +1,7 @@
+* current source with no DC return path (blocked by the capacitor)
+V1 vdd 0 1.0
+R1 vdd 0 1meg
+I1 0 n 1n
+C1 n 0 1p
+.op
+.end

@@ -1,0 +1,6 @@
+* two voltage sources fighting over the same node pair
+V1 a 0 1.0
+V2 a 0 2.0
+R1 a 0 1k
+.op
+.end

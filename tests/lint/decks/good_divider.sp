@@ -1,0 +1,6 @@
+* clean resistive divider
+V1 vdd 0 1.0
+R1 vdd mid 1k
+R2 mid 0 1k
+.op
+.end

@@ -1,0 +1,11 @@
+* STSCL-style source-coupled pair with a proper subthreshold tail bias
+Vdd vdd 0 1.0
+Vip inp 0 0.55
+Vin inn 0 0.45
+Rl1 vdd outp 10meg
+Rl2 vdd outn 10meg
+M1 outp inp tail 0 nmos_hvt W=2u L=1u
+M2 outn inn tail 0 nmos_hvt W=2u L=1u
+Iss tail 0 100p
+.op
+.end
