@@ -1,0 +1,41 @@
+/// libFuzzer harness for device::parse_deck. The parser consumes
+/// untrusted SPICE text (CLI users point sscl-lint / deck_runner at
+/// arbitrary files), so it must never crash, overflow or hang on any
+/// byte sequence — the only acceptable failure is a DeckError with a
+/// line number. Successfully parsed decks are additionally pushed
+/// through the analog ERC rules, which walk the freshly built circuit
+/// and would trip ASan on any dangling element reference.
+///
+/// Build (clang only):
+///   cmake -B build-fuzz -S . -DSSCL_FUZZ=ON
+///         -DCMAKE_CXX_COMPILER=clang++ -DSSCL_SANITIZE=address,undefined
+///   cmake --build build-fuzz --target fuzz_deck_parser
+/// Run with the checked-in decks as the seed corpus:
+///   mkdir -p corpus && cp tests/lint/decks/*.sp corpus/
+///   ./build-fuzz/fuzz/fuzz_deck_parser corpus -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "device/deck_parser.hpp"
+#include "lint/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Cap the input: the parser is line-oriented and linear, but a huge
+  // element count makes the ERC graph walk quadratic-ish and the run
+  // would spend its budget on one pathological deck.
+  if (size > 1 << 16) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const sscl::device::ParsedDeck deck = sscl::device::parse_deck(text);
+    if (deck.circuit) {
+      (void)sscl::lint::check_circuit(*deck.circuit);
+    }
+  } catch (const sscl::device::DeckError&) {
+    // Malformed deck: the one contract-sanctioned outcome.
+  } catch (const std::invalid_argument&) {
+    // Element factories reject out-of-range values the grammar allows.
+  }
+  return 0;
+}

@@ -28,13 +28,23 @@ EventSim::EventSim(const Netlist& netlist, const stscl::SclModel& timing,
       fanout_[netlist_.clock_signal()].push_back(gi);
     }
   }
+  set_iss(iss);
   // Evaluate everything once so constant cones settle.
   for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {
     queue_.push({0.0, seq_++, gi});
   }
 }
 
-void EventSim::set_iss(double iss) { delay_ = timing_.delay(iss); }
+void EventSim::set_iss(double iss) {
+  delay_ = timing_.delay(iss);
+  const auto& gates = netlist_.gates();
+  gate_delay_.resize(gates.size());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const SignalId out = gates[gi].out;
+    const bool valid = out >= 0 && out < netlist_.signal_count();
+    gate_delay_[gi] = timing_.delay(iss, valid ? netlist_.fanout_of(out) : 1);
+  }
+}
 
 bool EventSim::eval_gate(const Gate& g) const {
   auto in = [&](int i) { return values_[g.in[i].sig] ^ g.in[i].neg; };
@@ -86,8 +96,8 @@ bool EventSim::eval_gate(const Gate& g) const {
 void EventSim::schedule_fanout(SignalId sig) {
   for (int gi : fanout_[sig]) {
     const GateKind kind = netlist_.gates()[gi].kind;
-    queue_.push(
-        {now_ + delay_ * kind_factor_[static_cast<int>(kind)], seq_++, gi});
+    queue_.push({now_ + gate_delay_[gi] * kind_factor_[static_cast<int>(kind)],
+                 seq_++, gi});
   }
 }
 

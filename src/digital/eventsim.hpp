@@ -47,8 +47,12 @@ class EventSim {
   /// Total signal transitions processed (activity metric).
   long long transition_count() const { return transitions_; }
 
-  /// Gate delay used for combinational evaluation [s].
+  /// Delay of a gate at the calibration load (fanout 1) [s]. Individual
+  /// gates run slower in proportion to their fanout-aware load.
   double gate_delay() const { return delay_; }
+
+  /// Fanout-aware delay of one specific gate (before its kind factor).
+  double gate_delay(int gate) const { return gate_delay_[gate]; }
 
   /// Change the tail current (rescales every gate delay); takes effect
   /// for newly scheduled events.
@@ -81,6 +85,7 @@ class EventSim {
   const Netlist& netlist_;
   stscl::SclModel timing_;
   double delay_;
+  std::vector<double> gate_delay_;  // per-gate fanout-aware delay [s]
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::vector<char> values_;

@@ -66,6 +66,7 @@ bool is_latching(GateKind kind) {
 SignalId Netlist::new_signal(const std::string& name) {
   names_.push_back(name);
   driver_.push_back(-1);
+  fanout_.push_back(0);
   return signal_count_++;
 }
 
@@ -104,6 +105,7 @@ SignalId Netlist::add(GateKind kind, const std::vector<Ref>& inputs,
   g.out = new_signal(name);
   g.name = name;
   driver_[g.out] = static_cast<int>(gates_.size());
+  for (const Ref& r : inputs) ++fanout_[r.sig];
   gates_.push_back(g);
   return g.out;
 }
@@ -111,6 +113,10 @@ SignalId Netlist::add(GateKind kind, const std::vector<Ref>& inputs,
 void Netlist::add_gate(const Gate& g) {
   if (g.out >= 0 && g.out < signal_count_ && driver_[g.out] < 0) {
     driver_[g.out] = static_cast<int>(gates_.size());
+  }
+  for (int i = 0; i < input_count(g.kind); ++i) {
+    const SignalId s = g.in[i].sig;
+    if (s >= 0 && s < signal_count_) ++fanout_[s];
   }
   gates_.push_back(g);
 }

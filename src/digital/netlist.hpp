@@ -156,6 +156,10 @@ class Netlist {
   /// Which gate drives a signal (-1 for primary inputs / clock).
   int driver_of(SignalId s) const { return driver_[s]; }
 
+  /// How many gate data inputs a signal drives (its load fanout). The
+  /// fanout-aware delay model turns this into a per-gate CL.
+  int fanout_of(SignalId s) const { return fanout_[s]; }
+
   /// Longest combinational path (in gates) between latch boundaries /
   /// primary inputs and latch inputs / any output. This is the paper's
   /// "logic depth" NL that pipelining reduces to ~1.
@@ -180,6 +184,7 @@ class Netlist {
   std::vector<Gate> gates_;
   std::vector<SignalId> inputs_;
   std::vector<int> driver_;  // signal -> gate index or -1
+  std::vector<int> fanout_;  // signal -> driven gate-input count
   std::vector<std::string> names_;
   SignalId clock_ = kNoSignal;
 };

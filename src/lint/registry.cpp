@@ -26,6 +26,9 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   out.push_back(rules::make_comb_loop_rule());
   out.push_back(rules::make_latch_phase_rule());
   out.push_back(rules::make_dead_output_rule());
+  // Static-timing backed DRC (runs the sta engine internally).
+  out.push_back(rules::make_latch_depth_imbalance_rule());
+  out.push_back(rules::make_zero_slack_phase_rule());
   return out;
 }
 

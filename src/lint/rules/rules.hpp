@@ -29,4 +29,8 @@ std::unique_ptr<Rule> make_comb_loop_rule();        // comb-loop
 std::unique_ptr<Rule> make_dead_output_rule();      // dead-output
 std::unique_ptr<Rule> make_latch_phase_rule();      // latch-phase
 
+// ---- digital, static-timing backed (sscl_sta) ------------------------
+std::unique_ptr<Rule> make_latch_depth_imbalance_rule();  // latch-depth-imbalance
+std::unique_ptr<Rule> make_zero_slack_phase_rule();       // zero-slack-phase
+
 }  // namespace sscl::lint::rules

@@ -1,0 +1,92 @@
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "sta/sta.hpp"
+
+namespace sscl::sta {
+
+namespace {
+
+std::string eng(double v, const char* unit) {
+  struct Scale {
+    double mul;
+    const char* prefix;
+  };
+  static const Scale scales[] = {{1e-15, "f"}, {1e-12, "p"}, {1e-9, "n"},
+                                 {1e-6, "u"},  {1e-3, "m"},  {1.0, ""},
+                                 {1e3, "k"},   {1e6, "M"},   {1e9, "G"}};
+  const double mag = v < 0 ? -v : v;
+  const Scale* best = &scales[5];
+  if (mag > 0) {
+    for (const Scale& s : scales) {
+      if (mag >= s.mul * 0.9995) best = &s;
+    }
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3g %s%s", v / best->mul, best->prefix,
+                unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string TimingReport::text() const {
+  std::ostringstream os;
+  os << "sta report: period " << eng(period, "s") << " (fop "
+     << eng(1.0 / period, "Hz") << "), iss " << eng(iss, "A") << "\n";
+  os << "  " << (feasible ? "FEASIBLE" : "INFEASIBLE") << ", worst slack "
+     << eng(worst_slack, "s") << ", " << latches.size() << " latches in "
+     << max_rank << " ranks, max depth NL=" << max_depth
+     << (has_feedback ? ", latch feedback" : "") << "\n";
+  os << "  power: static " << eng(static_power, "W") << ", dynamic (eq.1) "
+     << eng(dynamic_power, "W") << "\n";
+
+  if (!stages.empty()) {
+    os << "stages:\n";
+    for (const StageTiming& st : stages) {
+      os << "  rank " << st.rank << " phase " << (st.phase ? "H" : "L")
+         << ": " << st.latches << " latches, depth " << st.depth
+         << ", slack " << eng(st.slack, "s") << " (" << st.worst_name
+         << "), cap " << eng(st.path_cap, "F") << ", eq.1 "
+         << eng(st.power_eq1, "W") << "\n";
+    }
+  }
+  if (!critical.steps.empty()) {
+    os << "critical path (slack " << eng(critical.slack, "s")
+       << ", required " << eng(critical.required, "s") << ", cap "
+       << eng(critical.path_cap, "F") << ", eq.1 "
+       << eng(critical.power_eq1, "W") << "):\n";
+    for (const PathStep& ps : critical.steps) {
+      os << "  " << ps.name << " (fo=" << ps.fanout << ", cl="
+         << eng(ps.load_cap, "F") << ", td=" << eng(ps.delay, "s")
+         << ") -> " << eng(ps.arrival, "s") << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string TimingReport::stage_csv() const {
+  std::ostringstream os;
+  os << "rank,phase,latches,depth,slack,worst,path_cap,power_eq1\n";
+  os.precision(9);
+  for (const StageTiming& st : stages) {
+    os << st.rank << ',' << (st.phase ? 1 : 0) << ',' << st.latches << ','
+       << st.depth << ',' << st.slack << ',' << st.worst_name << ','
+       << st.path_cap << ',' << st.power_eq1 << "\n";
+  }
+  return os.str();
+}
+
+std::string TimingReport::path_csv() const {
+  std::ostringstream os;
+  os << "gate,name,fanout,load_cap,delay,arrival\n";
+  os.precision(9);
+  for (const PathStep& ps : critical.steps) {
+    os << ps.gate << ',' << ps.name << ',' << ps.fanout << ',' << ps.load_cap
+       << ',' << ps.delay << ',' << ps.arrival << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sscl::sta

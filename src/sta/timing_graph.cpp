@@ -1,0 +1,152 @@
+#include "sta/timing_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+namespace sscl::sta {
+
+using digital::Gate;
+using digital::GateKind;
+using digital::Netlist;
+using digital::SignalId;
+
+namespace {
+
+void validate(const Netlist& nl) {
+  const int ns = nl.signal_count();
+  const auto& gates = nl.gates();
+  bool any_latch = false;
+  for (int gi = 0; gi < static_cast<int>(gates.size()); ++gi) {
+    const Gate& g = gates[gi];
+    if (g.out < 0 || g.out >= ns) {
+      throw StaError("sta: gate '" + g.name + "' has an invalid output");
+    }
+    if (nl.driver_of(g.out) != gi) {
+      throw StaError("sta: signal '" + nl.signal_name(g.out) +
+                     "' is multi-driven");
+    }
+    for (int i = 0; i < digital::input_count(g.kind); ++i) {
+      if (g.in[i].sig < 0 || g.in[i].sig >= ns) {
+        throw StaError("sta: gate '" + g.name + "' input " +
+                       std::to_string(i) + " is unconnected");
+      }
+    }
+    any_latch = any_latch || digital::is_latching(g.kind);
+  }
+  if (any_latch && nl.clock_signal() == digital::kNoSignal) {
+    throw StaError("sta: latching gates but no clock signal");
+  }
+}
+
+}  // namespace
+
+TimingGraph build_timing_graph(const Netlist& nl, const stscl::SclModel& model,
+                               double iss, const StaOptions& options) {
+  validate(nl);
+  const auto& gates = nl.gates();
+  const int n = static_cast<int>(gates.size());
+  const int ns = nl.signal_count();
+
+  TimingGraph tg;
+  tg.gate.resize(n);
+  tg.rank_sig.assign(ns, 0);
+  tg.depth_sig.assign(ns, 0);
+
+  // Kahn topological sort over driver edges. Leftover gates mean a
+  // cycle; legal only when it runs through a latch (state feedback).
+  std::vector<int> indeg(n, 0);
+  for (int gi = 0; gi < n; ++gi) {
+    const Gate& g = gates[gi];
+    for (int i = 0; i < digital::input_count(g.kind); ++i) {
+      if (nl.driver_of(g.in[i].sig) >= 0) ++indeg[gi];
+    }
+  }
+  // Fanout adjacency (driver gate -> consumer gates).
+  std::vector<std::vector<int>> consumers(ns);
+  for (int gi = 0; gi < n; ++gi) {
+    const Gate& g = gates[gi];
+    for (int i = 0; i < digital::input_count(g.kind); ++i) {
+      consumers[g.in[i].sig].push_back(gi);
+    }
+  }
+  std::deque<int> ready;
+  for (int gi = 0; gi < n; ++gi) {
+    if (indeg[gi] == 0) ready.push_back(gi);
+  }
+  tg.order.reserve(n);
+  std::vector<char> placed(n, 0);
+  while (!ready.empty()) {
+    const int gi = ready.front();
+    ready.pop_front();
+    tg.order.push_back(gi);
+    placed[gi] = 1;
+    for (int c : consumers[gates[gi].out]) {
+      if (--indeg[c] == 0) ready.push_back(c);
+    }
+  }
+  if (static_cast<int>(tg.order.size()) != n) {
+    // Cycle. A latch on the cycle makes it sequential feedback: append
+    // the leftovers in construction order and let the analyzer iterate.
+    bool latch_on_cycle = false;
+    for (int gi = 0; gi < n; ++gi) {
+      if (!placed[gi] && digital::is_latching(gates[gi].kind)) {
+        latch_on_cycle = true;
+        break;
+      }
+    }
+    if (!latch_on_cycle) {
+      throw StaError("sta: combinational loop (run lint for the cycle)");
+    }
+    tg.has_feedback = true;
+    for (int gi = 0; gi < n; ++gi) {
+      if (!placed[gi]) tg.order.push_back(gi);
+    }
+  }
+  tg.order_pos.assign(n, 0);
+  for (int p = 0; p < n; ++p) tg.order_pos[tg.order[p]] = p;
+
+  // Per-gate load and delay from the shared fanout-aware model.
+  for (int gi = 0; gi < n; ++gi) {
+    const Gate& g = gates[gi];
+    GateTiming& t = tg.gate[gi];
+    t.fanout = nl.fanout_of(g.out);
+    t.load_cap = model.load_cap(t.fanout);
+    t.delay = model.delay_for_load(iss, t.load_cap) *
+              options.kind_factor[static_cast<int>(g.kind)];
+  }
+
+  // Levelize: depth resets at latch outputs, rank increments through
+  // latches. One pass suffices on a DAG; with feedback the first pass
+  // fixes ranks (back edges would otherwise increment forever).
+  for (int p = 0; p < n; ++p) {
+    const int gi = tg.order[p];
+    const Gate& g = gates[gi];
+    GateTiming& t = tg.gate[gi];
+    int d_in = 0;
+    int r_in = 0;
+    for (int i = 0; i < digital::input_count(g.kind); ++i) {
+      const SignalId s = g.in[i].sig;
+      d_in = std::max(d_in, tg.depth_sig[s]);
+      r_in = std::max(r_in, tg.rank_sig[s]);
+    }
+    t.depth = d_in + 1;
+    if (digital::is_latching(g.kind)) {
+      t.rank = r_in + 1;
+      tg.depth_sig[g.out] = 0;
+      tg.rank_sig[g.out] = t.rank;
+      tg.latches.push_back(gi);
+    } else {
+      t.rank = r_in + 1;  // stage this gate's evaluation belongs to
+      tg.depth_sig[g.out] = t.depth;
+      tg.rank_sig[g.out] = r_in;
+    }
+    tg.max_rank = std::max(tg.max_rank, digital::is_latching(g.kind)
+                                            ? t.rank
+                                            : 0);
+    tg.max_depth = std::max(tg.max_depth, t.depth);
+  }
+  return tg;
+}
+
+}  // namespace sscl::sta

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file timing_graph.hpp
+/// Levelized view of a digital::Netlist for static timing: a validated
+/// topological evaluation order, per-gate fanout-aware loads and delays,
+/// per-signal logic depth and pipeline rank. Latch feedback loops (state
+/// machines) are legal; the edges that close them are evaluated with a
+/// one-period relaxation by the analyzer. Combinational loops are not
+/// and throw StaError, as do structurally broken netlists — the lint
+/// comb-loop / multi-driven rules name the same defects with better
+/// messages, which is why analyze() runs the DRC first by default.
+
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace sscl::sta {
+
+struct GateTiming {
+  int fanout = 0;         ///< driven gate inputs at the output
+  double load_cap = 0.0;  ///< fanout-aware CL [F]
+  double delay = 0.0;     ///< delay at the analysis iss, kind factor in [s]
+  int rank = 0;           ///< stage this gate evaluates in (1-based)
+  int depth = 0;          ///< comb gates from the stage boundary, incl. self
+};
+
+struct TimingGraph {
+  std::vector<int> order;      ///< topological evaluation order
+  std::vector<int> order_pos;  ///< gate -> position in order
+  std::vector<GateTiming> gate;
+  std::vector<int> latches;    ///< latching gate indices, evaluation order
+  std::vector<int> rank_sig;   ///< signal -> rank of its driving stage
+  std::vector<int> depth_sig;  ///< signal -> comb depth from boundary
+  bool has_feedback = false;   ///< latch loops: `order` is approximate
+  int max_rank = 0;
+  int max_depth = 0;
+};
+
+/// Build the graph; validates wiring and levelizes. Throws StaError on
+/// combinational loops, multi-driven outputs, out-of-range inputs, or
+/// latches without a clock signal.
+TimingGraph build_timing_graph(const digital::Netlist& netlist,
+                               const stscl::SclModel& model, double iss,
+                               const StaOptions& options = {});
+
+}  // namespace sscl::sta

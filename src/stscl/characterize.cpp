@@ -243,4 +243,31 @@ SclModel fit_scl_model(const device::Process& process, const SclParams& params,
   return m;
 }
 
+SclModel fit_scl_model_fanout(const device::Process& process,
+                              const SclParams& params,
+                              const std::vector<int>& fanouts) {
+  if (fanouts.size() < 2) {
+    throw std::invalid_argument("fit_scl_model_fanout: need >= 2 fanouts");
+  }
+  constexpr double kLn2 = 0.6931471805599453;
+  // Least-squares line through (fanout, effective CL) points.
+  double sf = 0, sc = 0, sff = 0, sfc = 0;
+  for (int f : fanouts) {
+    const DelayResult d = measure_buffer_delay(process, params, f);
+    const double cl_eff = d.td_avg * params.iss / (kLn2 * params.vsw);
+    sf += f;
+    sc += cl_eff;
+    sff += static_cast<double>(f) * f;
+    sfc += f * cl_eff;
+  }
+  const double n = static_cast<double>(fanouts.size());
+  const double b = (n * sfc - sf * sc) / (n * sff - sf * sf);
+  const double a = (sc - b * sf) / n;
+  SclModel m;
+  m.vsw = params.vsw;
+  m.cl = a + b;
+  m.cin = b;
+  return m;
+}
+
 }  // namespace sscl::stscl

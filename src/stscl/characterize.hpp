@@ -48,6 +48,15 @@ double measure_static_current(const device::Process& process,
 SclModel fit_scl_model(const device::Process& process, const SclParams& params,
                        const std::vector<double>& iss_points, int fanout = 1);
 
+/// Fit the fanout-aware model: measure the buffer delay at every fanout
+/// in \p fanouts (default 1..4), least-squares fit the effective load
+/// CL(f) = a + b*f, and return a model with cl = a + b (the fanout-1
+/// load) and cin = b (incremental load per driven input). The SclModel
+/// defaults are this fit on the c180 process at iss = 1 nA.
+SclModel fit_scl_model_fanout(const device::Process& process,
+                              const SclParams& params,
+                              const std::vector<int>& fanouts = {1, 2, 3, 4});
+
 /// Cell types the gate-delay characterisation covers.
 enum class CellKind { kBuffer, kAnd2, kXor2, kXor3, kMaj3 };
 

@@ -9,9 +9,14 @@ namespace {
 constexpr double kLn2 = 0.6931471805599453;
 }
 
-double SclModel::delay(double iss) const {
+double SclModel::load_cap(int fanout) const {
+  return cl + (fanout > 1 ? (fanout - 1) * cin : 0.0);
+}
+
+double SclModel::delay_for_load(double iss, double load) const {
   if (iss <= 0) throw std::invalid_argument("SclModel::delay: iss <= 0");
-  return kLn2 * vsw * cl / iss;
+  if (load <= 0) throw std::invalid_argument("SclModel::delay: load <= 0");
+  return kLn2 * vsw * load / iss;
 }
 
 double SclModel::iss_for_delay(double td) const {
@@ -21,6 +26,11 @@ double SclModel::iss_for_delay(double td) const {
 
 double SclModel::path_power(double nl, double fop, double vdd) const {
   return 2.0 * kLn2 * vsw * cl * nl * fop * vdd;
+}
+
+double SclModel::path_power_for_cap(double path_cap, double fop,
+                                    double vdd) const {
+  return 2.0 * kLn2 * vsw * path_cap * fop * vdd;
 }
 
 double SclModel::fmax(double iss, double nl) const {

@@ -38,18 +38,42 @@ struct SclParams {
 ///   gate delay  td = ln2 * Vsw * CL / Iss
 ///   cell power  P  = Iss * VDD
 ///   eq. (1)     P_path = 2 ln2 * Vsw * CL * NL * fop * VDD
+///
+/// The load is fanout-aware: `cl` is the effective output capacitance of
+/// a gate driving ONE input (self-loading, wiring and one gate input),
+/// and every additional driven input adds `cin`. Both defaults are
+/// calibrated against measure_buffer_delay() on the c180 process at
+/// fanouts 1..4 (see fit_scl_model_fanout); the delay-vs-fanout
+/// characteristic is linear to a few percent over the whole tuning
+/// range, exactly as the paper's td = ln2*Vsw*CL/Iss predicts.
 struct SclModel {
-  double vsw = 0.2;  ///< output swing [V]
-  double cl = 2e-15; ///< effective load capacitance per gate [F]
+  double vsw = 0.2;     ///< output swing [V]
+  double cl = 11.5e-15; ///< effective load capacitance at fanout 1 [F]
+  double cin = 6.0e-15; ///< extra load per additional driven input [F]
 
-  double delay(double iss) const;
-  /// Tail current needed for a target delay.
+  /// Effective load of a gate whose output drives \p fanout gate inputs.
+  /// Clamped below at the calibration fanout of one: an unloaded output
+  /// still carries its own wiring and drain junctions.
+  double load_cap(int fanout) const;
+  /// Delay for an explicit load capacitance: td = ln2 * Vsw * CL / Iss.
+  double delay_for_load(double iss, double load) const;
+
+  /// Delay at the calibration load (fanout 1).
+  double delay(double iss) const { return delay_for_load(iss, cl); }
+  /// Fanout-aware delay: the one model EventSim and sta share.
+  double delay(double iss, int fanout) const {
+    return delay_for_load(iss, load_cap(fanout));
+  }
+  /// Tail current needed for a target delay at the calibration load.
   double iss_for_delay(double td) const;
   /// Static (and total) power of one cell.
   static double cell_power(double iss, double vdd) { return iss * vdd; }
   /// Paper eq. (1): power of a longest-path cell at operating frequency
   /// fop with logic depth nl.
   double path_power(double nl, double fop, double vdd) const;
+  /// Eq. (1) with an explicit accumulated path capacitance (the
+  /// fanout-aware CL*NL term summed gate by gate, as sta reports it).
+  double path_power_for_cap(double path_cap, double fop, double vdd) const;
   /// Maximum toggle frequency for a pipeline of depth nl.
   double fmax(double iss, double nl) const;
 };

@@ -1,0 +1,49 @@
+// EventSim and sta share one fanout-aware delay model: every gate runs
+// at model.delay(iss, fanout of its output), not at the calibration
+// load. This pins the contract the static analyzer depends on.
+
+#include <gtest/gtest.h>
+
+#include "digital/eventsim.hpp"
+#include "digital/netlist.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::digital {
+namespace {
+
+TEST(EventSimFanout, PerGateDelayTracksOutputFanout) {
+  Netlist nl;
+  const auto a = nl.input("a");
+  const auto x = nl.buf(a, "x");  // fanout 3 below
+  const auto y = nl.buf(x, "y");  // fanout 1
+  nl.and2(x, x, "z");             // fanout 0 (sink)
+  nl.buf(y, "w");                 // fanout 0 (sink)
+
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+  EventSim sim(nl, m, iss);
+
+  EXPECT_EQ(nl.fanout_of(x), 3);
+  EXPECT_DOUBLE_EQ(sim.gate_delay(nl.driver_of(x)), m.delay(iss, 3));
+  EXPECT_DOUBLE_EQ(sim.gate_delay(nl.driver_of(y)), m.delay(iss, 1));
+  // Unloaded outputs clamp to the calibration (fanout-1) load.
+  EXPECT_DOUBLE_EQ(sim.gate_delay(), m.delay(iss));
+  const double d3 = sim.gate_delay(nl.driver_of(x));
+  EXPECT_NEAR(d3 / sim.gate_delay(), (m.cl + 2 * m.cin) / m.cl, 1e-12);
+}
+
+TEST(EventSimFanout, SetIssRescalesEveryGate) {
+  Netlist nl;
+  const auto a = nl.input("a");
+  const auto x = nl.buf(a, "x");
+  nl.and2(x, x, "z");
+
+  const stscl::SclModel m;
+  EventSim sim(nl, m, 1e-9);
+  const double before = sim.gate_delay(nl.driver_of(x));
+  sim.set_iss(1e-8);  // delay ~ 1/Iss
+  EXPECT_NEAR(sim.gate_delay(nl.driver_of(x)) / before, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace sscl::digital

@@ -1,0 +1,108 @@
+// Exhaustive per-kind coverage of the GateKind lookup tables. Every
+// kind in [0, kGateKindCount) is asserted against the paper's cell
+// library: stacked NMOS levels (area/headroom), data-input arity and
+// latching behaviour. A new enumerator fails here until all three
+// tables and this test are extended together.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "digital/netlist.hpp"
+
+namespace sscl::digital {
+namespace {
+
+struct KindRow {
+  GateKind kind;
+  const char* name;
+  int stack;
+  int inputs;
+  bool latching;
+};
+
+constexpr KindRow kRows[] = {
+    {GateKind::kBuf, "buf", 1, 1, false},
+    {GateKind::kAnd2, "and2", 2, 2, false},
+    {GateKind::kOr2, "or2", 2, 2, false},
+    {GateKind::kXor2, "xor2", 2, 2, false},
+    {GateKind::kOr4, "or4", 3, 4, false},
+    {GateKind::kMux2, "mux2", 2, 3, false},
+    {GateKind::kMaj3, "maj3", 3, 3, false},
+    {GateKind::kLatch, "latch", 2, 1, true},
+    {GateKind::kMaj3Latch, "maj3_latch", 4, 3, true},
+    {GateKind::kAnd2Latch, "and2_latch", 3, 2, true},
+    {GateKind::kOr2Latch, "or2_latch", 3, 2, true},
+    {GateKind::kXor2Latch, "xor2_latch", 3, 2, true},
+    {GateKind::kOr4Latch, "or4_latch", 4, 4, true},
+    {GateKind::kMux2Latch, "mux2_latch", 3, 3, true},
+    {GateKind::kXor3, "xor3", 3, 3, false},
+    {GateKind::kXor3Latch, "xor3_latch", 4, 3, true},
+};
+
+TEST(GateTables, EveryKindHasARow) {
+  ASSERT_EQ(static_cast<int>(std::size(kRows)), kGateKindCount);
+  for (int k = 0; k < kGateKindCount; ++k) {
+    EXPECT_EQ(static_cast<int>(kRows[k].kind), k)
+        << "row order must follow the enum";
+  }
+}
+
+TEST(GateTables, TablesMatchTheCellLibrary) {
+  for (const KindRow& row : kRows) {
+    SCOPED_TRACE(row.name);
+    EXPECT_EQ(stack_levels(row.kind), row.stack);
+    EXPECT_EQ(input_count(row.kind), row.inputs);
+    EXPECT_EQ(is_latching(row.kind), row.latching);
+  }
+}
+
+TEST(GateTables, TableInvariants) {
+  for (const KindRow& row : kRows) {
+    SCOPED_TRACE(row.name);
+    // One tail current drives 1..4 stacked pair levels.
+    EXPECT_GE(stack_levels(row.kind), 1);
+    EXPECT_LE(stack_levels(row.kind), 4);
+    // Arity fits the Gate::in array.
+    EXPECT_GE(input_count(row.kind), 1);
+    EXPECT_LE(input_count(row.kind), 4);
+    // A merged output latch costs exactly one extra stack level over
+    // some combinational kind with the same arity — spot-check the
+    // paired kinds directly below.
+  }
+  EXPECT_EQ(stack_levels(GateKind::kAnd2Latch),
+            stack_levels(GateKind::kAnd2) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kOr2Latch), stack_levels(GateKind::kOr2) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kXor2Latch),
+            stack_levels(GateKind::kXor2) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kOr4Latch), stack_levels(GateKind::kOr4) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kMux2Latch),
+            stack_levels(GateKind::kMux2) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kMaj3Latch),
+            stack_levels(GateKind::kMaj3) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kXor3Latch),
+            stack_levels(GateKind::kXor3) + 1);
+  EXPECT_EQ(stack_levels(GateKind::kLatch), stack_levels(GateKind::kBuf) + 1);
+}
+
+TEST(GateTables, AddValidatesArityAgainstTheTable) {
+  for (const KindRow& row : kRows) {
+    SCOPED_TRACE(row.name);
+    Netlist nl;
+    nl.clock();
+    const auto a = nl.input("a");
+    std::vector<Ref> ins(input_count(row.kind), Ref(a));
+    EXPECT_NO_THROW(nl.add(row.kind, ins, "ok"));
+    ins.push_back(Ref(a));
+    EXPECT_THROW(nl.add(row.kind, ins, "bad"), std::invalid_argument);
+  }
+  // Latching kinds refuse to exist before the clock does.
+  Netlist nl;
+  const auto a = nl.input("a");
+  EXPECT_THROW(nl.add(GateKind::kLatch, {Ref(a)}, "l"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sscl::digital

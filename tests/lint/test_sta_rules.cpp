@@ -1,0 +1,102 @@
+// The two static-timing-backed DRC rules: latch-depth-imbalance and
+// zero-slack-phase. Each gets a seeded-bad netlist it must flag and a
+// healthy variant (plus the real encoder) it must stay quiet on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "digital/encoder.hpp"
+#include "digital/netlist.hpp"
+#include "lint/check.hpp"
+
+namespace sscl::lint {
+namespace {
+
+using digital::Netlist;
+using digital::SignalId;
+
+/// One pipelined chain: input -> n_front bufs -> latch(H) -> n_back bufs
+/// -> latch(L). Returns the final latch output.
+SignalId chain(Netlist& nl, int n_front, int n_back, const std::string& tag) {
+  auto s = nl.input("in_" + tag);
+  for (int i = 0; i < n_front; ++i) {
+    s = nl.buf(s, "f" + std::to_string(i) + "_" + tag);
+  }
+  s = nl.latch(s, true, "lh_" + tag);
+  for (int i = 0; i < n_back; ++i) {
+    s = nl.buf(s, "b" + std::to_string(i) + "_" + tag);
+  }
+  return nl.latch(s, false, "ll_" + tag);
+}
+
+TEST(LatchDepthImbalance, FiresOnLopsidedStages) {
+  Netlist nl;
+  nl.clock();
+  // Stage 1 is a bare latch (depth 1); stage 2 carries two buffers plus
+  // the latch (depth 3): imbalance 2, exactly at the warning threshold.
+  auto s = nl.latch(nl.input("a"), true, "l1");
+  s = nl.buf(s, "b0");
+  s = nl.buf(s, "b1");
+  nl.latch(s, false, "l2");
+
+  const Report rep = check_netlist(nl);
+  EXPECT_TRUE(rep.has("latch-depth-imbalance")) << rep.text();
+  EXPECT_TRUE(rep.clean());  // warning, not error
+}
+
+TEST(LatchDepthImbalance, QuietOnBalancedPipelineAndEncoder) {
+  Netlist nl;
+  nl.clock();
+  // Depths 1 and 2: imbalance below the threshold.
+  auto s = nl.latch(nl.input("a"), true, "l1");
+  s = nl.buf(s, "b0");
+  nl.latch(s, false, "l2");
+  EXPECT_FALSE(check_netlist(nl).has("latch-depth-imbalance"));
+
+  Netlist enc;
+  digital::build_fai_encoder(enc);
+  EXPECT_FALSE(check_netlist(enc).has("latch-depth-imbalance"));
+}
+
+TEST(ZeroSlackPhase, FiresWhenOnePhaseCarriesAllTheLogic) {
+  Netlist nl;
+  nl.clock();
+  // Four parallel chains, each with 4 buffers feeding the H-phase latch
+  // and nothing before the L-phase latch: at fmax the H half-period is
+  // exhausted (slack 0) while the L latches keep ~80% of theirs spare.
+  for (int i = 0; i < 4; ++i) chain(nl, 4, 0, std::to_string(i));
+  ASSERT_EQ(nl.latch_count(), 8);
+
+  const Report rep = check_netlist(nl);
+  ASSERT_TRUE(rep.has("zero-slack-phase")) << rep.text();
+  for (const Diagnostic& d : rep.diagnostics()) {
+    if (d.rule == "zero-slack-phase") {
+      EXPECT_EQ(d.location, "phase high");
+    }
+  }
+}
+
+TEST(ZeroSlackPhase, QuietWhenPhasesShareTheBurden) {
+  Netlist nl;
+  nl.clock();
+  // Same latch population, buffers split evenly: both phases bind.
+  for (int i = 0; i < 4; ++i) chain(nl, 2, 2, std::to_string(i));
+  EXPECT_FALSE(check_netlist(nl).has("zero-slack-phase"));
+}
+
+TEST(ZeroSlackPhase, SkipsToyPipelinesAndTheEncoder) {
+  Netlist toy;
+  toy.clock();
+  chain(toy, 4, 0, "t");  // lopsided, but only two latches
+  EXPECT_FALSE(check_netlist(toy).has("zero-slack-phase"));
+
+  // The encoder's idle-phase margin at fmax is ~5% of the half-period,
+  // far under the 40% threshold.
+  Netlist enc;
+  digital::build_fai_encoder(enc);
+  EXPECT_FALSE(check_netlist(enc).has("zero-slack-phase"));
+}
+
+}  // namespace
+}  // namespace sscl::lint

@@ -1,0 +1,61 @@
+#include "sta/crosscheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "digital/encoder.hpp"
+
+namespace sscl::sta {
+namespace {
+
+// Issue acceptance: the analytic fmax tracks the event-simulated one to
+// within 10% at bias currents spanning the paper's 1 nA – 100 nA
+// subthreshold tuning range, while finishing orders of magnitude
+// faster. The sim-capture mode models the simulator's latch-commit
+// semantics (tokens wave-pipeline through transparent latches), which is
+// what makes sub-10% agreement possible.
+class CrossCheckTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossCheckTest, StaTracksEventSimWithin10Percent) {
+  digital::Netlist nl;
+  const digital::EncoderIo io = digital::build_fai_encoder(nl);
+  const stscl::SclModel model;
+
+  StaOptions opt;
+  opt.mode = StaMode::kSimCapture;
+  opt.input_arrival_frac = 0.05;  // the fmax testbench applies data there
+  const FmaxCrossCheck xc =
+      crosscheck_encoder_fmax(nl, io, model, GetParam(), opt);
+
+  EXPECT_GT(xc.f_sim, 0.0);
+  EXPECT_GT(xc.f_sta, 0.0);
+  EXPECT_TRUE(xc.agrees(0.10))
+      << "iss " << xc.iss << ": sta " << xc.f_sta << " Hz vs sim "
+      << xc.f_sim << " Hz (ratio " << xc.ratio << ")";
+  // Wall-clock advantage. The issue demands >= 100x on a quiet machine;
+  // assert a generous floor so sanitizer builds and loaded CI runners
+  // don't flake — the magnitude claim is exercised by sscl-sta --check.
+  EXPECT_GT(xc.speedup, 10.0)
+      << "sta " << xc.sta_seconds << " s vs sim " << xc.sim_seconds << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, CrossCheckTest,
+                         ::testing::Values(1e-9, 1e-8, 1e-7));
+
+TEST(CrossCheck, FmaxScalesLinearlyWithBias) {
+  // td ~ 1/Iss, so both engines' fmax must scale ~linearly in Iss; check
+  // the analytic side across a decade without re-running the simulator.
+  digital::Netlist nl;
+  digital::build_fai_encoder(nl);
+  const stscl::SclModel model;
+  StaOptions opt;
+  opt.mode = StaMode::kSimCapture;
+  opt.input_arrival_frac = 0.05;
+  const double f1 = sta_fmax(nl, model, 1e-9, opt);
+  const double f10 = sta_fmax(nl, model, 1e-8, opt);
+  EXPECT_NEAR(f10 / f1, 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace sscl::sta

@@ -1,0 +1,230 @@
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "digital/encoder.hpp"
+#include "digital/netlist.hpp"
+
+namespace sscl::sta {
+namespace {
+
+using digital::Netlist;
+
+// All gates in these hand-built chains run at the calibration load
+// (fanout 1; unloaded outputs are clamped to it), so every delay is d.
+double unit_delay(const stscl::SclModel& m, double iss) {
+  return m.delay(iss, 1);
+}
+
+/// in -> L1(H) -> n_buf buffers -> L2(L). The classic fmax of this chain
+/// is 1 / ((n_buf + 2) * d): the L-phase capture window closes a full
+/// period after the H-phase launch window opens, so the logic may borrow
+/// straight through the phase boundary.
+Netlist borrowing_chain(int n_buf, digital::SignalId* l2_out = nullptr) {
+  Netlist nl;
+  nl.clock();
+  auto s = nl.latch(nl.input("a"), true, "l1");
+  for (int i = 0; i < n_buf; ++i) s = nl.buf(s, "b" + std::to_string(i));
+  s = nl.latch(s, false, "l2");
+  if (l2_out) *l2_out = s;
+  return nl;
+}
+
+TEST(StaClassic, BorrowingChainFmaxIsTotalPathDelay) {
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+  const double d = unit_delay(m, iss);
+  const Netlist nl = borrowing_chain(4);
+
+  const double f = sta_fmax(nl, m, iss);
+  EXPECT_NEAR(f * 6.0 * d, 1.0, 0.01);  // 1/(d_L1 + 4 d_buf + d_L2)
+
+  // At that clock the capture latch borrows past its phase boundary:
+  // data arrives after the window opens, with essentially zero slack.
+  const TimingReport rep = analyze(nl, m, iss, 1.0 / f);
+  ASSERT_TRUE(rep.feasible);
+  ASSERT_EQ(rep.latches.size(), 2u);
+  const LatchTiming& l2 = rep.latches.back();
+  EXPECT_EQ(l2.name, "l2");
+  EXPECT_GT(l2.arrival, l2.open);          // borrowing in progress
+  EXPECT_LT(l2.slack, 0.02 * rep.period);  // ... and nearly exhausted
+  EXPECT_NEAR(l2.close, rep.period, 1e-9 * rep.period);
+}
+
+TEST(StaClassic, SamePhaseLatchesShareTheWindow) {
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+  const double d = unit_delay(m, iss);
+
+  Netlist same;
+  same.clock();
+  same.latch(same.latch(same.input("a"), true, "l1"), true, "l2");
+  Netlist alt;
+  alt.clock();
+  alt.latch(alt.latch(alt.input("a"), true, "l1"), false, "l2");
+
+  // Same-phase back-to-back latches must both fit in one half-period
+  // (the shoot-through race lint flags); alternation doubles fmax.
+  const double f_same = sta_fmax(same, m, iss);
+  const double f_alt = sta_fmax(alt, m, iss);
+  EXPECT_NEAR(f_same * 4.0 * d, 1.0, 0.01);
+  EXPECT_NEAR(f_alt * 2.0 * d, 1.0, 0.01);
+  EXPECT_NEAR(f_alt / f_same, 2.0, 0.02);
+}
+
+TEST(StaClassic, WindowAdvancesAcrossThePhaseBoundary) {
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+  Netlist nl;
+  nl.clock();
+  nl.latch(nl.latch(nl.latch(nl.input("a"), true, "l1"), false, "l2"), true,
+           "l3");
+
+  const double period = 1.0 / sta_fmax(nl, m, iss) * 2.0;  // relaxed clock
+  const TimingReport rep = analyze(nl, m, iss, period);
+  ASSERT_TRUE(rep.feasible);
+  ASSERT_EQ(rep.latches.size(), 3u);
+  const double tol = 1e-9 * period;
+  // l1 launches in the first H window, l2 in the first L window; l3's
+  // window must be the *second* H window, a full period later.
+  EXPECT_NEAR(rep.latches[0].open, 0.0, tol);
+  EXPECT_NEAR(rep.latches[1].open, period / 2, tol);
+  EXPECT_NEAR(rep.latches[2].open, period, tol);
+  EXPECT_NEAR(rep.latches[2].close, 1.5 * period, tol);
+}
+
+TEST(StaClassic, WorstSlackOfPhasePicksThePhaseMinimum) {
+  const stscl::SclModel m;
+  Netlist nl;
+  nl.clock();
+  nl.latch(nl.latch(nl.latch(nl.input("a"), true, "l1"), false, "l2"), true,
+           "l3");
+  const TimingReport rep = analyze(nl, m, 1e-9, 1e-4);
+  double wh = std::numeric_limits<double>::infinity();
+  double wl = wh;
+  for (const LatchTiming& lt : rep.latches) {
+    (lt.phase ? wh : wl) = std::min(lt.phase ? wh : wl, lt.slack);
+  }
+  EXPECT_DOUBLE_EQ(rep.worst_slack_of_phase(true), wh);
+  EXPECT_DOUBLE_EQ(rep.worst_slack_of_phase(false), wl);
+}
+
+TEST(StaClassic, InfeasiblePeriodReportsNegativeSlack) {
+  const stscl::SclModel m;
+  const Netlist nl = borrowing_chain(4);
+  const double f = sta_fmax(nl, m, 1e-9);
+  const TimingReport rep = analyze(nl, m, 1e-9, 0.25 / f);
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_LT(rep.worst_slack, 0.0);
+}
+
+TEST(StaClassic, InputArrivalDelaysTheWholePipeline) {
+  const stscl::SclModel m;
+  const Netlist nl = borrowing_chain(2);
+  const double period = 2.0 / sta_fmax(nl, m, 1e-9);
+  StaOptions late;
+  late.input_arrival_frac = 0.25;
+  const TimingReport base = analyze(nl, m, 1e-9, period);
+  const TimingReport shifted = analyze(nl, m, 1e-9, period, late);
+  EXPECT_NEAR(shifted.latches[0].arrival - base.latches[0].arrival,
+              0.25 * period, 1e-9 * period);
+}
+
+TEST(Sta, AnalyzeAtStaFmaxIsFeasibleInBothModes) {
+  Netlist nl;
+  const auto io = digital::build_fai_encoder(nl);
+  (void)io;
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+
+  for (const StaMode mode : {StaMode::kClassic, StaMode::kSimCapture}) {
+    StaOptions opt;
+    opt.mode = mode;
+    if (mode == StaMode::kSimCapture) opt.input_arrival_frac = 0.05;
+    const double f = sta_fmax(nl, m, iss, opt);
+    opt.lint = false;
+    const TimingReport rep = analyze(nl, m, iss, 1.0 / f, opt);
+    EXPECT_TRUE(rep.feasible) << "mode " << static_cast<int>(mode);
+    // ... and a slightly faster clock must not be reported as feasible
+    // with runaway slack (the search is tight to ~0.1%).
+    const TimingReport fast = analyze(nl, m, iss, 0.9 / f, opt);
+    EXPECT_FALSE(fast.feasible) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(Sta, SimCaptureFmaxIsAtLeastClassic) {
+  // The classic window discipline is conservative by design: the event
+  // simulator's latches accept wave-pipelined tokens the window model
+  // rejects, so the sim-capture fmax can only be equal or higher.
+  Netlist nl;
+  digital::build_fai_encoder(nl);
+  const stscl::SclModel m;
+  StaOptions sim;
+  sim.mode = StaMode::kSimCapture;
+  sim.input_arrival_frac = 0.05;
+  const double fc = sta_fmax(nl, m, 1e-9);
+  const double fs = sta_fmax(nl, m, 1e-9, sim);
+  EXPECT_GE(fs, 0.999 * fc);
+}
+
+TEST(Sta, PowerBudgetsFollowEq1) {
+  Netlist nl;
+  digital::build_fai_encoder(nl);
+  const stscl::SclModel m;
+  const double iss = 1e-9;
+  const double period = 2.0 / sta_fmax(nl, m, iss);
+  const TimingReport rep = analyze(nl, m, iss, period);
+
+  EXPECT_DOUBLE_EQ(rep.static_power, nl.gate_count() * iss * 1.0);
+  EXPECT_GT(rep.dynamic_power, 0.0);
+  // The critical path's budget is eq. (1) evaluated at the summed
+  // fanout-aware path capacitance.
+  EXPECT_GT(rep.critical.path_cap, 0.0);
+  EXPECT_NEAR(rep.critical.power_eq1,
+              m.path_power_for_cap(rep.critical.path_cap, 1.0 / period, 1.0),
+              1e-18);
+  // Stage budgets sum to the dynamic total.
+  double sum = 0.0;
+  for (const StageTiming& st : rep.stages) sum += st.power_eq1;
+  EXPECT_NEAR(sum, rep.dynamic_power, 1e-15);
+}
+
+TEST(Sta, ReportRenderings) {
+  Netlist nl;
+  digital::build_fai_encoder(nl);
+  const stscl::SclModel m;
+  const TimingReport rep = analyze(nl, m, 1e-9, 2.0 / sta_fmax(nl, m, 1e-9));
+
+  const std::string text = rep.text();
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+
+  const std::string stages = rep.stage_csv();
+  EXPECT_EQ(stages.rfind("rank,phase,latches,depth,slack,worst,", 0), 0u);
+  // One header plus one row per stage.
+  const auto lines = std::count(stages.begin(), stages.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(rep.stages.size()) + 1);
+
+  const std::string path = rep.path_csv();
+  EXPECT_EQ(path.rfind("gate,name,fanout,load_cap,delay,arrival", 0), 0u);
+}
+
+TEST(Sta, RejectsDegenerateRequests) {
+  const stscl::SclModel m;
+  Netlist nl;
+  nl.clock();
+  nl.latch(nl.input("a"), true, "l");
+  EXPECT_THROW(analyze(nl, m, 1e-9, 0.0), StaError);
+
+  Netlist comb;
+  comb.buf(comb.input("a"), "b");
+  EXPECT_THROW(sta_fmax(comb, m, 1e-9), StaError);  // no latches
+}
+
+}  // namespace
+}  // namespace sscl::sta

@@ -1,0 +1,133 @@
+#include "sta/timing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "digital/netlist.hpp"
+
+namespace sscl::sta {
+namespace {
+
+using digital::GateKind;
+using digital::Netlist;
+using digital::Ref;
+
+stscl::SclModel model() { return stscl::SclModel{}; }
+
+TEST(TimingGraph, LevelizesTwoStagePipeline) {
+  Netlist nl;
+  nl.clock();
+  const auto a = nl.input("a");
+  const auto b = nl.input("b");
+  const auto x = nl.and2(a, b, "x");
+  const auto y = nl.buf(x, "y");
+  const auto l1 = nl.latch(y, true, "l1");
+  const auto z = nl.buf(l1, "z");
+  const auto l2 = nl.latch(z, false, "l2");
+  (void)l2;
+
+  const TimingGraph tg = build_timing_graph(nl, model(), 1e-9);
+  EXPECT_FALSE(tg.has_feedback);
+  EXPECT_EQ(tg.max_rank, 2);
+  EXPECT_EQ(tg.max_depth, 3);  // and2 -> buf -> latch
+  ASSERT_EQ(tg.latches.size(), 2u);
+
+  const int gl1 = nl.driver_of(l1);
+  EXPECT_EQ(tg.gate[gl1].rank, 1);
+  EXPECT_EQ(tg.gate[gl1].depth, 3);
+  const int gl2 = tg.latches[1];
+  EXPECT_EQ(tg.gate[gl2].rank, 2);
+  EXPECT_EQ(tg.gate[gl2].depth, 2);  // buf -> latch after the boundary
+}
+
+TEST(TimingGraph, FanoutAwareLoadsMatchModel) {
+  Netlist nl;
+  nl.clock();
+  const auto a = nl.input("a");
+  const auto x = nl.buf(a, "x");  // drives 3 gate inputs below
+  const auto c0 = nl.buf(x, "c0");
+  nl.and2(x, x, "c1");  // two inputs of the same gate count twice
+  const TimingGraph tg = build_timing_graph(nl, model(), 1e-9);
+
+  const int gx = nl.driver_of(x);
+  EXPECT_EQ(tg.gate[gx].fanout, 3);
+  EXPECT_DOUBLE_EQ(tg.gate[gx].load_cap, model().load_cap(3));
+  EXPECT_DOUBLE_EQ(tg.gate[gx].delay, model().delay(1e-9, 3));
+
+  // Unloaded outputs are clamped to the fanout-1 (intrinsic) load.
+  const int gc0 = nl.driver_of(c0);
+  EXPECT_EQ(tg.gate[gc0].fanout, 0);
+  EXPECT_DOUBLE_EQ(tg.gate[gc0].load_cap, model().load_cap(0));
+  EXPECT_DOUBLE_EQ(model().load_cap(0), model().load_cap(1));
+}
+
+TEST(TimingGraph, KindFactorScalesDelay) {
+  Netlist nl;
+  nl.clock();
+  const auto a = nl.input("a");
+  const auto x = nl.maj3(a, a, a, "x");
+  nl.buf(x, "c");  // one consumer: x runs at the fanout-1 load
+  StaOptions opt;
+  opt.kind_factor[static_cast<int>(GateKind::kMaj3)] = 2.5;
+  const TimingGraph tg = build_timing_graph(nl, model(), 1e-9, opt);
+  const int gx = nl.driver_of(x);
+  EXPECT_DOUBLE_EQ(tg.gate[gx].delay, 2.5 * model().delay(1e-9, 1));
+}
+
+TEST(TimingGraph, CombinationalLoopThrows) {
+  Netlist nl;
+  nl.clock();
+  const auto w = nl.signal("w");
+  const auto x = nl.buf(w, "x");
+  digital::Gate g;
+  g.kind = GateKind::kBuf;
+  g.in[0] = Ref(x);
+  g.out = w;
+  g.name = "loopback";
+  nl.add_gate(g);
+  EXPECT_THROW(build_timing_graph(nl, model(), 1e-9), StaError);
+}
+
+TEST(TimingGraph, LatchFeedbackLoopIsLegal) {
+  Netlist nl;
+  nl.clock();
+  const auto q = nl.signal("q");
+  const auto l = nl.latch(Ref(q, true), true, "toggle");
+  digital::Gate g;
+  g.kind = GateKind::kBuf;
+  g.in[0] = Ref(l);
+  g.out = q;
+  g.name = "fb";
+  nl.add_gate(g);
+
+  const TimingGraph tg = build_timing_graph(nl, model(), 1e-9);
+  EXPECT_TRUE(tg.has_feedback);
+  EXPECT_EQ(tg.order.size(), nl.gates().size());
+}
+
+TEST(TimingGraph, UnconnectedInputThrows) {
+  Netlist nl;
+  nl.clock();
+  digital::Gate g;
+  g.kind = GateKind::kAnd2;
+  g.in[0] = Ref(nl.input("a"));
+  g.in[1] = Ref();  // kNoSignal
+  g.out = nl.signal("x");
+  g.name = "broken";
+  nl.add_gate(g);
+  EXPECT_THROW(build_timing_graph(nl, model(), 1e-9), StaError);
+}
+
+TEST(TimingGraph, LatchWithoutClockThrows) {
+  Netlist nl;  // no clock() call
+  const auto a = nl.input("a");
+  digital::Gate g;
+  g.kind = GateKind::kLatch;
+  g.in[0] = Ref(a);
+  g.out = nl.signal("q");
+  g.name = "l";
+  nl.add_gate(g);
+  EXPECT_THROW(build_timing_graph(nl, model(), 1e-9), StaError);
+}
+
+}  // namespace
+}  // namespace sscl::sta

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "stscl/characterize.hpp"
+#include "stscl/scl_params.hpp"
+
+namespace sscl::stscl {
+namespace {
+
+const device::Process kProc = device::Process::c180();
+
+TEST(FanoutModel, LoadCapIsAffineAndClampedBelow) {
+  SclModel m;
+  // An unloaded output still carries its own wiring and junctions.
+  EXPECT_DOUBLE_EQ(m.load_cap(0), m.load_cap(1));
+  EXPECT_DOUBLE_EQ(m.load_cap(1), m.cl);
+  for (int f = 2; f <= 6; ++f) {
+    EXPECT_NEAR(m.load_cap(f) - m.load_cap(f - 1), m.cin, 1e-21);
+  }
+  // Delay follows td = ln2 * Vsw * CL(f) / Iss.
+  EXPECT_NEAR(m.delay(1e-9, 3) / m.delay(1e-9, 1),
+              (m.cl + 2 * m.cin) / m.cl, 1e-9);
+}
+
+TEST(FanoutModel, DefaultsMatchTransistorLevelFit) {
+  // The SclModel defaults are fit_scl_model_fanout() on the c180
+  // process at 1 nA; re-run the fit and confirm the shipped constants
+  // still describe the silicon to within 30%.
+  SclParams p;
+  p.iss = 1e-9;
+  const SclModel fit = fit_scl_model_fanout(kProc, p);
+  const SclModel shipped;
+  EXPECT_GT(fit.cl, 0.0);
+  EXPECT_GT(fit.cin, 0.0);
+  EXPECT_NEAR(fit.cl / shipped.cl, 1.0, 0.3);
+  EXPECT_NEAR(fit.cin / shipped.cin, 1.0, 0.3);
+  // And the fitted model reproduces a measured mid-range point.
+  const DelayResult d2 = measure_cell_delay(kProc, p, CellKind::kBuffer, 2);
+  EXPECT_NEAR(fit.delay(p.iss, 2) / d2.td_avg, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace sscl::stscl
