@@ -12,35 +12,52 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("EXT-A", "32-bit pipelined STSCL adder (paper ref [13])");
 
   stscl::SclModel timing;
   timing.vsw = 0.2;
   timing.cl = 12e-15;
 
-  // --- width sweep: gates, depth, fmax, power at 1 nA.
-  util::Table t({"width", "gates", "comb depth", "fmax @1nA", "P @1nA",
-                 "latency"});
-  util::CsvWriter csv("bench_ext_adder.csv",
-                      {"bits", "gates", "depth", "fmax", "power"});
-  for (int bits : {4, 8, 16, 32}) {
-    digital::Netlist nl;
-    const digital::AdderIo io = digital::build_pipelined_adder(nl, bits);
-    const double fmax = timing.fmax(1e-9, nl.max_combinational_depth());
-    const double p = nl.static_power(1e-9, 1.0);
-    t.row()
-        .add(static_cast<long long>(bits))
-        .add(static_cast<long long>(nl.gate_count()))
-        .add(static_cast<long long>(nl.max_combinational_depth()))
-        .add_unit(fmax, "Hz")
-        .add_unit(p, "W")
-        .add(static_cast<long long>(io.latency_cycles));
-    csv.write_row({static_cast<double>(bits),
-                   static_cast<double>(nl.gate_count()),
-                   static_cast<double>(nl.max_combinational_depth()), fmax, p});
-  }
-  std::cout << t;
+  // --- width sweep: gates, depth, fmax, power at 1 nA.  Each width
+  // builds its own Netlist, so the sweep parallelizes cleanly.
+  struct AdderPoint {
+    int gates = 0;
+    int depth = 0;
+    double fmax = 0.0;
+    double power = 0.0;
+    int latency = 0;
+  };
+  bench::sweep_table(
+      args,
+      {"width", "gates", "comb depth", "fmax @1nA", "P @1nA", "latency"},
+      "bench_ext_adder.csv", {"bits", "gates", "depth", "fmax", "power"},
+      std::vector<int>{4, 8, 16, 32},
+      [&](const int& bits, std::size_t) {
+        digital::Netlist nl;
+        const digital::AdderIo io = digital::build_pipelined_adder(nl, bits);
+        AdderPoint pt;
+        pt.gates = nl.gate_count();
+        pt.depth = nl.max_combinational_depth();
+        pt.fmax = timing.fmax(1e-9, pt.depth);
+        pt.power = nl.static_power(1e-9, 1.0);
+        pt.latency = io.latency_cycles;
+        return pt;
+      },
+      [&](util::Table& row, const int& bits, const AdderPoint& pt,
+          std::size_t) {
+        row.add(static_cast<long long>(bits))
+            .add(static_cast<long long>(pt.gates))
+            .add(static_cast<long long>(pt.depth))
+            .add_unit(pt.fmax, "Hz")
+            .add_unit(pt.power, "W")
+            .add(static_cast<long long>(pt.latency));
+        return std::vector<double>{static_cast<double>(bits),
+                                   static_cast<double>(pt.gates),
+                                   static_cast<double>(pt.depth), pt.fmax,
+                                   pt.power};
+      });
 
   // --- the unpipelined ablation.
   {

@@ -12,48 +12,60 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("EXT-N", "Front-end noise floor from device physics");
   const device::Process proc = device::Process::c180();
 
   // The ADC's LSB for reference.
   const double lsb = 0.64 / 256;
 
-  util::Table t({"Iss (preamp)", "fs class", "decision band",
-                 "out noise rms", "input-referred", "in LSB"});
-  util::CsvWriter csv("bench_ext_noise.csv",
-                      {"iss", "band", "vout_rms", "vin_rms"});
-
   // The bias scales with fs (PMU rule); the decision band scales with
   // fs as well, so the input-referred noise is nearly rate-invariant --
-  // another reason the single-knob platform works.
+  // another reason the single-knob platform works. Each operating point
+  // builds its own Circuit+Engine, so the sweep parallelizes cleanly.
   struct Point {
     double iss;
     double fs;
   };
-  for (const Point& pt : {Point{0.3e-9, 800.0}, Point{3e-9, 8e3},
-                          Point{30e-9, 80e3}}) {
-    spice::Circuit c;
-    analog::PreampParams p;
-    p.iss = pt.iss;
-    p.r_decouple = 10.0 * p.vsw / p.iss;
-    analog::PreampInstance inst = analog::build_preamp(c, proc, p);
-    spice::Engine engine(c);
-    const double band = 1.25 * pt.fs;  // decision (regeneration) band
-    const spice::NoiseResult nr =
-        run_noise_decade(engine, inst.out_p, inst.out_n, 1.0, band, 10);
-    const analog::PreampResponse resp = measure_preamp_response(proc, p);
-    const double vin = nr.v_rms / resp.dc_gain;
-    t.row()
-        .add_unit(pt.iss, "A")
-        .add_unit(pt.fs, "S/s")
-        .add_unit(band, "Hz")
-        .add_unit(nr.v_rms, "V")
-        .add_unit(vin, "V")
-        .add(vin / lsb, 3);
-    csv.write_row({pt.iss, band, nr.v_rms, vin});
-  }
-  std::cout << t;
+  struct NoisePoint {
+    double band = 0.0;
+    double vout_rms = 0.0;
+    double vin_rms = 0.0;
+  };
+  bench::sweep_table(
+      args,
+      {"Iss (preamp)", "fs class", "decision band", "out noise rms",
+       "input-referred", "in LSB"},
+      "bench_ext_noise.csv", {"iss", "band", "vout_rms", "vin_rms"},
+      std::vector<Point>{
+          {0.3e-9, 800.0}, {3e-9, 8e3}, {30e-9, 80e3}},
+      [&](const Point& pt, std::size_t) {
+        spice::Circuit c;
+        analog::PreampParams p;
+        p.iss = pt.iss;
+        p.r_decouple = 10.0 * p.vsw / p.iss;
+        analog::PreampInstance inst = analog::build_preamp(c, proc, p);
+        spice::Engine engine(c);
+        NoisePoint np;
+        np.band = 1.25 * pt.fs;  // decision (regeneration) band
+        const spice::NoiseResult nr =
+            run_noise_decade(engine, inst.out_p, inst.out_n, 1.0, np.band, 10);
+        const analog::PreampResponse resp = measure_preamp_response(proc, p);
+        np.vout_rms = nr.v_rms;
+        np.vin_rms = nr.v_rms / resp.dc_gain;
+        return np;
+      },
+      [&](util::Table& row, const Point& pt, const NoisePoint& np,
+          std::size_t) {
+        row.add_unit(pt.iss, "A")
+            .add_unit(pt.fs, "S/s")
+            .add_unit(np.band, "Hz")
+            .add_unit(np.vout_rms, "V")
+            .add_unit(np.vin_rms, "V")
+            .add(np.vin_rms / lsb, 3);
+        return std::vector<double>{pt.iss, np.band, np.vout_rms, np.vin_rms};
+      });
 
   // Dominant contributor at the 1 nA class point.
   {

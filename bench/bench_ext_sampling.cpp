@@ -12,7 +12,8 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, 77);
   bench::banner("EXT-S", "ENOB vs rate: frozen bias vs PMU-scaled bias");
 
   adc::FaiAdcConfig cfg;
@@ -27,27 +28,35 @@ int main() {
   };
   const double i_ref = i_unit_for(800.0);
 
-  util::Table t({"fs", "ENOB (bias frozen @800S/s)", "ENOB (PMU-scaled)",
-                 "meta window frozen", "meta window scaled"});
-  util::CsvWriter csv("bench_ext_sampling.csv",
-                      {"fs", "enob_frozen", "enob_scaled"});
-
+  // Frozen and scaled converters share one RNG stream per rate point, so
+  // they carry the SAME mismatch realisation and differ only in bias.
+  struct RatePoint {
+    double enob_frozen = 0.0;
+    double enob_scaled = 0.0;
+  };
   adc::ComparatorDynamics dyn;
-  for (double fs : util::logspace(800.0, 256e3, 6)) {
-    util::Rng rng1(77), rng2(77);
-    adc::SampledFaiAdc frozen(cfg, rng1);
-    adc::SampledFaiAdc scaled(cfg, rng2);
-    const double e_frozen = frozen.sine_enob(fs, i_ref).enob;
-    const double e_scaled = scaled.sine_enob(fs, i_unit_for(fs)).enob;
-    t.row()
-        .add_unit(fs, "S/s")
-        .add(e_frozen, 3)
-        .add(e_scaled, 3)
-        .add_unit(dyn.metastable_window(i_ref, 0.5 / fs), "V", 2)
-        .add_unit(dyn.metastable_window(i_unit_for(fs), 0.5 / fs), "V", 2);
-    csv.write_row({fs, e_frozen, e_scaled});
-  }
-  std::cout << t;
+  const util::Rng base(args.seed);
+  bench::sweep_table(
+      args,
+      {"fs", "ENOB (bias frozen @800S/s)", "ENOB (PMU-scaled)",
+       "meta window frozen", "meta window scaled"},
+      "bench_ext_sampling.csv", {"fs", "enob_frozen", "enob_scaled"},
+      util::logspace(800.0, 256e3, 6),
+      [&](const double& fs, std::size_t) {
+        adc::SampledFaiAdc frozen(cfg, base);
+        adc::SampledFaiAdc scaled(cfg, base);
+        return RatePoint{frozen.sine_enob(fs, i_ref).enob,
+                         scaled.sine_enob(fs, i_unit_for(fs)).enob};
+      },
+      [&](util::Table& row, const double& fs, const RatePoint& pt,
+          std::size_t) {
+        row.add_unit(fs, "S/s")
+            .add(pt.enob_frozen, 3)
+            .add(pt.enob_scaled, 3)
+            .add_unit(dyn.metastable_window(i_ref, 0.5 / fs), "V", 2)
+            .add_unit(dyn.metastable_window(i_unit_for(fs), 0.5 / fs), "V", 2);
+        return std::vector<double>{fs, pt.enob_frozen, pt.enob_scaled};
+      });
 
   const double cliff = adc::max_sampling_rate(cfg, i_ref, 4.0);
   std::printf("\nfrozen-bias usable-rate ceiling (ENOB >= 4): %s\n",

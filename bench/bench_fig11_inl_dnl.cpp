@@ -8,7 +8,8 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, 2026);
   bench::banner("F11", "ADC INL / DNL (paper Fig. 11)");
 
   adc::FaiAdcConfig cfg;
@@ -24,10 +25,12 @@ int main() {
                 lin.max_abs_inl, lin.max_abs_dnl);
   }
 
-  // --- Monte-Carlo instances, histogram method.
+  // --- Monte-Carlo instances, histogram method. Instance i derives
+  // from Rng(seed).fork(i), so the ensemble is bit-identical at any
+  // --jobs value.
   const int kInstances = 12;
   const adc::MonteCarloLinearity mc =
-      adc::monte_carlo_linearity(cfg, kInstances);
+      adc::monte_carlo_linearity(cfg, kInstances, args.seed, args.jobs);
 
   util::Table t({"instance", "max |INL| [LSB]", "max |DNL| [LSB]"});
   for (int i = 0; i < kInstances; ++i) {
@@ -43,15 +46,17 @@ int main() {
       kInstances, mc.mean_inl, mc.mean_dnl, mc.worst_inl, mc.worst_dnl);
 
   // --- full INL/DNL curve of one representative instance (CSV).
-  {
-    util::Rng rng(2026);
-    adc::FaiAdc inst(cfg, rng);
+  const std::string csv_path = args.csv_path("bench_fig11_inl_dnl.csv");
+  if (!csv_path.empty()) {
+    // The same mismatch realisation as Monte-Carlo instance #0 above
+    // (pure function of (seed, 0)), with the noise stream enabled.
+    adc::FaiAdc inst(cfg, util::Rng(args.seed).fork(0));
     const analysis::LinearityResult lin = inst.linearity_histogram(32);
-    util::CsvWriter csv("bench_fig11_inl_dnl.csv", {"code", "dnl", "inl"});
+    util::CsvWriter csv(csv_path, {"code", "dnl", "inl"});
     for (std::size_t k = 0; k < lin.dnl.size(); ++k) {
       csv.write_row({static_cast<double>(k + 1), lin.dnl[k], lin.inl[k]});
     }
-    std::printf("per-code curves of instance #0 -> bench_fig11_inl_dnl.csv\n");
+    std::printf("per-code curves of instance #0 -> %s\n", csv_path.c_str());
   }
 
   bench::footnote(

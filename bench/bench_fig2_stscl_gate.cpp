@@ -52,32 +52,43 @@ double diode_load_swing(const device::Process& proc, double iss) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F2", "Generic STSCL gate (paper Fig. 2)");
   const device::Process proc = device::Process::c180();
 
-  util::Table t({"Iss/gate", "DC swing", "delay", "delay*Iss", "swing(diode load)"});
-  util::CsvWriter csv("bench_fig2_stscl_gate.csv",
-                      {"iss", "swing", "delay", "swing_diode"});
-
-  for (double iss : util::logspace(1e-12, 1e-7, 6)) {
-    stscl::SclParams p;
-    p.iss = iss;
-    const double swing = stscl::measure_dc_swing(proc, p);
+  struct GatePoint {
+    double swing = 0.0;
     double delay = 0.0;
-    if (iss >= 1e-11) {  // transient at 1 pA takes minutes; skip politely
-      delay = stscl::measure_buffer_delay(proc, p).td_avg;
-    }
-    const double swing_diode = diode_load_swing(proc, iss);
-    t.row()
-        .add_unit(iss, "A")
-        .add_unit(swing, "V")
-        .add(delay > 0 ? util::format_si(delay, "s", 4) : std::string("-"))
-        .add(delay > 0 ? util::format_si(delay * iss, "C", 3) : std::string("-"))
-        .add_unit(swing_diode, "V");
-    csv.write_row({iss, swing, delay, swing_diode});
-  }
-  std::cout << t;
+    double swing_diode = 0.0;
+  };
+  bench::sweep_table(
+      args,
+      {"Iss/gate", "DC swing", "delay", "delay*Iss", "swing(diode load)"},
+      "bench_fig2_stscl_gate.csv", {"iss", "swing", "delay", "swing_diode"},
+      util::logspace(1e-12, 1e-7, 6),
+      [&](const double& iss, std::size_t) {
+        stscl::SclParams p;
+        p.iss = iss;
+        GatePoint pt;
+        pt.swing = stscl::measure_dc_swing(proc, p);
+        if (iss >= 1e-11) {  // transient at 1 pA takes minutes; skip politely
+          pt.delay = stscl::measure_buffer_delay(proc, p).td_avg;
+        }
+        pt.swing_diode = diode_load_swing(proc, iss);
+        return pt;
+      },
+      [&](util::Table& row, const double& iss, const GatePoint& pt,
+          std::size_t) {
+        row.add_unit(iss, "A")
+            .add_unit(pt.swing, "V")
+            .add(pt.delay > 0 ? util::format_si(pt.delay, "s", 4)
+                              : std::string("-"))
+            .add(pt.delay > 0 ? util::format_si(pt.delay * iss, "C", 3)
+                              : std::string("-"))
+            .add_unit(pt.swing_diode, "V");
+        return std::vector<double>{iss, pt.swing, pt.delay, pt.swing_diode};
+      });
   bench::footnote(
       "Paper claim: swing fixed at ~200 mV by the replica bias across 5\n"
       "decades of tail current; delay scales as 1/Iss (constant delay*Iss).\n"

@@ -24,7 +24,8 @@ double log_sensitivity(F f, double x, double rel = 0.05) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F3", "CMOS vs STSCL design trade-offs (paper Fig. 3)");
   const device::Process proc = device::Process::c180();
 
@@ -71,10 +72,12 @@ int main() {
   t.row().add("STSCL @1nA").add(s_scl_vdd, 3).add(s_scl_vt, 3).add(s_scl_iss, 3);
   std::cout << t;
 
-  util::CsvWriter csv("bench_fig3_tradeoffs.csv",
-                      {"s_cmos_vdd", "s_cmos_vt", "s_scl_vdd", "s_scl_vt",
-                       "s_scl_iss"});
-  csv.write_row({s_cmos_vdd, s_cmos_vt, s_scl_vdd, s_scl_vt, s_scl_iss});
+  if (const std::string path = args.csv_path("bench_fig3_tradeoffs.csv");
+      !path.empty()) {
+    util::CsvWriter csv(path, {"s_cmos_vdd", "s_cmos_vt", "s_scl_vdd",
+                               "s_scl_vt", "s_scl_iss"});
+    csv.write_row({s_cmos_vdd, s_cmos_vt, s_scl_vdd, s_scl_vt, s_scl_iss});
+  }
 
   bench::footnote(
       "Paper claim (Fig. 3): CMOS delay couples exponentially to VDD and\n"

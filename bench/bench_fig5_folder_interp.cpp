@@ -7,25 +7,28 @@
 
 #include "analog/folding.hpp"
 #include "bench_common.hpp"
+#include "run/parallel_for.hpp"
 #include "spice/engine.hpp"
 #include "util/numeric.hpp"
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F5", "Current-mode folder + interpolator (paper Fig. 5)");
   const device::Process proc = device::Process::c180();
   analog::FoldingParams p;
   analog::FoldingFrontEnd fe(p);
 
   // --- folder waveform samples (folder 0, first two folds).
-  {
-    util::CsvWriter csv("bench_fig5_folder_wave.csv", {"vin", "i_folder0"});
+  if (const std::string path = args.csv_path("bench_fig5_folder_wave.csv");
+      !path.empty()) {
+    util::CsvWriter csv(path, {"vin", "i_folder0"});
     for (double x = p.v_bottom; x <= p.v_bottom + 70 * p.lsb();
          x += p.lsb() / 2) {
       csv.write_row({x, fe.folder_output(0, x)});
     }
-    std::printf("Folder 0 waveform written to bench_fig5_folder_wave.csv\n");
+    std::printf("Folder 0 waveform written to %s\n", path.c_str());
   }
 
   // --- transistor-level folder: sign pattern around its crossings.
@@ -52,33 +55,53 @@ int main() {
   }
 
   // --- interpolated crossing bow: position error of all 32 fine lines.
+  // Each line's bisection is independent, so the search runs on the
+  // runner; the table keeps its every-4th/outlier row selection.
   {
+    struct BowPoint {
+      double ideal = 0.0;
+      double actual = 0.0;
+      double bow = 0.0;
+    };
+    const std::vector<BowPoint> bows = run::parallel_map<BowPoint>(
+        32, args.jobs, [&](std::size_t i) {
+          const int line = static_cast<int>(i);
+          BowPoint bp;
+          bp.ideal = fe.ideal_crossing(line);
+          double lo = bp.ideal - 2 * p.lsb(), hi = bp.ideal + 2 * p.lsb();
+          double flo = fe.fine_signal(line, lo);
+          for (int it = 0; it < 50; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if ((fe.fine_signal(line, mid) > 0) == (flo > 0)) {
+              lo = mid;
+              flo = fe.fine_signal(line, lo);
+            } else {
+              hi = mid;
+            }
+          }
+          bp.actual = 0.5 * (lo + hi);
+          bp.bow = (bp.actual - bp.ideal) / p.lsb();
+          return bp;
+        });
+
     util::Table t({"line", "ideal pos [LSB]", "actual pos [LSB]", "bow [LSB]"});
-    util::CsvWriter csv("bench_fig5_interp_bow.csv", {"line", "bow_lsb"});
+    std::optional<util::CsvWriter> csv;
+    if (const std::string path = args.csv_path("bench_fig5_interp_bow.csv");
+        !path.empty()) {
+      csv.emplace(path, std::vector<std::string>{"line", "bow_lsb"});
+    }
     double worst = 0.0;
     for (int i = 0; i < 32; ++i) {
-      const double ideal = fe.ideal_crossing(i);
-      double lo = ideal - 2 * p.lsb(), hi = ideal + 2 * p.lsb();
-      double flo = fe.fine_signal(i, lo);
-      for (int it = 0; it < 50; ++it) {
-        const double mid = 0.5 * (lo + hi);
-        if ((fe.fine_signal(i, mid) > 0) == (flo > 0)) {
-          lo = mid;
-          flo = fe.fine_signal(i, lo);
-        } else {
-          hi = mid;
-        }
-      }
-      const double bow = (0.5 * (lo + hi) - ideal) / p.lsb();
-      worst = std::max(worst, std::fabs(bow));
-      if (i % 4 == 0 || std::fabs(bow) > 0.05) {
+      const BowPoint& bp = bows[static_cast<std::size_t>(i)];
+      worst = std::max(worst, std::fabs(bp.bow));
+      if (i % 4 == 0 || std::fabs(bp.bow) > 0.05) {
         t.row()
             .add(static_cast<long long>(i))
-            .add((ideal - p.v_bottom) / p.lsb(), 4)
-            .add((0.5 * (lo + hi) - p.v_bottom) / p.lsb(), 4)
-            .add(bow, 3);
+            .add((bp.ideal - p.v_bottom) / p.lsb(), 4)
+            .add((bp.actual - p.v_bottom) / p.lsb(), 4)
+            .add(bp.bow, 3);
       }
-      csv.write_row({static_cast<double>(i), bow});
+      if (csv) csv->write_row({static_cast<double>(i), bp.bow});
     }
     std::cout << t;
     std::printf("worst interpolation bow: %.3f LSB\n", worst);

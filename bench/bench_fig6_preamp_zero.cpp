@@ -8,34 +8,41 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F6", "Preamp DWell decoupling (paper Fig. 6(d))");
   const device::Process proc = device::Process::c180();
 
-  util::Table t({"Iss", "gain", "BW plain", "BW decoupled", "improvement"});
-  util::CsvWriter csv("bench_fig6_preamp_zero.csv",
-                      {"iss", "gain", "bw_plain", "bw_decoupled"});
-
-  for (double iss : util::logspace(1e-10, 1e-8, 3)) {
-    analog::PreampParams plain;
-    plain.iss = iss;
-    plain.decouple_bulk = false;
-    const analog::PreampResponse r0 = measure_preamp_response(proc, plain);
-
-    analog::PreampParams fixed = plain;
-    fixed.decouple_bulk = true;
-    fixed.r_decouple = 0;  // auto: 10x the load resistance (an MC device)
-    const analog::PreampResponse r1 = measure_preamp_response(proc, fixed);
-
-    t.row()
-        .add_unit(iss, "A")
-        .add(r1.dc_gain, 3)
-        .add_unit(r0.bandwidth_3db, "Hz")
-        .add_unit(r1.bandwidth_3db, "Hz")
-        .add(r1.bandwidth_3db / r0.bandwidth_3db, 3);
-    csv.write_row({iss, r1.dc_gain, r0.bandwidth_3db, r1.bandwidth_3db});
-  }
-  std::cout << t;
+  struct PreampPoint {
+    analog::PreampResponse plain;
+    analog::PreampResponse decoupled;
+  };
+  bench::sweep_table(
+      args, {"Iss", "gain", "BW plain", "BW decoupled", "improvement"},
+      "bench_fig6_preamp_zero.csv",
+      {"iss", "gain", "bw_plain", "bw_decoupled"},
+      util::logspace(1e-10, 1e-8, 3),
+      [&](const double& iss, std::size_t) {
+        analog::PreampParams plain;
+        plain.iss = iss;
+        plain.decouple_bulk = false;
+        analog::PreampParams fixed = plain;
+        fixed.decouple_bulk = true;
+        fixed.r_decouple = 0;  // auto: 10x the load resistance (an MC device)
+        return PreampPoint{measure_preamp_response(proc, plain),
+                           measure_preamp_response(proc, fixed)};
+      },
+      [&](util::Table& row, const double& iss, const PreampPoint& pt,
+          std::size_t) {
+        row.add_unit(iss, "A")
+            .add(pt.decoupled.dc_gain, 3)
+            .add_unit(pt.plain.bandwidth_3db, "Hz")
+            .add_unit(pt.decoupled.bandwidth_3db, "Hz")
+            .add(pt.decoupled.bandwidth_3db / pt.plain.bandwidth_3db, 3);
+        return std::vector<double>{iss, pt.decoupled.dc_gain,
+                                   pt.plain.bandwidth_3db,
+                                   pt.decoupled.bandwidth_3db};
+      });
 
   bench::footnote(
       "Paper claim (Fig. 6(d)): the well-substrate junction capacitance\n"

@@ -10,41 +10,53 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F7", "Tunable resistor + scalable ladder (paper Fig. 7)");
   const device::Process proc = device::Process::c180();
 
-  // --- MR tuning range (Fig. 7(b,c)).
-  {
-    util::Table t({"IRES", "R(MR)"});
-    util::CsvWriter csv("bench_fig7_resistor.csv", {"ires", "r"});
-    for (double ires : util::logspace(1e-13, 1e-8, 6)) {
-      const double r = analog::measure_resistance(proc, ires, 0.8);
-      t.row().add_unit(ires, "A").add_unit(r, "Ohm");
-      csv.write_row({ires, r});
-    }
-    std::cout << t;
-  }
+  // --- MR tuning range (Fig. 7(b,c)); one circuit per IRES point.
+  bench::sweep_table(
+      args, {"IRES", "R(MR)"}, "bench_fig7_resistor.csv", {"ires", "r"},
+      util::logspace(1e-13, 1e-8, 6),
+      [&](const double& ires, std::size_t) {
+        return analog::measure_resistance(proc, ires, 0.8);
+      },
+      [&](util::Table& row, const double& ires, const double& r, std::size_t) {
+        row.add_unit(ires, "A").add_unit(r, "Ohm");
+        return std::vector<double>{ires, r};
+      });
 
   // --- 256-tap ladder power vs sampling rate, shared vs unshared bias.
   {
-    util::Table t({"fs", "I_ladder", "P shared (grp 4)", "P per-resistor",
-                   "saving"});
-    util::CsvWriter csv("bench_fig7_ladder_power.csv",
-                        {"fs", "i_ladder", "p_shared", "p_unshared"});
-    for (double fs : {800.0, 8e3, 80e3}) {
-      analog::LadderParams p;  // 255 taps
-      p.i_ladder = 1e-9 * fs / 800.0;  // scales with the common bias
-      analog::LadderModel ladder(p);
-      t.row()
-          .add_unit(fs, "S/s")
-          .add_unit(p.i_ladder, "A")
-          .add_unit(ladder.power(), "W")
-          .add_unit(ladder.power_unshared(), "W")
-          .add(ladder.power_unshared() / ladder.power(), 3);
-      csv.write_row({fs, p.i_ladder, ladder.power(), ladder.power_unshared()});
-    }
-    std::cout << t;
+    struct LadderPoint {
+      double i_ladder = 0.0;
+      double p_shared = 0.0;
+      double p_unshared = 0.0;
+    };
+    bench::sweep_table(
+        args,
+        {"fs", "I_ladder", "P shared (grp 4)", "P per-resistor", "saving"},
+        "bench_fig7_ladder_power.csv",
+        {"fs", "i_ladder", "p_shared", "p_unshared"},
+        std::vector<double>{800.0, 8e3, 80e3},
+        [&](const double& fs, std::size_t) {
+          analog::LadderParams p;  // 255 taps
+          p.i_ladder = 1e-9 * fs / 800.0;  // scales with the common bias
+          analog::LadderModel ladder(p);
+          return LadderPoint{p.i_ladder, ladder.power(),
+                             ladder.power_unshared()};
+        },
+        [&](util::Table& row, const double& fs, const LadderPoint& pt,
+            std::size_t) {
+          row.add_unit(fs, "S/s")
+              .add_unit(pt.i_ladder, "A")
+              .add_unit(pt.p_shared, "W")
+              .add_unit(pt.p_unshared, "W")
+              .add(pt.p_unshared / pt.p_shared, 3);
+          return std::vector<double>{fs, pt.i_ladder, pt.p_shared,
+                                     pt.p_unshared};
+        });
   }
 
   bench::footnote(

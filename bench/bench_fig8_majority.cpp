@@ -11,39 +11,44 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F8", "Majority + latch compound STSCL cell (paper Fig. 8)");
   const device::Process proc = device::Process::c180();
 
-  // --- transistor-level truth table (clock high = evaluate).
-  {
-    util::Table t({"a", "b", "c", "maj(a,b,c)", "v_diff"});
-    for (int row = 0; row < 8; ++row) {
-      const bool a = row & 1, b = row & 2, c = row & 4;
-      spice::Circuit ckt;
-      stscl::SclParams p;
-      p.iss = 1e-9;
-      stscl::SclFabric fab(ckt, proc, p);
-      auto sa = fab.signal("a"), sb = fab.signal("b"), sc = fab.signal("c"),
-           sk = fab.signal("clk");
-      fab.drive_const(sa, a);
-      fab.drive_const(sb, b);
-      fab.drive_const(sc, c);
-      fab.drive_const(sk, true);
-      auto out = fab.majority3_latch(sa, sb, sc, sk, "maj");
-      spice::Engine engine(ckt);
-      const spice::Solution op = engine.solve_op();
-      const double v = op.v(out.p) - op.v(out.n);
-      const bool expect = (a && b) || (b && c) || (a && c);
-      t.row()
-          .add(static_cast<long long>(a))
-          .add(static_cast<long long>(b))
-          .add(static_cast<long long>(c))
-          .add(static_cast<long long>(expect))
-          .add_unit(v, "V");
-    }
-    std::cout << t;
-  }
+  // --- transistor-level truth table (clock high = evaluate). Each input
+  // combination builds its own Circuit+Engine, so the rows solve
+  // concurrently under --jobs.
+  bench::sweep_table(
+      args, {"a", "b", "c", "maj(a,b,c)", "v_diff"}, "", {},
+      std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7},
+      [&](const int& row, std::size_t) {
+        const bool a = row & 1, b = row & 2, c = row & 4;
+        spice::Circuit ckt;
+        stscl::SclParams p;
+        p.iss = 1e-9;
+        stscl::SclFabric fab(ckt, proc, p);
+        auto sa = fab.signal("a"), sb = fab.signal("b"), sc = fab.signal("c"),
+             sk = fab.signal("clk");
+        fab.drive_const(sa, a);
+        fab.drive_const(sb, b);
+        fab.drive_const(sc, c);
+        fab.drive_const(sk, true);
+        auto out = fab.majority3_latch(sa, sb, sc, sk, "maj");
+        spice::Engine engine(ckt);
+        const spice::Solution op = engine.solve_op();
+        return op.v(out.p) - op.v(out.n);
+      },
+      [&](util::Table& trow, const int& row, const double& v, std::size_t) {
+        const bool a = row & 1, b = row & 2, c = row & 4;
+        const bool expect = (a && b) || (b && c) || (a && c);
+        trow.add(static_cast<long long>(a))
+            .add(static_cast<long long>(b))
+            .add(static_cast<long long>(c))
+            .add(static_cast<long long>(expect))
+            .add_unit(v, "V");
+        return std::vector<double>{};
+      });
 
   // --- latch hold: value survives input changes while clk = 0.
   {

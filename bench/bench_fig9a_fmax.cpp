@@ -28,7 +28,8 @@ void print_gate_factors(const sscl::device::Process& proc) {
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F9a", "Encoder fmax vs tail bias current (paper Fig. 9(a))");
   const device::Process proc = device::Process::c180();
 
@@ -55,24 +56,35 @@ int main() {
       piped.gate_count(), piped.latch_count(), piped.max_combinational_depth(),
       flat.max_combinational_depth(), piped.area_estimate() * 1e6);
 
-  util::Table t({"Iss/gate", "fmax (pipelined)", "fmax (flat)", "speedup",
-                 "P_enc @1V"});
-  util::CsvWriter csv("bench_fig9a_fmax.csv",
-                      {"iss", "fmax_piped", "fmax_flat", "p_encoder"});
-
-  for (double iss : util::logspace(1e-12, 1e-7, 6)) {
-    const double f_piped = measure_encoder_fmax(piped, io, timing, iss);
-    const double f_flat = measure_encoder_fmax(flat, io_flat, timing, iss);
-    const double p_enc = piped.static_power(iss, 1.0);
-    t.row()
-        .add_unit(iss, "A")
-        .add_unit(f_piped, "Hz")
-        .add_unit(f_flat, "Hz")
-        .add(f_piped / f_flat, 3)
-        .add_unit(p_enc, "W");
-    csv.write_row({iss, f_piped, f_flat, p_enc});
-  }
-  std::cout << t;
+  // Per-bias binary searches run concurrently: the netlists and timing
+  // model are shared read-only, every trial builds its own EventSim
+  // (the audited thread model of docs/RUNNER.md).
+  struct FmaxPoint {
+    double f_piped = 0.0;
+    double f_flat = 0.0;
+    double p_enc = 0.0;
+  };
+  bench::sweep_table(
+      args,
+      {"Iss/gate", "fmax (pipelined)", "fmax (flat)", "speedup", "P_enc @1V"},
+      "bench_fig9a_fmax.csv", {"iss", "fmax_piped", "fmax_flat", "p_encoder"},
+      util::logspace(1e-12, 1e-7, 6),
+      [&](const double& iss, std::size_t) {
+        FmaxPoint pt;
+        pt.f_piped = measure_encoder_fmax(piped, io, timing, iss);
+        pt.f_flat = measure_encoder_fmax(flat, io_flat, timing, iss);
+        pt.p_enc = piped.static_power(iss, 1.0);
+        return pt;
+      },
+      [&](util::Table& row, const double& iss, const FmaxPoint& pt,
+          std::size_t) {
+        row.add_unit(iss, "A")
+            .add_unit(pt.f_piped, "Hz")
+            .add_unit(pt.f_flat, "Hz")
+            .add(pt.f_piped / pt.f_flat, 3)
+            .add_unit(pt.p_enc, "W");
+        return std::vector<double>{iss, pt.f_piped, pt.f_flat, pt.p_enc};
+      });
 
   bench::footnote(
       "Paper claim (Fig. 9(a)): fmax is proportional to the tail current\n"

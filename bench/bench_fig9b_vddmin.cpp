@@ -1,6 +1,7 @@
 /// Experiment F9b (paper Fig. 9(b)): minimum supply voltage of the
 /// STSCL digital part versus tail bias current, holding the 200 mV
-/// output swing. Circuit-level bisection on the transistor-level cell.
+/// output swing. Circuit-level bisection on the transistor-level cell,
+/// one Circuit+Engine per bias point so the sweep parallelises.
 
 #include "bench_common.hpp"
 #include "stscl/characterize.hpp"
@@ -8,21 +9,23 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("F9b", "Minimum supply voltage vs tail bias (paper Fig. 9(b))");
   const device::Process proc = device::Process::c180();
 
-  util::Table t({"Iss/gate", "Vdd,min (Vsw=200mV)"});
-  util::CsvWriter csv("bench_fig9b_vddmin.csv", {"iss", "vdd_min"});
-
-  for (double iss : util::logspace(1e-12, 1e-7, 11)) {
-    stscl::SclParams p;
-    p.iss = iss;
-    const double v = stscl::measure_min_vdd(proc, p);
-    t.row().add_unit(iss, "A").add_unit(v, "V");
-    csv.write_row({iss, v});
-  }
-  std::cout << t;
+  bench::sweep_table(
+      args, {"Iss/gate", "Vdd,min (Vsw=200mV)"}, "bench_fig9b_vddmin.csv",
+      {"iss", "vdd_min"}, util::logspace(1e-12, 1e-7, 11),
+      [&](const double& iss, std::size_t) {
+        stscl::SclParams p;
+        p.iss = iss;
+        return stscl::measure_min_vdd(proc, p);
+      },
+      [&](util::Table& row, const double& iss, const double& v, std::size_t) {
+        row.add_unit(iss, "A").add_unit(v, "V");
+        return std::vector<double>{iss, v};
+      });
 
   bench::footnote(
       "Paper claims (Fig. 9(b)): below 10 nA the supply can drop under\n"

@@ -11,7 +11,8 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv, 7);
   bench::banner("T1", "System power vs sampling rate (paper Section III-C)");
 
   pmu::PowerManager pm{pmu::PmuConfig{}};
@@ -19,28 +20,30 @@ int main() {
   // One mismatch instance for the whole sweep (ENOB is rate-independent
   // in this model: the bias scales every pole with fs).
   adc::FaiAdcConfig cfg;
-  util::Rng rng(7);
+  const util::Rng rng(args.seed);
   adc::FaiAdc inst(cfg, rng);
   const double enob = inst.sine_enob().enob;
 
-  util::Table t({"fs", "P total", "P analog", "P digital", "Iss/gate",
-                 "enc margin", "ENOB"});
-  util::CsvWriter csv("bench_power_vs_fs.csv",
-                      {"fs", "p_total", "p_analog", "p_digital", "enob"});
-
-  for (double fs : util::logspace(800.0, 80e3, 5)) {
-    const pmu::BiasPlan plan = pm.plan_for_rate(fs);
-    t.row()
-        .add_unit(fs, "S/s")
-        .add_unit(plan.p_total, "W")
-        .add_unit(plan.p_analog, "W")
-        .add_unit(plan.p_digital, "W")
-        .add_unit(plan.iss_per_gate, "A")
-        .add(plan.speed_margin, 3)
-        .add(enob, 3);
-    csv.write_row({fs, plan.p_total, plan.p_analog, plan.p_digital, enob});
-  }
-  std::cout << t;
+  bench::sweep_table(
+      args,
+      {"fs", "P total", "P analog", "P digital", "Iss/gate", "enc margin",
+       "ENOB"},
+      "bench_power_vs_fs.csv",
+      {"fs", "p_total", "p_analog", "p_digital", "enob"},
+      util::logspace(800.0, 80e3, 5),
+      [&](const double& fs, std::size_t) { return pm.plan_for_rate(fs); },
+      [&](util::Table& row, const double& fs, const pmu::BiasPlan& plan,
+          std::size_t) {
+        row.add_unit(fs, "S/s")
+            .add_unit(plan.p_total, "W")
+            .add_unit(plan.p_analog, "W")
+            .add_unit(plan.p_digital, "W")
+            .add_unit(plan.iss_per_gate, "A")
+            .add(plan.speed_margin, 3)
+            .add(enob, 3);
+        return std::vector<double>{fs, plan.p_total, plan.p_analog,
+                                   plan.p_digital, enob};
+      });
 
   // --- the PLL closes the loop: frequency target -> bias current.
   {

@@ -2,7 +2,10 @@
 /// "This family of circuits is less sensitive to the process and
 /// temperature variations" -- quantified: STSCL swing/delay across
 /// process corners and -40..85 C, against subthreshold CMOS delay on
-/// the same corners.
+/// the same corners. Each corner builds its own circuits, so both
+/// sweeps run concurrently under --jobs.
+
+#include <algorithm>
 
 #include "bench_common.hpp"
 #include "cmos/cmos_logic.hpp"
@@ -11,7 +14,29 @@
 
 using namespace sscl;
 
-int main() {
+namespace {
+
+struct PvtPoint {
+  double swing = 0.0;
+  double scl_delay = 0.0;
+  double cmos_delay = 0.0;
+};
+
+PvtPoint measure(const device::Process& proc) {
+  stscl::SclParams p;
+  p.iss = 1e-9;
+  PvtPoint pt;
+  pt.swing = stscl::measure_dc_swing(proc, p);
+  pt.scl_delay = stscl::measure_buffer_delay(proc, p).td_avg;
+  cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
+  pt.cmos_delay = cm.delay(0.35);
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("EXT-P", "PVT sensitivity: STSCL vs subthreshold CMOS");
 
   struct Corner {
@@ -25,54 +50,46 @@ int main() {
   };
 
   // --- process corners at 300 K.
-  {
-    util::Table t({"corner", "STSCL swing", "STSCL delay @1nA",
-                   "CMOS delay @0.35V"});
-    util::CsvWriter csv("bench_pvt_corners.csv",
-                        {"corner", "swing", "scl_delay", "cmos_delay"});
-    int idx = 0;
-    for (const Corner& c : corners) {
-      stscl::SclParams p;
-      p.iss = 1e-9;
-      const double swing = stscl::measure_dc_swing(c.process, p);
-      const double d = stscl::measure_buffer_delay(c.process, p).td_avg;
-      cmos::CmosGateModel cm(c.process, cmos::CmosGateParams{});
-      const double dc = cm.delay(0.35);
-      t.row().add(c.name).add_unit(swing, "V").add_unit(d, "s").add_unit(dc, "s");
-      csv.write_row({static_cast<double>(idx++), swing, d, dc});
-    }
-    std::cout << t;
-  }
+  bench::sweep_table(
+      args, {"corner", "STSCL swing", "STSCL delay @1nA", "CMOS delay @0.35V"},
+      "bench_pvt_corners.csv", {"corner", "swing", "scl_delay", "cmos_delay"},
+      corners,
+      [&](const Corner& c, std::size_t) { return measure(c.process); },
+      [&](util::Table& row, const Corner& c, const PvtPoint& pt,
+          std::size_t idx) {
+        row.add(c.name)
+            .add_unit(pt.swing, "V")
+            .add_unit(pt.scl_delay, "s")
+            .add_unit(pt.cmos_delay, "s");
+        return std::vector<double>{static_cast<double>(idx), pt.swing,
+                                   pt.scl_delay, pt.cmos_delay};
+      });
 
   // --- temperature sweep, typical corner.
   {
-    util::Table t({"T", "STSCL swing", "STSCL delay @1nA",
-                   "CMOS delay @0.35V"});
-    util::CsvWriter csv("bench_pvt_temperature.csv",
-                        {"temp_c", "swing", "scl_delay", "cmos_delay"});
     double scl_min = 1e30, scl_max = 0, cm_min = 1e30, cm_max = 0;
-    for (double celsius : {-40.0, 0.0, 27.0, 85.0}) {
-      const device::Process proc =
-          device::Process::c180().at_temperature(
-              util::celsius_to_kelvin(celsius));
-      stscl::SclParams p;
-      p.iss = 1e-9;
-      const double swing = stscl::measure_dc_swing(proc, p);
-      const double d = stscl::measure_buffer_delay(proc, p).td_avg;
-      cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
-      const double dc = cm.delay(0.35);
-      scl_min = std::min(scl_min, d);
-      scl_max = std::max(scl_max, d);
-      cm_min = std::min(cm_min, dc);
-      cm_max = std::max(cm_max, dc);
-      t.row()
-          .add(util::format_si(celsius, "C", 3))
-          .add_unit(swing, "V")
-          .add_unit(d, "s")
-          .add_unit(dc, "s");
-      csv.write_row({celsius, swing, d, dc});
-    }
-    std::cout << t;
+    bench::sweep_table(
+        args, {"T", "STSCL swing", "STSCL delay @1nA", "CMOS delay @0.35V"},
+        "bench_pvt_temperature.csv",
+        {"temp_c", "swing", "scl_delay", "cmos_delay"},
+        std::vector<double>{-40.0, 0.0, 27.0, 85.0},
+        [&](const double& celsius, std::size_t) {
+          return measure(device::Process::c180().at_temperature(
+              util::celsius_to_kelvin(celsius)));
+        },
+        [&](util::Table& row, const double& celsius, const PvtPoint& pt,
+            std::size_t) {
+          scl_min = std::min(scl_min, pt.scl_delay);
+          scl_max = std::max(scl_max, pt.scl_delay);
+          cm_min = std::min(cm_min, pt.cmos_delay);
+          cm_max = std::max(cm_max, pt.cmos_delay);
+          row.add(util::format_si(celsius, "C", 3))
+              .add_unit(pt.swing, "V")
+              .add_unit(pt.scl_delay, "s")
+              .add_unit(pt.cmos_delay, "s");
+          return std::vector<double>{celsius, pt.swing, pt.scl_delay,
+                                     pt.cmos_delay};
+        });
     std::printf("\ndelay spread -40..85 C: STSCL %.2fx, CMOS %.0fx\n",
                 scl_max / scl_min, cm_max / cm_min);
   }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "adc/fai_adc.hpp"
 #include "digital/fmax.hpp"
 #include "spice/engine.hpp"
 #include "spice/transient.hpp"
@@ -110,6 +111,26 @@ void BM_EncoderEventSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncoderEventSim);
+
+// Serial vs pooled Monte-Carlo: the same 8-instance linearity MC on 1
+// thread and on a worker pool (the runner's headline speedup; results
+// are bit-identical either way, see docs/RUNNER.md).
+void BM_MonteCarloLinearity(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  adc::FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adc::monte_carlo_linearity(cfg, 8, /*seed=*/2026, jobs));
+  }
+  state.counters["jobs"] = jobs;
+}
+BENCHMARK(BM_MonteCarloLinearity)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

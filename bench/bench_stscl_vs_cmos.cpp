@@ -12,7 +12,8 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("T3", "STSCL vs subthreshold CMOS (paper Section II-A)");
   const device::Process proc = device::Process::c180();
   cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
@@ -24,25 +25,33 @@ int main() {
   scl.cl = 12e-15;
 
   // --- power vs clock frequency at three activity factors.
-  util::Table t({"f_clk", "P STSCL", "P CMOS a=0.01", "P CMOS a=0.1",
-                 "P CMOS a=1.0"});
-  util::CsvWriter csv("bench_stscl_vs_cmos.csv",
-                      {"f", "p_scl", "p_cmos_001", "p_cmos_01", "p_cmos_1"});
-  for (double f : util::logspace(100.0, 1e7, 6)) {
-    const double iss = scl.iss_for_delay(1.0 / (2.0 * nl * f));
-    const double p_scl = gates * iss * 1.0;
-    const double p001 = cm.power(f, 1.0, 0.01, gates);
-    const double p01 = cm.power(f, 1.0, 0.1, gates);
-    const double p1 = cm.power(f, 1.0, 1.0, gates);
-    t.row()
-        .add_unit(f, "Hz")
-        .add_unit(p_scl, "W")
-        .add_unit(p001, "W")
-        .add_unit(p01, "W")
-        .add_unit(p1, "W");
-    csv.write_row({f, p_scl, p001, p01, p1});
-  }
-  std::cout << t;
+  struct PowerPoint {
+    double p_scl = 0.0;
+    double p001 = 0.0;
+    double p01 = 0.0;
+    double p1 = 0.0;
+  };
+  bench::sweep_table(
+      args,
+      {"f_clk", "P STSCL", "P CMOS a=0.01", "P CMOS a=0.1", "P CMOS a=1.0"},
+      "bench_stscl_vs_cmos.csv",
+      {"f", "p_scl", "p_cmos_001", "p_cmos_01", "p_cmos_1"},
+      util::logspace(100.0, 1e7, 6),
+      [&](const double& f, std::size_t) {
+        const double iss = scl.iss_for_delay(1.0 / (2.0 * nl * f));
+        return PowerPoint{gates * iss * 1.0, cm.power(f, 1.0, 0.01, gates),
+                          cm.power(f, 1.0, 0.1, gates),
+                          cm.power(f, 1.0, 1.0, gates)};
+      },
+      [&](util::Table& row, const double& f, const PowerPoint& pt,
+          std::size_t) {
+        row.add_unit(f, "Hz")
+            .add_unit(pt.p_scl, "W")
+            .add_unit(pt.p001, "W")
+            .add_unit(pt.p01, "W")
+            .add_unit(pt.p1, "W");
+        return std::vector<double>{f, pt.p_scl, pt.p001, pt.p01, pt.p1};
+      });
 
   // --- crossover summaries.
   std::printf("\nleakage-domination crossover (STSCL wins below):\n");

@@ -14,7 +14,8 @@
 
 using namespace sscl;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   bench::banner("T2", "Supply-voltage insensitivity (paper Section III-C)");
   const device::Process proc = device::Process::c180();
 
@@ -22,35 +23,47 @@ int main() {
   // class with the 1 nA STSCL cell) and sees the SAME RELATIVE supply
   // variation: that is the scenario the paper's energy-harvesting
   // argument addresses.
-  util::Table t({"VDD (STSCL)", "STSCL swing", "STSCL delay",
-                 "VDD (CMOS sub-VT)", "CMOS delay"});
-  util::CsvWriter csv("bench_supply_sensitivity.csv",
-                      {"vdd", "swing", "scl_delay", "vdd_cmos", "cmos_delay"});
-
   cmos::CmosGateModel cm(proc, cmos::CmosGateParams{});
 
+  struct SupplyPoint {
+    double swing = 0.0;
+    double scl_delay = 0.0;
+    double vdd_cmos = 0.0;
+    double cmos_delay = 0.0;
+  };
   double scl_d_min = 1e30, scl_d_max = 0, cmos_d_min = 1e30, cmos_d_max = 0;
-  for (double vdd : util::linspace(0.9, 1.3, 5)) {
-    stscl::SclParams p;
-    p.iss = 1e-9;
-    p.vdd = vdd;
-    const double swing = stscl::measure_dc_swing(proc, p);
-    const double d = stscl::measure_buffer_delay(proc, p).td_avg;
-    const double vdd_cmos = 0.35 * vdd / 1.0;
-    const double dc = cm.delay(vdd_cmos);
-    scl_d_min = std::min(scl_d_min, d);
-    scl_d_max = std::max(scl_d_max, d);
-    cmos_d_min = std::min(cmos_d_min, dc);
-    cmos_d_max = std::max(cmos_d_max, dc);
-    t.row()
-        .add_unit(vdd, "V")
-        .add_unit(swing, "V")
-        .add_unit(d, "s")
-        .add_unit(vdd_cmos, "V")
-        .add_unit(dc, "s");
-    csv.write_row({vdd, swing, d, vdd_cmos, dc});
-  }
-  std::cout << t;
+  bench::sweep_table(
+      args,
+      {"VDD (STSCL)", "STSCL swing", "STSCL delay", "VDD (CMOS sub-VT)",
+       "CMOS delay"},
+      "bench_supply_sensitivity.csv",
+      {"vdd", "swing", "scl_delay", "vdd_cmos", "cmos_delay"},
+      util::linspace(0.9, 1.3, 5),
+      [&](const double& vdd, std::size_t) {
+        stscl::SclParams p;
+        p.iss = 1e-9;
+        p.vdd = vdd;
+        SupplyPoint pt;
+        pt.swing = stscl::measure_dc_swing(proc, p);
+        pt.scl_delay = stscl::measure_buffer_delay(proc, p).td_avg;
+        pt.vdd_cmos = 0.35 * vdd / 1.0;
+        pt.cmos_delay = cm.delay(pt.vdd_cmos);
+        return pt;
+      },
+      [&](util::Table& row, const double& vdd, const SupplyPoint& pt,
+          std::size_t) {
+        scl_d_min = std::min(scl_d_min, pt.scl_delay);
+        scl_d_max = std::max(scl_d_max, pt.scl_delay);
+        cmos_d_min = std::min(cmos_d_min, pt.cmos_delay);
+        cmos_d_max = std::max(cmos_d_max, pt.cmos_delay);
+        row.add_unit(vdd, "V")
+            .add_unit(pt.swing, "V")
+            .add_unit(pt.scl_delay, "s")
+            .add_unit(pt.vdd_cmos, "V")
+            .add_unit(pt.cmos_delay, "s");
+        return std::vector<double>{vdd, pt.swing, pt.scl_delay, pt.vdd_cmos,
+                                   pt.cmos_delay};
+      });
 
   std::printf(
       "\ndelay spread over the +-18%% supply window: STSCL %.3fx, "

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "run/parallel_for.hpp"
 #include "util/numeric.hpp"
 
 namespace sscl::adc {
@@ -71,12 +73,12 @@ FaiAdc::FaiAdc(const FaiAdcConfig& config)
       front_end_(config.folding),
       noise_rng_(0xadc0ffee) {}
 
-FaiAdc::FaiAdc(const FaiAdcConfig& config, util::Rng& rng)
+FaiAdc::FaiAdc(const FaiAdcConfig& config, const util::Rng& stream)
     : config_(config),
       front_end_(config.folding,
                  analog::FoldingMismatch::sample(config.folding, config.sigmas,
-                                                 rng)),
-      noise_rng_(rng.next_u64()) {}
+                                                 stream.fork(0))),
+      noise_rng_(stream.fork(1)) {}
 
 std::uint32_t FaiAdc::coarse_pattern(double vin) const {
   return static_cast<std::uint32_t>(
@@ -143,26 +145,49 @@ analysis::DynamicMetrics FaiAdc::sine_enob(std::size_t record,
 }
 
 MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
-                                          int instances, std::uint64_t seed) {
+                                          int instances, std::uint64_t seed,
+                                          int jobs) {
   MonteCarloLinearity mc;
   // Static linearity is defined on the noiseless transfer curve; noise
   // belongs to the dynamic (ENOB) tests.
   FaiAdcConfig quiet = config;
   quiet.input_noise_rms = 0.0;
-  util::Rng rng(seed);
-  for (int i = 0; i < instances; ++i) {
-    FaiAdc adc(quiet, rng);
-    // Code-density (histogram) method: the lab procedure behind Fig. 11,
-    // and the right estimator when mismatch makes the transfer locally
-    // non-monotone (sliver windows at the coarse decision points).
-    const analysis::LinearityResult lin = adc.linearity_histogram();
-    mc.max_inl.push_back(lin.max_abs_inl);
-    mc.max_dnl.push_back(lin.max_abs_dnl);
+  const util::Rng base(seed);
+  // Instance i is a pure function of (seed, i): the parallel map is
+  // bit-identical at any thread count.
+  const auto rows = run::parallel_map<std::pair<double, double>>(
+      static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
+        FaiAdc adc(quiet, base.fork(i));
+        // Code-density (histogram) method: the lab procedure behind
+        // Fig. 11, and the right estimator when mismatch makes the
+        // transfer locally non-monotone (sliver windows at the coarse
+        // decision points).
+        const analysis::LinearityResult lin = adc.linearity_histogram();
+        return std::pair<double, double>{lin.max_abs_inl, lin.max_abs_dnl};
+      });
+  for (const auto& [inl, dnl] : rows) {
+    mc.max_inl.push_back(inl);
+    mc.max_dnl.push_back(dnl);
   }
   mc.mean_inl = util::mean(mc.max_inl);
   mc.mean_dnl = util::mean(mc.max_dnl);
   mc.worst_inl = *std::max_element(mc.max_inl.begin(), mc.max_inl.end());
   mc.worst_dnl = *std::max_element(mc.max_dnl.begin(), mc.max_dnl.end());
+  return mc;
+}
+
+MonteCarloEnob monte_carlo_enob(const FaiAdcConfig& config, int instances,
+                                std::uint64_t seed, int jobs,
+                                std::size_t record) {
+  MonteCarloEnob mc;
+  const util::Rng base(seed);
+  mc.enob = run::parallel_map<double>(
+      static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
+        FaiAdc adc(config, base.fork(i));
+        return adc.sine_enob(record).enob;
+      });
+  mc.mean_enob = util::mean(mc.enob);
+  mc.worst_enob = *std::min_element(mc.enob.begin(), mc.enob.end());
   return mc;
 }
 

@@ -38,8 +38,11 @@ class FaiAdc {
  public:
   /// Nominal (mismatch-free) instance.
   explicit FaiAdc(const FaiAdcConfig& config);
-  /// Monte-Carlo instance: mismatch sampled from config.sigmas.
-  FaiAdc(const FaiAdcConfig& config, util::Rng& rng);
+  /// Monte-Carlo instance: mismatch sampled from config.sigmas using
+  /// forked sub-streams of \p stream (which is NOT consumed -- the
+  /// instance is a pure function of the stream's seed). Ensembles pass
+  /// base.fork(i) for instance i; see docs/RUNNER.md.
+  FaiAdc(const FaiAdcConfig& config, const util::Rng& stream);
 
   const FaiAdcConfig& config() const { return config_; }
   const analog::FoldingFrontEnd& front_end() const { return front_end_; }
@@ -85,8 +88,23 @@ struct MonteCarloLinearity {
   double worst_inl = 0.0;
   double worst_dnl = 0.0;
 };
+/// Runs the ensemble as a parallel map over per-instance RNG streams:
+/// instance i is built from Rng(seed).fork(i), so the result is
+/// bit-identical for every \p jobs value (1 = serial reference).
 MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
                                           int instances,
-                                          std::uint64_t seed = 2026);
+                                          std::uint64_t seed = 2026,
+                                          int jobs = 1);
+
+/// Monte-Carlo dynamic (ENOB) summary over independent mismatch + noise
+/// instances; same determinism contract as monte_carlo_linearity.
+struct MonteCarloEnob {
+  std::vector<double> enob;  ///< per instance
+  double mean_enob = 0.0;
+  double worst_enob = 0.0;
+};
+MonteCarloEnob monte_carlo_enob(const FaiAdcConfig& config, int instances,
+                                std::uint64_t seed = 2026, int jobs = 1,
+                                std::size_t record = 1024);
 
 }  // namespace sscl::adc

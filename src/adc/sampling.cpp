@@ -17,9 +17,11 @@ double ComparatorDynamics::metastable_window(double i_unit, double t_avail,
   return vsw * std::exp(-t_avail / tau(i_unit));
 }
 
-SampledFaiAdc::SampledFaiAdc(const FaiAdcConfig& config, util::Rng& rng,
+SampledFaiAdc::SampledFaiAdc(const FaiAdcConfig& config,
+                             const util::Rng& stream,
                              ComparatorDynamics dynamics)
-    : adc_(config, rng), dynamics_(dynamics), rng_(rng.next_u64()) {}
+    : adc_(config, stream.fork(0)), dynamics_(dynamics),
+      rng_(stream.fork(1)) {}
 
 int SampledFaiAdc::convert(double vin, double fs, double i_unit) {
   // Half the sampling period is the regeneration budget.

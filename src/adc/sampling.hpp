@@ -36,7 +36,9 @@ struct ComparatorDynamics {
 /// given rate and bias.
 class SampledFaiAdc {
  public:
-  SampledFaiAdc(const FaiAdcConfig& config, util::Rng& rng,
+  /// \p stream seeds the mismatch instance and the metastability coin
+  /// flips via forked sub-streams (the stream itself is not consumed).
+  SampledFaiAdc(const FaiAdcConfig& config, const util::Rng& stream,
                 ComparatorDynamics dynamics = {});
 
   /// Convert at sampling rate \p fs with comparator bias \p i_unit.

@@ -21,19 +21,35 @@ FoldingMismatch FoldingMismatch::zero(const FoldingParams& p) {
 }
 
 FoldingMismatch FoldingMismatch::sample(const FoldingParams& p,
-                                        const Sigmas& s, util::Rng& rng) {
+                                        const Sigmas& s,
+                                        const util::Rng& stream) {
   FoldingMismatch m = zero(p);
-  for (auto& folder : m.folder_offsets) {
-    for (double& v : folder) v = rng.gaussian(0.0, s.folder_offset);
+  // Sub-stream per category (and per folder inside category 0): draws
+  // in one block are independent of the sizes of all the others.
+  for (int j = 0; j < p.n_folders; ++j) {
+    util::Rng r = stream.fork(0).fork(static_cast<std::uint64_t>(j));
+    for (double& v : m.folder_offsets[j]) v = r.gaussian(0.0, s.folder_offset);
   }
-  for (double& v : m.interp_gain_error) v = rng.gaussian(0.0, s.interp_gain);
-  for (double& v : m.fine_comp_offsets) {
-    v = rng.gaussian(0.0, s.fine_comp_offset);
+  {
+    util::Rng r = stream.fork(1);
+    for (double& v : m.interp_gain_error) v = r.gaussian(0.0, s.interp_gain);
   }
-  for (double& v : m.coarse_comp_offsets) {
-    v = rng.gaussian(0.0, s.coarse_comp_offset);
+  {
+    util::Rng r = stream.fork(2);
+    for (double& v : m.fine_comp_offsets) {
+      v = r.gaussian(0.0, s.fine_comp_offset);
+    }
   }
-  for (double& v : m.coarse_ref_errors) v = rng.gaussian(0.0, s.coarse_ref);
+  {
+    util::Rng r = stream.fork(3);
+    for (double& v : m.coarse_comp_offsets) {
+      v = r.gaussian(0.0, s.coarse_comp_offset);
+    }
+  }
+  {
+    util::Rng r = stream.fork(4);
+    for (double& v : m.coarse_ref_errors) v = r.gaussian(0.0, s.coarse_ref);
+  }
   return m;
 }
 

@@ -67,8 +67,14 @@ struct FoldingMismatch {
     double coarse_comp_offset = 0.3e-3;  ///< [V] (auto-zeroed on chip)
     double coarse_ref = 0.3e-3;        ///< [V]
   };
+  /// Sample one realisation from \p stream WITHOUT consuming shared
+  /// generator state: each mismatch category (and each folder within
+  /// the first) draws from its own forked sub-stream, so the sample is
+  /// a pure function of the stream's seed and growing one block (e.g.
+  /// adding a folder crossing) never reshuffles the draws of another.
+  /// Callers building Monte-Carlo ensembles pass base.fork(instance).
   static FoldingMismatch sample(const FoldingParams& p, const Sigmas& s,
-                                util::Rng& rng);
+                                const util::Rng& stream);
 };
 
 class FoldingFrontEnd {

@@ -61,11 +61,13 @@ LadderInstance build_ladder(Circuit& circuit, const device::Process& process,
 LadderModel::LadderModel(const LadderParams& params)
     : params_(params), resistor_rel_(params.taps + 1, 1.0) {}
 
-LadderModel::LadderModel(const LadderParams& params, util::Rng& rng)
+LadderModel::LadderModel(const LadderParams& params,
+                         const util::Rng& stream)
     : params_(params), resistor_rel_(params.taps + 1, 1.0) {
-  for (double& r : resistor_rel_) {
-    r = 1.0 + rng.gaussian(0.0, params.sigma_r_rel);
-    if (r < 0.1) r = 0.1;  // guard against absurd samples
+  for (std::size_t i = 0; i < resistor_rel_.size(); ++i) {
+    util::Rng r = stream.fork(i);
+    resistor_rel_[i] = 1.0 + r.gaussian(0.0, params.sigma_r_rel);
+    if (resistor_rel_[i] < 0.1) resistor_rel_[i] = 0.1;  // absurd samples
   }
 }
 

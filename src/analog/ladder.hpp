@@ -49,8 +49,10 @@ LadderInstance build_ladder(spice::Circuit& circuit,
 class LadderModel {
  public:
   LadderModel(const LadderParams& params);
-  /// Sample per-resistor mismatch.
-  LadderModel(const LadderParams& params, util::Rng& rng);
+  /// Sample per-resistor mismatch from \p stream: resistor r draws from
+  /// stream.fork(r), so the realisation is a pure function of the
+  /// stream's seed (parallel-runner safe, see docs/RUNNER.md).
+  LadderModel(const LadderParams& params, const util::Rng& stream);
 
   /// Ideal or mismatch-perturbed tap voltage, tap = 0..taps-1 ordered
   /// bottom to top.

@@ -15,6 +15,13 @@ MosMismatch sample_mismatch(const MosParams& params,
   return mm;
 }
 
+MosMismatch sample_mismatch(const MosParams& params,
+                            const MosGeometry& geometry,
+                            const util::Rng& base, std::uint64_t instance) {
+  util::Rng stream = base.fork(instance);
+  return sample_mismatch(params, geometry, stream);
+}
+
 double pair_offset_sigma(const MosParams& params, const MosGeometry& geometry,
                          double temperatureK) {
   const MismatchSigmas s = mismatch_sigmas(params, geometry);

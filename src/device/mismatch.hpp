@@ -11,9 +11,18 @@
 
 namespace sscl::device {
 
-/// Draw a mismatch sample for one MOS instance.
+/// Draw a mismatch sample for one MOS instance, consuming the shared
+/// generator (sequential Monte-Carlo; draw order couples instances).
 MosMismatch sample_mismatch(const MosParams& params,
                             const MosGeometry& geometry, util::Rng& rng);
+
+/// Draw the mismatch of instance \p instance as a pure function of
+/// (base seed, instance id): the sample comes from base.fork(instance),
+/// so it does not depend on how many draws other instances consumed.
+/// This is the form the parallel runner requires (docs/RUNNER.md).
+MosMismatch sample_mismatch(const MosParams& params,
+                            const MosGeometry& geometry,
+                            const util::Rng& base, std::uint64_t instance);
 
 /// Sigma of the offset voltage of a differential pair built from two
 /// devices of this geometry: sqrt(2) * sigma_VT (beta mismatch is a

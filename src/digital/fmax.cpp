@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "run/parallel_for.hpp"
 #include "util/numeric.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +119,16 @@ double measure_encoder_fmax(const Netlist& netlist, const EncoderIo& io,
       },
       lo, hi, 1e-3);
   return 1.0 / t_min;
+}
+
+std::vector<double> measure_encoder_fmax_sweep(const Netlist& netlist,
+                                               const EncoderIo& io,
+                                               const stscl::SclModel& timing,
+                                               const std::vector<double>& iss,
+                                               int jobs) {
+  return run::parallel_map<double>(iss.size(), jobs, [&](std::size_t i) {
+    return measure_encoder_fmax(netlist, io, timing, iss[i]);
+  });
 }
 
 }  // namespace sscl::digital

@@ -38,4 +38,14 @@ bool encoder_works_at(const Netlist& netlist, const EncoderIo& io,
 double measure_encoder_fmax(const Netlist& netlist, const EncoderIo& io,
                             const stscl::SclModel& timing, double iss);
 
+/// fmax at each bias point, searched concurrently on \p jobs threads.
+/// Thread model: the netlist and timing model are shared read-only;
+/// every trial builds its own EventSim, so the per-point searches are
+/// independent and the result vector is identical at any thread count.
+std::vector<double> measure_encoder_fmax_sweep(const Netlist& netlist,
+                                               const EncoderIo& io,
+                                               const stscl::SclModel& timing,
+                                               const std::vector<double>& iss,
+                                               int jobs = 1);
+
 }  // namespace sscl::digital

@@ -1,0 +1,54 @@
+#include "run/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "run/thread_pool.hpp"
+
+namespace sscl::run {
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const int workers = resolve_jobs(jobs);
+  if (jobs == 1 || workers == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = n;
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> helpers;
+  const std::size_t extra =
+      std::min<std::size_t>(static_cast<std::size_t>(workers), n) - 1;
+  helpers.reserve(extra);
+  for (std::size_t t = 0; t < extra; ++t) helpers.emplace_back(drain);
+  drain();  // the calling thread participates
+  for (std::thread& h : helpers) h.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sscl::run

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Deterministic index-space parallelism: run body(i) for i in [0, n)
+/// on up to `jobs` threads. Results written by index are ordered by
+/// construction; any randomness inside the body must derive from the
+/// index (util::Rng::fork(i)) so the outcome is identical at any thread
+/// count. Exception contract: every index still runs, and the exception
+/// of the LOWEST failing index is rethrown -- also independent of the
+/// schedule.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sscl::run {
+
+/// jobs <= 1 executes inline on the calling thread (the reference
+/// serial order); jobs == 0 means one thread per core.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body);
+
+/// Ordered parallel map: out[i] = fn(i). R must be default-constructible.
+template <typename R, typename F>
+std::vector<R> parallel_map(std::size_t n, int jobs, F&& fn) {
+  std::vector<R> out(n);
+  parallel_for(n, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace sscl::run

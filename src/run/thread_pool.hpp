@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool for the experiment runner. Tasks are plain
+/// callables; submit() hands back a std::future that carries the result
+/// or the task's exception. The pool is the mechanism only -- the
+/// determinism contract (per-task RNG streams, ordered collection) lives
+/// in parallel_for/Sweep on top of it (docs/RUNNER.md).
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sscl::run {
+
+/// Worker count for a user request: values >= 1 pass through; 0 (or
+/// negative) means "one per hardware thread".
+int resolve_jobs(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns resolve_jobs(threads) workers.
+  explicit ThreadPool(int threads);
+  /// Drains nothing: queued tasks that never ran are abandoned with a
+  /// broken-promise error in their futures; running tasks finish first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. The future observes the task's return value or
+  /// rethrows whatever it threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace sscl::run

@@ -21,7 +21,7 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) word = splitmix64(sm);
   // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
@@ -81,5 +81,15 @@ std::uint64_t Rng::bounded(std::uint64_t bound) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Child seed = splitmix64 finalisation over the (seed, stream) pair.
+  // Mixing the first output into the second state word domain-separates
+  // streams of nearby ids and makes fork(0) distinct from the parent.
+  std::uint64_t sm = seed_ ^ 0x5851f42d4c957f2dULL;
+  const std::uint64_t a = splitmix64(sm);
+  sm = a ^ (stream + 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(sm));
+}
 
 }  // namespace sscl::util

@@ -35,9 +35,26 @@ class Rng {
   std::uint64_t bounded(std::uint64_t bound);
 
   /// Split off an independent stream (for per-instance mismatch seeds).
+  /// Mutates this generator: the child seed is the next draw, so the
+  /// child depends on how many values the parent has already produced.
+  /// Prefer fork(stream) for anything that must be reproducible.
   Rng fork();
 
+  /// Derive an independent child stream as a pure function of
+  /// (construction seed, stream id): does NOT consume parent state, so
+  /// `Rng(seed).fork(i)` is identical no matter how many draws the
+  /// parent made or in which order siblings are created. This is the
+  /// determinism contract the parallel experiment runner relies on
+  /// (docs/RUNNER.md): task i seeds itself from fork(i) and its results
+  /// are bit-identical at any thread count.
+  Rng fork(std::uint64_t stream) const;
+
+  /// The seed this generator was constructed from (fork() children
+  /// report the derived seed).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t state_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

@@ -97,18 +97,66 @@ TEST(FaiAdc, NominalEnobNearEightBits) {
 }
 
 TEST(FaiAdc, EnobWithNoiseAndMismatchNearPaper) {
-  // Paper: ENOB 6.5. Average a few Monte-Carlo instances.
+  // Paper: ENOB 6.5. Average a few Monte-Carlo instances, each on its
+  // own forked mismatch stream.
   FaiAdcConfig cfg;
-  util::Rng rng(11);
+  const util::Rng base(11);
   double sum = 0;
   const int n = 4;
   for (int i = 0; i < n; ++i) {
-    FaiAdc adc(cfg, rng);
+    FaiAdc adc(cfg, base.fork(static_cast<std::uint64_t>(i)));
     sum += adc.sine_enob().enob;
   }
   const double mean_enob = sum / n;
   EXPECT_GT(mean_enob, 5.0);
   EXPECT_LT(mean_enob, 7.8);
+}
+
+TEST(FaiAdc, MonteCarloIsBitIdenticalAcrossJobCounts) {
+  // The runner's determinism contract end-to-end: the MC ensemble gives
+  // the same per-instance numbers at every thread count.
+  FaiAdcConfig cfg;
+  const MonteCarloLinearity serial = monte_carlo_linearity(cfg, 12, 2026, 1);
+  const MonteCarloLinearity pooled = monte_carlo_linearity(cfg, 12, 2026, 8);
+  ASSERT_EQ(serial.max_inl.size(), pooled.max_inl.size());
+  for (std::size_t i = 0; i < serial.max_inl.size(); ++i) {
+    EXPECT_EQ(serial.max_inl[i], pooled.max_inl[i]) << i;
+    EXPECT_EQ(serial.max_dnl[i], pooled.max_dnl[i]) << i;
+  }
+  EXPECT_EQ(serial.mean_inl, pooled.mean_inl);
+  EXPECT_EQ(serial.worst_dnl, pooled.worst_dnl);
+}
+
+TEST(FaiAdc, MonteCarloInstanceIsPureFunctionOfSeedAndIndex) {
+  // Instance i must not depend on how many instances run before it:
+  // growing the ensemble only appends, never reshuffles.
+  FaiAdcConfig cfg;
+  const MonteCarloLinearity small = monte_carlo_linearity(cfg, 4, 99, 1);
+  const MonteCarloLinearity big = monte_carlo_linearity(cfg, 8, 99, 1);
+  for (std::size_t i = 0; i < small.max_inl.size(); ++i) {
+    EXPECT_EQ(small.max_inl[i], big.max_inl[i]) << i;
+    EXPECT_EQ(small.max_dnl[i], big.max_dnl[i]) << i;
+  }
+  // And it matches a directly forked standalone instance.
+  FaiAdcConfig quiet = cfg;
+  quiet.input_noise_rms = 0.0;
+  FaiAdc inst(quiet, util::Rng(99).fork(2));
+  const analysis::LinearityResult lin = inst.linearity_histogram();
+  EXPECT_EQ(lin.max_abs_inl, big.max_inl[2]);
+  EXPECT_EQ(lin.max_abs_dnl, big.max_dnl[2]);
+}
+
+TEST(FaiAdc, MonteCarloEnobDeterministicAndInBand) {
+  FaiAdcConfig cfg;
+  const MonteCarloEnob serial = monte_carlo_enob(cfg, 4, 2026, 1, 512);
+  const MonteCarloEnob pooled = monte_carlo_enob(cfg, 4, 2026, 4, 512);
+  ASSERT_EQ(serial.enob.size(), 4u);
+  for (std::size_t i = 0; i < serial.enob.size(); ++i) {
+    EXPECT_EQ(serial.enob[i], pooled.enob[i]) << i;
+  }
+  EXPECT_GT(serial.mean_enob, 4.5);
+  EXPECT_LT(serial.mean_enob, 8.0);
+  EXPECT_LE(serial.worst_enob, serial.mean_enob);
 }
 
 TEST(FaiAdc, NoiseReducesEnob) {

@@ -44,6 +44,36 @@ TEST(Mismatch, SampledDistributionMatchesSigmas) {
   EXPECT_NEAR(util::stddev(dbeta), s.sigma_beta_rel, s.sigma_beta_rel * 0.05);
 }
 
+TEST(Mismatch, PerInstanceStreamsArePureFunctionsOfSeedAndIndex) {
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const util::Rng base(2026);
+  // Same (base, instance) -> same draw, however often the base was used.
+  const MosMismatch a = sample_mismatch(kProc.nmos, geo, base, 5);
+  for (int k = 0; k < 3; ++k) {
+    (void)sample_mismatch(kProc.nmos, geo, base, static_cast<std::uint64_t>(k));
+  }
+  const MosMismatch b = sample_mismatch(kProc.nmos, geo, base, 5);
+  EXPECT_EQ(a.dvt, b.dvt);
+  EXPECT_EQ(a.dbeta_rel, b.dbeta_rel);
+  // Different instances give different draws.
+  const MosMismatch c = sample_mismatch(kProc.nmos, geo, base, 6);
+  EXPECT_NE(a.dvt, c.dvt);
+}
+
+TEST(Mismatch, PerInstanceStreamsHaveCorrectStatistics) {
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const auto s = mismatch_sigmas(kProc.nmos, geo);
+  const util::Rng base(515);
+  std::vector<double> dvt;
+  for (int i = 0; i < 20000; ++i) {
+    dvt.push_back(
+        sample_mismatch(kProc.nmos, geo, base, static_cast<std::uint64_t>(i))
+            .dvt);
+  }
+  EXPECT_NEAR(util::mean(dvt), 0.0, s.sigma_vt * 0.05);
+  EXPECT_NEAR(util::stddev(dvt), s.sigma_vt, s.sigma_vt * 0.05);
+}
+
 TEST(Mismatch, PairOffsetSigmaDominatedByVt) {
   const MosGeometry geo{2e-6, 1e-6, 0, 0};
   const double sigma = pair_offset_sigma(kProc.nmos, geo, 300.15);

@@ -179,6 +179,23 @@ TEST_P(EncoderFmaxTest, FmaxProportionalToIss) {
 INSTANTIATE_TEST_SUITE_P(IssSweep, EncoderFmaxTest,
                          ::testing::Values(1e-11, 1e-9, 1e-7));
 
+TEST(Encoder, FmaxSweepMatchesPointMeasurementsAtAnyJobCount) {
+  // The parallel per-Iss binary searches share the netlist read-only;
+  // the sweep must equal the serial point calls bit-for-bit.
+  Netlist nl;
+  EncoderIo io = build_fai_encoder(nl);
+  const std::vector<double> iss = {1e-10, 1e-9};
+  const std::vector<double> serial =
+      measure_encoder_fmax_sweep(nl, io, timing(), iss, 1);
+  const std::vector<double> pooled =
+      measure_encoder_fmax_sweep(nl, io, timing(), iss, 2);
+  ASSERT_EQ(serial.size(), iss.size());
+  EXPECT_EQ(serial, pooled);
+  for (std::size_t i = 0; i < iss.size(); ++i) {
+    EXPECT_EQ(serial[i], measure_encoder_fmax(nl, io, timing(), iss[i])) << i;
+  }
+}
+
 TEST(Encoder, PipelinedBeatsUnpipelinedFmax) {
   Netlist piped;
   EncoderIo io_p = build_fai_encoder(piped);

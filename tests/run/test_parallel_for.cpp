@@ -1,0 +1,87 @@
+#include "run/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sscl::run {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelMap, ResultsLandAtTheirIndex) {
+  for (int jobs : {1, 3, 8}) {
+    const std::vector<int> out =
+        parallel_map<int>(100, jobs, [](std::size_t i) {
+          return static_cast<int>(i) * 3;
+        });
+    ASSERT_EQ(out.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+    }
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndex) {
+  // Indices 10 and 90 both throw; the lowest index's exception must be
+  // the one reported, independent of scheduling.
+  for (int jobs : {1, 4}) {
+    try {
+      parallel_for(100, jobs, [](std::size_t i) {
+        if (i == 10 || i == 90) {
+          throw std::runtime_error("failed at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs " << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "failed at 10") << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, EveryIndexStillRunsWhenOneThrows) {
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  EXPECT_THROW(parallel_for(hits.size(), 4,
+                            [&](std::size_t i) {
+                              ++hits[i];
+                              if (i == 5) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelMap, MatchesSerialReference) {
+  auto fn = [](std::size_t i) {
+    double acc = 0;
+    for (int k = 0; k < 50; ++k) acc += static_cast<double>(i * 31 + k) * 0.5;
+    return acc;
+  };
+  const std::vector<double> serial = parallel_map<double>(200, 1, fn);
+  const std::vector<double> pooled = parallel_map<double>(200, 8, fn);
+  EXPECT_EQ(serial, pooled);  // bit-identical, not just close
+}
+
+}  // namespace
+}  // namespace sscl::run

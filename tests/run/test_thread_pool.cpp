@@ -1,0 +1,99 @@
+#include "run/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sscl::run {
+namespace {
+
+TEST(ResolveJobs, PositivePassesThrough) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+}
+
+TEST(ResolveJobs, ZeroAndNegativeUseHardware) {
+  const int hw = resolve_jobs(0);
+  EXPECT_GE(hw, 1);
+  EXPECT_EQ(resolve_jobs(-3), hw);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsTaskValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, StressManyTasksManyThreads) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 2000LL * 1999 / 2);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    }
+    for (auto& f : futures) f.get();
+  }  // dtor joins here
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace sscl::run

@@ -93,5 +93,95 @@ TEST(Rng, ForkIndependence) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, StreamForkIsPureFunctionOfSeedAndId) {
+  // fork(i) must not depend on parent draws or sibling creation order.
+  Rng fresh(2026);
+  Rng drained(2026);
+  for (int i = 0; i < 1000; ++i) drained.next_u64();
+  Rng sibling_first(2026);
+  (void)sibling_first.fork(7);
+
+  Rng a = fresh.fork(3);
+  Rng b = drained.fork(3);
+  Rng c = sibling_first.fork(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    EXPECT_EQ(va, c.next_u64());
+  }
+}
+
+TEST(Rng, StreamForkDoesNotConsumeParentState) {
+  Rng a(555), b(555);
+  (void)a.fork(0);
+  (void)a.fork(1);
+  (void)a.fork(99999);
+  // a's own stream is untouched by the const forks.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamForkStreamsAreDistinct) {
+  // Adjacent (and distant) stream ids give unrelated sequences.
+  Rng base(42);
+  for (std::uint64_t i : {0ULL, 1ULL, 2ULL, 1000000ULL}) {
+    for (std::uint64_t j : {3ULL, 4ULL, 7777777ULL}) {
+      Rng s1 = base.fork(i);
+      Rng s2 = base.fork(j);
+      int same = 0;
+      for (int k = 0; k < 100; ++k) {
+        if (s1.next_u64() == s2.next_u64()) ++same;
+      }
+      EXPECT_LT(same, 2) << "streams " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Rng, StreamForkStatisticalIndependence) {
+  // Pooled draws across many forked streams still look uniform: the
+  // correlation between stream i's first draw and stream i+1's first
+  // draw is near zero, and the pooled mean is near 1/2.
+  Rng base(9001);
+  const int n = 20000;
+  std::vector<double> first(n);
+  for (int i = 0; i < n; ++i) {
+    Rng s = base.fork(static_cast<std::uint64_t>(i));
+    first[static_cast<std::size_t>(i)] = s.uniform();
+  }
+  double mean = 0;
+  for (double v : first) mean += v;
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  double cov = 0, var = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    cov += (first[i] - mean) * (first[i + 1] - mean);
+    var += (first[i] - mean) * (first[i] - mean);
+  }
+  EXPECT_LT(std::fabs(cov / var), 0.03);  // lag-1 autocorrelation ~ 0
+}
+
+TEST(Rng, SeedAccessorReportsConstructionSeed) {
+  Rng a(777);
+  EXPECT_EQ(a.seed(), 777u);
+  Rng child = a.fork(3);
+  EXPECT_NE(child.seed(), a.seed());
+  EXPECT_EQ(child.seed(), a.fork(3).seed());
+}
+
+TEST(Rng, NestedStreamForksStayDeterministic) {
+  // Category sub-streams: fork(a).fork(b) is reproducible and distinct
+  // from fork(b).fork(a).
+  Rng base(31415);
+  Rng x1 = base.fork(1).fork(2);
+  Rng x2 = base.fork(1).fork(2);
+  Rng y = base.fork(2).fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = x1.next_u64();
+    EXPECT_EQ(v, x2.next_u64());
+    if (v == y.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 }  // namespace
 }  // namespace sscl::util
