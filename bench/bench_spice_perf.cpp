@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "adc/fai_adc.hpp"
+#include "analog/preamp.hpp"
 #include "digital/fmax.hpp"
 #include "spice/engine.hpp"
 #include "spice/transient.hpp"
@@ -15,6 +16,54 @@
 using namespace sscl;
 
 namespace {
+
+/// Pipeline knobs for the phased-vs-legacy rows: Arg(1) is the engine's
+/// default phased pipeline, Arg(0) turns every knob off and reproduces
+/// the pre-phased clear-and-restamp engine (the speedup baseline).
+spice::SolverOptions pipeline_options(bool phased) {
+  spice::SolverOptions so;
+  so.bypass = phased;
+  so.cache_linear = phased;
+  so.reuse_factorization = phased;
+  return so;
+}
+
+void report_pipeline_counters(benchmark::State& state,
+                              const spice::EngineStats& st) {
+  state.counters["device_evals"] = static_cast<double>(st.device_evals);
+  state.counters["bypass_hits"] = static_cast<double>(st.bypass_hits);
+  state.counters["bypass_rate"] = st.bypass_rate();
+  state.counters["full_factors"] = static_cast<double>(st.full_factors);
+  state.counters["numeric_refactors"] =
+      static_cast<double>(st.numeric_refactors);
+}
+
+/// Same construction as stscl::measure_ring_oscillator, exposed here so
+/// the bench can own the Engine and read its EngineStats. Returns the
+/// rough stage delay used to scale the transient.
+double build_ring(spice::Circuit& c, const device::Process& proc,
+                  int stages) {
+  stscl::SclParams p;
+  stscl::SclFabric fab(c, proc, p);
+  stscl::DiffSignal first = fab.signal("ring0");
+  stscl::DiffSignal s = first;
+  stscl::DiffSignal last{};
+  for (int i = 0; i < stages; ++i) {
+    last = fab.buffer(s, "ring" + std::to_string(i + 1));
+    s = last;
+  }
+  c.add<spice::Resistor>("Rloop_p", last.n, first.p, 1.0);
+  c.add<spice::Resistor>("Rloop_n", last.p, first.n, 1.0);
+  stscl::SclModel rough;
+  rough.vsw = p.vsw;
+  rough.cl = 10e-15;
+  const double td0 = rough.delay(p.iss);
+  c.add<spice::CurrentSource>(
+      "Ikick", first.p, first.n,
+      spice::SourceSpec::pulse(0.0, 2.0 * p.iss, 0.0, td0 / 20, td0 / 20,
+                               2.0 * td0));
+  return td0;
+}
 
 void BM_DenseLu(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -97,6 +146,80 @@ void BM_StsclBufferTransient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StsclBufferTransient);
+
+// ---- phased-pipeline rows (docs/ENGINE.md): op + transient on the
+// STSCL ring oscillator and the Fig. 6 preamp, phased (Arg 1) vs the
+// legacy knobs-off engine (Arg 0). On the ring transient only the
+// switching wavefront re-evaluates its devices, so the phased rows show
+// a large drop in device_evals alongside the wall-time speedup.
+
+void BM_StsclRingOp(benchmark::State& state) {
+  const bool phased = state.range(0) != 0;
+  const device::Process proc = device::Process::c180();
+  spice::Circuit c;
+  build_ring(c, proc, 5);
+  spice::Engine engine(c, pipeline_options(phased));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve_op());
+  }
+  report_pipeline_counters(state, engine.stats());
+}
+BENCHMARK(BM_StsclRingOp)->Arg(0)->Arg(1);
+
+void BM_StsclRingTransient(benchmark::State& state) {
+  const bool phased = state.range(0) != 0;
+  const device::Process proc = device::Process::c180();
+  spice::EngineStats last;
+  for (auto _ : state) {
+    spice::Circuit c;
+    const double td0 = build_ring(c, proc, 5);
+    spice::Engine engine(c, pipeline_options(phased));
+    spice::TransientOptions opts;
+    opts.tstop = 4.0 * 2 * 5 * td0;  // four rough ring periods
+    opts.dt_max = td0 / 3;
+    benchmark::DoNotOptimize(run_transient(engine, opts));
+    last = engine.stats();
+  }
+  report_pipeline_counters(state, last);
+  state.counters["transient_steps"] = static_cast<double>(last.transient_steps);
+}
+BENCHMARK(BM_StsclRingTransient)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PreampOp(benchmark::State& state) {
+  const bool phased = state.range(0) != 0;
+  const device::Process proc = device::Process::c180();
+  spice::Circuit c;
+  analog::PreampParams pp;
+  analog::build_preamp(c, proc, pp);
+  spice::Engine engine(c, pipeline_options(phased));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve_op());
+  }
+  report_pipeline_counters(state, engine.stats());
+}
+BENCHMARK(BM_PreampOp)->Arg(0)->Arg(1);
+
+void BM_PreampTransient(benchmark::State& state) {
+  const bool phased = state.range(0) != 0;
+  const device::Process proc = device::Process::c180();
+  spice::EngineStats last;
+  for (auto _ : state) {
+    spice::Circuit c;
+    analog::PreampParams pp;
+    analog::PreampInstance pre = analog::build_preamp(c, proc, pp);
+    // Small differential step on top of the common mode.
+    pre.vin_src->set_spec(spice::SourceSpec::pulse(
+        pp.v_cm - 0.02, pp.v_cm + 0.02, 2e-6, 1e-8, 1e-8, 4e-6));
+    spice::Engine engine(c, pipeline_options(phased));
+    spice::TransientOptions opts;
+    opts.tstop = 8e-6;
+    benchmark::DoNotOptimize(run_transient(engine, opts));
+    last = engine.stats();
+  }
+  report_pipeline_counters(state, last);
+  state.counters["transient_steps"] = static_cast<double>(last.transient_steps);
+}
+BENCHMARK(BM_PreampTransient)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_EncoderEventSim(benchmark::State& state) {
   digital::Netlist nl;

@@ -4,9 +4,12 @@
 /// results — operating-point report, DC sweep table, transient
 /// measurements, AC gain/bandwidth.
 ///
-///   build/examples/deck_runner [deck.sp] [node ...]
+///   build/examples/deck_runner [--stats] [deck.sp] [node ...]
 ///
-/// Extra arguments name the nodes to report (default: all).
+/// Extra arguments name the nodes to report (default: all). With
+/// --stats, an engine-pipeline report (Newton iterations, device
+/// evaluations vs bypass hits, factorisation mix, phase times) is
+/// printed after the analyses.
 
 #include <cstdio>
 #include <fstream>
@@ -63,16 +66,22 @@ int main(int argc, char** argv) {
 
   std::string text;
   std::vector<std::string> wanted_nodes;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  bool want_stats = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args.front() == "--stats") {
+    want_stats = true;
+    args.erase(args.begin());
+  }
+  if (!args.empty()) {
+    std::ifstream in(args.front());
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", args.front().c_str());
       return 1;
     }
     std::ostringstream os;
     os << in.rdbuf();
     text = os.str();
-    for (int a = 2; a < argc; ++a) wanted_nodes.emplace_back(argv[a]);
+    wanted_nodes.assign(args.begin() + 1, args.end());
   } else {
     std::printf("(no deck given: running the built-in demo)\n");
     text = kDemoDeck;
@@ -156,6 +165,31 @@ int main(int argc, char** argv) {
           break;
         }
       }
+    }
+
+    if (want_stats) {
+      const spice::EngineStats& st = engine.stats();
+      std::printf("\nengine pipeline stats\n");
+      std::printf("  newton iterations   %lld (%lld assemblies, %lld baselines)\n",
+                  st.newton_iterations, st.assemblies, st.baseline_builds);
+      std::printf("  device loads        %lld dynamic + %lld static\n",
+                  st.device_loads, st.static_loads);
+      std::printf("  model evaluations   %lld full, %lld bypassed (%.1f%% bypass)\n",
+                  st.device_evals, st.bypass_hits, 100.0 * st.bypass_rate());
+      std::printf("  factorisations      %lld full, %lld numeric-only (%.1f%% reused)"
+                  ", %lld singular\n",
+                  st.full_factors, st.numeric_refactors,
+                  100.0 * st.numeric_refactor_share(), st.singular_factors);
+      std::printf("  continuation        %lld gmin steps, %lld source steps\n",
+                  st.op_gmin_steps, st.op_source_steps);
+      std::printf("  analyses            %lld op, %lld tran steps "
+                  "(%lld LTE / %lld Newton rejects), %lld sweep, %lld ac\n",
+                  st.op_solves, st.transient_steps, st.transient_rejects_lte,
+                  st.transient_rejects_newton, st.sweep_points, st.ac_points);
+      std::printf("  phase time          %.3f ms baseline, %.3f ms assemble, "
+                  "%.3f ms solve\n",
+                  1e3 * st.seconds_baseline, 1e3 * st.seconds_assemble,
+                  1e3 * st.seconds_solve);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

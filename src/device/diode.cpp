@@ -78,38 +78,60 @@ Diode::Diode(std::string name, spice::NodeId anode, spice::NodeId cathode,
 
 void Diode::setup(spice::SetupContext& ctx) { state_ = ctx.alloc_state(2); }
 
+void Diode::reserve(spice::PatternContext& ctx) {
+  np_ = ctx.nonlinear_current(anode_, cathode_);
+}
+
 void Diode::load(spice::LoadContext& ctx) {
-  const double is_eff = params_.is * area_;
-  const double cj_eff = params_.cj0 * area_;
+  const double v_raw = ctx.v(anode_) - ctx.v(cathode_);
+  const bool init = ctx.mode() == AnalysisMode::kInitState;
 
-  double v = ctx.v(anode_) - ctx.v(cathode_);
-  if (ctx.mode() != AnalysisMode::kInitState) {
-    bool limited = false;
-    v = pnjlim(v, v_last_, ut_, vcrit_, &limited);
-    if (limited) ctx.set_not_converged();
-    v_last_ = v;
+  // Bypass: if the junction voltage moved less than the Newton tolerance
+  // since the last full evaluation, reuse the cached i/g/q/c (and skip
+  // pnjlim, whose only job is steering large steps).
+  const bool bypass = !init && ctx.bypass_enabled() && cache_valid_ &&
+                      ctx.within_bypass_tol(v_raw, v_raw_cache_);
+  if (bypass) {
+    ctx.note_bypass();
+  } else {
+    ctx.note_eval();
+    double v = v_raw;
+    if (!init) {
+      bool limited = false;
+      v = pnjlim(v, v_last_, ut_, vcrit_, &limited);
+      if (limited) ctx.set_not_converged();
+      v_last_ = v;
+    }
+    const double is_eff = params_.is * area_;
+    const double cj_eff = params_.cj0 * area_;
+    double i = 0, g = 0;
+    junction_current(v, is_eff, ut_, i, g);
+    double q = 0, c = 0;
+    junction_charge(v, cj_eff, params_.mj, params_.pb, params_.fc, q, c);
+    last_i_ = i;
+    last_g_ = g;
+    last_c_ = c;
+    last_q_ = q;
+    // The kInitState evaluation skips limiting, so only non-init
+    // evaluations seed the bypass cache.
+    v_raw_cache_ = v_raw;
+    cache_valid_ = !init;
   }
-
-  double i = 0, g = 0;
-  junction_current(v, is_eff, ut_, i, g);
-  double q = 0, c = 0;
-  junction_charge(v, cj_eff, params_.mj, params_.pb, params_.fc, q, c);
-  last_i_ = i;
-  last_g_ = g;
-  last_c_ = c;
 
   switch (ctx.mode()) {
     case AnalysisMode::kDcOp:
-      ctx.stamp_nonlinear_current(anode_, cathode_, i, g, v);
+      ctx.stamp_nonlinear_current(np_, last_i_, last_g_, v_last_);
       return;
     case AnalysisMode::kInitState:
-      ctx.set_state(state_, q);
+      ctx.set_state(state_, last_q_);
       ctx.set_state(state_ + 1, 0.0);
       return;
     case AnalysisMode::kTransient: {
-      const double ic = ctx.integrate_charge(state_, q);
-      const double geq = ctx.integ_a0() * c;
-      ctx.stamp_nonlinear_current(anode_, cathode_, i + ic, g + geq, v);
+      // The companion current is re-integrated every load: the previous
+      // state and a0 change per timestep even when the charge is cached.
+      const double ic = ctx.integrate_charge(state_, last_q_);
+      const double geq = ctx.integ_a0() * last_c_;
+      ctx.stamp_nonlinear_current(np_, last_i_ + ic, last_g_ + geq, v_last_);
       return;
     }
   }

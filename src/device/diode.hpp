@@ -26,6 +26,7 @@ class Diode final : public spice::Device {
         DiodeParams params, double area = 1.0, double temperatureK = 300.15);
 
   void setup(spice::SetupContext& ctx) override;
+  void reserve(spice::PatternContext& ctx) override;
   void load(spice::LoadContext& ctx) override;
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
@@ -45,6 +46,13 @@ class Diode final : public spice::Device {
   mutable double last_i_ = 0.0;
   mutable double last_g_ = 0.0;
   mutable double last_c_ = 0.0;
+
+  spice::NonlinearPattern np_;
+  // Bypass cache: raw (unlimited) junction voltage of the last full
+  // evaluation, and the charge that goes with last_i_/last_g_/last_c_.
+  bool cache_valid_ = false;
+  double v_raw_cache_ = 0.0;
+  double last_q_ = 0.0;
 };
 
 /// Junction conduction current and conductance with an exponent clamp

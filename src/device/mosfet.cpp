@@ -41,6 +41,33 @@ Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
 
 void Mosfet::setup(spice::SetupContext& ctx) { state_ = ctx.alloc_state(10); }
 
+void Mosfet::reserve(spice::PatternContext& ctx) {
+  // Channel Jacobian + Newton rhs.
+  m_dg_ = ctx.nn(d_, g_);
+  m_dd_ = ctx.nn(d_, d_);
+  m_ds_ = ctx.nn(d_, s_);
+  m_db_ = ctx.nn(d_, b_);
+  m_sg_ = ctx.nn(s_, g_);
+  m_sd_ = ctx.nn(s_, d_);
+  m_ss_ = ctx.nn(s_, s_);
+  m_sb_ = ctx.nn(s_, b_);
+  r_d_ = ctx.rn(d_);
+  r_s_ = ctx.rn(s_);
+  // Bulk junctions (only when diffusion areas are given).
+  if (geometry_.as > 0) {
+    jp_s_ = jn_sign_ > 0 ? ctx.nonlinear_current(b_, s_)
+                         : ctx.nonlinear_current(s_, b_);
+  }
+  if (geometry_.ad > 0) {
+    jp_d_ = jn_sign_ > 0 ? ctx.nonlinear_current(b_, d_)
+                         : ctx.nonlinear_current(d_, b_);
+  }
+  // Gate capacitance companions.
+  cp_gs_ = ctx.nonlinear_current(g_, s_);
+  cp_gd_ = ctx.nonlinear_current(g_, d_);
+  cp_gb_ = ctx.nonlinear_current(g_, b_);
+}
+
 double Mosfet::gate_capacitance() const { return cgs_ + cgd_ + cgb_; }
 
 void Mosfet::load(LoadContext& ctx) {
@@ -48,83 +75,108 @@ void Mosfet::load(LoadContext& ctx) {
   const double vg = ctx.v(g_);
   const double vs = ctx.v(s_);
   const double vb = ctx.v(b_);
+  const bool init = ctx.mode() == AnalysisMode::kInitState;
+
+  // Bypass: if no terminal moved more than the Newton tolerance since
+  // the last full evaluation, reuse the cached channel point and
+  // junction quantities. Only the voltage-dependent model outputs are
+  // cached; integrator companions are rebuilt below on every load.
+  const bool bypass = !init && ctx.bypass_enabled() && cache_valid_ &&
+                      ctx.within_bypass_tol(vd, vd_c_) &&
+                      ctx.within_bypass_tol(vg, vg_c_) &&
+                      ctx.within_bypass_tol(vs, vs_c_) &&
+                      ctx.within_bypass_tol(vb, vb_c_);
+  if (bypass) {
+    ctx.note_bypass();
+  } else {
+    ctx.note_eval();
+  }
 
   // ---- channel current -------------------------------------------------
-  last_ = ekv_evaluate(params_, geometry_, mismatch_, vg, vd, vs, vb,
-                       temperature_);
+  if (!bypass) {
+    last_ = ekv_evaluate(params_, geometry_, mismatch_, vg, vd, vs, vb,
+                         temperature_);
+    ieq_c_ = last_.id - (last_.gm * vg + last_.gds * vd - last_.gms * vs +
+                         last_.gmb * vb);
+    vd_c_ = vd;
+    vg_c_ = vg;
+    vs_c_ = vs;
+    vb_c_ = vb;
+    // kInitState evaluations skip junction limiting, so they must not
+    // seed the bypass cache.
+    cache_valid_ = !init;
+  }
 
-  if (ctx.mode() != AnalysisMode::kInitState) {
-    const double i = last_.id;
-    const double gm = last_.gm;
-    const double gds = last_.gds;
-    const double gms = last_.gms;
-    const double gmb = last_.gmb;
-
+  if (!init) {
     // Jacobian of the d->s current w.r.t. all four terminals.
-    ctx.a_nn(d_, g_, gm);
-    ctx.a_nn(d_, d_, gds);
-    ctx.a_nn(d_, s_, -gms);
-    ctx.a_nn(d_, b_, gmb);
-    ctx.a_nn(s_, g_, -gm);
-    ctx.a_nn(s_, d_, -gds);
-    ctx.a_nn(s_, s_, gms);
-    ctx.a_nn(s_, b_, -gmb);
-
-    const double ieq = i - (gm * vg + gds * vd - gms * vs + gmb * vb);
-    ctx.rhs_n(d_, -ieq);
-    ctx.rhs_n(s_, ieq);
+    ctx.add_at(m_dg_, last_.gm);
+    ctx.add_at(m_dd_, last_.gds);
+    ctx.add_at(m_ds_, -last_.gms);
+    ctx.add_at(m_db_, last_.gmb);
+    ctx.add_at(m_sg_, -last_.gm);
+    ctx.add_at(m_sd_, -last_.gds);
+    ctx.add_at(m_ss_, last_.gms);
+    ctx.add_at(m_sb_, -last_.gmb);
+    ctx.add_rhs_at(r_d_, -ieq_c_);
+    ctx.add_rhs_at(r_s_, ieq_c_);
   }
 
   // ---- source/drain junction diodes (bulk<->diffusion) ------------------
   // NMOS: p-bulk anode to n+ diffusion cathode; PMOS mirrored.
-  auto do_junction = [&](NodeId diff, double area, double& v_last,
-                         double vcrit, int state_base, double& g_cache,
-                         double& c_cache) {
+  auto do_junction = [&](NodeId diff, double area,
+                         const spice::NonlinearPattern& pat, double& v_last,
+                         double vcrit, int state_base, JunctionCache& jc,
+                         double& g_cache, double& c_cache) {
     if (area <= 0) {
       g_cache = 0;
       c_cache = 0;
       return;
     }
-    const double is_eff = params_.js * area;
-    const double cj_eff = params_.cj0 * area;
-    double v = jn_sign_ * (vb - ctx.v(diff));
-    if (ctx.mode() != AnalysisMode::kInitState) {
-      bool limited = false;
-      v = pnjlim(v, v_last, nvt_, vcrit, &limited);
-      if (limited) ctx.set_not_converged();
-      v_last = v;
+    if (!bypass) {
+      const double is_eff = params_.js * area;
+      const double cj_eff = params_.cj0 * area;
+      double v = jn_sign_ * (vb - ctx.v(diff));
+      if (!init) {
+        bool limited = false;
+        v = pnjlim(v, v_last, nvt_, vcrit, &limited);
+        if (limited) ctx.set_not_converged();
+        v_last = v;
+      }
+      junction_current(v, is_eff, nvt_, jc.ij, jc.gj);
+      junction_charge(v, cj_eff, params_.mj, params_.pb, 0.5, jc.qj, jc.cj);
+      const NodeId anode = jn_sign_ > 0 ? b_ : diff;
+      const NodeId cathode = jn_sign_ > 0 ? diff : b_;
+      jc.v_ak = ctx.v(anode) - ctx.v(cathode);
     }
-    double ij = 0, gj = 0;
-    junction_current(v, is_eff, nvt_, ij, gj);
-    double qj = 0, cj = 0;
-    junction_charge(v, cj_eff, params_.mj, params_.pb, 0.5, qj, cj);
-    g_cache = gj;
-    c_cache = cj;
+    g_cache = jc.gj;
+    c_cache = jc.cj;
 
-    const NodeId anode = jn_sign_ > 0 ? b_ : diff;
-    const NodeId cathode = jn_sign_ > 0 ? diff : b_;
-    const double v_ak = ctx.v(anode) - ctx.v(cathode);
     switch (ctx.mode()) {
       case AnalysisMode::kDcOp:
-        ctx.stamp_nonlinear_current(anode, cathode, ij, gj, v_ak);
+        ctx.stamp_nonlinear_current(pat, jc.ij, jc.gj, jc.v_ak);
         return;
       case AnalysisMode::kInitState:
-        ctx.set_state(state_base, qj);
+        ctx.set_state(state_base, jc.qj);
         ctx.set_state(state_base + 1, 0.0);
         return;
       case AnalysisMode::kTransient: {
-        const double ic = ctx.integrate_charge(state_base, qj);
-        const double geq = ctx.integ_a0() * cj;
-        ctx.stamp_nonlinear_current(anode, cathode, ij + ic, gj + geq, v_ak);
+        const double ic = ctx.integrate_charge(state_base, jc.qj);
+        const double geq = ctx.integ_a0() * jc.cj;
+        ctx.stamp_nonlinear_current(pat, jc.ij + ic, jc.gj + geq, jc.v_ak);
         return;
       }
     }
   };
-  do_junction(s_, geometry_.as, vjs_last_, vcrit_s_, state_ + 6, jgs_, cbs_);
-  do_junction(d_, geometry_.ad, vjd_last_, vcrit_d_, state_ + 8, jgd_, cbd_);
+  do_junction(s_, geometry_.as, jp_s_, vjs_last_, vcrit_s_, state_ + 6, jc_s_,
+              jgs_, cbs_);
+  do_junction(d_, geometry_.ad, jp_d_, vjd_last_, vcrit_d_, state_ + 8, jc_d_,
+              jgd_, cbd_);
 
   // ---- gate capacitances -------------------------------------------------
-  auto do_cap = [&](NodeId a, NodeId bnode, double c, int state_base) {
+  // Linear in the terminal voltages, so never bypassed: the companion is
+  // exact at the candidate point and costs no model evaluation.
+  auto do_cap = [&](NodeId a, NodeId bnode, const spice::NonlinearPattern& pat,
+                    double c, int state_base) {
     const double v = ctx.v(a) - ctx.v(bnode);
     const double q = c * v;
     switch (ctx.mode()) {
@@ -136,14 +188,14 @@ void Mosfet::load(LoadContext& ctx) {
         return;
       case AnalysisMode::kTransient: {
         const double ic = ctx.integrate_charge(state_base, q);
-        ctx.stamp_nonlinear_current(a, bnode, ic, ctx.integ_a0() * c, v);
+        ctx.stamp_nonlinear_current(pat, ic, ctx.integ_a0() * c, v);
         return;
       }
     }
   };
-  do_cap(g_, s_, cgs_, state_);
-  do_cap(g_, d_, cgd_, state_ + 2);
-  do_cap(g_, b_, cgb_, state_ + 4);
+  do_cap(g_, s_, cp_gs_, cgs_, state_);
+  do_cap(g_, d_, cp_gd_, cgd_, state_ + 2);
+  do_cap(g_, b_, cp_gb_, cgb_, state_ + 4);
 }
 
 void Mosfet::add_noise(spice::NoiseContext& ctx) const {

@@ -19,6 +19,7 @@ class Mosfet final : public spice::Device {
          MosMismatch mismatch = {});
 
   void setup(spice::SetupContext& ctx) override;
+  void reserve(spice::PatternContext& ctx) override;
   void load(spice::LoadContext& ctx) override;
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
@@ -31,7 +32,10 @@ class Mosfet final : public spice::Device {
 
   const MosGeometry& geometry() const { return geometry_; }
   const MosParams& params() const { return params_; }
-  void set_mismatch(const MosMismatch& mm) { mismatch_ = mm; }
+  void set_mismatch(const MosMismatch& mm) {
+    mismatch_ = mm;
+    cache_valid_ = false;  // cached evaluation used the old parameters
+  }
 
   /// Total gate capacitance estimate used by delay models [F].
   double gate_capacitance() const;
@@ -57,6 +61,24 @@ class Mosfet final : public spice::Device {
   mutable EkvResult last_;
   mutable double jgs_ = 0.0, jgd_ = 0.0;  // junction conductances (AC)
   mutable double cbs_ = 0.0, cbd_ = 0.0;  // junction capacitances (AC)
+
+  // Reserved stamp slots (pattern pass).
+  spice::MatrixSlot m_dg_ = 0, m_dd_ = 0, m_ds_ = 0, m_db_ = 0;
+  spice::MatrixSlot m_sg_ = 0, m_sd_ = 0, m_ss_ = 0, m_sb_ = 0;
+  spice::RhsSlot r_d_ = 0, r_s_ = 0;
+  spice::NonlinearPattern jp_s_, jp_d_;            // bulk junctions
+  spice::NonlinearPattern cp_gs_, cp_gd_, cp_gb_;  // gate capacitances
+
+  // Bypass cache: terminal voltages of the last full evaluation plus the
+  // voltage-dependent model quantities computed there. The integrator
+  // companions are rebuilt from these on every load.
+  struct JunctionCache {
+    double ij = 0.0, gj = 0.0, qj = 0.0, cj = 0.0, v_ak = 0.0;
+  };
+  bool cache_valid_ = false;
+  double vd_c_ = 0.0, vg_c_ = 0.0, vs_c_ = 0.0, vb_c_ = 0.0;
+  double ieq_c_ = 0.0;
+  JunctionCache jc_s_, jc_d_;
 };
 
 }  // namespace sscl::device

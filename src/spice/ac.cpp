@@ -81,6 +81,7 @@ AcResult run_ac(Engine& engine, const std::vector<double>& frequencies) {
       system.add(i, i, {engine.options().gmin, 0.0});
     }
     system.factor_and_solve(rhs);
+    ++engine.stats().ac_points;
     AcPoint point;
     point.frequency = f;
     point.x = std::move(rhs);

@@ -27,6 +27,7 @@ DcSweepResult run_dc_sweep(Engine& engine, const std::vector<double>& values,
       x = op.raw();
     }
     result.solutions.emplace_back(x, engine.circuit().node_count());
+    ++engine.stats().sweep_points;
     have_previous = true;
   }
   return result;

@@ -14,12 +14,15 @@
 ///  * Nonlinear currents are stamped as their Newton companion:
 ///    G = di/dv at the candidate point and Ieq = i - G*v.
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <string>
 #include <vector>
 
 #include "spice/linear_system.hpp"
 #include "spice/matrix.hpp"
+#include "spice/stats.hpp"
 #include "spice/types.hpp"
 
 namespace sscl::spice {
@@ -62,6 +65,72 @@ class SetupContext {
   Circuit& circuit_;
   int& branch_counter_;
   int& state_counter_;
+};
+
+// ---- pattern pass -----------------------------------------------------
+
+/// Slots for one conductance stamp (four matrix entries).
+struct ConductancePattern {
+  MatrixSlot aa = 0, bb = 0, ab = 0, ba = 0;
+};
+
+/// Slots for one current-source stamp (two rhs rows).
+struct CurrentPattern {
+  RhsSlot a = 0, b = 0;
+};
+
+/// Slots for one Newton-companion stamp (conductance + equivalent
+/// current source).
+struct NonlinearPattern {
+  ConductancePattern g;
+  CurrentPattern i;
+};
+
+/// Handed to Device::reserve() once, before the first load(). Devices
+/// reserve every matrix entry and rhs row they will ever stamp; the
+/// returned slots make the per-iteration load() a sequence of direct
+/// indexed writes (no hashing, and writes involving ground land in the
+/// trash slot without branching).
+///
+/// Reserve slots in the same order load() stamps them: the sparse
+/// pattern's entry order is fixed here and determines the
+/// factorisation's deterministic tie-breaking.
+class PatternContext {
+ public:
+  PatternContext(LinearSystem& system, int node_count)
+      : system_(system), node_count_(node_count) {}
+
+  MatrixSlot nn(NodeId r, NodeId c) {
+    if (r == kGround || c == kGround) return 0;
+    return system_.reserve(r, c);
+  }
+  MatrixSlot nb(NodeId r, BranchId b) {
+    if (r == kGround) return 0;
+    return system_.reserve(r, node_count_ + b);
+  }
+  MatrixSlot bn(BranchId b, NodeId c) {
+    if (c == kGround) return 0;
+    return system_.reserve(node_count_ + b, c);
+  }
+  MatrixSlot bb(BranchId r, BranchId c) {
+    return system_.reserve(node_count_ + r, node_count_ + c);
+  }
+  RhsSlot rn(NodeId r) { return r == kGround ? 0 : system_.reserve_rhs(r); }
+  RhsSlot rb(BranchId b) { return system_.reserve_rhs(node_count_ + b); }
+
+  ConductancePattern conductance(NodeId a, NodeId b) {
+    return {nn(a, a), nn(b, b), nn(a, b), nn(b, a)};
+  }
+  CurrentPattern current_source(NodeId a, NodeId b) {
+    return {rn(a), rn(b)};
+  }
+  NonlinearPattern nonlinear_current(NodeId a, NodeId b) {
+    return {conductance(a, b), current_source(a, b)};
+  }
+
+ private:
+  LinearSystem& system_;
+  int node_count_;
 };
 
 /// Handed to Device::load() on every Newton iteration.
@@ -154,6 +223,49 @@ class LoadContext {
     stamp_current_source(a, b, i - g * v_ab);
   }
 
+  // ---- slot stamping (devices that ran the pattern pass) --------------
+
+  void add_at(MatrixSlot s, double v) { system_.add_at(s, v); }
+  void add_rhs_at(RhsSlot s, double v) { system_.add_rhs_at(s, v); }
+
+  void stamp_conductance(const ConductancePattern& p, double g) {
+    system_.add_at(p.aa, g);
+    system_.add_at(p.bb, g);
+    system_.add_at(p.ab, -g);
+    system_.add_at(p.ba, -g);
+  }
+  void stamp_current_source(const CurrentPattern& p, double i) {
+    system_.add_rhs_at(p.a, -i);
+    system_.add_rhs_at(p.b, i);
+  }
+  void stamp_nonlinear_current(const NonlinearPattern& p, double i, double g,
+                               double v_ab) {
+    stamp_conductance(p.g, g);
+    stamp_current_source(p.i, i - g * v_ab);
+  }
+
+  // ---- per-device bypass ----------------------------------------------
+
+  /// True when the engine permits reusing cached model evaluations.
+  bool bypass_enabled() const { return bypass_enabled_; }
+
+  /// Newton-tolerance test used by the bypass check: has this terminal
+  /// voltage moved enough (vs the cached evaluation point) to warrant a
+  /// fresh model evaluation?
+  bool within_bypass_tol(double v_new, double v_cached) const {
+    return std::fabs(v_new - v_cached) <=
+           vntol_ + reltol_ * std::max(std::fabs(v_new), std::fabs(v_cached));
+  }
+
+  /// Devices report each full model evaluation / bypass hit so the
+  /// engine's EngineStats can account for them (no-ops without stats).
+  void note_eval() {
+    if (stats_) ++stats_->device_evals;
+  }
+  void note_bypass() {
+    if (stats_) ++stats_->bypass_hits;
+  }
+
   /// Devices call this when they limited their evaluation voltages; the
   /// engine then runs at least one more iteration.
   void set_not_converged() { limited_ = true; }
@@ -180,10 +292,24 @@ class LoadContext {
 
   void set_mode(AnalysisMode mode) { mode_ = mode; }
 
+  /// Engine wiring: enable/disable bypass and supply its tolerances.
+  void set_bypass(bool enabled, double reltol, double vntol) {
+    bypass_enabled_ = enabled;
+    reltol_ = reltol;
+    vntol_ = vntol;
+  }
+
+  /// Engine wiring: where note_eval()/note_bypass() accumulate.
+  void set_stats(EngineStats* stats) { stats_ = stats; }
+
  private:
   LinearSystem& system_;
   int node_count_;
   AnalysisMode mode_;
+  bool bypass_enabled_ = false;
+  double reltol_ = 1e-4;
+  double vntol_ = 1e-7;
+  EngineStats* stats_ = nullptr;
   const std::vector<double>* x_ = nullptr;
   const std::vector<double>* x_prev_ = nullptr;
   std::vector<double>* state_now_ = nullptr;
@@ -323,6 +449,19 @@ class Device {
 
   /// Allocate branches/state. Called once by Circuit::elaborate().
   virtual void setup(SetupContext& /*ctx*/) {}
+
+  /// Pre-reserve every matrix/rhs slot load() will write. Called once by
+  /// the engine after elaboration, before the first load(). The default
+  /// no-op keeps legacy devices working: their load() falls back to the
+  /// hashed add() path.
+  virtual void reserve(PatternContext& /*ctx*/) {}
+
+  /// True when load() stamps values independent of the candidate
+  /// solution in the given mode (they may still depend on time, gmin,
+  /// source scale and the integration coefficient, which are fixed
+  /// within one Newton solve). Static devices are stamped once per
+  /// solve into the cached baseline instead of on every iteration.
+  virtual bool is_static(AnalysisMode /*mode*/) const { return false; }
 
   /// Stamp the MNA system for the current Newton iteration.
   virtual void load(LoadContext& ctx) = 0;

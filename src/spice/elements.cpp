@@ -20,9 +20,15 @@ void Resistor::set_resistance(double r) {
   resistance_ = r;
 }
 
+void Resistor::reserve(PatternContext& ctx) {
+  gp_ = ctx.conductance(a_, b_);
+}
+
+bool Resistor::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void Resistor::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
-  ctx.stamp_conductance(a_, b_, 1.0 / resistance_);
+  ctx.stamp_conductance(gp_, 1.0 / resistance_);
 }
 
 void Resistor::load_ac(AcContext& ctx) const {
@@ -48,6 +54,16 @@ Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
 
 void Capacitor::setup(SetupContext& ctx) { state_ = ctx.alloc_state(2); }
 
+void Capacitor::reserve(PatternContext& ctx) {
+  np_ = ctx.nonlinear_current(a_, b_);
+}
+
+bool Capacitor::is_static(AnalysisMode mode) const {
+  // Open at DC (no stamps at all); the transient companion depends on
+  // the candidate charge.
+  return mode == AnalysisMode::kDcOp;
+}
+
 void Capacitor::load(LoadContext& ctx) {
   const double v = ctx.v(a_) - ctx.v(b_);
   const double q = capacitance_ * v;
@@ -61,7 +77,7 @@ void Capacitor::load(LoadContext& ctx) {
     case AnalysisMode::kTransient: {
       const double i = ctx.integrate_charge(state_, q);
       const double geq = ctx.integ_a0() * capacitance_;
-      ctx.stamp_nonlinear_current(a_, b_, i, geq, v);
+      ctx.stamp_nonlinear_current(np_, i, geq, v);
       return;
     }
   }
@@ -86,12 +102,27 @@ void Inductor::setup(SetupContext& ctx) {
   state_ = ctx.alloc_state(2);  // [current, voltage]
 }
 
+void Inductor::reserve(PatternContext& ctx) {
+  kcl_a_ = ctx.nb(a_, branch_);
+  kcl_b_ = ctx.nb(b_, branch_);
+  br_a_ = ctx.bn(branch_, a_);
+  br_b_ = ctx.bn(branch_, b_);
+  br_br_ = ctx.bb(branch_, branch_);
+  rhs_br_ = ctx.rb(branch_);
+}
+
+bool Inductor::is_static(AnalysisMode mode) const {
+  // DC short: only the constant branch rows are stamped. The transient
+  // companion depends on the candidate branch current.
+  return mode == AnalysisMode::kDcOp;
+}
+
 void Inductor::load(LoadContext& ctx) {
   // Branch current j is the unknown; KCL rows get +-j.
-  ctx.a_nb(a_, branch_, 1.0);
-  ctx.a_nb(b_, branch_, -1.0);
-  ctx.a_bn(branch_, a_, 1.0);
-  ctx.a_bn(branch_, b_, -1.0);
+  ctx.add_at(kcl_a_, 1.0);
+  ctx.add_at(kcl_b_, -1.0);
+  ctx.add_at(br_a_, 1.0);
+  ctx.add_at(br_b_, -1.0);
 
   switch (ctx.mode()) {
     case AnalysisMode::kDcOp:
@@ -110,8 +141,8 @@ void Inductor::load(LoadContext& ctx) {
       const double j = ctx.branch_current(branch_);
       const double v_l = ctx.integrate_charge(state_, inductance_ * j);
       // Branch equation: v_a - v_b - v_L(j) = 0.
-      ctx.a_bb(branch_, branch_, -a0 * inductance_);
-      ctx.rhs_b(branch_, v_l - a0 * inductance_ * j);
+      ctx.add_at(br_br_, -a0 * inductance_);
+      ctx.add_rhs_at(rhs_br_, v_l - a0 * inductance_ * j);
       return;
     }
   }
@@ -133,16 +164,30 @@ VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
 
 void VoltageSource::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
 
+void VoltageSource::reserve(PatternContext& ctx) {
+  kcl_p_ = ctx.nb(pos_, branch_);
+  kcl_n_ = ctx.nb(neg_, branch_);
+  br_p_ = ctx.bn(branch_, pos_);
+  br_n_ = ctx.bn(branch_, neg_);
+  rhs_br_ = ctx.rb(branch_);
+}
+
+bool VoltageSource::is_static(AnalysisMode /*mode*/) const {
+  // The waveform value depends on time and source scale only, both
+  // fixed within one Newton solve.
+  return true;
+}
+
 void VoltageSource::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
   const double value =
       spec_.value(ctx.mode() == AnalysisMode::kTransient ? ctx.time() : 0.0) *
       ctx.source_scale();
-  ctx.a_nb(pos_, branch_, 1.0);
-  ctx.a_nb(neg_, branch_, -1.0);
-  ctx.a_bn(branch_, pos_, 1.0);
-  ctx.a_bn(branch_, neg_, -1.0);
-  ctx.rhs_b(branch_, value);
+  ctx.add_at(kcl_p_, 1.0);
+  ctx.add_at(kcl_n_, -1.0);
+  ctx.add_at(br_p_, 1.0);
+  ctx.add_at(br_n_, -1.0);
+  ctx.add_rhs_at(rhs_br_, value);
 }
 
 void VoltageSource::load_ac(AcContext& ctx) const {
@@ -167,12 +212,18 @@ CurrentSource::CurrentSource(std::string name, NodeId pos, NodeId neg,
                              SourceSpec spec)
     : Device(std::move(name)), pos_(pos), neg_(neg), spec_(std::move(spec)) {}
 
+void CurrentSource::reserve(PatternContext& ctx) {
+  ip_ = ctx.current_source(pos_, neg_);
+}
+
+bool CurrentSource::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void CurrentSource::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
   const double value =
       spec_.value(ctx.mode() == AnalysisMode::kTransient ? ctx.time() : 0.0) *
       ctx.source_scale();
-  ctx.stamp_current_source(pos_, neg_, value);
+  ctx.stamp_current_source(ip_, value);
 }
 
 void CurrentSource::load_ac(AcContext& ctx) const {
@@ -202,14 +253,25 @@ Vcvs::Vcvs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
 
 void Vcvs::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
 
+void Vcvs::reserve(PatternContext& ctx) {
+  kcl_p_ = ctx.nb(op_, branch_);
+  kcl_n_ = ctx.nb(on_, branch_);
+  br_p_ = ctx.bn(branch_, op_);
+  br_n_ = ctx.bn(branch_, on_);
+  br_cp_ = ctx.bn(branch_, cp_);
+  br_cn_ = ctx.bn(branch_, cn_);
+}
+
+bool Vcvs::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void Vcvs::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
-  ctx.a_nb(op_, branch_, 1.0);
-  ctx.a_nb(on_, branch_, -1.0);
-  ctx.a_bn(branch_, op_, 1.0);
-  ctx.a_bn(branch_, on_, -1.0);
-  ctx.a_bn(branch_, cp_, -gain_);
-  ctx.a_bn(branch_, cn_, gain_);
+  ctx.add_at(kcl_p_, 1.0);
+  ctx.add_at(kcl_n_, -1.0);
+  ctx.add_at(br_p_, 1.0);
+  ctx.add_at(br_n_, -1.0);
+  ctx.add_at(br_cp_, -gain_);
+  ctx.add_at(br_cn_, gain_);
 }
 
 void Vcvs::load_ac(AcContext& ctx) const {
@@ -232,12 +294,21 @@ Vccs::Vccs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
       cn_(ctrl_neg),
       gm_(gm) {}
 
+void Vccs::reserve(PatternContext& ctx) {
+  op_cp_ = ctx.nn(op_, cp_);
+  op_cn_ = ctx.nn(op_, cn_);
+  on_cp_ = ctx.nn(on_, cp_);
+  on_cn_ = ctx.nn(on_, cn_);
+}
+
+bool Vccs::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void Vccs::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
-  ctx.a_nn(op_, cp_, gm_);
-  ctx.a_nn(op_, cn_, -gm_);
-  ctx.a_nn(on_, cp_, -gm_);
-  ctx.a_nn(on_, cn_, gm_);
+  ctx.add_at(op_cp_, gm_);
+  ctx.add_at(op_cn_, -gm_);
+  ctx.add_at(on_cp_, -gm_);
+  ctx.add_at(on_cn_, gm_);
 }
 
 void Vccs::load_ac(AcContext& ctx) const {
@@ -259,10 +330,17 @@ Cccs::Cccs(std::string name, NodeId out_pos, NodeId out_neg,
   if (!sense_) throw std::invalid_argument("Cccs: null sense source");
 }
 
+void Cccs::reserve(PatternContext& ctx) {
+  op_s_ = ctx.nb(op_, sense_->branch());
+  on_s_ = ctx.nb(on_, sense_->branch());
+}
+
+bool Cccs::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void Cccs::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
-  ctx.a_nb(op_, sense_->branch(), gain_);
-  ctx.a_nb(on_, sense_->branch(), -gain_);
+  ctx.add_at(op_s_, gain_);
+  ctx.add_at(on_s_, -gain_);
 }
 
 void Cccs::load_ac(AcContext& ctx) const {
@@ -284,13 +362,23 @@ Ccvs::Ccvs(std::string name, NodeId out_pos, NodeId out_neg,
 
 void Ccvs::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
 
+void Ccvs::reserve(PatternContext& ctx) {
+  kcl_p_ = ctx.nb(op_, branch_);
+  kcl_n_ = ctx.nb(on_, branch_);
+  br_p_ = ctx.bn(branch_, op_);
+  br_n_ = ctx.bn(branch_, on_);
+  br_s_ = ctx.bb(branch_, sense_->branch());
+}
+
+bool Ccvs::is_static(AnalysisMode /*mode*/) const { return true; }
+
 void Ccvs::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
-  ctx.a_nb(op_, branch_, 1.0);
-  ctx.a_nb(on_, branch_, -1.0);
-  ctx.a_bn(branch_, op_, 1.0);
-  ctx.a_bn(branch_, on_, -1.0);
-  ctx.a_bb(branch_, sense_->branch(), -r_);
+  ctx.add_at(kcl_p_, 1.0);
+  ctx.add_at(kcl_n_, -1.0);
+  ctx.add_at(br_p_, 1.0);
+  ctx.add_at(br_n_, -1.0);
+  ctx.add_at(br_s_, -r_);
 }
 
 void Ccvs::load_ac(AcContext& ctx) const {
@@ -319,8 +407,18 @@ SoftOpamp::SoftOpamp(std::string name, NodeId out, NodeId in_pos, NodeId in_neg,
 
 void SoftOpamp::setup(SetupContext& ctx) { branch_ = ctx.alloc_branch(); }
 
+void SoftOpamp::reserve(PatternContext& ctx) {
+  out_br_ = ctx.nb(out_, branch_);
+  br_out_ = ctx.bn(branch_, out_);
+  br_br_ = ctx.bb(branch_, branch_);
+  br_ip_ = ctx.bn(branch_, ip_);
+  br_in_ = ctx.bn(branch_, in_);
+  rhs_br_ = ctx.rb(branch_);
+}
+
 void SoftOpamp::load(LoadContext& ctx) {
   if (ctx.mode() == AnalysisMode::kInitState) return;
+  ctx.note_eval();
   const double vmid = 0.5 * (v_lo_ + v_hi_);
   const double vamp = 0.5 * (v_hi_ - v_lo_);
   const double vd = ctx.v(ip_) - ctx.v(in_);
@@ -335,12 +433,12 @@ void SoftOpamp::load(LoadContext& ctx) {
   // the output node in its KCL row, so the Thevenin drop enters with a
   // minus sign), linearised:
   //   v(out) - Rout*j - dfd*(v(ip)-v(in)) = f(vd*) - dfd*vd*
-  ctx.a_nb(out_, branch_, 1.0);
-  ctx.a_bn(branch_, out_, 1.0);
-  ctx.a_bb(branch_, branch_, -r_out_);
-  ctx.a_bn(branch_, ip_, -dfd);
-  ctx.a_bn(branch_, in_, dfd);
-  ctx.rhs_b(branch_, f - dfd * vd);
+  ctx.add_at(out_br_, 1.0);
+  ctx.add_at(br_out_, 1.0);
+  ctx.add_at(br_br_, -r_out_);
+  ctx.add_at(br_ip_, -dfd);
+  ctx.add_at(br_in_, dfd);
+  ctx.add_rhs_at(rhs_br_, f - dfd * vd);
 }
 
 void SoftOpamp::load_ac(AcContext& ctx) const {

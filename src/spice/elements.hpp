@@ -18,6 +18,8 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
 
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   void add_noise(NoiseContext& ctx) const override;
@@ -31,6 +33,7 @@ class Resistor final : public Device {
  private:
   NodeId a_, b_;
   double resistance_;
+  ConductancePattern gp_;
 };
 
 class Capacitor final : public Device {
@@ -38,6 +41,8 @@ class Capacitor final : public Device {
   Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -49,6 +54,7 @@ class Capacitor final : public Device {
   NodeId a_, b_;
   double capacitance_;
   int state_ = -1;  // [charge, current]
+  NonlinearPattern np_;
 };
 
 class Inductor final : public Device {
@@ -56,6 +62,8 @@ class Inductor final : public Device {
   Inductor(std::string name, NodeId a, NodeId b, double inductance);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -67,6 +75,8 @@ class Inductor final : public Device {
   double inductance_;
   BranchId branch_ = -1;
   int state_ = -1;  // [current, voltage]
+  MatrixSlot kcl_a_ = 0, kcl_b_ = 0, br_a_ = 0, br_b_ = 0, br_br_ = 0;
+  RhsSlot rhs_br_ = 0;
 };
 
 class VoltageSource final : public Device {
@@ -74,6 +84,8 @@ class VoltageSource final : public Device {
   VoltageSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   void add_breakpoints(double tstop,
@@ -90,6 +102,8 @@ class VoltageSource final : public Device {
   NodeId pos_, neg_;
   SourceSpec spec_;
   BranchId branch_ = -1;
+  MatrixSlot kcl_p_ = 0, kcl_n_ = 0, br_p_ = 0, br_n_ = 0;
+  RhsSlot rhs_br_ = 0;
 };
 
 class CurrentSource final : public Device {
@@ -98,6 +112,8 @@ class CurrentSource final : public Device {
   /// convention: positive value pushes current out of neg).
   CurrentSource(std::string name, NodeId pos, NodeId neg, SourceSpec spec);
 
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   void add_breakpoints(double tstop,
@@ -110,6 +126,7 @@ class CurrentSource final : public Device {
  private:
   NodeId pos_, neg_;
   SourceSpec spec_;
+  CurrentPattern ip_;
 };
 
 /// E element: v(out+, out-) = gain * v(ctrl+, ctrl-).
@@ -119,6 +136,8 @@ class Vcvs final : public Device {
        NodeId ctrl_neg, double gain);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -127,6 +146,8 @@ class Vcvs final : public Device {
   NodeId op_, on_, cp_, cn_;
   double gain_;
   BranchId branch_ = -1;
+  MatrixSlot kcl_p_ = 0, kcl_n_ = 0, br_p_ = 0, br_n_ = 0, br_cp_ = 0,
+             br_cn_ = 0;
 };
 
 /// G element: i(out+ -> out-) = gm * v(ctrl+, ctrl-).
@@ -135,6 +156,8 @@ class Vccs final : public Device {
   Vccs(std::string name, NodeId out_pos, NodeId out_neg, NodeId ctrl_pos,
        NodeId ctrl_neg, double gm);
 
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -144,6 +167,7 @@ class Vccs final : public Device {
  private:
   NodeId op_, on_, cp_, cn_;
   double gm_;
+  MatrixSlot op_cp_ = 0, op_cn_ = 0, on_cp_ = 0, on_cn_ = 0;
 };
 
 /// F element: i(out) = gain * i(through a named voltage source).
@@ -152,6 +176,8 @@ class Cccs final : public Device {
   Cccs(std::string name, NodeId out_pos, NodeId out_neg,
        const VoltageSource* sense, double gain);
 
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -160,6 +186,7 @@ class Cccs final : public Device {
   NodeId op_, on_;
   const VoltageSource* sense_;
   double gain_;
+  MatrixSlot op_s_ = 0, on_s_ = 0;
 };
 
 /// H element: v(out) = r * i(through a named voltage source).
@@ -169,6 +196,8 @@ class Ccvs final : public Device {
        const VoltageSource* sense, double transresistance);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
+  bool is_static(AnalysisMode mode) const override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -178,6 +207,7 @@ class Ccvs final : public Device {
   const VoltageSource* sense_;
   double r_;
   BranchId branch_ = -1;
+  MatrixSlot kcl_p_ = 0, kcl_n_ = 0, br_p_ = 0, br_n_ = 0, br_s_ = 0;
 };
 
 /// Behavioural op-amp with a smooth tanh output clamp:
@@ -193,6 +223,7 @@ class SoftOpamp final : public Device {
             double gain, double v_lo, double v_hi, double r_out = 0.0);
 
   void setup(SetupContext& ctx) override;
+  void reserve(PatternContext& ctx) override;
   void load(LoadContext& ctx) override;
   void load_ac(AcContext& ctx) const override;
   bool describe(DeviceInfo& info) const override;
@@ -202,6 +233,8 @@ class SoftOpamp final : public Device {
   double gain_, v_lo_, v_hi_, r_out_;
   BranchId branch_ = -1;
   mutable double ac_gain_ = 0.0;  // linearised gain cached at the OP
+  MatrixSlot out_br_ = 0, br_out_ = 0, br_br_ = 0, br_ip_ = 0, br_in_ = 0;
+  RhsSlot rhs_br_ = 0;
 };
 
 }  // namespace sscl::spice

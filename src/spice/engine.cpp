@@ -1,6 +1,7 @@
 #include "spice/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "lint/check.hpp"
@@ -8,13 +9,56 @@
 
 namespace sscl::spice {
 
+namespace {
+
+/// Accumulates elapsed wall time into an EngineStats seconds field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 Engine::Engine(Circuit& circuit, SolverOptions options)
     : circuit_(circuit), options_(options), system_(0) {
   circuit_.elaborate();
   if (options_.lint) lint::enforce_circuit(circuit_);
-  system_ = LinearSystem(circuit_.unknown_count());
+  system_ = LinearSystem(circuit_.unknown_count(), options_.force_dense,
+                         options_.force_sparse);
   state_prev_.assign(circuit_.state_count(), 0.0);
   state_now_.assign(circuit_.state_count(), 0.0);
+
+  // Phase 1 (pattern pass): reserve every slot any device will stamp,
+  // plus the gmin diagonal, then freeze the pointer table. Devices that
+  // don't implement reserve() keep working through the hashed add()
+  // path; the table re-syncs if they grow the pattern later.
+  const int nodes = circuit_.node_count();
+  PatternContext pctx(system_, nodes);
+  for (const auto& device : circuit_.devices()) device->reserve(pctx);
+  gmin_slots_.resize(nodes);
+  for (int i = 0; i < nodes; ++i) gmin_slots_[i] = system_.reserve(i, i);
+  system_.finalize_pattern();
+
+  // Static/dynamic partition per stamping mode (phase 2 input).
+  for (const auto& device : circuit_.devices()) {
+    Device* d = device.get();
+    (d->is_static(AnalysisMode::kDcOp) ? static_op_ : dynamic_op_)
+        .push_back(d);
+    (d->is_static(AnalysisMode::kTransient) ? static_tr_ : dynamic_tr_)
+        .push_back(d);
+  }
 }
 
 std::vector<double> Engine::make_initial_guess() const {
@@ -44,18 +88,73 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
   const int n = circuit_.unknown_count();
   const int nodes = circuit_.node_count();
   LoadContext ctx(system_, nodes, mode);
+  ctx.set_stats(&stats_);
+  ctx.set_bypass(options_.bypass, options_.reltol, options_.vntol);
+  system_.allow_pivot_reuse(options_.reuse_factorization);
+
+  const bool cache = options_.cache_linear;
+  const std::vector<Device*>& dynamics =
+      mode == AnalysisMode::kTransient ? dynamic_tr_ : dynamic_op_;
 
   bool first = true;
-  auto assemble = [&](const std::vector<double>& at) {
-    system_.clear();
+  auto configure = [&](const std::vector<double>& at) {
     ctx.set_mode(mode);
     ctx.configure(&at, &at, &state_now_, &state_prev_, time, gmin,
                   source_scale, first, method, a0);
-    for (const auto& device : circuit_.devices()) device->load(ctx);
-    // Diagonal gmin keeps floating nodes and deep-subthreshold devices
-    // from producing a singular Jacobian.
-    for (int i = 0; i < nodes; ++i) system_.add(i, i, gmin);
+  };
+
+  if (cache) {
+    // Phase 2 (baseline): everything constant across this solve --
+    // static-linear device stamps and the gmin diagonal -- is assembled
+    // once and snapshotted; each iteration starts from a copy of it.
+    PhaseTimer t(stats_.seconds_baseline);
+    const std::vector<Device*>& statics =
+        mode == AnalysisMode::kTransient ? static_tr_ : static_op_;
+    system_.clear();
+    configure(x);
+    for (Device* d : statics) d->load(ctx);
+    for (int i = 0; i < nodes; ++i) system_.add_at(gmin_slots_[i], gmin);
+    system_.snapshot_baseline();
+    ++stats_.baseline_builds;
+    stats_.static_loads += static_cast<long long>(statics.size());
+  }
+
+  auto assemble = [&](const std::vector<double>& at) {
+    PhaseTimer t(stats_.seconds_assemble);
+    if (cache) {
+      system_.restore_baseline();
+      configure(at);
+      for (Device* d : dynamics) d->load(ctx);
+      stats_.device_loads += static_cast<long long>(dynamics.size());
+    } else {
+      // Legacy single-phase assembly: the same stamping order as the
+      // pre-phased engine (all devices in circuit order, gmin last).
+      system_.clear();
+      configure(at);
+      for (const auto& device : circuit_.devices()) device->load(ctx);
+      for (int i = 0; i < nodes; ++i) system_.add_at(gmin_slots_[i], gmin);
+      stats_.device_loads +=
+          static_cast<long long>(circuit_.devices().size());
+    }
+    ++stats_.assemblies;
     first = false;
+  };
+
+  auto solve_system = [&](std::vector<double>& out) {
+    PhaseTimer t(stats_.seconds_solve);
+    const bool ok = system_.solve(out);
+    if (ok) {
+      ++stats_.factors;
+      if (system_.last_factor_kind() ==
+          LinearSystem::FactorKind::kSparseNumeric) {
+        ++stats_.numeric_refactors;
+      } else {
+        ++stats_.full_factors;
+      }
+    } else {
+      ++stats_.singular_factors;
+    }
+    return ok;
   };
 
   assemble(x);
@@ -63,10 +162,10 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 
   std::vector<double> x_new(n);
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    ++total_iterations_;
+    ++stats_.newton_iterations;
 
     // The system is currently assembled at x (linearised there).
-    if (!system_.solve(x_new)) {
+    if (!solve_system(x_new)) {
       if (iterations_out) *iterations_out = iter + 1;
       return false;
     }
@@ -137,6 +236,7 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 }
 
 Solution Engine::solve_op() {
+  ++stats_.op_solves;
   std::vector<double> x = make_initial_guess();
 
   // 1. Plain Newton at target gmin.
@@ -150,6 +250,7 @@ Solution Engine::solve_op() {
   x = make_initial_guess();
   bool ok = true;
   for (double g = 1e-3; g >= options_.gmin * 0.99; g *= 1e-2) {
+    ++stats_.op_gmin_steps;
     if (!newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
                 0.0, g, 1.0)) {
       ok = false;
@@ -166,6 +267,7 @@ Solution Engine::solve_op() {
   x = make_initial_guess();
   ok = true;
   for (double scale = 0.05; scale < 1.0 + 1e-12; scale += 0.05) {
+    ++stats_.op_source_steps;
     if (!newton(x, AnalysisMode::kDcOp, 0.0, IntegrationMethod::kTrapezoidal,
                 0.0, options_.gmin * 1e3, std::min(scale, 1.0))) {
       ok = false;
@@ -182,6 +284,7 @@ Solution Engine::solve_op() {
 
 void Engine::initialize_state(const std::vector<double>& x) {
   LoadContext ctx(system_, circuit_.node_count(), AnalysisMode::kInitState);
+  ctx.set_stats(&stats_);
   ctx.configure(&x, &x, &state_now_, &state_prev_, 0.0, options_.gmin, 1.0,
                 true, IntegrationMethod::kTrapezoidal, 0.0);
   for (const auto& device : circuit_.devices()) device->load(ctx);

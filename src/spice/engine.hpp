@@ -4,6 +4,17 @@
 /// The nonlinear solve engine shared by every analysis: damped Newton
 /// iteration over the MNA system with gmin stepping and source stepping
 /// continuation for difficult operating points.
+///
+/// Evaluation runs as a phased pipeline (see docs/ENGINE.md):
+///  1. pattern pass   - every matrix/rhs slot is reserved at construction
+///  2. baseline       - static-linear stamps cached once per Newton solve
+///  3. device bypass  - nonlinear devices reuse cached evaluations when
+///                      their terminal voltages are within tolerance
+///  4. factorisation  - sparse solves reuse the pivot sequence, refreshing
+///                      numeric values only, with full-pivoting fallback
+/// Each phase has an opt-out in SolverOptions; with all three knobs off
+/// the engine performs the same arithmetic as the pre-phased
+/// clear-and-restamp implementation.
 
 #include <map>
 #include <stdexcept>
@@ -13,6 +24,7 @@
 #include "spice/circuit.hpp"
 #include "spice/device.hpp"
 #include "spice/linear_system.hpp"
+#include "spice/stats.hpp"
 
 namespace sscl::spice {
 
@@ -30,6 +42,23 @@ struct SolverOptions {
   /// errors (floating nodes, voltage-source loops, ...) throw
   /// lint::LintError instead of surfacing as convergence mysteries.
   bool lint = true;
+
+  // ---- phased-pipeline knobs (all on by default; turning all three
+  // off reproduces the legacy clear-and-restamp engine's arithmetic) ---
+  /// Let nonlinear devices reuse cached model evaluations when their
+  /// terminal voltages moved less than vntol + reltol*|v|.
+  bool bypass = true;
+  /// Stamp static-linear devices once per Newton solve into a cached
+  /// baseline instead of restamping them every iteration.
+  bool cache_linear = true;
+  /// Let the sparse solver replay its pivot sequence, refreshing
+  /// numeric values only (falls back to full pivoting automatically).
+  bool reuse_factorization = true;
+
+  // ---- storage selection (construction-time; both false = pick by
+  // size against kSparseThreshold) ------------------------------------
+  bool force_dense = false;   ///< always use the dense LU path
+  bool force_sparse = false;  ///< always use the sparse LU path
 };
 
 /// Thrown when an analysis cannot converge.
@@ -73,7 +102,15 @@ class Engine {
   int unknown_count() const { return circuit_.unknown_count(); }
 
   /// Total Newton iterations since construction (for benchmarking).
-  long long total_iterations() const { return total_iterations_; }
+  long long total_iterations() const { return stats_.newton_iterations; }
+
+  /// Pipeline observability counters (accumulate; reset with
+  /// stats().reset()). Analyses add their step counters here too.
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Whether the MNA system uses the sparse LU path.
+  bool is_sparse() const { return system_.is_sparse(); }
 
  private:
   bool converged(const std::vector<double>& x,
@@ -84,7 +121,15 @@ class Engine {
   LinearSystem system_;
   std::vector<double> state_prev_, state_now_;
   std::map<NodeId, double> nodeset_;
-  long long total_iterations_ = 0;
+  EngineStats stats_;
+
+  /// Gmin diagonal slots, reserved once so the per-iteration floor is a
+  /// direct slot write instead of a hashed add.
+  std::vector<MatrixSlot> gmin_slots_;
+  /// Static/dynamic device partition per stamping mode (raw pointers
+  /// into circuit_.devices(), fixed after elaboration).
+  std::vector<Device*> static_op_, dynamic_op_;
+  std::vector<Device*> static_tr_, dynamic_tr_;
 };
 
 }  // namespace sscl::spice

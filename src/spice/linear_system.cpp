@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace sscl::spice {
 
@@ -13,6 +14,33 @@ LinearSystem::LinearSystem(int n, bool force_dense, bool force_sparse)
   } else {
     dense_ = std::make_unique<DenseMatrix<double>>(n);
   }
+  // rhs_ never reallocates, so its slot table is fixed at construction.
+  rhs_addr_.resize(static_cast<std::size_t>(n) + 1);
+  rhs_addr_[0] = &trash_;
+  for (int r = 0; r < n; ++r) rhs_addr_[r + 1] = &rhs_[r];
+}
+
+LinearSystem::LinearSystem(LinearSystem&& other) noexcept {
+  *this = std::move(other);
+}
+
+LinearSystem& LinearSystem::operator=(LinearSystem&& other) noexcept {
+  n_ = other.n_;
+  dense_ = std::move(other.dense_);
+  sparse_ = std::move(other.sparse_);
+  rhs_ = std::move(other.rhs_);
+  trash_ = other.trash_;
+  slot_addr_ = std::move(other.slot_addr_);
+  rhs_addr_ = std::move(other.rhs_addr_);
+  pattern_finalized_ = other.pattern_finalized_;
+  baseline_values_ = std::move(other.baseline_values_);
+  baseline_rhs_ = std::move(other.baseline_rhs_);
+  have_baseline_ = other.have_baseline_;
+  last_factor_kind_ = other.last_factor_kind_;
+  // Slot 0 of both tables must point at *this* object's trash cell.
+  if (!rhs_addr_.empty()) rhs_addr_[0] = &trash_;
+  if (!slot_addr_.empty()) slot_addr_[0] = &trash_;
+  return *this;
 }
 
 void LinearSystem::clear() {
@@ -22,14 +50,66 @@ void LinearSystem::clear() {
     dense_->clear();
   }
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  trash_ = 0.0;
 }
 
 void LinearSystem::add(int r, int c, double v) {
   if (sparse_) {
+    const std::size_t before = sparse_->nonzeros();
     sparse_->add(r, c, v);
+    if (pattern_finalized_ && sparse_->nonzeros() != before) {
+      // An ad-hoc user grew the pattern after the pattern pass: the value
+      // array may have reallocated, so re-sync the slot pointers.
+      rebuild_slot_table();
+    }
   } else {
     dense_->add(r, c, v);
   }
+}
+
+MatrixSlot LinearSystem::reserve(int r, int c) {
+  if (sparse_) {
+    const MatrixSlot s = sparse_->reserve(r, c) + 1;
+    if (pattern_finalized_) rebuild_slot_table();
+    return s;
+  }
+  return static_cast<MatrixSlot>(static_cast<std::size_t>(r) * n_ + c) + 1;
+}
+
+void LinearSystem::rebuild_slot_table() {
+  std::vector<double>& vals = sparse_ ? sparse_->values() : dense_->values();
+  slot_addr_.resize(vals.size() + 1);
+  slot_addr_[0] = &trash_;
+  for (std::size_t k = 0; k < vals.size(); ++k) slot_addr_[k + 1] = &vals[k];
+}
+
+void LinearSystem::finalize_pattern() {
+  rebuild_slot_table();
+  pattern_finalized_ = true;
+}
+
+std::size_t LinearSystem::pattern_entries() const {
+  if (sparse_) return sparse_->nonzeros();
+  return static_cast<std::size_t>(n_) * n_;
+}
+
+void LinearSystem::snapshot_baseline() {
+  const std::vector<double>& vals =
+      sparse_ ? sparse_->values() : dense_->values();
+  baseline_values_.assign(vals.begin(), vals.end());
+  baseline_rhs_.assign(rhs_.begin(), rhs_.end());
+  have_baseline_ = true;
+}
+
+void LinearSystem::restore_baseline() {
+  std::vector<double>& vals = sparse_ ? sparse_->values() : dense_->values();
+  // Entries reserved after the snapshot (ad-hoc pattern growth) belong to
+  // per-iteration stamps: zero them.
+  std::copy(baseline_values_.begin(), baseline_values_.end(), vals.begin());
+  std::fill(vals.begin() + static_cast<std::ptrdiff_t>(baseline_values_.size()),
+            vals.end(), 0.0);
+  std::copy(baseline_rhs_.begin(), baseline_rhs_.end(), rhs_.begin());
+  trash_ = 0.0;
 }
 
 void LinearSystem::multiply(const std::vector<double>& x,
@@ -54,13 +134,29 @@ double LinearSystem::residual_norm(const std::vector<double>& x) const {
 bool LinearSystem::solve(std::vector<double>& x_out) {
   x_out = rhs_;
   if (sparse_) {
-    if (!sparse_->factor()) return false;
+    if (!sparse_->factor()) {
+      last_factor_kind_ = FactorKind::kNone;
+      return false;
+    }
+    last_factor_kind_ = sparse_->last_factor_was_numeric()
+                            ? FactorKind::kSparseNumeric
+                            : FactorKind::kSparseFull;
     sparse_->solve(x_out);
     return true;
   }
-  if (!dense_->factor()) return false;
+  if (!dense_->factor()) {
+    last_factor_kind_ = FactorKind::kNone;
+    return false;
+  }
+  last_factor_kind_ = FactorKind::kDense;
   dense_->solve(x_out);
+  // The dense factorisation destroyed the assembled values in place; a
+  // later restore_baseline() or clear() rebuilds them.
   return true;
+}
+
+void LinearSystem::allow_pivot_reuse(bool allow) {
+  if (sparse_) sparse_->allow_pivot_reuse(allow);
 }
 
 }  // namespace sscl::spice

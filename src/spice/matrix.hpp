@@ -40,6 +40,11 @@ class DenseMatrix {
 
   void add(int r, int c, T v) { at(r, c) += v; }
 
+  /// Row-major backing store (n*n entries); used by LinearSystem for
+  /// direct slot writes and baseline snapshot/restore.
+  std::vector<T>& values() { return data_; }
+  const std::vector<T>& values() const { return data_; }
+
   /// y = A x. Only valid before factor() (which overwrites A with LU).
   void multiply(const std::vector<T>& x, std::vector<T>& y) const {
     y.assign(n_, T{});

@@ -6,6 +6,14 @@
 
 namespace sscl::spice {
 
+namespace {
+// Absolute floor below which a pivot is treated as singular, and the
+// threshold-pivoting ratio that decides when a reused pivot has decayed
+// too far relative to its column and the full pivot search must rerun.
+constexpr double kPivotTiny = 1e-300;
+constexpr double kPivotReuseThreshold = 1e-3;
+}  // namespace
+
 SparseMatrix::SparseMatrix(int n) { resize(n); }
 
 void SparseMatrix::resize(int n) {
@@ -16,6 +24,7 @@ void SparseMatrix::resize(int n) {
   slot_map_.clear();
   pattern_dirty_ = true;
   factored_ = false;
+  symbolic_valid_ = false;
 }
 
 void SparseMatrix::clear() {
@@ -33,6 +42,7 @@ int SparseMatrix::slot(int r, int c) {
     cols_.push_back(c);
     values_.push_back(0.0);
     pattern_dirty_ = true;
+    symbolic_valid_ = false;
   }
   return it->second;
 }
@@ -69,6 +79,20 @@ bool SparseMatrix::factor() {
   // Refresh CSC values from the assembly slots.
   for (std::size_t k = 0; k < values_.size(); ++k) ax_[slot_to_csc_[k]] = values_[k];
 
+  last_factor_numeric_ = false;
+  if (allow_pivot_reuse_ && symbolic_valid_) {
+    if (refactor_numeric()) {
+      last_factor_numeric_ = true;
+      factored_ = true;
+      return true;
+    }
+    // A pivot decayed (or went singular) under the old ordering: fall
+    // through to the full threshold-pivoting pass.
+  }
+  return factor_full();
+}
+
+bool SparseMatrix::factor_full() {
   lp_.assign(1, 0);
   li_.clear();
   lx_.clear();
@@ -77,12 +101,11 @@ bool SparseMatrix::factor() {
   ux_.clear();
   pinv_.assign(n_, -1);
   factored_ = false;
+  symbolic_valid_ = false;
 
   std::vector<double> x(n_, 0.0);
   std::vector<char> marked(n_, 0);
   std::vector<int> reach_stack(n_), dfs_stack(n_), dfs_ptr(n_);
-
-  constexpr double kPivotTiny = 1e-300;
 
   for (int k = 0; k < n_; ++k) {
     // --- Symbolic: DFS from the pattern of A(:,k) through solved columns
@@ -189,6 +212,51 @@ bool SparseMatrix::factor() {
   // Remap L's row indices from original numbering to pivot positions.
   for (int& row : li_) row = pinv_[row];
   factored_ = true;
+  symbolic_valid_ = true;
+  return true;
+}
+
+bool SparseMatrix::refactor_numeric() {
+  // Replay the stored pivot sequence and fill pattern, refreshing numeric
+  // values only. All indices below are pivot positions: li_ was remapped
+  // after the full factor, ui_ stores pivot positions by construction,
+  // and A's rows map through pinv_. The stored U order per column is the
+  // topological elimination order of the original pass, so replaying it
+  // performs the identical arithmetic when the pivots stay sound.
+  work_.assign(n_, 0.0);
+  double* w = work_.data();
+
+  for (int k = 0; k < n_; ++k) {
+    for (int p = ap_[k]; p < ap_[k + 1]; ++p) w[pinv_[ai_[p]]] += ax_[p];
+
+    for (int p = up_[k]; p < up_[k + 1] - 1; ++p) {
+      const int j = ui_[p];
+      const double xj = w[j];
+      ux_[p] = xj;
+      w[j] = 0.0;
+      for (int q = lp_[j] + 1; q < lp_[j + 1]; ++q) w[li_[q]] -= lx_[q] * xj;
+    }
+
+    const double pivot = w[k];
+    double cand_max = std::fabs(pivot);
+    for (int p = lp_[k] + 1; p < lp_[k + 1]; ++p) {
+      cand_max = std::max(cand_max, std::fabs(w[li_[p]]));
+    }
+    if (std::fabs(pivot) <= kPivotTiny ||
+        std::fabs(pivot) < kPivotReuseThreshold * cand_max) {
+      // Old pivot no longer dominates its column: clear the workspace and
+      // let the caller rerun the full pivot search.
+      w[k] = 0.0;
+      for (int p = lp_[k] + 1; p < lp_[k + 1]; ++p) w[li_[p]] = 0.0;
+      return false;
+    }
+    ux_[up_[k + 1] - 1] = pivot;
+    w[k] = 0.0;
+    for (int p = lp_[k] + 1; p < lp_[k + 1]; ++p) {
+      lx_[p] = w[li_[p]] / pivot;
+      w[li_[p]] = 0.0;
+    }
+  }
   return true;
 }
 

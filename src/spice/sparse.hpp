@@ -3,9 +3,22 @@
 /// \file sparse.hpp
 /// Sparse LU factorisation for larger MNA systems. Left-looking
 /// Gilbert-Peierls factorisation with partial pivoting (the same
-/// algorithm family as SPICE3 / CSparse). The assembly pattern is cached
-/// between Newton iterations: after the first load only values change,
-/// so add() is a hash-free slot write on the hot path.
+/// algorithm family as SPICE3 / CSparse).
+///
+/// Assembly has two speeds. add() hashes (row, col) into the slot map on
+/// every call — correct but slow, kept for ad-hoc users. The engine's
+/// hot path instead pre-reserves every entry once via reserve() during
+/// the elaboration-time pattern pass and then writes values straight
+/// into the slot array through LinearSystem's slot pointers: no hashing
+/// and no pattern growth inside the Newton loop.
+///
+/// Factorisation is likewise phased: the first factor() performs the
+/// full symbolic + threshold-pivoting pass; while the pattern stays
+/// unchanged, subsequent factor() calls replay the stored pivot
+/// sequence and fill pattern, refreshing numeric values only (a
+/// numeric-only refactorisation, typically 2-5x cheaper). A pivot that
+/// has decayed below the stability threshold triggers an automatic
+/// fallback to the full pivoting pass.
 
 #include <cstdint>
 #include <unordered_map>
@@ -27,14 +40,31 @@ class SparseMatrix {
   /// Accumulate v into entry (r, c). Grows the pattern on first touch.
   void add(int r, int c, double v);
 
+  /// Reserve a pattern slot for (r, c) without changing its value and
+  /// return its index into values() (stable until resize()).
+  int reserve(int r, int c) { return slot(r, c); }
+
   /// Reserve a pattern slot for (r, c) without changing its value.
   void touch(int r, int c) { slot(r, c); }
+
+  /// The assembly value array, indexed by the slots reserve() returned.
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
 
   /// y = A x using the assembly entries (independent of factorisation).
   void multiply(const std::vector<double>& x, std::vector<double>& y) const;
 
-  /// Factor the current values. Returns false on numerical singularity.
+  /// Factor the current values. Reuses the stored pivot sequence when
+  /// the pattern is unchanged and the pivots stay numerically sound
+  /// (see allow_pivot_reuse). Returns false on numerical singularity.
   bool factor();
+
+  /// Permit/forbid the numeric-only refactorisation path. Off, every
+  /// factor() runs the full pivot search (bit-exact legacy behaviour).
+  void allow_pivot_reuse(bool allow) { allow_pivot_reuse_ = allow; }
+
+  /// True when the last successful factor() was a numeric-only refresh.
+  bool last_factor_was_numeric() const { return last_factor_numeric_; }
 
   /// Solve A x = b using the factors; b is overwritten with x.
   void solve(std::vector<double>& b) const;
@@ -48,6 +78,8 @@ class SparseMatrix {
  private:
   int slot(int r, int c);
   void build_csc() const;
+  bool factor_full();
+  bool refactor_numeric();
 
   int n_ = 0;
 
@@ -70,7 +102,11 @@ class SparseMatrix {
   std::vector<int> up_, ui_;
   std::vector<double> ux_;
   std::vector<int> pinv_;  // original row -> pivot position
+  std::vector<double> work_;  // numeric-refresh scratch (pivot-indexed)
   bool factored_ = false;
+  bool symbolic_valid_ = false;  // pivot sequence + fill pattern reusable
+  bool allow_pivot_reuse_ = true;
+  bool last_factor_numeric_ = false;
 };
 
 }  // namespace sscl::spice

@@ -100,6 +100,7 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
     const bool ok = engine.newton(x_try, AnalysisMode::kTransient, t + h_eff,
                                   method, a0, sopts.gmin, 1.0);
     if (!ok) {
+      ++engine.stats().transient_rejects_newton;
       util::log_debug("transient: newton failed at t=", t + h_eff, " h=",
                       h_eff, " (", consecutive_failures, " consecutive)");
       h = h_eff * 0.25;
@@ -127,6 +128,7 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
     if (err_ratio > 4.0 && h_eff > dt_min && !hit_bp) {
       // Reject: redo with a smaller step.
       ++lte_rejects;
+      ++engine.stats().transient_rejects_lte;
       if ((lte_rejects & (lte_rejects - 1)) == 0) {
         util::log_debug("transient: LTE reject #", lte_rejects, " at t=", t,
                         " h=", h_eff, " err=", err_ratio);
@@ -152,6 +154,7 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
       }
     }
     engine.accept_state();
+    ++engine.stats().transient_steps;
     x_prev = x;
     x = std::move(x_try);
     h_prev = h_eff;

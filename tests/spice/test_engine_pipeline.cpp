@@ -1,0 +1,345 @@
+/// \file test_engine_pipeline.cpp
+/// Tests for the phased evaluation pipeline: dense/sparse crosscheck,
+/// bypass-on vs bypass-off equivalence, legacy knobs-off mode, numeric
+/// refactorisation, EngineStats accounting and the solver failure paths
+/// (gmin -> source stepping fall-through, pathological-op ConvergenceError,
+/// transient timestep underflow).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "stscl/fabric.hpp"
+
+namespace sscl::spice {
+namespace {
+
+const device::Process kProc = device::Process::c180();
+
+/// Build an STSCL buffer chain driven by a constant input; returns the
+/// final output signal. The bias generators make this a stiff nonlinear
+/// op (feedback opamps + subthreshold MOS), a good pipeline stressor.
+stscl::DiffSignal build_buffer_chain(Circuit& c, int stages = 2) {
+  stscl::SclParams p;
+  stscl::SclFabric fab(c, kProc, p);
+  stscl::DiffSignal in = fab.signal("in");
+  fab.drive_const(in, true);
+  stscl::DiffSignal s = in;
+  for (int i = 0; i < stages; ++i) {
+    s = fab.buffer(s, "buf" + std::to_string(i));
+  }
+  return s;
+}
+
+/// Max |v_a - v_b| over all node voltages of two solutions.
+double max_node_delta(const Solution& a, const Solution& b) {
+  EXPECT_EQ(a.node_count(), b.node_count());
+  double worst = 0.0;
+  for (int i = 0; i < a.node_count(); ++i) {
+    worst = std::max(worst, std::fabs(a.v(i) - b.v(i)));
+  }
+  return worst;
+}
+
+/// Solve the same STSCL chain op under two option sets and return the
+/// worst node-voltage disagreement.
+double crosscheck_op(const SolverOptions& oa, const SolverOptions& ob) {
+  Circuit ca, cb;
+  build_buffer_chain(ca);
+  build_buffer_chain(cb);
+  Engine ea(ca, oa), eb(cb, ob);
+  const Solution a = ea.solve_op();
+  const Solution b = eb.solve_op();
+  return max_node_delta(a, b);
+}
+
+// ---- S1: dense vs sparse crosscheck ----------------------------------
+
+TEST(EnginePipeline, DenseSparseCrosscheckStsclGate) {
+  SolverOptions dense, sparse;
+  dense.force_dense = true;
+  sparse.force_sparse = true;
+
+  Circuit cd, cs;
+  build_buffer_chain(cd);
+  build_buffer_chain(cs);
+  Engine ed(cd, dense), es(cs, sparse);
+  EXPECT_FALSE(ed.is_sparse());
+  EXPECT_TRUE(es.is_sparse());
+
+  const Solution vd = ed.solve_op();
+  const Solution vs = es.solve_op();
+  EXPECT_LT(max_node_delta(vd, vs), dense.vntol)
+      << "dense and sparse LU paths disagree on the same op";
+}
+
+// ---- bypass / baseline / legacy equivalence --------------------------
+
+TEST(EnginePipeline, BypassMatchesNoBypassOp) {
+  SolverOptions on, off;
+  off.bypass = false;
+
+  Circuit con, coff;
+  build_buffer_chain(con);
+  build_buffer_chain(coff);
+  Engine eon(con, on), eoff(coff, off);
+  const Solution son = eon.solve_op();
+  const Solution soff = eoff.solve_op();
+
+  // Bypass may settle on a point within the Newton tolerance band.
+  const double tol = on.vntol * 10;
+  EXPECT_LT(max_node_delta(son, soff), tol);
+  EXPECT_GT(eon.stats().bypass_hits, 0)
+      << "bypass enabled but no device ever reused its cache";
+  EXPECT_EQ(eoff.stats().bypass_hits, 0);
+  EXPECT_GT(eoff.stats().device_evals, eon.stats().device_evals)
+      << "bypass did not reduce full model evaluations";
+}
+
+TEST(EnginePipeline, LegacyKnobsOffMatchesPhased) {
+  SolverOptions phased, legacy;
+  legacy.bypass = false;
+  legacy.cache_linear = false;
+  legacy.reuse_factorization = false;
+
+  const double delta = crosscheck_op(phased, legacy);
+  EXPECT_LT(delta, phased.vntol * 10)
+      << "phased pipeline drifted away from the legacy engine";
+}
+
+TEST(EnginePipeline, BypassMatchesNoBypassTransient) {
+  auto run = [](bool bypass, EngineStats* stats_out) {
+    Circuit c;
+    stscl::SclParams p;
+    stscl::SclFabric fab(c, kProc, p);
+    stscl::DiffSignal in = fab.signal("in");
+    const stscl::SclModel model;
+    const double td = model.delay(p.iss);
+    fab.drive_pulse(in, 4 * td, td / 4, 40 * td);
+    stscl::DiffSignal out = fab.buffer(fab.buffer(in, "b0"), "b1");
+
+    SolverOptions so;
+    so.bypass = bypass;
+    Engine engine(c, so);
+    TransientOptions to;
+    to.tstop = 12 * td;
+    to.dt_max = td / 3;
+    Waveform w = run_transient(engine, to);
+    if (stats_out) *stats_out = engine.stats();
+
+    // Sample the differential output on a fixed grid.
+    std::vector<double> samples;
+    for (int i = 0; i <= 60; ++i) {
+      const double t = to.tstop * i / 60.0;
+      samples.push_back(w.at(out.p, t) - w.at(out.n, t));
+    }
+    return samples;
+  };
+
+  EngineStats stats_on, stats_off;
+  const std::vector<double> von = run(true, &stats_on);
+  const std::vector<double> voff = run(false, &stats_off);
+  ASSERT_EQ(von.size(), voff.size());
+
+  // The step controller may pick slightly different time grids once
+  // voltages differ at the Newton-tolerance level; allow a small
+  // multiple of the swing-relative tolerance at interpolated samples.
+  for (std::size_t i = 0; i < von.size(); ++i) {
+    EXPECT_NEAR(von[i], voff[i], 2e-3) << "sample " << i;
+  }
+  EXPECT_GT(stats_on.bypass_hits, 0);
+  EXPECT_EQ(stats_off.bypass_hits, 0);
+  EXPECT_GT(stats_on.transient_steps, 0);
+}
+
+// ---- numeric refactorisation and stats accounting --------------------
+
+TEST(EnginePipeline, NumericRefactorisationUsed) {
+  SolverOptions so;
+  so.force_sparse = true;
+
+  Circuit c;
+  build_buffer_chain(c);
+  Engine engine(c, so);
+  engine.solve_op();
+
+  const EngineStats& st = engine.stats();
+  EXPECT_GT(st.factors, 0);
+  EXPECT_GT(st.full_factors, 0);  // at least the first factorisation
+  EXPECT_GT(st.numeric_refactors, 0)
+      << "pivot-reuse path never engaged on a multi-iteration sparse op";
+  EXPECT_EQ(st.factors, st.full_factors + st.numeric_refactors);
+
+  // Knob off: every factorisation is a full pivoting pass.
+  Circuit c2;
+  build_buffer_chain(c2);
+  SolverOptions so2 = so;
+  so2.reuse_factorization = false;
+  Engine e2(c2, so2);
+  e2.solve_op();
+  EXPECT_EQ(e2.stats().numeric_refactors, 0);
+}
+
+TEST(EnginePipeline, StatsCountersAccumulate) {
+  Circuit c;
+  build_buffer_chain(c);
+  Engine engine(c);
+  engine.solve_op();
+
+  const EngineStats& st = engine.stats();
+  EXPECT_EQ(st.op_solves, 1);
+  EXPECT_GT(st.newton_iterations, 0);
+  EXPECT_GT(st.assemblies, 0);
+  EXPECT_GT(st.baseline_builds, 0);
+  EXPECT_GT(st.static_loads, 0);
+  EXPECT_GT(st.device_loads, 0);
+  EXPECT_GT(st.device_evals, 0);
+  EXPECT_GE(st.bypass_rate(), 0.0);
+  EXPECT_LE(st.bypass_rate(), 1.0);
+  EXPECT_GE(st.seconds_assemble, 0.0);
+  EXPECT_GE(st.seconds_solve, 0.0);
+
+  engine.stats().reset();
+  EXPECT_EQ(engine.stats().newton_iterations, 0);
+  EXPECT_EQ(engine.stats().op_solves, 0);
+}
+
+// ---- legacy devices without a pattern pass ---------------------------
+
+/// A device that skips reserve() entirely and stamps through the hashed
+/// add() path, like external/user devices predating the pipeline.
+class LegacyResistor final : public Device {
+ public:
+  LegacyResistor(std::string name, NodeId a, NodeId b, double r)
+      : Device(std::move(name)), a_(a), b_(b), g_(1.0 / r) {}
+  void load(LoadContext& ctx) override {
+    ctx.a_nn(a_, a_, g_);
+    ctx.a_nn(b_, b_, g_);
+    ctx.a_nn(a_, b_, -g_);
+    ctx.a_nn(b_, a_, -g_);
+  }
+
+ private:
+  NodeId a_, b_;
+  double g_;
+};
+
+TEST(EnginePipeline, LegacyDeviceWithoutReserveStillWorks) {
+  for (bool sparse : {false, true}) {
+    Circuit c;
+    const NodeId n1 = c.node("n1");
+    const NodeId n2 = c.node("n2");
+    c.add<VoltageSource>("v1", n1, kGround, SourceSpec::dc(1.0));
+    c.add<Resistor>("r1", n1, n2, 1e3);
+    // The legacy device grows the sparse pattern after finalize; the
+    // slot table must re-sync without corrupting reserved slots.
+    c.add<LegacyResistor>("rleg", n2, kGround, 1e3);
+    SolverOptions so;
+    so.lint = false;
+    so.force_sparse = sparse;
+    so.force_dense = !sparse;
+    Engine engine(c, so);
+    const Solution op = engine.solve_op();
+    EXPECT_NEAR(op.v(n2), 0.5, 1e-9) << (sparse ? "sparse" : "dense");
+  }
+}
+
+// ---- S3: failure paths -----------------------------------------------
+
+TEST(EnginePipeline, PathologicalOpThrowsConvergenceError) {
+  // 1 A forced into a node whose only DC path is gmin: the solution
+  // (10^15 V) is unreachable under max_step_v damping.
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  c.add<CurrentSource>("i1", kGround, n1, SourceSpec::dc(1.0));
+  c.add<Capacitor>("c1", n1, kGround, 1e-12);
+  SolverOptions so;
+  so.lint = false;  // the ERC would reject this net before solving
+  Engine engine(c, so);
+  EXPECT_THROW(engine.solve_op(), ConvergenceError);
+  EXPECT_GT(engine.stats().op_gmin_steps, 0);
+  EXPECT_GT(engine.stats().op_source_steps, 0);
+}
+
+/// Refuses to converge (reports limiting forever) until it has seen a
+/// source-stepping iteration, i.e. source_scale < 1. Electrically it is
+/// just a resistor to ground.
+class FlakyDevice final : public Device {
+ public:
+  FlakyDevice(std::string name, NodeId a) : Device(std::move(name)), a_(a) {}
+  void reserve(PatternContext& ctx) override {
+    gp_ = ctx.conductance(a_, kGround);
+  }
+  void load(LoadContext& ctx) override {
+    ctx.stamp_conductance(gp_, 1e-3);
+    if (ctx.source_scale() < 1.0) unlocked_ = true;
+    if (!unlocked_) ctx.set_not_converged();
+  }
+
+ private:
+  NodeId a_;
+  ConductancePattern gp_;
+  bool unlocked_ = false;
+};
+
+TEST(EnginePipeline, SourceSteppingFallThrough) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  c.add<VoltageSource>("v1", n1, kGround, SourceSpec::dc(1.0));
+  c.add<FlakyDevice>("flaky", n1);
+  SolverOptions so;
+  so.lint = false;
+  so.max_iterations = 25;  // fail the doomed strategies quickly
+  Engine engine(c, so);
+  const Solution op = engine.solve_op();
+  EXPECT_NEAR(op.v(n1), 1.0, 1e-9);
+  // Plain Newton and gmin stepping must both have failed before source
+  // stepping unlocked the device.
+  EXPECT_GT(engine.stats().op_gmin_steps, 0);
+  EXPECT_GT(engine.stats().op_source_steps, 0);
+}
+
+/// Stamps a clean 1 kOhm to ground at DC but poisons the rhs with NaN
+/// for any transient step, so every timestep's Newton solve fails.
+class NanAfterZeroDevice final : public Device {
+ public:
+  NanAfterZeroDevice(std::string name, NodeId a)
+      : Device(std::move(name)), a_(a) {}
+  void reserve(PatternContext& ctx) override {
+    gp_ = ctx.conductance(a_, kGround);
+    rp_ = ctx.current_source(a_, kGround);
+  }
+  void load(LoadContext& ctx) override {
+    ctx.stamp_conductance(gp_, 1e-3);
+    if (ctx.mode() == AnalysisMode::kTransient && ctx.time() > 0.0) {
+      ctx.stamp_current_source(rp_, std::nan(""));
+    }
+  }
+
+ private:
+  NodeId a_;
+  ConductancePattern gp_;
+  CurrentPattern rp_;
+};
+
+TEST(EnginePipeline, TransientTimestepUnderflowThrows) {
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  c.add<VoltageSource>("v1", n1, kGround, SourceSpec::dc(1.0));
+  c.add<NanAfterZeroDevice>("nan", n1);
+  SolverOptions so;
+  so.lint = false;
+  Engine engine(c, so);
+  TransientOptions to;
+  to.tstop = 1e-6;
+  EXPECT_THROW(run_transient(engine, to), ConvergenceError);
+  EXPECT_GT(engine.stats().transient_rejects_newton, 0);
+  EXPECT_EQ(engine.stats().transient_steps, 0);
+}
+
+}  // namespace
+}  // namespace sscl::spice
