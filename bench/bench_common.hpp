@@ -4,9 +4,9 @@
 /// Shared boilerplate for the paper-reproduction benches: each bench is
 /// a standalone binary that prints the table/series of one paper figure
 /// and drops a CSV next to it for replotting. All benches share one CLI
-/// (--jobs/--seed/--csv) and drive their sweeps through run::Sweep, so
-/// a bench's numbers are bit-identical at every --jobs value (the
-/// determinism contract of docs/RUNNER.md).
+/// (--jobs/--seed/--csv/--trace/--metrics) and drive their sweeps
+/// through run::Sweep, so a bench's numbers are bit-identical at every
+/// --jobs value (the determinism contract of docs/RUNNER.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +19,8 @@
 
 #include "run/sweep.hpp"
 #include "run/thread_pool.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -36,9 +38,11 @@ inline void footnote(const std::string& text) {
 }
 
 /// Common bench CLI:
-///   --jobs N   worker threads for the sweeps (0 = one per core)
-///   --seed S   root Monte-Carlo seed (per-instance streams fork off it)
-///   --csv P    override the default CSV path ("none" disables CSVs)
+///   --jobs N      worker threads for the sweeps (0 = one per core)
+///   --seed S      root Monte-Carlo seed (per-instance streams fork off it)
+///   --csv P       override the default CSV path ("none" disables CSVs)
+///   --trace P     write a Chrome trace-event / Perfetto JSON timeline
+///   --metrics P   write the counter/gauge registry (JSON, or CSV if .csv)
 struct Args {
   int jobs = 1;
   std::uint64_t seed = 0;
@@ -75,12 +79,23 @@ struct Args {
         } else {
           args.csv_override = path;
         }
+      } else if (arg == "--trace") {
+        trace::enable();
+        trace::set_thread_name("main");
+        trace::write_at_exit(value("--trace"), {});
+      } else if (arg == "--metrics") {
+        trace::enable();
+        trace::set_thread_name("main");
+        trace::write_at_exit({}, value("--metrics"));
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "usage: %s [--jobs N] [--seed S] [--csv PATH|none]\n"
-            "  --jobs N  worker threads for sweeps (0 = one per core)\n"
-            "  --seed S  root Monte-Carlo seed\n"
-            "  --csv P   override the default CSV path; 'none' disables\n",
+            "          [--trace PATH] [--metrics PATH]\n"
+            "  --jobs N     worker threads for sweeps (0 = one per core)\n"
+            "  --seed S     root Monte-Carlo seed\n"
+            "  --csv P      override the default CSV path; 'none' disables\n"
+            "  --trace P    write a Perfetto/Chrome trace-event timeline\n"
+            "  --metrics P  write counters/gauges (JSON, or CSV for .csv)\n",
             argv[0]);
         std::exit(0);
       } else {

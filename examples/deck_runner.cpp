@@ -4,12 +4,16 @@
 /// results — operating-point report, DC sweep table, transient
 /// measurements, AC gain/bandwidth.
 ///
-///   build/examples/deck_runner [--stats] [deck.sp] [node ...]
+///   build/examples/deck_runner [--stats] [--trace FILE] [--metrics FILE]
+///                              [deck.sp] [node ...]
 ///
 /// Extra arguments name the nodes to report (default: all). With
 /// --stats, an engine-pipeline report (Newton iterations, device
 /// evaluations vs bypass hits, factorisation mix, phase times) is
-/// printed after the analyses.
+/// printed after the analyses. --trace writes a Chrome trace-event /
+/// Perfetto JSON timeline of the run (newton, device-eval, factor,
+/// timestep spans); --metrics writes the flat counter/gauge registry as
+/// JSON (or CSV for a .csv path). See docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <fstream>
@@ -23,6 +27,8 @@
 #include "spice/dcsweep.hpp"
 #include "spice/engine.hpp"
 #include "spice/transient.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -67,10 +73,35 @@ int main(int argc, char** argv) {
   std::string text;
   std::vector<std::string> wanted_nodes;
   bool want_stats = false;
+  std::string trace_path, metrics_path;
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (!args.empty() && args.front() == "--stats") {
-    want_stats = true;
-    args.erase(args.begin());
+  for (std::size_t i = 0; i < args.size();) {
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "deck_runner: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return args[i + 1];
+    };
+    if (args[i] == "--stats") {
+      want_stats = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--trace") {
+      trace_path = value("--trace");
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--metrics") {
+      metrics_path = value("--metrics");
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    sscl::trace::enable();
+    sscl::trace::set_thread_name("main");
+    sscl::trace::write_at_exit(trace_path, metrics_path);
   }
   if (!args.empty()) {
     std::ifstream in(args.front());

@@ -1,7 +1,8 @@
 /// Quickstart: build one STSCL gate at transistor level, bias it at
 /// 1 nA, check its swing, measure its delay, then retune the same gate
 /// to 100x less power with the single bias knob -- the core workflow of
-/// the platform in ~50 lines.
+/// the platform in ~50 lines. Run under ctest (example_quickstart) so
+/// it can never drift from the current Engine/SolverOptions API again.
 
 #include <cstdio>
 
@@ -28,7 +29,13 @@ int main() {
   stscl::DiffSignal y = fab.and2(a, b, "y");
 
   // 3. Solve the DC operating point and read the differential output.
-  spice::Engine engine(circuit);
+  //    SolverOptions is where nano-ampere circuits differ from stock
+  //    SPICE: the defaults already carry fA-level current tolerances,
+  //    shown here spelled out so they are easy to tighten further.
+  spice::SolverOptions solver;
+  solver.itol = 1e-15;   // branch-current tolerance: fits nA bias levels
+  solver.vntol = 1e-7;   // node voltages converge to 100 nV
+  spice::Engine engine(circuit, solver);
   spice::Solution op = engine.solve_op();
   std::printf("AND(1,1) differential output: %s (logic %s)\n",
               util::format_si(op.v(y.p) - op.v(y.n), "V", 3).c_str(),
@@ -52,5 +59,12 @@ int main() {
   std::printf("power per gate: %s -> %s\n",
               util::format_si(1e-9 * 1.0, "W", 3).c_str(),
               util::format_si(1e-11 * 1.0, "W", 3).c_str());
-  return 0;
+
+  // 6. Sanity-check the run so ctest can assert the workflow end-to-end:
+  //    AND(1,1) must read logic 1 and both delay measurements must be
+  //    physical (positive, slower at lower bias).
+  const bool ok = op.v(y.p) > op.v(y.n) && d1.td_avg > 0 &&
+                  d2.td_avg > d1.td_avg;
+  if (!ok) std::fprintf(stderr, "quickstart: self-check failed\n");
+  return ok ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 ///   sscl-sta --csv path                    critical path as CSV
 ///   sscl-sta --check                       cross-validate vs event sim
 ///   sscl-sta --list                        known circuits
+///   sscl-sta --trace t.json --metrics m.csv   observability outputs
+///                                             (docs/OBSERVABILITY.md)
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,13 +24,16 @@
 #include "lint/diagnostic.hpp"
 #include "sta/crosscheck.hpp"
 #include "sta/sta.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 int usage(std::ostream& os, int code) {
   os << "usage: sscl-sta [--circuit encoder|adder] [--bits N] [--iss A]\n"
         "                [--period S | --fmax] [--mode classic|sim]\n"
-        "                [--csv stages|path] [--check] [--list]\n";
+        "                [--csv stages|path] [--check] [--list]\n"
+        "                [--trace FILE] [--metrics FILE]\n";
   return code;
 }
 
@@ -90,6 +95,14 @@ int main(int argc, char** argv) {
         std::cerr << "sscl-sta: --csv wants 'stages' or 'path'\n";
         return 2;
       }
+    } else if (arg == "--trace") {
+      trace::enable();
+      trace::set_thread_name("main");
+      trace::write_at_exit(value("--trace"), {});
+    } else if (arg == "--metrics") {
+      trace::enable();
+      trace::set_thread_name("main");
+      trace::write_at_exit({}, value("--metrics"));
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--list") {

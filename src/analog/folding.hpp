@@ -120,16 +120,19 @@ class FoldingFrontEnd {
   std::vector<double> coarse_thresholds_;
 };
 
-/// Circuit-level folder (Fig. 5(a)): \p crossings differential pairs
-/// with alternating output connection, reference gates from ladder taps.
-/// Returns the differential output current sense nodes (virtual grounds
-/// held by voltage sources so branch currents read the output current).
+/// Handles into a circuit-level folder: the input drive plus the
+/// differential output current sense nodes (virtual grounds held by
+/// voltage sources so branch currents read the output current).
 struct FolderCircuit {
   spice::NodeId in = spice::kGround;
   spice::VoltageSource* vin = nullptr;
   spice::VoltageSource* sense_p = nullptr;  ///< current into out_p
   spice::VoltageSource* sense_n = nullptr;
 };
+
+/// Build the circuit-level folder (Fig. 5(a)): \p crossings
+/// differential pairs with alternating output connection, reference
+/// gates from ladder taps.
 FolderCircuit build_folder_circuit(spice::Circuit& circuit,
                                    const device::Process& process,
                                    const FoldingParams& params,

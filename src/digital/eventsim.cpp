@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "lint/check.hpp"
+#include "trace/trace.hpp"
 
 namespace sscl::digital {
 
@@ -116,6 +117,7 @@ void EventSim::set_input(SignalId sig, bool value) {
 }
 
 void EventSim::run_until(double t) {
+  trace::Span span("eventsim.run_until", "eventsim");
   while (!queue_.empty() && queue_.top().t <= t) {
     const Event e = queue_.top();
     queue_.pop();
@@ -126,9 +128,11 @@ void EventSim::run_until(double t) {
     apply(g.out, eval_gate(g));
   }
   now_ = t;
+  trace::set_counter("eventsim.transitions", transitions_);
 }
 
 double EventSim::settle() {
+  trace::Span span("eventsim.settle", "eventsim");
   while (!queue_.empty()) {
     const Event e = queue_.top();
     queue_.pop();
@@ -136,6 +140,7 @@ double EventSim::settle() {
     const Gate& g = netlist_.gates()[e.gate];
     apply(g.out, eval_gate(g));
   }
+  trace::set_counter("eventsim.transitions", transitions_);
   return now_;
 }
 

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "run/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace sscl::run {
 
@@ -44,7 +46,14 @@ void parallel_for(std::size_t n, int jobs,
   const std::size_t extra =
       std::min<std::size_t>(static_cast<std::size_t>(workers), n) - 1;
   helpers.reserve(extra);
-  for (std::size_t t = 0; t < extra; ++t) helpers.emplace_back(drain);
+  for (std::size_t t = 0; t < extra; ++t) {
+    helpers.emplace_back([&drain, t] {
+      // Helper threads are fresh per call; name the lane so exported
+      // traces show which worker ran each sweep point.
+      trace::set_thread_name("helper-" + std::to_string(t));
+      drain();
+    });
+  }
   drain();  // the calling thread participates
   for (std::thread& h : helpers) h.join();
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "run/parallel_for.hpp"
+#include "trace/trace.hpp"
 
 namespace sscl::run {
 
@@ -88,6 +89,8 @@ class Sweep {
     std::mutex progress_mutex;
     const auto sweep_start = clock::now();
     parallel_for(n, opts_.jobs, [&](std::size_t i) {
+      trace::Span span("sweep_point", "task", "index",
+                       static_cast<long long>(i));
       TaskStats& st = out.stats[i];
       for (;;) {
         const auto task_start = clock::now();

@@ -1,5 +1,9 @@
 #include "run/thread_pool.hpp"
 
+#include <string>
+
+#include "trace/trace.hpp"
+
 namespace sscl::run {
 
 int resolve_jobs(int requested) {
@@ -12,7 +16,7 @@ ThreadPool::ThreadPool(int threads) {
   const int n = resolve_jobs(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,7 +30,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  // Lane registration is unconditional (cheap, once per thread) so a
+  // trace enabled later in the process still gets named worker lanes.
+  trace::set_thread_name("worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {
@@ -37,6 +44,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     // packaged_task catches the callable's exceptions into the future.
+    trace::Span span("task", "task");
     task();
   }
 }

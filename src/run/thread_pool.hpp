@@ -56,7 +56,8 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  /// \p index names the worker's trace lane ("worker-<index>").
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

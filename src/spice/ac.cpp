@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "trace/trace.hpp"
 #include "util/numeric.hpp"
 
 namespace sscl::spice {
@@ -61,6 +62,8 @@ double AcResult::bandwidth_3db(NodeId node) const {
 
 AcResult run_ac(Engine& engine, const std::vector<double>& frequencies) {
   Circuit& circuit = engine.circuit();
+  trace::Span analysis_span("ac", "analysis");
+  StatsPublisher publish(engine.stats());
   // Operating point first: devices cache small-signal parameters during
   // their final load() call.
   engine.solve_op();
@@ -71,7 +74,9 @@ AcResult run_ac(Engine& engine, const std::vector<double>& frequencies) {
   DenseMatrix<std::complex<double>> system(n);
   std::vector<std::complex<double>> rhs(n);
 
+  long long index = 0;
   for (double f : frequencies) {
+    trace::Span point_span("ac_point", "timestep", "point", index++);
     system.clear();
     std::fill(rhs.begin(), rhs.end(), std::complex<double>(0.0));
     AcContext ctx(system, rhs, nodes, 2.0 * M_PI * f);

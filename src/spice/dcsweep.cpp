@@ -1,5 +1,7 @@
 #include "spice/dcsweep.hpp"
 
+#include "trace/trace.hpp"
+
 namespace sscl::spice {
 
 DcSweepResult run_dc_sweep(Engine& engine, const std::vector<double>& values,
@@ -8,10 +10,15 @@ DcSweepResult run_dc_sweep(Engine& engine, const std::vector<double>& values,
   result.values = values;
   result.solutions.reserve(values.size());
 
+  trace::Span analysis_span("dc_sweep", "analysis");
+  StatsPublisher publish(engine.stats());
+
   std::vector<double> x = engine.make_initial_guess();
   bool have_previous = false;
 
+  long long point = 0;
   for (double value : values) {
+    trace::Span point_span("dc_point", "timestep", "point", point++);
     set_param(value);
     bool ok = false;
     if (have_previous) {

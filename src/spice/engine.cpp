@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "lint/check.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace sscl::spice {
@@ -30,6 +31,36 @@ class PhaseTimer {
 };
 
 }  // namespace
+
+void trace_publish(const EngineStats& st) {
+  if (!trace::enabled()) return;
+  trace::set_counter("spice.newton_iterations", st.newton_iterations);
+  trace::set_counter("spice.assemblies", st.assemblies);
+  trace::set_counter("spice.baseline_builds", st.baseline_builds);
+  trace::set_counter("spice.static_loads", st.static_loads);
+  trace::set_counter("spice.device_loads", st.device_loads);
+  trace::set_counter("spice.device_evals", st.device_evals);
+  trace::set_counter("spice.bypass_hits", st.bypass_hits);
+  trace::set_counter("spice.factors", st.factors);
+  trace::set_counter("spice.full_factors", st.full_factors);
+  trace::set_counter("spice.numeric_refactors", st.numeric_refactors);
+  trace::set_counter("spice.singular_factors", st.singular_factors);
+  trace::set_counter("spice.op_solves", st.op_solves);
+  trace::set_counter("spice.op_gmin_steps", st.op_gmin_steps);
+  trace::set_counter("spice.op_source_steps", st.op_source_steps);
+  trace::set_counter("spice.transient_steps", st.transient_steps);
+  trace::set_counter("spice.transient_rejects_lte", st.transient_rejects_lte);
+  trace::set_counter("spice.transient_rejects_newton",
+                     st.transient_rejects_newton);
+  trace::set_counter("spice.sweep_points", st.sweep_points);
+  trace::set_counter("spice.ac_points", st.ac_points);
+  trace::set_gauge("spice.bypass_rate", st.bypass_rate());
+  trace::set_gauge("spice.numeric_refactor_share",
+                   st.numeric_refactor_share());
+  trace::set_gauge("spice.seconds_baseline", st.seconds_baseline);
+  trace::set_gauge("spice.seconds_assemble", st.seconds_assemble);
+  trace::set_gauge("spice.seconds_solve", st.seconds_solve);
+}
 
 Engine::Engine(Circuit& circuit, SolverOptions options)
     : circuit_(circuit), options_(options), system_(0) {
@@ -103,11 +134,14 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
                   source_scale, first, method, a0);
   };
 
+  trace::Span newton_span("newton", "newton");
+
   if (cache) {
     // Phase 2 (baseline): everything constant across this solve --
     // static-linear device stamps and the gmin diagonal -- is assembled
     // once and snapshotted; each iteration starts from a copy of it.
     PhaseTimer t(stats_.seconds_baseline);
+    trace::Span span("baseline", "device-eval");
     const std::vector<Device*>& statics =
         mode == AnalysisMode::kTransient ? static_tr_ : static_op_;
     system_.clear();
@@ -121,6 +155,7 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 
   auto assemble = [&](const std::vector<double>& at) {
     PhaseTimer t(stats_.seconds_assemble);
+    trace::Span span("assemble", "device-eval");
     if (cache) {
       system_.restore_baseline();
       configure(at);
@@ -142,6 +177,7 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 
   auto solve_system = [&](std::vector<double>& out) {
     PhaseTimer t(stats_.seconds_solve);
+    trace::Span span("factor", "factor");
     const bool ok = system_.solve(out);
     if (ok) {
       ++stats_.factors;
@@ -236,6 +272,8 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 }
 
 Solution Engine::solve_op() {
+  trace::Span span("solve_op", "analysis");
+  StatsPublisher publish(stats_);
   ++stats_.op_solves;
   std::vector<double> x = make_initial_guess();
 

@@ -55,4 +55,25 @@ struct EngineStats {
   void reset() { *this = EngineStats{}; }
 };
 
+/// Publish every EngineStats field into the trace metric registry
+/// (trace/trace.hpp) under "spice.*" counter/gauge names, so `--metrics`
+/// exports carry the pipeline counters next to the span timeline.
+/// Values are absolute (EngineStats accumulates per engine; with several
+/// engines the most recently published one wins). No-op while tracing
+/// is disabled. Analyses call this on completion automatically.
+void trace_publish(const EngineStats& stats);
+
+/// RAII guard calling trace_publish() on scope exit; analyses hold one
+/// so counters are published on success and ConvergenceError alike.
+class StatsPublisher {
+ public:
+  explicit StatsPublisher(const EngineStats& stats) : stats_(stats) {}
+  ~StatsPublisher() { trace_publish(stats_); }
+  StatsPublisher(const StatsPublisher&) = delete;
+  StatsPublisher& operator=(const StatsPublisher&) = delete;
+
+ private:
+  const EngineStats& stats_;
+};
+
 }  // namespace sscl::spice

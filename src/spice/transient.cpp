@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace sscl::spice {
@@ -43,6 +44,9 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
   const int nodes = circuit.node_count();
   Waveform wave(nodes);
 
+  trace::Span analysis_span("transient", "analysis");
+  StatsPublisher publish(engine.stats());
+
   // Initial condition: DC operating point at t = 0.
   Solution op = engine.solve_op();
   std::vector<double> x = op.raw();
@@ -66,6 +70,9 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
   long long lte_rejects = 0;
   long long steps = 0;
   while (t < tstop - 1e-15 * tstop) {
+    // One span per step attempt (accepted or rejected): the trace shows
+    // the LTE/Newton rejection retries as repeated short spans.
+    trace::Span step_span("timestep", "timestep", "step", steps);
     if (++steps % 100000 == 0) {
       util::log_debug("transient: step ", steps, " t=", t, " h=", h);
     }

@@ -5,6 +5,7 @@
 #include "lint/check.hpp"
 #include "sta/sta.hpp"
 #include "sta/timing_graph.hpp"
+#include "trace/trace.hpp"
 #include "util/numeric.hpp"
 
 namespace sscl::sta {
@@ -314,23 +315,32 @@ double TimingReport::worst_slack_of_phase(bool phase) const {
 
 TimingReport analyze(const Netlist& netlist, const stscl::SclModel& model,
                      double iss, double period, const StaOptions& options) {
+  trace::Span span("sta.analyze", "analysis");
   if (period <= 0) throw StaError("sta: period must be positive");
   if (options.lint) lint::enforce_netlist(netlist);
   const TimingGraph tg = build_timing_graph(netlist, model, iss, options);
   Solver solver;
-  return analyze_graph(netlist, tg, model, iss, period, options, solver);
+  TimingReport report =
+      analyze_graph(netlist, tg, model, iss, period, options, solver);
+  trace::set_counter("sta.stages", static_cast<long long>(report.stages.size()));
+  trace::set_counter("sta.latches", static_cast<long long>(report.latches.size()));
+  return report;
 }
 
 double sta_fmax(const Netlist& netlist, const stscl::SclModel& model,
                 double iss, const StaOptions& options) {
+  trace::Span span("sta.fmax", "analysis");
   if (options.lint) lint::enforce_netlist(netlist);
   const TimingGraph tg = build_timing_graph(netlist, model, iss, options);
   if (tg.latches.empty()) {
     throw StaError("sta_fmax: no latches; fmax is unconstrained");
   }
   Solver solver;
+  static trace::Counter probes("sta.fmax_probes");
   double best = kInf;  // smallest period actually proven feasible
   auto feasible = [&](double period) {
+    trace::Span probe("sta.probe", "analysis");
+    probes.add();
     const bool ok =
         analyze_graph(netlist, tg, model, iss, period, options, solver)
             .feasible;

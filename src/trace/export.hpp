@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file export.hpp
+/// Exporters for trace snapshots (docs/OBSERVABILITY.md):
+///  * Chrome trace-event JSON -- complete ("ph":"X") events with
+///    microsecond timestamps, one lane per recorded thread. Loads in
+///    Perfetto (ui.perfetto.dev), chrome://tracing and speedscope.
+///  * flat metrics -- every counter and gauge as JSON or CSV, plus the
+///    collection health fields (events kept, events dropped, threads).
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace sscl::trace {
+
+/// Write \p snap as Chrome trace-event JSON. Thread-name metadata
+/// records are emitted for every named lane.
+void write_chrome_trace(std::ostream& os, const Snapshot& snap);
+
+/// Snapshot the live registry and write it to \p path. Returns false
+/// (after logging) when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Write counters and gauges as a flat JSON object.
+void write_metrics_json(std::ostream& os, const Snapshot& snap);
+
+/// Metrics as CSV with header `metric,kind,value`.
+void write_metrics_csv(std::ostream& os, const Snapshot& snap);
+
+/// Snapshot the live registry and write metrics to \p path; the format
+/// is CSV when the path ends in ".csv", JSON otherwise. Returns false
+/// (after logging) when the file cannot be opened.
+bool write_metrics_file(const std::string& path);
+
+/// Register an at-exit writer: when the process exits normally (main
+/// returns or std::exit), the current snapshot is written to the given
+/// paths. Either path may be empty to skip that output. Repeat calls
+/// merge: a non-empty argument replaces the stored path, an empty one
+/// leaves it alone. The writer itself is installed once.
+void write_at_exit(const std::string& trace_path,
+                   const std::string& metrics_path);
+
+}  // namespace sscl::trace

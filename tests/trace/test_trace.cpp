@@ -1,0 +1,197 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sscl::trace {
+namespace {
+
+/// Every test owns the global trace state: start clean, leave clean.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable();
+    reset();
+  }
+  void TearDown() override {
+    disable();
+    set_ring_capacity(32768);
+    reset();
+  }
+
+  /// The calling thread's snapshot lane (registered lazily by the first
+  /// recorded span).
+  static const ThreadSnapshot* my_lane(const Snapshot& snap) {
+    // Single-threaded tests record on exactly one lane; return the one
+    // holding events (or the first, for empty traces).
+    for (const ThreadSnapshot& t : snap.threads) {
+      if (!t.events.empty() || t.dropped > 0) return &t;
+    }
+    return snap.threads.empty() ? nullptr : &snap.threads.front();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    Span span("noop", "test");
+    Counter c("test.counter");
+    c.add(5);
+    set_counter("test.abs", 7);
+    set_gauge("test.gauge", 1.5);
+  }
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.total_events(), 0u);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0) << name;
+  }
+}
+
+TEST_F(TraceTest, SpanRecordsNameCategoryAndDuration) {
+  enable();
+  {
+    Span span("unit", "test");
+  }
+  const Snapshot snap = snapshot();
+  ASSERT_EQ(snap.total_events(), 1u);
+  const ThreadSnapshot* lane = my_lane(snap);
+  ASSERT_NE(lane, nullptr);
+  const Event& e = lane->events.front();
+  EXPECT_STREQ(e.name, "unit");
+  EXPECT_STREQ(e.category, "test");
+  EXPECT_EQ(e.arg_name, nullptr);
+  EXPECT_GE(now_ns(), e.start_ns + e.dur_ns);
+}
+
+TEST_F(TraceTest, SpanArgumentIsKept) {
+  enable();
+  {
+    Span span("point", "test", "index", 42);
+  }
+  const Snapshot snap = snapshot();
+  const ThreadSnapshot* lane = my_lane(snap);
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 1u);
+  EXPECT_STREQ(lane->events[0].arg_name, "index");
+  EXPECT_EQ(lane->events[0].arg, 42);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnerFirst) {
+  enable();
+  {
+    Span outer("outer", "test");
+    {
+      Span inner("inner", "test");
+    }
+  }
+  const Snapshot snap = snapshot();
+  const ThreadSnapshot* lane = my_lane(snap);
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 2u);
+  // Completion order: inner ends (and is recorded) before outer.
+  EXPECT_STREQ(lane->events[0].name, "inner");
+  EXPECT_STREQ(lane->events[1].name, "outer");
+  const Event& inner = lane->events[0];
+  const Event& outer = lane->events[1];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDrops) {
+  set_ring_capacity(8);
+  enable();
+  for (int i = 0; i < 20; ++i) {
+    Span span("ring", "test", "i", i);
+  }
+  const Snapshot snap = snapshot();
+  const ThreadSnapshot* lane = my_lane(snap);
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 8u);
+  EXPECT_EQ(lane->dropped, 12u);
+  EXPECT_EQ(snap.total_dropped(), 12u);
+  // Oldest-first unrolling: the survivors are the last 8 spans, in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(lane->events[static_cast<std::size_t>(i)].arg, 12 + i);
+  }
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndMetrics) {
+  enable();
+  {
+    Span span("gone", "test");
+  }
+  set_counter("test.reset_counter", 3);
+  set_gauge("test.reset_gauge", 2.5);
+  reset();
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.total_events(), 0u);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0) << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_EQ(value, 0.0) << name;
+  }
+}
+
+TEST_F(TraceTest, CountersAccumulateAndGaugesKeepLastValue) {
+  enable();
+  Counter c("test.acc");
+  c.add();
+  c.add(9);
+  Gauge g("test.level");
+  g.set(0.25);
+  g.set(0.75);
+  set_counter("test.absolute", 123);
+
+  const Snapshot snap = snapshot();
+  long long acc = -1, absolute = -1;
+  double level = -1.0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.acc") acc = value;
+    if (name == "test.absolute") absolute = value;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test.level") level = value;
+  }
+  EXPECT_EQ(acc, 10);
+  EXPECT_EQ(absolute, 123);
+  EXPECT_DOUBLE_EQ(level, 0.75);
+}
+
+TEST_F(TraceTest, ThreadNamePersistsWhileDisabled) {
+  set_thread_name("lane-under-test");
+  enable();
+  {
+    Span span("named", "test");
+  }
+  const Snapshot snap = snapshot();
+  bool found = false;
+  for (const ThreadSnapshot& t : snap.threads) {
+    if (t.name == "lane-under-test") found = !t.events.empty();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DisableStopsRecordingButKeepsData) {
+  enable();
+  {
+    Span span("kept", "test");
+  }
+  set_counter("test.kept", 5);
+  disable();
+  {
+    Span span("ignored", "test");
+  }
+  set_counter("test.kept", 99);
+
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.total_events(), 1u);
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.kept") {
+      EXPECT_EQ(value, 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sscl::trace

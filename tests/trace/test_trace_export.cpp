@@ -1,0 +1,273 @@
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "spice/elements.hpp"
+#include "spice/engine.hpp"
+#include "spice/transient.hpp"
+#include "trace/trace.hpp"
+
+namespace sscl::trace {
+namespace {
+
+/// Minimal strict JSON parser, enough to golden-check the exporters:
+/// validates the full grammar and records every `"key":` seen. Numbers
+/// and strings are validated but not stored.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is one valid JSON value.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  const std::set<std::string>& keys() const { return keys_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string(nullptr);
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (peek() != '"' || !string(&key)) return false;
+      keys_.insert(key);
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char c = s_[pos_];
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (++pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (!std::strchr("\"\\/bfnrt", c)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character
+      } else if (out) {
+        *out += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::set<std::string> keys_;
+};
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable();
+    reset();
+  }
+  void TearDown() override {
+    disable();
+    reset();
+  }
+};
+
+TEST_F(TraceExportTest, ChromeTraceIsValidJsonWithRequiredKeys) {
+  enable();
+  set_thread_name("main");
+  {
+    Span a("alpha", "cat-a");
+    Span b("beta", "cat-b", "index", 3);
+  }
+  std::ostringstream os;
+  write_chrome_trace(os, snapshot());
+
+  JsonChecker check(os.str());
+  ASSERT_TRUE(check.valid()) << os.str();
+  // The trace-event envelope and the per-event keys Perfetto requires.
+  for (const char* key :
+       {"displayTimeUnit", "traceEvents", "ph", "name", "cat", "pid", "tid",
+        "ts", "dur", "args"}) {
+    EXPECT_TRUE(check.keys().count(key)) << "missing key " << key;
+  }
+}
+
+TEST_F(TraceExportTest, ChromeTraceEscapesMetacharacters) {
+  enable();
+  set_thread_name("quote\"back\\slash\tlane");
+  {
+    Span span("escaped", "test");
+  }
+  std::ostringstream os;
+  write_chrome_trace(os, snapshot());
+  JsonChecker check(os.str());
+  EXPECT_TRUE(check.valid()) << os.str();
+}
+
+TEST_F(TraceExportTest, EmptyTraceStillValid) {
+  std::ostringstream os;
+  write_chrome_trace(os, snapshot());
+  JsonChecker check(os.str());
+  EXPECT_TRUE(check.valid()) << os.str();
+}
+
+TEST_F(TraceExportTest, MetricsJsonHasCountersGaugesAndHealth) {
+  enable();
+  set_counter("unit.count", 11);
+  set_gauge("unit.ratio", 0.5);
+  std::ostringstream os;
+  write_metrics_json(os, snapshot());
+
+  JsonChecker check(os.str());
+  ASSERT_TRUE(check.valid()) << os.str();
+  for (const char* key : {"counters", "gauges", "trace", "unit.count",
+                          "unit.ratio", "threads", "events", "dropped"}) {
+    EXPECT_TRUE(check.keys().count(key)) << "missing key " << key;
+  }
+}
+
+TEST_F(TraceExportTest, MetricsCsvRowsAreLabelled) {
+  enable();
+  set_counter("unit.count", 11);
+  set_gauge("unit.ratio", 0.5);
+  std::ostringstream os;
+  write_metrics_csv(os, snapshot());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("metric,kind,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("unit.count,counter,11\n"), std::string::npos);
+  EXPECT_NE(csv.find("unit.ratio,gauge,0.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("trace.events,counter,"), std::string::npos);
+}
+
+// The acceptance check of the observability layer: a real transient run
+// traced end-to-end yields valid Chrome trace JSON with all four core
+// span categories.
+TEST_F(TraceExportTest, TransientRunCoversCoreSpanCategories) {
+  enable();
+  set_thread_name("main");
+
+  spice::Circuit c;
+  const spice::NodeId in = c.node("in");
+  const spice::NodeId out = c.node("out");
+  c.add<spice::VoltageSource>(
+      "V1", in, spice::kGround,
+      spice::SourceSpec::pulse(0, 1, 0.1e-6, 1e-9, 1e-9, 1));
+  c.add<spice::Resistor>("R1", in, out, 1e3);
+  c.add<spice::Capacitor>("C1", out, spice::kGround, 1e-9);
+
+  spice::Engine engine(c);
+  spice::TransientOptions opts;
+  opts.tstop = 5e-6;
+  (void)run_transient(engine, opts);
+
+  const Snapshot snap = snapshot();
+  std::set<std::string> cats;
+  for (const ThreadSnapshot& t : snap.threads) {
+    for (const Event& e : t.events) cats.insert(e.category);
+  }
+  for (const char* want : {"newton", "device-eval", "factor", "timestep"}) {
+    EXPECT_TRUE(cats.count(want)) << "missing span category " << want;
+  }
+
+  // EngineStats published as counters at analysis exit.
+  long long steps = -1;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "spice.transient_steps") steps = value;
+  }
+  EXPECT_GT(steps, 0);
+
+  std::ostringstream os;
+  write_chrome_trace(os, snap);
+  JsonChecker check(os.str());
+  EXPECT_TRUE(check.valid());
+}
+
+}  // namespace
+}  // namespace sscl::trace
