@@ -1,10 +1,15 @@
-/// libFuzzer harness for device::parse_deck. The parser consumes
-/// untrusted SPICE text (CLI users point sscl-lint / deck_runner at
-/// arbitrary files), so it must never crash, overflow or hang on any
-/// byte sequence — the only acceptable failure is a DeckError with a
-/// line number. Successfully parsed decks are additionally pushed
-/// through the analog ERC rules, which walk the freshly built circuit
-/// and would trip ASan on any dangling element reference.
+/// libFuzzer harness for device::parse_deck and everything sscl-lint
+/// runs behind it. The parser consumes untrusted SPICE text (CLI users
+/// point sscl-lint / deck_runner at arbitrary files), so it must never
+/// crash, overflow or hang on any byte sequence — the only acceptable
+/// failure is a DeckError with a line number. Successfully parsed
+/// decks are additionally pushed through the full static-analysis
+/// pipeline: the shared connectivity IR, every local ERC rule and
+/// every dataflow pass (with a bias budget so the budget arithmetic
+/// runs too), then the SARIF / JSON exporters and a baseline
+/// round-trip — all of which walk the freshly built circuit and
+/// fuzzer-shaped diagnostic strings, and would trip ASan on any
+/// dangling reference or unescaped byte the JSON parser rejects.
 ///
 /// Build (clang only):
 ///   cmake -B build-fuzz -S . -DSSCL_FUZZ=ON
@@ -17,9 +22,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "device/deck_parser.hpp"
 #include "lint/check.hpp"
+#include "lint/sarif.hpp"
+#include "util/json.hpp"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // Cap the input: the parser is line-oriented and linear, but a huge
@@ -29,9 +37,26 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const std::string text(reinterpret_cast<const char*>(data), size);
   try {
     const sscl::device::ParsedDeck deck = sscl::device::parse_deck(text);
-    if (deck.circuit) {
-      (void)sscl::lint::check_circuit(*deck.circuit);
-    }
+    if (!deck.circuit) return 0;
+
+    // Full pipeline: IR build, every pass (budget arithmetic on), the
+    // diagnostic-id filters.
+    sscl::lint::Options options;
+    options.bias_budget = 1e-9;
+    sscl::lint::Report report =
+        sscl::lint::check_circuit(*deck.circuit, options);
+
+    // Exporters must emit strictly valid JSON for any diagnostic text
+    // the fuzzer-shaped deck produced (node names come from the input).
+    const std::vector<sscl::lint::ArtifactReport> artifacts{
+        {"fuzz.sp", std::move(report)}};
+    (void)sscl::util::parse_json(sscl::lint::to_sarif(artifacts));
+    (void)sscl::util::parse_json(sscl::lint::to_json(artifacts));
+
+    // Baseline round-trip: every finding written must be accepted back.
+    const sscl::lint::Baseline baseline =
+        sscl::lint::Baseline::parse(sscl::lint::Baseline::write(artifacts));
+    if (!baseline.fresh(artifacts).empty()) __builtin_trap();
   } catch (const sscl::device::DeckError&) {
     // Malformed deck: the one contract-sanctioned outcome.
   } catch (const std::invalid_argument&) {

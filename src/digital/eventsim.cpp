@@ -48,50 +48,15 @@ void EventSim::set_iss(double iss) {
 }
 
 bool EventSim::eval_gate(const Gate& g) const {
-  auto in = [&](int i) { return values_[g.in[i].sig] ^ g.in[i].neg; };
-  switch (g.kind) {
-    case GateKind::kBuf:
-      return in(0);
-    case GateKind::kAnd2:
-      return in(0) && in(1);
-    case GateKind::kOr2:
-      return in(0) || in(1);
-    case GateKind::kXor2:
-      return in(0) != in(1);
-    case GateKind::kOr4:
-      return in(0) || in(1) || in(2) || in(3);
-    case GateKind::kMux2:
-      return in(0) ? in(1) : in(2);
-    case GateKind::kMaj3:
-      return (in(0) && in(1)) || (in(1) && in(2)) || (in(0) && in(2));
-    case GateKind::kXor3:
-      return (in(0) != in(1)) != in(2);
-    case GateKind::kLatch:
-    case GateKind::kMaj3Latch:
-    case GateKind::kAnd2Latch:
-    case GateKind::kOr2Latch:
-    case GateKind::kXor2Latch:
-    case GateKind::kOr4Latch:
-    case GateKind::kMux2Latch:
-    case GateKind::kXor3Latch: {
-      const bool transparent =
-          values_[netlist_.clock_signal()] == g.clock_phase;
-      if (!transparent) return values_[g.out];
-      switch (g.kind) {
-        case GateKind::kLatch: return in(0);
-        case GateKind::kMaj3Latch:
-          return (in(0) && in(1)) || (in(1) && in(2)) || (in(0) && in(2));
-        case GateKind::kAnd2Latch: return in(0) && in(1);
-        case GateKind::kOr2Latch: return in(0) || in(1);
-        case GateKind::kXor2Latch: return in(0) != in(1);
-        case GateKind::kOr4Latch: return in(0) || in(1) || in(2) || in(3);
-        case GateKind::kMux2Latch: return in(0) ? in(1) : in(2);
-        case GateKind::kXor3Latch: return (in(0) != in(1)) != in(2);
-        default: return false;
-      }
-    }
+  if (is_latching(g.kind)) {
+    const bool transparent = values_[netlist_.clock_signal()] == g.clock_phase;
+    if (!transparent) return values_[g.out];
   }
-  return false;
+  std::array<bool, 4> in{};
+  for (int i = 0; i < input_count(g.kind); ++i) {
+    in[i] = (values_[g.in[i].sig] != 0) != g.in[i].neg;
+  }
+  return eval_comb(g.kind, in);
 }
 
 void EventSim::schedule_fanout(SignalId sig) {

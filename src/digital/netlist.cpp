@@ -63,6 +63,29 @@ bool is_latching(GateKind kind) {
   }
 }
 
+bool eval_comb(GateKind kind, const std::array<bool, 4>& in) {
+  switch (kind) {
+    case GateKind::kBuf:
+    case GateKind::kLatch: return in[0];
+    case GateKind::kAnd2:
+    case GateKind::kAnd2Latch: return in[0] && in[1];
+    case GateKind::kOr2:
+    case GateKind::kOr2Latch: return in[0] || in[1];
+    case GateKind::kXor2:
+    case GateKind::kXor2Latch: return in[0] != in[1];
+    case GateKind::kOr4:
+    case GateKind::kOr4Latch: return in[0] || in[1] || in[2] || in[3];
+    case GateKind::kMux2:
+    case GateKind::kMux2Latch: return in[0] ? in[1] : in[2];
+    case GateKind::kMaj3:
+    case GateKind::kMaj3Latch:
+      return (in[0] && in[1]) || (in[1] && in[2]) || (in[0] && in[2]);
+    case GateKind::kXor3:
+    case GateKind::kXor3Latch: return (in[0] != in[1]) != in[2];
+  }
+  return false;
+}
+
 SignalId Netlist::new_signal(const std::string& name) {
   names_.push_back(name);
   driver_.push_back(-1);

@@ -62,6 +62,14 @@ int input_count(GateKind kind);
 /// True for kinds with clocked (latching) behaviour.
 bool is_latching(GateKind kind);
 
+/// The combinational truth function of a kind over polarity-resolved
+/// input values (entries past input_count() are ignored). For latching
+/// kinds this is the *transparent* function — what the output takes
+/// while the latch's clock phase is active. EventSim evaluates gates
+/// through this, and lint's constant-propagation pass folds through the
+/// very same model.
+bool eval_comb(GateKind kind, const std::array<bool, 4>& in);
+
 struct Gate {
   GateKind kind;
   std::array<Ref, 4> in{};  ///< data inputs (input_count used)

@@ -5,6 +5,7 @@
 
 #include "digital/netlist.hpp"
 #include "lint/circuit_view.hpp"
+#include "lint/pass.hpp"
 #include "lint/rule.hpp"
 #include "spice/circuit.hpp"
 #include "util/log.hpp"
@@ -19,11 +20,16 @@ bool id_disabled(const Options& options, const std::string& id) {
 }
 
 Report run_rules(const LintContext& ctx, const Options& options) {
-  Report all;
-  for (const auto& rule : make_default_rules()) {
-    if (id_disabled(options, rule->id())) continue;
-    rule->run(ctx, all);
+  std::vector<std::unique_ptr<Rule>> passes;
+  for (auto& pass : make_default_passes()) {
+    if (id_disabled(options, pass->id())) continue;
+    passes.push_back(std::move(pass));
   }
+  PassManager manager(std::move(passes));
+  PassRunOptions run_options;
+  run_options.jobs = options.jobs;
+  run_options.only = options.only;
+  Report all = manager.run(ctx, run_options);
   if (options.include_info && options.disabled.empty()) return all;
   // Filter again by diagnostic id: family rules (dc-path) emit diagnostics
   // under per-cause ids (floating-node, ...), and both must be disableable.
@@ -31,7 +37,7 @@ Report run_rules(const LintContext& ctx, const Options& options) {
   for (const Diagnostic& d : all.diagnostics()) {
     if (!options.include_info && d.severity == Severity::kInfo) continue;
     if (id_disabled(options, d.rule)) continue;
-    filtered.add(d.severity, d.rule, d.location, d.message);
+    filtered.add(d.severity, d.rule, d.location, d.message, d.fix);
   }
   return filtered;
 }
@@ -42,12 +48,14 @@ Report check_circuit(const spice::Circuit& circuit, const Options& options) {
   CircuitView view(circuit);
   LintContext ctx;
   ctx.view = &view;
+  ctx.bias_budget = options.bias_budget;
   return run_rules(ctx, options);
 }
 
 Report check_netlist(const digital::Netlist& netlist, const Options& options) {
   LintContext ctx;
   ctx.netlist = &netlist;
+  ctx.bias_budget = options.bias_budget;
   return run_rules(ctx, options);
 }
 

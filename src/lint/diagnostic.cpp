@@ -14,9 +14,9 @@ const char* severity_name(Severity severity) {
 }
 
 void Report::add(Severity severity, std::string rule, std::string location,
-                 std::string message) {
+                 std::string message, std::string fix) {
   diags_.push_back({severity, std::move(rule), std::move(location),
-                    std::move(message)});
+                    std::move(message), std::move(fix)});
 }
 
 int Report::count(Severity severity) const {
@@ -43,6 +43,7 @@ std::string Report::text() const {
   for (const Diagnostic& d : diags_) {
     os << severity_name(d.severity) << " [" << d.rule << "] " << d.location
        << ": " << d.message << "\n";
+    if (!d.fix.empty()) os << "    fix: " << d.fix << "\n";
   }
   return os.str();
 }

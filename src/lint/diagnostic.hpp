@@ -16,29 +16,35 @@ enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
 
 const char* severity_name(Severity severity);
 
-/// One finding: which rule fired, how bad, and where.
+/// One finding: which rule fired, how bad, where, and (optionally) how
+/// to fix it. `rule` is the stable diagnostic id the SARIF exporter,
+/// baseline files and `--disable` all key on.
 struct Diagnostic {
   Severity severity = Severity::kWarning;
-  std::string rule;      ///< rule id, e.g. "floating-node"
+  std::string rule;      ///< stable diagnostic id, e.g. "floating-node"
   std::string location;  ///< node / device / gate name ("-" when global)
   std::string message;
+  std::string fix;       ///< optional fix hint ("" when none)
 };
 
 class Report {
  public:
   void add(Severity severity, std::string rule, std::string location,
-           std::string message);
-  void info(std::string rule, std::string location, std::string message) {
+           std::string message, std::string fix = "");
+  void info(std::string rule, std::string location, std::string message,
+            std::string fix = "") {
     add(Severity::kInfo, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(fix));
   }
-  void warning(std::string rule, std::string location, std::string message) {
+  void warning(std::string rule, std::string location, std::string message,
+               std::string fix = "") {
     add(Severity::kWarning, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(fix));
   }
-  void error(std::string rule, std::string location, std::string message) {
+  void error(std::string rule, std::string location, std::string message,
+             std::string fix = "") {
     add(Severity::kError, std::move(rule), std::move(location),
-        std::move(message));
+        std::move(message), std::move(fix));
   }
 
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }

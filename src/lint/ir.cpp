@@ -1,0 +1,172 @@
+#include "lint/ir.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "digital/netlist.hpp"
+#include "trace/trace.hpp"
+
+namespace sscl::lint {
+
+bool is_supply_name(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (const char c : name) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return low.rfind("vdd", 0) == 0 || low.rfind("vcc", 0) == 0 ||
+         low.rfind("avdd", 0) == 0 || low.rfind("dvdd", 0) == 0;
+}
+
+AnalysisIR AnalysisIR::build(const CircuitView& view) {
+  trace::Span span("lint.ir.circuit", "lint");
+  AnalysisIR ir;
+  const int slots = view.slot_count();
+  ir.net_edges.resize(slots);
+
+  const auto& devices = view.devices();
+  std::map<std::pair<spice::NodeId, bool>, std::vector<int>> by_source;
+  for (int di = 0; di < static_cast<int>(devices.size()); ++di) {
+    const spice::DeviceInfo& info = devices[di].info;
+
+    for (int ei = 0; ei < static_cast<int>(info.edges.size()); ++ei) {
+      const spice::DcEdge& e = info.edges[ei];
+      if (e.coupling == spice::DcCoupling::kOpen) continue;
+      const int sa = CircuitView::slot(e.a);
+      const int sb = CircuitView::slot(e.b);
+      ir.net_edges[sa].push_back({sb, di, ei, e.coupling});
+      if (sb != sa) ir.net_edges[sb].push_back({sa, di, ei, e.coupling});
+    }
+
+    if (info.is_mosfet && info.mos_s != spice::kGround) {
+      by_source[{info.mos_s, info.is_nmos}].push_back(di);
+    }
+
+    const std::string& name = devices[di].device->name();
+    if (std::string(info.kind) == "isource" && !info.edges.empty()) {
+      const spice::DcEdge& e = info.edges.front();
+      if (std::fabs(e.value) > 0.0) {
+        ir.bias_roots.push_back({di, std::fabs(e.value), e.a, e.b});
+      }
+    }
+    if (std::string(info.kind) == "vsource" && !info.edges.empty() &&
+        is_supply_name(name)) {
+      const spice::DcEdge& e = info.edges.front();
+      const spice::NodeId rail =
+          e.a == spice::kGround ? e.b : (e.b == spice::kGround ? e.a
+                                                               : spice::kGround);
+      if (rail != spice::kGround) {
+        ir.supplies.push_back({di, rail, std::fabs(e.value), name});
+      }
+    }
+  }
+
+  for (auto& [key, list] : by_source) {
+    if (list.size() < 2) continue;
+    SourceCoupledGroup group;
+    group.source = key.first;
+    group.is_nmos = key.second;
+    group.devices = std::move(list);
+    ir.pairs.push_back(std::move(group));
+  }
+  return ir;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over gate->gate edges (driver to consumer).
+void tarjan_sccs(int n, const std::vector<std::vector<int>>& succs,
+                 std::vector<int>& scc_of, std::vector<int>& scc_size) {
+  scc_of.assign(n, -1);
+  scc_size.clear();
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const int v = f.v;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      if (f.child < succs[v].size()) {
+        const int w = succs[v][f.child++];
+        if (index[w] == -1) {
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        const int id = static_cast<int>(scc_size.size());
+        int count = 0;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_of[w] = id;
+          ++count;
+          if (w == v) break;
+        }
+        scc_size.push_back(count);
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisIR AnalysisIR::build(const digital::Netlist& nl) {
+  trace::Span span("lint.ir.netlist", "lint");
+  AnalysisIR ir;
+  const auto& gates = nl.gates();
+  const int n = static_cast<int>(gates.size());
+  const int ns = nl.signal_count();
+
+  ir.wiring_ok = true;
+  ir.consumers.resize(ns);
+  std::vector<std::vector<int>> succs(n);
+  for (int gi = 0; gi < n; ++gi) {
+    const digital::Gate& g = gates[gi];
+    if (g.out < 0 || g.out >= ns || nl.driver_of(g.out) != gi) {
+      ir.wiring_ok = false;
+    }
+    for (int i = 0; i < digital::input_count(g.kind); ++i) {
+      const digital::SignalId s = g.in[i].sig;
+      if (s < 0 || s >= ns) {
+        ir.wiring_ok = false;
+        continue;
+      }
+      ir.consumers[s].push_back(gi);
+      const int driver = nl.driver_of(s);
+      if (driver >= 0 && driver < n) succs[driver].push_back(gi);
+    }
+  }
+
+  ir.lev = sta::levelize(nl);
+  tarjan_sccs(n, succs, ir.scc_of, ir.scc_size);
+  return ir;
+}
+
+}  // namespace sscl::lint

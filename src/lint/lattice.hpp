@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file lattice.hpp
+/// The small finite-height lattices the dataflow passes compute over.
+/// Each lattice is a value type plus a `join` producing the least upper
+/// bound; transfer functions built from joins are monotone, which with
+/// finite height is what guarantees the worklist engine terminates
+/// (dataflow.hpp). Heights are tiny (2–3), so convergence takes at most
+/// a few sweeps even on cyclic graphs.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sscl::lint {
+
+/// Two-point taint lattice: false ⊑ true. Used by bias-current
+/// provenance ("does this net carry current programmed by a bias
+/// root?") and by liveness (backward reachability).
+struct TaintLattice {
+  using Value = bool;
+  static Value bottom() { return false; }
+  static Value join(Value a, Value b) { return a || b; }
+};
+
+/// Powerset lattice over up to 64 named domains as a bitmask,
+/// bottom = empty set, join = union. Used by voltage-domain inference
+/// (bit i = "net is conductively reachable from supply rail i").
+struct DomainSetLattice {
+  using Value = std::uint64_t;
+  static constexpr std::size_t kMaxDomains = 64;
+  static Value bottom() { return 0; }
+  static Value join(Value a, Value b) { return a | b; }
+  static Value singleton(int bit) { return std::uint64_t{1} << bit; }
+  static bool disjoint(Value a, Value b) { return (a & b) == 0; }
+  static int count(Value v) {
+    int n = 0;
+    while (v != 0) {
+      v &= v - 1;
+      ++n;
+    }
+    return n;
+  }
+};
+
+/// Four-point constant lattice: Bottom (no information yet) ⊑ {Zero,
+/// One} ⊑ Top (provably non-constant). Used by constant propagation
+/// through the EventSim gate models.
+enum class ConstValue : std::uint8_t { kBottom = 0, kZero, kOne, kTop };
+
+struct ConstLattice {
+  using Value = ConstValue;
+  static Value bottom() { return ConstValue::kBottom; }
+  static Value join(Value a, Value b) {
+    if (a == b || b == ConstValue::kBottom) return a;
+    if (a == ConstValue::kBottom) return b;
+    return ConstValue::kTop;
+  }
+  static Value of_bool(bool b) {
+    return b ? ConstValue::kOne : ConstValue::kZero;
+  }
+  static bool is_const(Value v) {
+    return v == ConstValue::kZero || v == ConstValue::kOne;
+  }
+  /// Negation is monotone and maps the lattice onto itself.
+  static Value negate(Value v) {
+    switch (v) {
+      case ConstValue::kZero: return ConstValue::kOne;
+      case ConstValue::kOne: return ConstValue::kZero;
+      default: return v;
+    }
+  }
+};
+
+/// Clock-phase colouring: which latch phase(s) a signal's value was
+/// last sampled on. Bottom = primary-input cone (no latch upstream),
+/// kA/kB = the two transparency phases, Top = cones from both phases
+/// merge. Used by the whole-pipeline phase-domain check.
+enum class PhaseColor : std::uint8_t { kBottom = 0, kPhaseA, kPhaseB, kTop };
+
+struct PhaseLattice {
+  using Value = PhaseColor;
+  static Value bottom() { return PhaseColor::kBottom; }
+  static Value join(Value a, Value b) {
+    if (a == b || b == PhaseColor::kBottom) return a;
+    if (a == PhaseColor::kBottom) return b;
+    return PhaseColor::kTop;
+  }
+  static Value of_phase(bool phase) {
+    return phase ? PhaseColor::kPhaseA : PhaseColor::kPhaseB;
+  }
+  /// True when \p v includes the colour of \p phase.
+  static bool includes(Value v, bool phase) {
+    return v == PhaseColor::kTop || v == of_phase(phase);
+  }
+};
+
+}  // namespace sscl::lint

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file pass.hpp
+/// The pass manager of the static-analysis framework. It owns a list
+/// of passes (Rule subclasses), resolves their declared dependencies
+/// into scheduling waves, and runs each wave's passes in parallel on a
+/// run::ThreadPool when `jobs > 1` — with a determinism contract:
+/// every pass writes into its own Report and the per-pass reports are
+/// merged in registration order, so the diagnostic stream is
+/// byte-identical at any `--jobs`. Each pass executes under an
+/// sscl::trace span and the run publishes `lint.*` counters.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace sscl::lint {
+
+struct PassRunOptions {
+  /// Worker threads for independent passes (1 = run inline, serially).
+  int jobs = 1;
+  /// When non-empty, run only passes whose id is listed (dependencies
+  /// are ordering constraints, not inclusion constraints).
+  std::vector<std::string> only;
+};
+
+class PassManager {
+ public:
+  /// Takes ownership of the passes; registration order is reporting
+  /// order.
+  explicit PassManager(std::vector<std::unique_ptr<Rule>> passes);
+
+  const std::vector<std::unique_ptr<Rule>>& passes() const { return passes_; }
+
+  /// Build the AnalysisIR (when ctx.ir is null), schedule, run, merge.
+  /// A pass that throws contributes a single `pass-failure` error
+  /// diagnostic instead of aborting the run. Unknown ids in
+  /// options.only and dependency cycles degrade to registration order
+  /// (never a crash): the analyzer must always produce a report.
+  Report run(const LintContext& ctx, const PassRunOptions& options = {}) const;
+
+  /// The scheduling waves for a given run set (pass indices; exposed
+  /// for tests and --explain-schedule). Passes within one wave have no
+  /// dependency relation and may run concurrently.
+  std::vector<std::vector<int>> schedule(
+      const std::vector<int>& selected) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> passes_;
+};
+
+}  // namespace sscl::lint

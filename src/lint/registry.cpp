@@ -1,14 +1,17 @@
-/// Default rule registry. An explicit factory list (rather than static
-/// self-registration) so rules cannot be dead-stripped out of the
-/// static library — and so the execution order is deterministic:
-/// structural rules first, then bias heuristics, then digital DRC.
+/// Default pass registry. An explicit factory list (rather than static
+/// self-registration) so passes cannot be dead-stripped out of the
+/// static library — and so the *reporting* order is deterministic:
+/// structural rules first, then bias heuristics, then digital DRC, then
+/// the interprocedural dataflow passes. Execution order is the
+/// PassManager's business (declared dependencies, parallel waves);
+/// registration order is what the merged Report preserves.
 
 #include "lint/rule.hpp"
 #include "lint/rules/rules.hpp"
 
 namespace sscl::lint {
 
-std::vector<std::unique_ptr<Rule>> make_default_rules() {
+std::vector<std::unique_ptr<Rule>> make_default_passes() {
   std::vector<std::unique_ptr<Rule>> out;
   // Analog ERC.
   out.push_back(rules::make_element_value_rule());
@@ -29,7 +32,16 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   // Static-timing backed DRC (runs the sta engine internally).
   out.push_back(rules::make_latch_depth_imbalance_rule());
   out.push_back(rules::make_zero_slack_phase_rule());
+  // Interprocedural dataflow passes.
+  out.push_back(rules::make_bias_provenance_pass());
+  out.push_back(rules::make_domain_crossing_pass());
+  out.push_back(rules::make_const_net_pass());
+  out.push_back(rules::make_phase_domain_pass());
   return out;
+}
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  return make_default_passes();
 }
 
 }  // namespace sscl::lint

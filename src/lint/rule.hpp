@@ -1,11 +1,15 @@
 #pragma once
 
 /// \file rule.hpp
-/// The rule registry of the ERC static analyzer. Every check is a Rule
-/// subclass living in its own translation unit under src/lint/rules/;
-/// adding a rule means writing that one file and listing its factory in
-/// registry.cpp. Rules read the prepared LintContext and append
-/// Diagnostics to a Report — they never mutate the design.
+/// The pass interface of the static analyzer. Every check — the local
+/// pattern-match ERC/DRC rules and the interprocedural dataflow passes
+/// alike — is a Rule subclass living in its own translation unit under
+/// src/lint/rules/ or src/lint/passes/; adding one means writing that
+/// file and listing its factory in registry.cpp. Passes read the
+/// prepared LintContext (including the shared AnalysisIR) and append
+/// Diagnostics to a Report — they never mutate the design. A pass may
+/// declare dependencies on other pass ids; the PassManager (pass.hpp)
+/// schedules accordingly and runs independent passes in parallel.
 
 #include <memory>
 #include <vector>
@@ -19,12 +23,20 @@ class Netlist;
 
 namespace sscl::lint {
 
-/// What a lint run is looking at. Analog rules no-op when view is null,
-/// digital rules when netlist is null, so one registry serves both
-/// check_circuit() and check_netlist().
+struct AnalysisIR;
+
+/// What a lint run is looking at. Analog passes no-op when view is
+/// null, digital passes when netlist is null, so one registry serves
+/// both check_circuit() and check_netlist(). `ir` is the shared
+/// connectivity IR (ir.hpp), built once by the PassManager before any
+/// pass runs; it is non-null whenever view or netlist is.
 struct LintContext {
   const CircuitView* view = nullptr;
   const digital::Netlist* netlist = nullptr;
+  const AnalysisIR* ir = nullptr;
+  /// Bias-current budget [A] for the provenance pass (0 = no budget
+  /// declared; the pass then reports the estimate as info only).
+  double bias_budget = 0.0;
 };
 
 class Rule {
@@ -36,12 +48,20 @@ class Rule {
 
   /// Stable kebab-case identifier ("floating-node").
   virtual const char* id() const = 0;
-  /// One-line human description for --list-rules and docs.
+  /// One-line human description for --list-passes and docs.
   virtual const char* description() const = 0;
+  /// Ids of passes that must complete before this one runs. Ordering
+  /// only — depending on a pass does not force it into the run set.
+  /// The returned pointers must be string literals.
+  virtual std::vector<const char*> depends_on() const { return {}; }
   virtual void run(const LintContext& ctx, Report& report) const = 0;
 };
 
-/// Every built-in rule, in reporting order.
+/// Every built-in pass, in reporting order: the 13 original local rules
+/// followed by the interprocedural dataflow passes.
+std::vector<std::unique_ptr<Rule>> make_default_passes();
+
+/// Backwards-compatible alias for make_default_passes().
 std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 }  // namespace sscl::lint

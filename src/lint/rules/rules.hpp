@@ -33,4 +33,10 @@ std::unique_ptr<Rule> make_latch_phase_rule();      // latch-phase
 std::unique_ptr<Rule> make_latch_depth_imbalance_rule();  // latch-depth-imbalance
 std::unique_ptr<Rule> make_zero_slack_phase_rule();       // zero-slack-phase
 
+// ---- interprocedural dataflow passes (src/lint/passes/) --------------
+std::unique_ptr<Rule> make_bias_provenance_pass();  // bias-provenance
+std::unique_ptr<Rule> make_domain_crossing_pass();  // domain-crossing
+std::unique_ptr<Rule> make_const_net_pass();        // const-net, dead-net
+std::unique_ptr<Rule> make_phase_domain_pass();     // phase-domain
+
 }  // namespace sscl::lint::rules

@@ -1,0 +1,215 @@
+#include "lint/sarif.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace sscl::lint {
+
+namespace {
+
+/// FNV-1a 64-bit; the fields are separated by 0x1f so ("a","bc") and
+/// ("ab","c") cannot collide by concatenation.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  h ^= 0x1f;
+  h *= kPrime;
+  return h;
+}
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+std::string q(const std::string& s) {
+  return "\"" + util::json_escape(s) + "\"";
+}
+
+}  // namespace
+
+std::string fingerprint(const Diagnostic& diag, const std::string& artifact) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  h = fnv1a(h, diag.rule);
+  h = fnv1a(h, artifact);
+  h = fnv1a(h, diag.location);
+  h = fnv1a(h, diag.message);
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::string to_sarif(const std::vector<ArtifactReport>& artifacts,
+                     const SarifOptions& options) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": " << q(options.tool_name) << ",\n"
+     << "          \"version\": " << q(options.tool_version) << ",\n"
+     << "          \"informationUri\": "
+        "\"https://github.com/sscl/sscl\",\n"
+     << "          \"rules\": [";
+  if (options.passes != nullptr) {
+    bool first = true;
+    for (const auto& pass : *options.passes) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "            {\n"
+         << "              \"id\": " << q(pass->id()) << ",\n"
+         << "              \"shortDescription\": { \"text\": "
+         << q(pass->description()) << " }\n"
+         << "            }";
+    }
+    if (!first) os << "\n          ";
+  }
+  os << "]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+
+  bool first = true;
+  for (const ArtifactReport& art : artifacts) {
+    for (const Diagnostic& d : art.report.diagnostics()) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "        {\n"
+         << "          \"ruleId\": " << q(d.rule) << ",\n"
+         << "          \"level\": \"" << sarif_level(d.severity) << "\",\n"
+         << "          \"message\": { \"text\": " << q(d.message) << " },\n"
+         << "          \"locations\": [\n"
+         << "            {\n";
+      if (!art.artifact.empty()) {
+        os << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": { \"uri\": "
+           << q(art.artifact) << " }\n"
+           << "              },\n";
+      }
+      os << "              \"logicalLocations\": [\n"
+         << "                { \"name\": " << q(d.location) << " }\n"
+         << "              ]\n"
+         << "            }\n"
+         << "          ],\n"
+         << "          \"partialFingerprints\": {\n"
+         << "            \"ssclLint/v1\": "
+         << q(fingerprint(d, art.artifact)) << "\n"
+         << "          }";
+      if (!d.fix.empty()) {
+        os << ",\n          \"properties\": { \"fix\": " << q(d.fix) << " }";
+      }
+      os << "\n        }";
+    }
+  }
+  if (!first) os << "\n      ";
+  os << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string to_json(const std::vector<ArtifactReport>& artifacts) {
+  std::ostringstream os;
+  os << "{ \"findings\": [";
+  bool first = true;
+  for (const ArtifactReport& art : artifacts) {
+    for (const Diagnostic& d : art.report.diagnostics()) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "  { \"severity\": \"" << severity_name(d.severity)
+         << "\", \"rule\": " << q(d.rule)
+         << ", \"location\": " << q(d.location)
+         << ", \"message\": " << q(d.message)
+         << ", \"fix\": " << q(d.fix)
+         << ", \"artifact\": " << q(art.artifact)
+         << ", \"fingerprint\": " << q(fingerprint(d, art.artifact)) << " }";
+    }
+  }
+  if (!first) os << "\n";
+  os << "] }\n";
+  return os.str();
+}
+
+Baseline Baseline::parse(const std::string& text) {
+  Baseline base;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::size_t end = start;
+    while (end < line.size() &&
+           std::isxdigit(static_cast<unsigned char>(line[end]))) {
+      ++end;
+    }
+    if (end > start) base.fingerprints_.push_back(line.substr(start, end - start));
+  }
+  std::sort(base.fingerprints_.begin(), base.fingerprints_.end());
+  base.fingerprints_.erase(
+      std::unique(base.fingerprints_.begin(), base.fingerprints_.end()),
+      base.fingerprints_.end());
+  return base;
+}
+
+std::string Baseline::write(const std::vector<ArtifactReport>& artifacts) {
+  std::vector<std::string> lines;
+  for (const ArtifactReport& art : artifacts) {
+    for (const Diagnostic& d : art.report.diagnostics()) {
+      std::string context = d.rule + " " + d.location;
+      if (!art.artifact.empty()) context += " (" + art.artifact + ")";
+      lines.push_back(fingerprint(d, art.artifact) + "  # " + context);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  std::string out =
+      "# sscl-lint baseline: one fingerprint per accepted finding.\n"
+      "# Regenerate with: sscl-lint --write-baseline <this file> <decks>\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Baseline::contains(const std::string& fp) const {
+  return std::binary_search(fingerprints_.begin(), fingerprints_.end(), fp);
+}
+
+std::vector<ArtifactReport> Baseline::fresh(
+    const std::vector<ArtifactReport>& artifacts) const {
+  std::vector<ArtifactReport> out;
+  for (const ArtifactReport& art : artifacts) {
+    ArtifactReport kept;
+    kept.artifact = art.artifact;
+    for (const Diagnostic& d : art.report.diagnostics()) {
+      if (!contains(fingerprint(d, art.artifact))) {
+        kept.report.add(d.severity, d.rule, d.location, d.message, d.fix);
+      }
+    }
+    if (!kept.report.empty()) out.push_back(std::move(kept));
+  }
+  return out;
+}
+
+}  // namespace sscl::lint

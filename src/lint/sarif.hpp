@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file sarif.hpp
+/// Machine-readable exports of lint reports and the baseline workflow
+/// that turns the analyzer into a CI gate:
+///
+///  * SARIF 2.1.0 — the static-analysis interchange format GitHub code
+///    scanning and most SARIF viewers consume. One run per export, one
+///    reportingDescriptor per registered pass, one result per
+///    diagnostic with a stable partial fingerprint.
+///  * plain JSON — the same findings as a flat array, for scripts that
+///    do not want to walk the SARIF envelope.
+///  * baselines — a sorted text file of finding fingerprints. A CI
+///    gate loads the committed baseline and fails only on findings
+///    whose fingerprint is not listed, so pre-existing debt does not
+///    block unrelated changes while every *new* finding does.
+///
+/// Fingerprints are FNV-1a 64-bit over rule, artifact, location and
+/// message — deliberately not over the diagnostic's position in the
+/// report, so reordering passes or adding unrelated findings never
+/// invalidates a baseline.
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/rule.hpp"
+
+namespace sscl::lint {
+
+/// One linted input and its findings ("" artifact = stdin / in-memory).
+struct ArtifactReport {
+  std::string artifact;  ///< deck path as given on the command line
+  Report report;
+};
+
+/// Stable identity of a finding for baselines and SARIF
+/// partialFingerprints: 16 lowercase hex digits.
+std::string fingerprint(const Diagnostic& diag, const std::string& artifact);
+
+struct SarifOptions {
+  std::string tool_name = "sscl-lint";
+  std::string tool_version = "1.0.0";
+  /// Rule metadata for tool.driver.rules (null = emit no rule table).
+  const std::vector<std::unique_ptr<Rule>>* passes = nullptr;
+};
+
+/// Render reports as a SARIF 2.1.0 log (one run, pretty-printed, ends
+/// with a newline).
+std::string to_sarif(const std::vector<ArtifactReport>& artifacts,
+                     const SarifOptions& options = {});
+
+/// Render reports as flat JSON:
+/// {"findings":[{severity,rule,location,message,fix,artifact,
+///               fingerprint}...]}.
+std::string to_json(const std::vector<ArtifactReport>& artifacts);
+
+/// A set of known-finding fingerprints (the committed debt).
+class Baseline {
+ public:
+  /// Parse baseline text: one fingerprint per line; blank lines and
+  /// lines starting with '#' are ignored. Anything after the
+  /// fingerprint on a line (the human-readable context the writer
+  /// appends) is ignored too.
+  static Baseline parse(const std::string& text);
+
+  /// Serialize the given findings as baseline text (sorted, commented
+  /// with rule/location so diffs are reviewable).
+  static std::string write(const std::vector<ArtifactReport>& artifacts);
+
+  bool contains(const std::string& fp) const;
+  std::size_t size() const { return fingerprints_.size(); }
+
+  /// The findings in \p artifacts whose fingerprint is NOT baselined —
+  /// what a CI gate fails on.
+  std::vector<ArtifactReport> fresh(
+      const std::vector<ArtifactReport>& artifacts) const;
+
+ private:
+  std::vector<std::string> fingerprints_;  // sorted unique
+};
+
+}  // namespace sscl::lint

@@ -41,51 +41,47 @@ void validate(const Netlist& nl) {
 
 }  // namespace
 
-TimingGraph build_timing_graph(const Netlist& nl, const stscl::SclModel& model,
-                               double iss, const StaOptions& options) {
-  validate(nl);
+Levelization levelize(const Netlist& nl) {
   const auto& gates = nl.gates();
   const int n = static_cast<int>(gates.size());
   const int ns = nl.signal_count();
 
-  TimingGraph tg;
-  tg.gate.resize(n);
-  tg.rank_sig.assign(ns, 0);
-  tg.depth_sig.assign(ns, 0);
+  Levelization lev;
 
-  // Kahn topological sort over driver edges. Leftover gates mean a
-  // cycle; legal only when it runs through a latch (state feedback).
+  // Kahn topological sort over driver edges. Invalid refs contribute no
+  // edge (tolerance for netlists the DRC will reject anyway). Leftover
+  // gates mean a cycle; legal only when it runs through a latch.
   std::vector<int> indeg(n, 0);
-  for (int gi = 0; gi < n; ++gi) {
-    const Gate& g = gates[gi];
-    for (int i = 0; i < digital::input_count(g.kind); ++i) {
-      if (nl.driver_of(g.in[i].sig) >= 0) ++indeg[gi];
-    }
-  }
-  // Fanout adjacency (driver gate -> consumer gates).
   std::vector<std::vector<int>> consumers(ns);
   for (int gi = 0; gi < n; ++gi) {
     const Gate& g = gates[gi];
     for (int i = 0; i < digital::input_count(g.kind); ++i) {
-      consumers[g.in[i].sig].push_back(gi);
+      const SignalId s = g.in[i].sig;
+      if (s < 0 || s >= ns) continue;
+      const int driver = nl.driver_of(s);
+      if (driver < 0 || driver >= n) continue;
+      ++indeg[gi];
+      consumers[s].push_back(gi);
     }
   }
   std::deque<int> ready;
   for (int gi = 0; gi < n; ++gi) {
     if (indeg[gi] == 0) ready.push_back(gi);
   }
-  tg.order.reserve(n);
+  lev.order.reserve(n);
   std::vector<char> placed(n, 0);
   while (!ready.empty()) {
     const int gi = ready.front();
     ready.pop_front();
-    tg.order.push_back(gi);
+    lev.order.push_back(gi);
     placed[gi] = 1;
-    for (int c : consumers[gates[gi].out]) {
+    const SignalId out = gates[gi].out;
+    if (out < 0 || out >= ns) continue;
+    for (int c : consumers[out]) {
       if (--indeg[c] == 0) ready.push_back(c);
     }
   }
-  if (static_cast<int>(tg.order.size()) != n) {
+  if (static_cast<int>(lev.order.size()) != n) {
     // Cycle. A latch on the cycle makes it sequential feedback: append
     // the leftovers in construction order and let the analyzer iterate.
     bool latch_on_cycle = false;
@@ -95,16 +91,39 @@ TimingGraph build_timing_graph(const Netlist& nl, const stscl::SclModel& model,
         break;
       }
     }
-    if (!latch_on_cycle) {
-      throw StaError("sta: combinational loop (run lint for the cycle)");
-    }
-    tg.has_feedback = true;
+    lev.has_feedback = latch_on_cycle;
+    lev.has_comb_cycle = !latch_on_cycle;
     for (int gi = 0; gi < n; ++gi) {
-      if (!placed[gi]) tg.order.push_back(gi);
+      if (!placed[gi]) lev.order.push_back(gi);
     }
   }
-  tg.order_pos.assign(n, 0);
-  for (int p = 0; p < n; ++p) tg.order_pos[tg.order[p]] = p;
+  lev.order_pos.assign(n, 0);
+  for (int p = 0; p < n; ++p) lev.order_pos[lev.order[p]] = p;
+  for (const int gi : lev.order) {
+    if (digital::is_latching(gates[gi].kind)) lev.latches.push_back(gi);
+  }
+  return lev;
+}
+
+TimingGraph build_timing_graph(const Netlist& nl, const stscl::SclModel& model,
+                               double iss, const StaOptions& options) {
+  validate(nl);
+  const auto& gates = nl.gates();
+  const int n = static_cast<int>(gates.size());
+  const int ns = nl.signal_count();
+
+  const Levelization lev = levelize(nl);
+  if (lev.has_comb_cycle) {
+    throw StaError("sta: combinational loop (run lint for the cycle)");
+  }
+
+  TimingGraph tg;
+  tg.gate.resize(n);
+  tg.rank_sig.assign(ns, 0);
+  tg.depth_sig.assign(ns, 0);
+  tg.order = lev.order;
+  tg.order_pos = lev.order_pos;
+  tg.has_feedback = lev.has_feedback;
 
   // Per-gate load and delay from the shared fanout-aware model.
   for (int gi = 0; gi < n; ++gi) {

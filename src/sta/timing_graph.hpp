@@ -9,12 +9,36 @@
 /// and throw StaError, as do structurally broken netlists — the lint
 /// comb-loop / multi-driven rules name the same defects with better
 /// messages, which is why analyze() runs the DRC first by default.
+///
+/// The purely structural part (topological order, latch list, feedback
+/// classification) is exposed separately as levelize(): sscl::lint's
+/// analysis IR shares it, so the linter and the timer agree on what a
+/// legal evaluation order is.
 
 #include <vector>
 
 #include "sta/sta.hpp"
 
 namespace sscl::sta {
+
+/// Structural levelization of a netlist: evaluation order plus loop
+/// classification, with no timing model attached. Tolerant of broken
+/// wiring (out-of-range refs are skipped as edges), so static analyses
+/// can levelize netlists the strict timing path would reject.
+struct Levelization {
+  std::vector<int> order;      ///< topological gate evaluation order
+  std::vector<int> order_pos;  ///< gate -> position in order
+  std::vector<int> latches;    ///< latching gate indices, evaluation order
+  bool has_feedback = false;   ///< cycles closed through latches
+  /// Cycles with no latch on them: `order` appends the cycle members in
+  /// construction order. build_timing_graph() turns this into StaError;
+  /// lint's comb-loop pass names the cycle instead.
+  bool has_comb_cycle = false;
+};
+
+/// Levelize without validating wiring: invalid signal references simply
+/// contribute no edge. Never throws.
+Levelization levelize(const digital::Netlist& netlist);
 
 struct GateTiming {
   int fanout = 0;         ///< driven gate inputs at the output

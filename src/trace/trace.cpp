@@ -53,8 +53,12 @@ struct Registry {
   std::map<std::string, std::atomic<double>> gauges;
 
   static Registry& instance() {
-    static Registry r;
-    return r;
+    // Intentionally leaked: the registry must stay valid inside
+    // std::atexit handlers (write_at_exit snapshots there) regardless
+    // of when the first span or counter lazily constructed it, so it
+    // must never be torn down by static-destruction ordering.
+    static Registry* r = new Registry;
+    return *r;
   }
 
   ThreadBuffer* register_thread() {

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON support: string escaping for the writers scattered
+/// through the platform (trace exporters, SARIF) and a small strict
+/// recursive-descent parser used to validate what they emit. The parser
+/// keeps object keys in insertion order so round-trip comparisons stay
+/// deterministic. Not a general-purpose JSON stack: no comments, no
+/// NaN/Inf, 64-bit doubles only — exactly RFC 8259.
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sscl::util {
+
+/// Escape \p s for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \uXXXX.
+std::string json_escape(const std::string& s);
+
+/// Thrown by parse_json with a byte offset and message.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::size_t offset, const std::string& message)
+      : std::runtime_error("json offset " + std::to_string(offset) + ": " +
+                           message),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value. Arrays/objects own their children.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup (nullptr when absent or not an object).
+  const JsonValue* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document (throws JsonError on anything else,
+/// including trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace sscl::util

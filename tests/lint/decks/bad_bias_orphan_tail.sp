@@ -1,0 +1,13 @@
+* pair tail biased by a lone resistor: legal locally (unbiased-tail is
+* satisfied) but outside the one-knob IB loop - no bias-current root
+* reaches the tail, which bias-provenance flags.
+Vdd vdd 0 1.0
+Vip inp 0 0.55
+Vin inn 0 0.45
+Rl1 vdd outp 10meg
+Rl2 vdd outn 10meg
+M1 outp inp tail 0 nmos_hvt W=2u L=1u
+M2 outn inn tail 0 nmos_hvt W=2u L=1u
+Rt tail 0 5meg
+.op
+.end

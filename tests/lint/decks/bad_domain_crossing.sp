@@ -1,0 +1,10 @@
+* a low-domain signal drives a high-domain gate with no level shifter
+Vdd vdd 0 0.5
+Vddh vddh 0 1.0
+Vbias inb 0 0.3
+Rl vdd lo 1meg
+M1 lo inb 0 0 nmos_hvt W=2u L=1u
+Rh vddh out 1meg
+M2 out lo 0 0 nmos_hvt W=2u L=1u
+.op
+.end

@@ -1,0 +1,13 @@
+* one-knob bias distribution: IB programs the pair tail through a mirror
+Vdd vdd 0 1.0
+Ib vdd vbn 100p
+MB vbn vbn 0 0 nmos_hvt W=2u L=1u
+Vip inp 0 0.55
+Vin inn 0 0.45
+Rl1 vdd outp 10meg
+Rl2 vdd outn 10meg
+M1 outp inp tail 0 nmos_hvt W=2u L=1u
+M2 outn inn tail 0 nmos_hvt W=2u L=1u
+MT tail vbn 0 0 nmos_hvt W=4u L=1u
+.op
+.end

@@ -1,0 +1,12 @@
+* two supply domains with a sanctioned level shifter at the boundary
+Vdd vdd 0 0.5
+Vddh vddh 0 1.0
+Vbias inb 0 0.3
+Rl vdd lo 1meg
+M1 lo inb 0 0 nmos_hvt W=2u L=1u
+Rh vddh hi 1meg
+MLS1 hi lo 0 0 nmos_hvt W=2u L=1u
+Rh2 vddh out 1meg
+M2 out hi 0 0 nmos_hvt W=2u L=1u
+.op
+.end

@@ -1,0 +1,20 @@
+* flash-ADC front end: reference ladder + two preamps, one IB knob
+Vdd vdd 0 1.0
+Vin vin 0 0.5
+Ib vdd vbn 200p
+MB vbn vbn 0 0 nmos_hvt W=2u L=1u
+R1 vdd r1 1meg
+R2 r1 r2 1meg
+R3 r2 0 1meg
+Ra1 vdd a1p 10meg
+Ra2 vdd a1n 10meg
+M1 a1p vin ta1 0 nmos_hvt W=2u L=1u
+M2 a1n r1 ta1 0 nmos_hvt W=2u L=1u
+MT1 ta1 vbn 0 0 nmos_hvt W=2u L=1u
+Rb1 vdd a2p 10meg
+Rb2 vdd a2n 10meg
+M3 a2p vin ta2 0 nmos_hvt W=2u L=1u
+M4 a2n r2 ta2 0 nmos_hvt W=2u L=1u
+MT2 ta2 vbn 0 0 nmos_hvt W=2u L=1u
+.op
+.end

@@ -1,0 +1,18 @@
+* two-rank STSCL counter slice: one IB programs both latch tails
+Vdd vdd 0 1.0
+Ib vdd vbn 100p
+MB vbn vbn 0 0 nmos_hvt W=2u L=1u
+Vca clka 0 0.55
+Vcb clkb 0 0.45
+Rl1 vdd q1p 10meg
+Rl2 vdd q1n 10meg
+M1 q1p clka t1 0 nmos_hvt W=2u L=1u
+M2 q1n clkb t1 0 nmos_hvt W=2u L=1u
+MT1 t1 vbn 0 0 nmos_hvt W=2u L=1u
+Rl3 vdd q2p 10meg
+Rl4 vdd q2n 10meg
+M3 q2p q1p t2 0 nmos_hvt W=2u L=1u
+M4 q2n q1n t2 0 nmos_hvt W=2u L=1u
+MT2 t2 vbn 0 0 nmos_hvt W=2u L=1u
+.op
+.end

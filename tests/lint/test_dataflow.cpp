@@ -1,0 +1,107 @@
+// Lattice-convergence tests for the monotone worklist engine: cyclic
+// graphs must reach the least fixpoint within the step budget, a
+// non-monotone transfer must surface as converged == false (never a
+// hang), and the FIFO index-order seeding makes results deterministic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lint/dataflow.hpp"
+#include "lint/lattice.hpp"
+
+namespace sscl::lint {
+namespace {
+
+TEST(Dataflow, TaintRingConverges) {
+  // 0 -> 1 -> 2 -> 0 ring, root at node 0: everything becomes tainted.
+  const std::vector<std::vector<int>> succs{{1}, {2}, {0}};
+  std::vector<bool> taint(3, TaintLattice::bottom());
+  const auto stats = solve_dataflow(succs, taint, [&](int v) -> bool {
+    if (v == 0) return true;
+    return taint[v == 1 ? 0 : 1];
+  });
+  EXPECT_TRUE(stats.converged);
+  EXPECT_TRUE(taint[0]);
+  EXPECT_TRUE(taint[1]);
+  EXPECT_TRUE(taint[2]);
+}
+
+TEST(Dataflow, DomainUnionOnCycleReachesFixpoint) {
+  // Two seeds on a 4-cycle; every node must accumulate both bits.
+  const std::vector<std::vector<int>> succs{{1}, {2}, {3}, {0}};
+  std::vector<std::uint64_t> mask(4, DomainSetLattice::bottom());
+  const std::vector<std::uint64_t> seed{
+      DomainSetLattice::singleton(0), 0, DomainSetLattice::singleton(1), 0};
+  const auto stats = solve_dataflow(succs, mask, [&](int v) -> std::uint64_t {
+    const int pred = (v + 3) % 4;
+    return DomainSetLattice::join(seed[v], mask[pred]);
+  });
+  EXPECT_TRUE(stats.converged);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(DomainSetLattice::count(mask[v]), 2) << "node " << v;
+  }
+}
+
+TEST(Dataflow, ConstLatticeCycleStaysBottom) {
+  // A latch-style feedback cycle with no constant seed must converge
+  // with every node still at Bottom (no information), not oscillate.
+  const std::vector<std::vector<int>> succs{{1}, {0}};
+  std::vector<ConstValue> value(2, ConstLattice::bottom());
+  const auto stats = solve_dataflow(succs, value, [&](int v) -> ConstValue {
+    return value[1 - v];  // copy the other node
+  });
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(value[0], ConstValue::kBottom);
+  EXPECT_EQ(value[1], ConstValue::kBottom);
+}
+
+TEST(Dataflow, NonMonotoneTransferHitsBudgetNotHang) {
+  // A transfer that flips a boolean forever is non-monotone; the
+  // engine must stop at the budget and report non-convergence.
+  const std::vector<std::vector<int>> succs{{0}};
+  std::vector<bool> value{false};
+  const auto stats = solve_dataflow(
+      succs, value, [&](int) -> bool { return !value[0]; }, 10);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.steps, 10);
+}
+
+TEST(Dataflow, StepCountDeterministic) {
+  // Same inputs, same FIFO order, same step count — twice.
+  const std::vector<std::vector<int>> succs{{1, 2}, {3}, {3}, {}};
+  auto run = [&] {
+    std::vector<bool> taint(4, false);
+    return solve_dataflow(succs, taint, [&](int v) -> bool {
+      if (v == 0) return true;
+      if (v == 3) return taint[1] || taint[2];
+      return taint[0];
+    });
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_TRUE(a.converged);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(Lattice, JoinsAreLeastUpperBounds) {
+  EXPECT_EQ(ConstLattice::join(ConstValue::kZero, ConstValue::kZero),
+            ConstValue::kZero);
+  EXPECT_EQ(ConstLattice::join(ConstValue::kZero, ConstValue::kOne),
+            ConstValue::kTop);
+  EXPECT_EQ(ConstLattice::join(ConstValue::kBottom, ConstValue::kOne),
+            ConstValue::kOne);
+  EXPECT_EQ(ConstLattice::negate(ConstValue::kZero), ConstValue::kOne);
+  EXPECT_EQ(ConstLattice::negate(ConstValue::kTop), ConstValue::kTop);
+
+  EXPECT_EQ(PhaseLattice::join(PhaseColor::kPhaseA, PhaseColor::kPhaseB),
+            PhaseColor::kTop);
+  EXPECT_EQ(PhaseLattice::join(PhaseColor::kBottom, PhaseColor::kPhaseA),
+            PhaseColor::kPhaseA);
+  EXPECT_TRUE(PhaseLattice::includes(PhaseColor::kTop, true));
+  EXPECT_TRUE(PhaseLattice::includes(PhaseColor::kTop, false));
+  EXPECT_FALSE(PhaseLattice::includes(PhaseColor::kBottom, true));
+}
+
+}  // namespace
+}  // namespace sscl::lint

@@ -1,0 +1,180 @@
+// SARIF 2.1.0 export, flat JSON export and the baseline workflow. The
+// SARIF structure is validated strictly against the parts of the 2.1
+// schema the exporter uses (required properties, enumerated levels,
+// fingerprint format) with the platform's own strict JSON parser, so a
+// malformed export fails here before any external viewer sees it.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+#include "lint/sarif.hpp"
+#include "util/json.hpp"
+
+namespace sscl::lint {
+namespace {
+
+std::vector<ArtifactReport> sample_artifacts() {
+  Report a;
+  a.warning("domain-crossing", "M2", "gate crosses \"domains\"\nbadly",
+            "insert a level shifter");
+  a.error("floating-node", "n1", "no DC path to ground");
+  Report b;
+  b.info("bias-provenance", "-", "one-knob property holds");
+  return {{"decks/bad.sp", a}, {"decks/good.sp", b}};
+}
+
+bool is_hex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+TEST(Sarif, ValidatesAgainst21Schema) {
+  const auto passes = make_default_passes();
+  SarifOptions options;
+  options.passes = &passes;
+  const std::string text = to_sarif(sample_artifacts(), options);
+
+  const util::JsonValue doc = util::parse_json(text);  // strict RFC 8259
+  ASSERT_TRUE(doc.is_object());
+
+  // sarif-2.1.0 required root properties.
+  const util::JsonValue* version = doc.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->as_string(), "2.1.0");
+  const util::JsonValue* schema = doc.find("$schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->as_string().find("sarif-2.1.0"), std::string::npos);
+
+  const util::JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->items().size(), 1u);
+  const util::JsonValue& run = runs->items()[0];
+
+  // run.tool.driver: required name, rules as reportingDescriptors.
+  const util::JsonValue* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  ASSERT_NE(driver->find("name"), nullptr);
+  EXPECT_EQ(driver->find("name")->as_string(), "sscl-lint");
+  const util::JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->items().size(), passes.size());
+  for (const util::JsonValue& rule : rules->items()) {
+    ASSERT_NE(rule.find("id"), nullptr);
+    const util::JsonValue* desc = rule.find("shortDescription");
+    ASSERT_NE(desc, nullptr);
+    EXPECT_FALSE(desc->find("text")->as_string().empty());
+  }
+
+  // results: required ruleId/level/message, our fingerprints.
+  const util::JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 3u);
+  for (const util::JsonValue& result : results->items()) {
+    ASSERT_NE(result.find("ruleId"), nullptr);
+    const std::string level = result.find("level")->as_string();
+    EXPECT_TRUE(level == "note" || level == "warning" || level == "error")
+        << level;
+    EXPECT_FALSE(result.find("message")->find("text")->as_string().empty());
+    const util::JsonValue* locations = result.find("locations");
+    ASSERT_TRUE(locations->is_array());
+    ASSERT_EQ(locations->items().size(), 1u);
+    const util::JsonValue* logical =
+        locations->items()[0].find("logicalLocations");
+    ASSERT_NE(logical, nullptr);
+    EXPECT_FALSE(logical->items().empty());
+    const util::JsonValue* fps = result.find("partialFingerprints");
+    ASSERT_NE(fps, nullptr);
+    EXPECT_TRUE(is_hex16(fps->find("ssclLint/v1")->as_string()));
+  }
+
+  // Severity map: warning -> warning, error -> error, info -> note.
+  EXPECT_EQ(results->items()[0].find("level")->as_string(), "warning");
+  EXPECT_EQ(results->items()[1].find("level")->as_string(), "error");
+  EXPECT_EQ(results->items()[2].find("level")->as_string(), "note");
+
+  // Escaping survives the round trip (quotes and newline in message).
+  EXPECT_EQ(results->items()[0].find("message")->find("text")->as_string(),
+            "gate crosses \"domains\"\nbadly");
+}
+
+TEST(Sarif, FlatJsonParsesWithFingerprints) {
+  const std::string text = to_json(sample_artifacts());
+  const util::JsonValue doc = util::parse_json(text);
+  const util::JsonValue* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->items().size(), 3u);
+  for (const util::JsonValue& f : findings->items()) {
+    EXPECT_TRUE(is_hex16(f.find("fingerprint")->as_string()));
+    EXPECT_FALSE(f.find("artifact")->as_string().empty());
+  }
+}
+
+TEST(Sarif, FingerprintsAreStableAndFieldSeparated) {
+  Diagnostic d;
+  d.rule = "domain-crossing";
+  d.location = "M2";
+  d.message = "msg";
+  const std::string fp = fingerprint(d, "deck.sp");
+  EXPECT_TRUE(is_hex16(fp));
+  EXPECT_EQ(fp, fingerprint(d, "deck.sp"));  // deterministic
+  EXPECT_NE(fp, fingerprint(d, "other.sp"));  // artifact matters
+
+  // Concatenation must not collide: ("ab","c") vs ("a","bc").
+  Diagnostic x;
+  x.rule = "ab";
+  x.message = "m";
+  Diagnostic y;
+  y.rule = "a";
+  y.message = "m";
+  EXPECT_NE(fingerprint(x, "c"), fingerprint(y, "bc"));
+
+  // Severity and fix hints are NOT part of the identity: re-ranking a
+  // finding or improving its hint must not invalidate baselines.
+  Diagnostic z = d;
+  z.severity = Severity::kError;
+  z.fix = "do something";
+  EXPECT_EQ(fp, fingerprint(z, "deck.sp"));
+}
+
+TEST(Baseline, RoundTripAndGating) {
+  const std::vector<ArtifactReport> artifacts = sample_artifacts();
+  const std::string text = Baseline::write(artifacts);
+  const Baseline base = Baseline::parse(text);
+  EXPECT_EQ(base.size(), 3u);
+
+  // Everything accepted: nothing fresh.
+  EXPECT_TRUE(base.fresh(artifacts).empty());
+
+  // A new finding in one artifact is the only thing that gates.
+  std::vector<ArtifactReport> grown = artifacts;
+  grown[0].report.warning("const-net", "g7", "output is constant 1");
+  const std::vector<ArtifactReport> fresh = base.fresh(grown);
+  ASSERT_EQ(fresh.size(), 1u);
+  ASSERT_EQ(fresh[0].report.diagnostics().size(), 1u);
+  EXPECT_EQ(fresh[0].report.diagnostics()[0].rule, "const-net");
+}
+
+TEST(Baseline, ParserIgnoresCommentsAndJunk) {
+  const Baseline base = Baseline::parse(
+      "# comment\n"
+      "\n"
+      "0123456789abcdef  # context text\n"
+      "   fedcba9876543210\n"
+      "not a fingerprint\n");
+  EXPECT_EQ(base.size(), 2u);
+  EXPECT_TRUE(base.contains("0123456789abcdef"));
+  EXPECT_TRUE(base.contains("fedcba9876543210"));
+  EXPECT_FALSE(base.contains("ffffffffffffffff"));
+}
+
+}  // namespace
+}  // namespace sscl::lint
