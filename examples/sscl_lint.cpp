@@ -47,6 +47,9 @@ int usage(std::ostream& os, int code) {
         "  --disable RULE         skip a rule/diagnostic id (repeatable)\n"
         "  --no-info              drop informational findings\n"
         "  --bias-budget AMPS     bias-current budget (SI suffixes ok)\n"
+        "  --corners T=LO:HI      op-region temperature box in Celsius\n"
+        "  --vdd-tol TOL          supply tolerance for op-region (10% or "
+        "0.1)\n"
         "  --jobs N               worker threads (0 = hardware)\n"
         "  --trace FILE           write a Chrome trace-event JSON\n"
         "  --metrics FILE         write the counter registry as JSON\n"
@@ -128,6 +131,45 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.bias_budget = *budget;
+    } else if (arg == "--corners") {
+      // T=LO:HI in Celsius, e.g. --corners T=0:85. The op-region pass
+      // carries the whole range through its interval transfer
+      // functions (no corner enumeration).
+      if (!(value = next(i))) return usage(std::cerr, 2);
+      std::string spec = value;
+      if (spec.rfind("T=", 0) == 0 || spec.rfind("t=", 0) == 0) {
+        spec = spec.substr(2);
+      }
+      const std::size_t colon = spec.find(':');
+      const std::optional<double> lo =
+          util::parse_si(colon == std::string::npos ? spec
+                                                    : spec.substr(0, colon));
+      const std::optional<double> hi =
+          colon == std::string::npos ? lo
+                                     : util::parse_si(spec.substr(colon + 1));
+      if (!lo || !hi || *hi < *lo) {
+        std::cerr << "sscl-lint: --corners: expected T=LO:HI, got '" << value
+                  << "'\n";
+        return 2;
+      }
+      options.t_lo_k = *lo + 273.15;
+      options.t_hi_k = *hi + 273.15;
+    } else if (arg == "--vdd-tol") {
+      if (!(value = next(i))) return usage(std::cerr, 2);
+      std::string spec = value;
+      double scale = 1.0;
+      if (!spec.empty() && spec.back() == '%') {
+        spec.pop_back();
+        scale = 0.01;
+      }
+      const std::optional<double> tol = util::parse_si(spec);
+      if (!tol || *tol * scale < 0.0 || *tol * scale >= 1.0) {
+        std::cerr << "sscl-lint: --vdd-tol: expected a fraction or "
+                     "percentage below 100%, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      options.vdd_tol = *tol * scale;
     } else if (arg == "--jobs") {
       if (!(value = next(i))) return usage(std::cerr, 2);
       options.jobs = std::atoi(value);

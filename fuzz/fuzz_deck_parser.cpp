@@ -10,6 +10,9 @@
 /// round-trip — all of which walk the freshly built circuit and
 /// fuzzer-shaped diagnostic strings, and would trip ASan on any
 /// dangling reference or unescaped byte the JSON parser rejects.
+/// Finally the op-region interval analysis runs at the nominal corner
+/// and over a PVT box, trapping if the nominal result ever escapes the
+/// box result (inclusion isotonicity, the soundness backbone).
 ///
 /// Build (clang only):
 ///   cmake -B build-fuzz -S . -DSSCL_FUZZ=ON
@@ -26,6 +29,9 @@
 
 #include "device/deck_parser.hpp"
 #include "lint/check.hpp"
+#include "lint/circuit_view.hpp"
+#include "lint/ir.hpp"
+#include "lint/op_region.hpp"
 #include "lint/sarif.hpp"
 #include "util/json.hpp"
 
@@ -57,6 +63,34 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     const sscl::lint::Baseline baseline =
         sscl::lint::Baseline::parse(sscl::lint::Baseline::write(artifacts));
     if (!baseline.fresh(artifacts).empty()) __builtin_trap();
+
+    // Interval abstract interpretation: on any deck the fuzzer manages
+    // to parse, the nominal-box result must be nested inside the
+    // PVT-box result (inclusion isotonicity end to end). A violation
+    // means a non-monotone transfer function — the exact bug class
+    // that silently breaks soundness — so trap hard. Cap the size:
+    // kcl_refine bisects per node per sweep and a fuzzer-shaped mesh
+    // of hundreds of nodes would eat the run budget.
+    const sscl::lint::CircuitView view(*deck.circuit);
+    if (view.slot_count() <= 64) {
+      const sscl::lint::AnalysisIR ir = sscl::lint::AnalysisIR::build(view);
+      const sscl::lint::OpRegionResult nominal =
+          sscl::lint::analyze_op_region(view, ir, {});
+      sscl::lint::OpRegionOptions box;
+      box.t_lo_k = 273.15;
+      box.t_hi_k = 358.15;
+      box.vdd_tol = 0.10;
+      const sscl::lint::OpRegionResult wide =
+          sscl::lint::analyze_op_region(view, ir, box);
+      if (!nominal.contradiction && !wide.contradiction) {
+        for (int s = 1; s < view.slot_count(); ++s) {
+          if (nominal.node_v[s].is_empty()) continue;
+          if (!wide.node_v[s].pad(1e-9).contains(nominal.node_v[s])) {
+            __builtin_trap();
+          }
+        }
+      }
+    }
   } catch (const sscl::device::DeckError&) {
     // Malformed deck: the one contract-sanctioned outcome.
   } catch (const std::invalid_argument&) {

@@ -6,6 +6,7 @@
 /// through strong inversion with a single smooth expression.
 
 #include "device/mos_params.hpp"
+#include "util/interval.hpp"
 
 namespace sscl::device {
 
@@ -46,5 +47,56 @@ double ekv_vgs_for_current(const MosParams& params, const MosGeometry& geometry,
 
 /// Convenience: the weak-inversion slope n*UT*ln(10) in volts/decade.
 double subthreshold_swing(const MosParams& params, double temperatureK);
+
+// ---- Interval (box) evaluation for static analysis -------------------
+
+/// Conservative bounds of one EKV evaluation over a box of terminal
+/// voltages and temperatures. Every field contains the corresponding
+/// scalar ekv_evaluate() output for every point of the input box.
+struct EkvIntervalResult {
+  util::Interval id;     ///< drain->source terminal current [A]
+  util::Interval i_f;    ///< forward inversion coefficient IC
+  util::Interval i_r;    ///< reverse inversion coefficient
+  util::Interval ispec;  ///< specific current 2 n beta UT^2 [A]
+  util::Interval vdsat;  ///< saturation voltage UT (2 sqrt(IC) + 4) [V]
+  util::Interval ut;     ///< thermal voltage over the temperature box [V]
+  util::Interval vp;     ///< pinch-off voltage (reflected frame) [V]
+};
+
+/// Evaluate the EKV model over a box. \p params is the model card valid
+/// at \p cardTemperatureK (mismatch already folded by the caller); the
+/// temperature box \p tK is handled *inside* by mirroring the
+/// Process::at_temperature dependences (VT drops 1 mV/K, KP scales as
+/// (T/Tcard)^-1.5, UT = kT/q), so the result bounds ekv_evaluate() of
+/// the re-derived card at every temperature in the box.
+///
+/// \p clm_dv_hint (optional, unreflected vd - vs) freezes the
+/// channel-length-modulation factor at the hinted box instead of the
+/// vd/vs arguments. The op-region bisection uses this to keep each
+/// output bound monotone in a substituted terminal voltage: with CLM
+/// frozen at the full node box the result is still a superset of the
+/// true image. Inclusion-isotone: a nested input box (with a nested
+/// hint) yields a nested result.
+EkvIntervalResult ekv_evaluate_interval(
+    const MosParams& params, const MosGeometry& geometry,
+    const util::Interval& vg, const util::Interval& vd,
+    const util::Interval& vs, const util::Interval& vb,
+    const util::Interval& tK, double cardTemperatureK,
+    const util::Interval* clm_dv_hint = nullptr);
+
+/// Reference-frame variant: \p ug, \p ud, \p us are the bulk-referenced
+/// terminal voltages *already reflected* into the NMOS frame (for PMOS,
+/// ug = vb - vg and so on); \p clm_dv is the reflected vd - vs box the
+/// CLM factor is evaluated over. Interval subtraction of two boxes of
+/// the same net widens to nonzero (vd - vb != 0 even when drain and
+/// bulk are the same node), so callers that know the netlist aliasing
+/// compute the differences themselves — collapsing aliased terminals to
+/// an exact zero — and enter here. ekv_evaluate_interval() is the
+/// alias-oblivious wrapper over this function.
+EkvIntervalResult ekv_evaluate_interval_refs(
+    const MosParams& params, const MosGeometry& geometry,
+    const util::Interval& ug, const util::Interval& ud,
+    const util::Interval& us, const util::Interval& clm_dv,
+    const util::Interval& tK, double cardTemperatureK);
 
 }  // namespace sscl::device

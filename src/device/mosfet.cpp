@@ -252,6 +252,19 @@ bool Mosfet::describe(spice::DeviceInfo& info) const {
   info.mos_g = g_;
   info.mos_s = s_;
   info.mos_b = b_;
+  // DC model card as instantiated, mismatch folded, for the op-region
+  // interval evaluator. mos_temp records the temperature the card (and
+  // the folded vt0/kp) are valid at.
+  info.mos_vt0 = params_.vt0 + mismatch_.dvt;
+  info.mos_n = params_.n;
+  info.mos_kp = params_.kp * (1.0 + mismatch_.dbeta_rel);
+  info.mos_lambda = params_.lambda;
+  info.mos_w = geometry_.w;
+  info.mos_l = geometry_.l;
+  info.mos_temp = temperature_;
+  info.mos_ijs_s = params_.js * geometry_.as;
+  info.mos_ijs_d = params_.js * geometry_.ad;
+  info.mos_nj = params_.nj;
   return true;
 }
 

@@ -49,6 +49,9 @@ Report check_circuit(const spice::Circuit& circuit, const Options& options) {
   LintContext ctx;
   ctx.view = &view;
   ctx.bias_budget = options.bias_budget;
+  ctx.t_lo_k = options.t_lo_k;
+  ctx.t_hi_k = options.t_hi_k;
+  ctx.vdd_tol = options.vdd_tol;
   return run_rules(ctx, options);
 }
 
@@ -99,7 +102,13 @@ void enforce(const Report& report, const char* what) {
 }
 
 void enforce_circuit(const spice::Circuit& circuit, const Options& options) {
-  enforce(check_circuit(circuit, options), "circuit");
+  // The interval fixpoint is a whole-circuit analysis; simulation setup
+  // (Engine construction, Monte-Carlo loops) only needs the fast
+  // structural gate, so the op-region pass runs in explicit lint
+  // invocations (check_circuit / sscl-lint), not on this hot path.
+  Options fast = options;
+  fast.disabled.push_back("op-region");
+  enforce(check_circuit(circuit, fast), "circuit");
 }
 
 void enforce_netlist(const digital::Netlist& netlist, const Options& options) {

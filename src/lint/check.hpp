@@ -36,6 +36,13 @@ struct Options {
   /// Bias-current budget [A] for the bias-provenance pass (0 = none
   /// declared; the estimate is then reported as info only).
   double bias_budget = 0.0;
+  /// PVT box for the op-region interval pass: temperature corners [K]
+  /// and relative tolerance on supply-named voltage sources. The
+  /// defaults certify the nominal corner only, so reports stay
+  /// byte-identical run to run unless corners are asked for.
+  double t_lo_k = 300.15;
+  double t_hi_k = 300.15;
+  double vdd_tol = 0.0;
 };
 
 /// Run all analog ERC rules over an elaborated circuit.

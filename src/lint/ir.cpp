@@ -65,6 +65,14 @@ AnalysisIR AnalysisIR::build(const CircuitView& view) {
 
   for (auto& [key, list] : by_source) {
     if (list.size() < 2) continue;
+    // Devices whose common source IS a supply rail are parallel loads
+    // (e.g. the PMOS load pair of an STSCL cell), not a source-coupled
+    // pair — there is no tail branch to reason about.
+    bool source_is_rail = false;
+    for (const SupplyRail& rail : ir.supplies) {
+      source_is_rail = source_is_rail || rail.node == key.first;
+    }
+    if (source_is_rail) continue;
     SourceCoupledGroup group;
     group.source = key.first;
     group.is_nmos = key.second;

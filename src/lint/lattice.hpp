@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/interval.hpp"
+
 namespace sscl::lint {
 
 /// Two-point taint lattice: false ⊑ true. Used by bias-current
@@ -92,6 +94,31 @@ struct PhaseLattice {
   static bool includes(Value v, bool phase) {
     return v == PhaseColor::kTop || v == of_phase(phase);
   }
+};
+
+/// Interval lattice over voltages/currents: bottom = empty interval,
+/// join = convex hull, top = (-inf, +inf). Unlike the lattices above
+/// its height is infinite, so ascending chains need `widen` — any bound
+/// still moving after a few joins jumps to its infinity, restoring
+/// finite convergence. The op-region pass itself iterates *downward*
+/// (intersection refinement from top), which needs no widening to
+/// terminate — it may stop after any sweep and remain sound — but the
+/// lattice keeps the full contract so generic ascending solvers can use
+/// it too.
+struct IntervalLattice {
+  using Value = util::Interval;
+  static Value bottom() { return util::Interval::empty(); }
+  static Value top() { return util::Interval::top(); }
+  static Value join(const Value& a, const Value& b) { return a.hull(b); }
+  static Value meet(const Value& a, const Value& b) {
+    return a.intersect(b);
+  }
+  /// Widening operator: `prev ∇ next`. Any endpoint of `next` outside
+  /// `prev` jumps to the corresponding infinity.
+  static Value widen(const Value& prev, const Value& next) {
+    return prev.widen(next);
+  }
+  static bool leq(const Value& a, const Value& b) { return b.contains(a); }
 };
 
 }  // namespace sscl::lint

@@ -86,8 +86,11 @@ Report PassManager::run(const LintContext& ctx,
                         const PassRunOptions& options) const {
   trace::Span span("lint.run", "lint");
 
-  // Stage zero: the shared connectivity IR, built once for every pass.
+  // Stage zero: the shared connectivity IR, built once for every pass,
+  // and the per-run fact store passes publish into for their
+  // dependents (wave barriers order producer before consumer).
   AnalysisIR ir;
+  PassFacts facts;
   LintContext prepared = ctx;
   if (prepared.ir == nullptr) {
     if (ctx.view != nullptr) {
@@ -97,6 +100,7 @@ Report PassManager::run(const LintContext& ctx,
     }
     prepared.ir = &ir;
   }
+  if (prepared.facts == nullptr) prepared.facts = &facts;
 
   std::vector<int> selected;
   for (int pi = 0; pi < static_cast<int>(passes_.size()); ++pi) {

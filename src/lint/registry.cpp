@@ -37,6 +37,8 @@ std::vector<std::unique_ptr<Rule>> make_default_passes() {
   out.push_back(rules::make_domain_crossing_pass());
   out.push_back(rules::make_const_net_pass());
   out.push_back(rules::make_phase_domain_pass());
+  // Interval abstract interpretation (operating-region certification).
+  out.push_back(rules::make_op_region_pass());
   return out;
 }
 

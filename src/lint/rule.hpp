@@ -24,6 +24,18 @@ class Netlist;
 namespace sscl::lint {
 
 struct AnalysisIR;
+struct OpRegionResult;
+
+/// Facts deposited by passes for their dependents. The PassManager
+/// creates one store per run; a pass that declares depends_on() an
+/// upstream pass id observes that pass's published facts (wave
+/// barriers give the happens-before edge). Facts are shared_ptr so a
+/// consumer can hold them past the producing pass's Report merge.
+struct PassFacts {
+  /// Published by the op-region pass: interval operating-point facts
+  /// (node voltages, device regions, pair certification inputs).
+  std::shared_ptr<const OpRegionResult> op_region;
+};
 
 /// What a lint run is looking at. Analog passes no-op when view is
 /// null, digital passes when netlist is null, so one registry serves
@@ -34,9 +46,18 @@ struct LintContext {
   const CircuitView* view = nullptr;
   const digital::Netlist* netlist = nullptr;
   const AnalysisIR* ir = nullptr;
+  /// Per-run fact store (created by the PassManager; null only when a
+  /// Rule is driven directly outside the manager).
+  PassFacts* facts = nullptr;
   /// Bias-current budget [A] for the provenance pass (0 = no budget
   /// declared; the pass then reports the estimate as info only).
   double bias_budget = 0.0;
+  /// PVT box for the op-region pass: temperature corners [K] and the
+  /// relative tolerance applied to supply-named voltage sources.
+  /// Defaults describe the nominal corner only.
+  double t_lo_k = 300.15;
+  double t_hi_k = 300.15;
+  double vdd_tol = 0.0;
 };
 
 class Rule {

@@ -38,5 +38,6 @@ std::unique_ptr<Rule> make_bias_provenance_pass();  // bias-provenance
 std::unique_ptr<Rule> make_domain_crossing_pass();  // domain-crossing
 std::unique_ptr<Rule> make_const_net_pass();        // const-net, dead-net
 std::unique_ptr<Rule> make_phase_domain_pass();     // phase-domain
+std::unique_ptr<Rule> make_op_region_pass();        // op-region family
 
 }  // namespace sscl::lint::rules

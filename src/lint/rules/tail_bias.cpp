@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "lint/op_region.hpp"
 #include "lint/rules/rules.hpp"
+#include "util/units.hpp"
 
 namespace sscl::lint::rules {
 
@@ -78,10 +80,20 @@ class WeakInversionRule final : public Rule {
   const char* description() const override {
     return "tail currents must keep source-coupled pairs in weak inversion";
   }
+  std::vector<const char*> depends_on() const override {
+    // Consume interval facts when the op-region pass is in the run set
+    // (ordering hint only; without it the local estimate below runs).
+    return {"op-region"};
+  }
 
   void run(const LintContext& ctx, Report& report) const override {
     if (!ctx.view) return;
     const CircuitView& view = *ctx.view;
+    // Interval facts from the op-region pass, when it ran before us:
+    // per-device IC bounds sound over the PVT box, strictly sharper
+    // than the worst-case Iss/Ispec estimate below.
+    const OpRegionResult* facts =
+        ctx.facts ? ctx.facts->op_region.get() : nullptr;
     for (const auto& [node, pair] : source_coupled_pairs(view)) {
       // Total DC tail current supplied by current sources at the node.
       double iss = 0.0;
@@ -95,6 +107,36 @@ class WeakInversionRule final : public Rule {
           iss += std::fabs(e.value);
         }
       }
+      if (has_isource && iss == 0.0) {
+        report.info(id(), view.node_label(node),
+                    "tail current source has zero DC value; the pair only "
+                    "conducts leakage at the operating point");
+        continue;
+      }
+
+      // Interval path: warn only when the IC bound proves the device
+      // leaves weak inversion at every corner (ic.lo > 10). The
+      // "unproven" middle ground is the op-region pass's business.
+      bool interval_handled = false;
+      if (facts != nullptr && !facts->regions.empty()) {
+        for (const int di : pair) {
+          const DeviceRegion* reg = facts->region_of(di);
+          if (reg == nullptr || reg->ic.is_empty()) continue;
+          interval_handled = true;
+          if (reg->ic.lo > 10.0) {
+            report.warning(
+                id(), view.node_label(node),
+                "interval analysis bounds the inversion coefficient of " +
+                    view.devices()[di].device->name() + " to [" +
+                    util::format_si(reg->ic.lo, "", 3) + ", " +
+                    util::format_si(reg->ic.hi, "", 3) +
+                    "] — outside the EKV weak-inversion region (IC <~ 10) "
+                    "at every corner of the box");
+          }
+        }
+      }
+      if (interval_handled) continue;
+
       if (!has_isource) continue;  // tail is a mirror device: bias unknown
 
       double ispec_min = 0.0;
@@ -111,11 +153,7 @@ class WeakInversionRule final : public Rule {
 
       // Worst case the whole tail current flows through one branch.
       const double ic = iss / ispec_min;
-      if (iss == 0.0) {
-        report.info(id(), view.node_label(node),
-                    "tail current source has zero DC value; the pair only "
-                    "conducts leakage at the operating point");
-      } else if (ic > 10.0) {
+      if (ic > 10.0) {
         report.warning(
             id(), view.node_label(node),
             "tail current " + std::to_string(iss) +

@@ -434,6 +434,18 @@ struct DeviceInfo {
   bool is_nmos = true;
   double ispec = 0.0;  ///< EKV specific current 2 n beta UT^2 [A]
   NodeId mos_d = kGround, mos_g = kGround, mos_s = kGround, mos_b = kGround;
+
+  // DC model card as instantiated (mismatch folded in), consumed by the
+  // op-region interval evaluator. Valid only when is_mosfet.
+  double mos_vt0 = 0.0;    ///< |VT0| incl. mismatch shift [V]
+  double mos_n = 1.0;      ///< subthreshold slope factor
+  double mos_kp = 0.0;     ///< transconductance factor incl. mismatch [A/V^2]
+  double mos_lambda = 0.0; ///< channel-length modulation [1/V]
+  double mos_w = 0.0, mos_l = 1.0;  ///< geometry [m]
+  double mos_temp = 0.0;   ///< temperature the card is valid at [K]
+  double mos_ijs_s = 0.0;  ///< bulk-source junction saturation current [A]
+  double mos_ijs_d = 0.0;  ///< bulk-drain junction saturation current [A]
+  double mos_nj = 1.0;     ///< junction ideality factor
 };
 
 /// Base class of every circuit element.

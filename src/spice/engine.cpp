@@ -193,6 +193,31 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
     return ok;
   };
 
+  // Failure triage: a singular factorisation or a non-finite solution
+  // can be a legitimate hard circuit (gmin/source stepping may still
+  // succeed — return false) or a device that stamped NaN/inf into the
+  // matrix (no amount of stepping heals that — throw, naming the
+  // offender). The offender is found by re-assembling one device at a
+  // time and scanning the values after each load.
+  auto diagnose_nonfinite_stamps = [&](const std::vector<double>& at) {
+    // solve() factors in place, so re-assemble before scanning stamps.
+    assemble(at);
+    if (system_.values_finite()) return;  // stamps fine: numeric failure
+    system_.clear();
+    configure(at);
+    for (const auto& device : circuit_.devices()) {
+      device->load(ctx);
+      if (!system_.values_finite()) {
+        throw ConvergenceError("device " + device->name() +
+                               " stamped a non-finite matrix/rhs value; "
+                               "check its parameters and node biases");
+      }
+    }
+    throw ConvergenceError(
+        "assembled MNA system contains non-finite values (offending "
+        "device not identified; suspect the gmin diagonal or sources)");
+  };
+
   assemble(x);
   double norm_x = system_.residual_norm(x);
 
@@ -202,6 +227,7 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
 
     // The system is currently assembled at x (linearised there).
     if (!solve_system(x_new)) {
+      diagnose_nonfinite_stamps(x);
       if (iterations_out) *iterations_out = iter + 1;
       return false;
     }
@@ -214,6 +240,7 @@ bool Engine::newton(std::vector<double>& x, AnalysisMode mode, double time,
       }
     }
     if (bad) {
+      diagnose_nonfinite_stamps(x);
       if (iterations_out) *iterations_out = iter + 1;
       return false;
     }

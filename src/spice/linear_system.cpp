@@ -121,6 +121,18 @@ void LinearSystem::multiply(const std::vector<double>& x,
   }
 }
 
+bool LinearSystem::values_finite() const {
+  const std::vector<double>& vals =
+      sparse_ ? sparse_->values() : dense_->values();
+  for (const double v : vals) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (const double v : rhs_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 double LinearSystem::residual_norm(const std::vector<double>& x) const {
   std::vector<double> ax;
   multiply(x, ax);

@@ -91,6 +91,12 @@ class LinearSystem {
   /// Infinity norm of the KCL residual A x - b for the assembled system.
   double residual_norm(const std::vector<double>& x) const;
 
+  /// True when every assembled matrix value and rhs entry is finite.
+  /// Cheap (one linear scan); the engine calls it on the failure path
+  /// to distinguish a genuinely singular matrix from a device that
+  /// stamped NaN/inf.
+  bool values_finite() const;
+
   /// Factor and solve in place; the solution replaces the rhs and is also
   /// returned. Returns false on singular matrix.
   bool solve(std::vector<double>& x_out);

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "device/ekv.hpp"
+#include "util/constants.hpp"
+
 namespace sscl::stscl {
 
 namespace {
@@ -36,6 +39,37 @@ double SclModel::path_power_for_cap(double path_cap, double fop,
 double SclModel::fmax(double iss, double nl) const {
   // One half-period must fit nl gate delays.
   return 1.0 / (2.0 * nl * delay(iss));
+}
+
+RegionCheck check_region_contract(const SclParams& p,
+                                  const device::Process& process) {
+  if (p.iss <= 0) {
+    throw std::invalid_argument("check_region_contract: iss <= 0");
+  }
+  const double t = process.temperature;
+  const double ut = util::thermal_voltage(t);
+  const device::MosMismatch nominal;
+  // Specific currents at the zero-bias point (ispec depends only on the
+  // card, geometry and temperature).
+  const double ispec_pair =
+      device::ekv_evaluate(process.nmos, p.pair, nominal, 0, 0, 0, 0, t).ispec;
+  const double ispec_tail =
+      device::ekv_evaluate(process.nmos_hvt, p.tail, nominal, 0, 0, 0, 0, t)
+          .ispec;
+
+  RegionCheck out;
+  // Worst case: the whole tail current switches into one branch.
+  out.ic_pair = p.iss / ispec_pair;
+  out.ic_tail = p.iss / ispec_tail;
+  out.vdsat_pair = ut * (2.0 * std::sqrt(out.ic_pair) + 4.0);
+  out.vdsat_tail = ut * (2.0 * std::sqrt(out.ic_tail) + 4.0);
+  out.swing_min = RegionLimits::kSwingNut * process.nmos.n * ut;
+  out.vdd_min = p.vsw + out.vdsat_pair + out.vdsat_tail;
+  out.weak_inversion = out.ic_pair <= RegionLimits::kIcMax &&
+                       out.ic_tail <= RegionLimits::kIcMax;
+  out.swing_ok = p.vsw >= out.swing_min;
+  out.vdd_ok = p.vdd >= out.vdd_min;
+  return out;
 }
 
 }  // namespace sscl::stscl

@@ -78,4 +78,38 @@ struct SclModel {
   double fmax(double iss, double nl) const;
 };
 
+/// The paper's static operating-region contract, evaluated analytically
+/// from the design parameters (no simulation): the same properties the
+/// op-region lint pass certifies on an elaborated deck, available at
+/// the planning stage before any netlist exists.
+struct RegionLimits {
+  /// Inversion-coefficient ceiling for "weak inversion" (moderate
+  /// inversion starts near IC = 1; beyond ~10 the gm/ID advantage and
+  /// the 4nUT swing rule are gone).
+  static constexpr double kIcMax = 10.0;
+  /// Minimum swing in units of n*UT for gain > 1 regeneration.
+  static constexpr double kSwingNut = 4.0;
+};
+
+/// Result of checking one SclParams against a Process at its
+/// temperature. Values are worst-case (the whole tail current in one
+/// branch).
+struct RegionCheck {
+  double ic_pair = 0.0;     ///< inversion coefficient of a pair device
+  double ic_tail = 0.0;     ///< inversion coefficient of the tail device
+  double vdsat_pair = 0.0;  ///< UT (2 sqrt(IC) + 4) of the pair [V]
+  double vdsat_tail = 0.0;  ///< of the tail [V]
+  double swing_min = 0.0;   ///< 4 n UT at the process temperature [V]
+  double vdd_min = 0.0;     ///< vsw + vdsat_pair + vdsat_tail [V]
+  bool weak_inversion = false;  ///< both ICs <= RegionLimits::kIcMax
+  bool swing_ok = false;        ///< vsw >= swing_min
+  bool vdd_ok = false;          ///< vdd >= vdd_min
+  bool ok() const { return weak_inversion && swing_ok && vdd_ok; }
+};
+
+/// Evaluate the operating-region contract of \p p on \p process (pair
+/// on the nmos card, tail on nmos_hvt, at process.temperature).
+RegionCheck check_region_contract(const SclParams& p,
+                                  const device::Process& process);
+
 }  // namespace sscl::stscl

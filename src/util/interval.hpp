@@ -1,0 +1,188 @@
+#pragma once
+
+/// \file interval.hpp
+/// Closed-interval arithmetic over doubles with the IEEE infinities as
+/// first-class endpoints. This is the numeric substrate of the lint
+/// op-region abstract interpreter: every operation is *outward
+/// conservative* — the result interval contains every pointwise result
+/// of the operands — so a chain of interval computations over-
+/// approximates the set of reachable circuit values and never excludes
+/// one. No rounding-mode games are played; call pad() where last-ulp
+/// soundness matters (the op-region pass adds explicit guard bands that
+/// dwarf double rounding).
+///
+/// Conventions:
+///  - The empty interval is lo > hi (canonically [+inf, -inf]).
+///  - top() is [-inf, +inf], the "no information" element.
+///  - Multiplication uses the 0 * inf = 0 convention: an exact zero
+///    factor annihilates even an unbounded one. This is sound for
+///    set-valued semantics (0 * x = 0 for every finite x in the other
+///    interval) and keeps NaN out of the lattice.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sscl::util {
+
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  static Interval top() {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  static Interval empty() { return {}; }
+  static Interval point(double v) { return {v, v}; }
+  /// Interval from unordered endpoints.
+  static Interval make(double a, double b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_point() const { return lo == hi; }
+  bool is_bounded() const {
+    return !is_empty() && std::isfinite(lo) && std::isfinite(hi);
+  }
+  double width() const { return is_empty() ? 0.0 : hi - lo; }
+  double mid() const { return 0.5 * (lo + hi); }
+
+  bool contains(double v) const { return !is_empty() && lo <= v && v <= hi; }
+  bool contains(const Interval& o) const {
+    return o.is_empty() || (!is_empty() && lo <= o.lo && o.hi <= hi);
+  }
+
+  bool operator==(const Interval& o) const {
+    if (is_empty() && o.is_empty()) return true;
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  /// Smallest interval containing both (lattice join).
+  Interval hull(const Interval& o) const {
+    if (is_empty()) return o;
+    if (o.is_empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  /// Set intersection (lattice meet); may be empty.
+  Interval intersect(const Interval& o) const {
+    if (is_empty() || o.is_empty()) return empty();
+    const Interval r{std::max(lo, o.lo), std::min(hi, o.hi)};
+    return r.is_empty() ? empty() : r;
+  }
+
+  /// Grow both ends outward by eps >= 0.
+  Interval pad(double eps) const {
+    if (is_empty()) return empty();
+    return {lo - eps, hi + eps};
+  }
+
+  /// Standard widening: any bound that moved past the previous iterate
+  /// jumps straight to the corresponding infinity, so ascending chains
+  /// stabilise in finitely many steps.
+  Interval widen(const Interval& next) const {
+    if (is_empty()) return next;
+    if (next.is_empty()) return *this;
+    Interval r = *this;
+    if (next.lo < lo) r.lo = -std::numeric_limits<double>::infinity();
+    if (next.hi > hi) r.hi = std::numeric_limits<double>::infinity();
+    return r;
+  }
+
+  Interval operator-() const {
+    if (is_empty()) return empty();
+    return {-hi, -lo};
+  }
+
+  Interval operator+(const Interval& o) const {
+    if (is_empty() || o.is_empty()) return empty();
+    return {lo + o.lo, hi + o.hi};
+  }
+  Interval operator-(const Interval& o) const { return *this + (-o); }
+
+  Interval operator+(double s) const { return *this + point(s); }
+  Interval operator-(double s) const { return *this + point(-s); }
+
+  Interval operator*(const Interval& o) const {
+    if (is_empty() || o.is_empty()) return empty();
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    const double as[2] = {lo, hi};
+    const double bs[2] = {o.lo, o.hi};
+    for (double a : as) {
+      for (double b : bs) {
+        // 0 * inf = 0: an exact zero endpoint annihilates.
+        const double p = (a == 0.0 || b == 0.0) ? 0.0 : a * b;
+        mn = std::min(mn, p);
+        mx = std::max(mx, p);
+      }
+    }
+    return {mn, mx};
+  }
+  Interval operator*(double s) const { return *this * point(s); }
+
+  /// Division by an interval that does not straddle zero. Straddling
+  /// (or zero-point) divisors return top(): "no information" is the
+  /// only sound finite-free answer without splitting.
+  Interval operator/(const Interval& o) const {
+    if (is_empty() || o.is_empty()) return empty();
+    if (o.lo <= 0.0 && o.hi >= 0.0) return top();
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    const double as[2] = {lo, hi};
+    const double bs[2] = {o.lo, o.hi};
+    for (double a : as) {
+      for (double b : bs) {
+        const double q = (a == 0.0) ? 0.0 : a / b;  // b / inf -> 0 is fine
+        mn = std::min(mn, q);
+        mx = std::max(mx, q);
+      }
+    }
+    return {mn, mx};
+  }
+
+  /// Image under a monotone nondecreasing function (endpoint map).
+  template <class F>
+  Interval map_increasing(F&& f) const {
+    if (is_empty()) return empty();
+    return {f(lo), f(hi)};
+  }
+  /// Image under a monotone nonincreasing function.
+  template <class F>
+  Interval map_decreasing(F&& f) const {
+    if (is_empty()) return empty();
+    return {f(hi), f(lo)};
+  }
+};
+
+/// sqrt on the nonnegative part (clamps a slightly negative lo to 0).
+inline Interval interval_sqrt(const Interval& a) {
+  if (a.is_empty() || a.hi < 0.0) return Interval::empty();
+  return {std::sqrt(std::max(0.0, a.lo)), std::sqrt(a.hi)};
+}
+
+/// exp is monotone increasing; inf endpoints map to 0 / inf naturally.
+inline Interval interval_exp(const Interval& a) {
+  return a.map_increasing([](double v) { return std::exp(v); });
+}
+
+inline Interval interval_abs(const Interval& a) {
+  if (a.is_empty()) return Interval::empty();
+  if (a.lo >= 0.0) return a;
+  if (a.hi <= 0.0) return -a;
+  return {0.0, std::max(-a.lo, a.hi)};
+}
+
+inline Interval interval_min(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Interval interval_max(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace sscl::util

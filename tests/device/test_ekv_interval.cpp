@@ -1,0 +1,187 @@
+// Containment tests for the interval EKV evaluator: for random terminal
+// boxes, random points inside them and random temperatures inside the
+// temperature box, the scalar model evaluated on the card re-derived by
+// Process::at_temperature must land inside every interval output. Also
+// covers inclusion isotonicity (nested boxes give nested results) and
+// the alias-collapsing refs entry point (a bulk-drain-shorted device
+// evaluated with the exact ud = 0 is tighter than, and consistent with,
+// the alias-oblivious wrapper).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "device/ekv.hpp"
+#include "device/mos_params.hpp"
+#include "util/interval.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::device {
+namespace {
+
+using util::Interval;
+
+Interval random_box(util::Rng& rng, double lo, double hi) {
+  return Interval::make(rng.uniform(lo, hi), rng.uniform(lo, hi));
+}
+
+double point_in(util::Rng& rng, const Interval& iv) {
+  return iv.is_point() ? iv.lo : rng.uniform(iv.lo, iv.hi);
+}
+
+/// Relative+absolute slack for the containment asserts: the interval
+/// evaluator is outward conservative by construction but plain double
+/// arithmetic can disagree in the last ulps.
+void expect_contains(const Interval& box, double v, const char* what) {
+  const double slack =
+      1e-9 * std::max({std::fabs(box.lo), std::fabs(box.hi), std::fabs(v), 1.0});
+  EXPECT_TRUE(box.pad(slack).contains(v))
+      << what << ": " << v << " outside [" << box.lo << ", " << box.hi << "]";
+}
+
+TEST(EkvInterval, ContainsScalarAcrossRandomBoxesAndTemperatures) {
+  const Process process = Process::c180();
+  const MosParams cards[] = {process.nmos, process.pmos, process.nmos_hvt};
+  const MosGeometry geom{2e-6, 0.5e-6};
+  const MosMismatch no_mismatch;
+  util::Rng rng(42);
+
+  for (int i = 0; i < 3000; ++i) {
+    const MosParams& card = cards[i % 3];
+    const Interval vg = random_box(rng, -0.2, 1.2);
+    const Interval vd = random_box(rng, -0.2, 1.2);
+    const Interval vs = random_box(rng, -0.2, 1.2);
+    const Interval vb = random_box(rng, -0.2, 1.2);
+    const Interval tbox = Interval::make(rng.uniform(250.0, 400.0),
+                                         rng.uniform(250.0, 400.0));
+
+    const EkvIntervalResult r = ekv_evaluate_interval(
+        card, geom, vg, vd, vs, vb, tbox, process.temperature);
+
+    for (int k = 0; k < 8; ++k) {
+      const double t = point_in(rng, tbox);
+      // Re-derive the card at t exactly the way the platform does.
+      const double dvt = -1.0e-3 * (t - process.temperature);
+      const double kp_scale = std::pow(t / process.temperature, -1.5);
+      MosParams card_t = card;
+      card_t.vt0 += dvt;
+      card_t.kp *= kp_scale;
+
+      const double pg = point_in(rng, vg);
+      const double pd = point_in(rng, vd);
+      const double ps = point_in(rng, vs);
+      const double pb = point_in(rng, vb);
+      const EkvResult sp =
+          ekv_evaluate(card_t, geom, no_mismatch, pg, pd, ps, pb, t);
+      expect_contains(r.id, sp.id, "id");
+      expect_contains(r.i_f, sp.i_f, "i_f");
+      expect_contains(r.i_r, sp.i_r, "i_r");
+      expect_contains(r.ispec, sp.ispec, "ispec");
+    }
+  }
+}
+
+TEST(EkvInterval, PointBoxesReproduceScalar) {
+  const Process process = Process::c180();
+  const MosGeometry geom{1e-6, 1e-6};
+  const MosMismatch no_mismatch;
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double vg = rng.uniform(-0.2, 1.2);
+    const double vd = rng.uniform(-0.2, 1.2);
+    const double vs = rng.uniform(-0.2, 1.2);
+    const double vb = rng.uniform(-0.2, 1.2);
+    const MosParams& card = (i % 2) ? process.nmos : process.pmos;
+    const EkvResult s = ekv_evaluate(card, geom, no_mismatch, vg, vd, vs, vb,
+                                     process.temperature);
+    const EkvIntervalResult r = ekv_evaluate_interval(
+        card, geom, Interval::point(vg), Interval::point(vd),
+        Interval::point(vs), Interval::point(vb),
+        Interval::point(process.temperature), process.temperature);
+    EXPECT_NEAR(r.id.lo, s.id, 1e-15 + 1e-9 * std::fabs(s.id));
+    EXPECT_NEAR(r.id.hi, s.id, 1e-15 + 1e-9 * std::fabs(s.id));
+    EXPECT_NEAR(r.i_f.mid(), s.i_f, 1e-9 * std::max(1.0, s.i_f));
+  }
+}
+
+TEST(EkvInterval, InclusionIsotone) {
+  const Process process = Process::c180();
+  const MosGeometry geom{2e-6, 1e-6};
+  util::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const Interval vg = random_box(rng, -0.2, 1.2);
+    const Interval vd = random_box(rng, -0.2, 1.2);
+    const Interval vs = random_box(rng, -0.2, 1.2);
+    const Interval vb = random_box(rng, -0.2, 1.2);
+    const Interval tbox = Interval::make(260.0, 390.0);
+    const auto shrink = [&](const Interval& iv) {
+      const double a = point_in(rng, iv);
+      const double b = point_in(rng, iv);
+      return Interval::make(a, b);
+    };
+    const MosParams& card = (i % 2) ? process.nmos_hvt : process.pmos;
+    const EkvIntervalResult wide = ekv_evaluate_interval(
+        card, geom, vg, vd, vs, vb, tbox, process.temperature);
+    const EkvIntervalResult narrow = ekv_evaluate_interval(
+        card, geom, shrink(vg), shrink(vd), shrink(vs), shrink(vb),
+        Interval::make(280.0, 330.0), process.temperature);
+    const double slack = 1e-9 * std::max(std::fabs(wide.id.lo),
+                                         std::fabs(wide.id.hi)) + 1e-18;
+    EXPECT_TRUE(wide.id.pad(slack).contains(narrow.id));
+    EXPECT_TRUE(wide.i_f.pad(1e-9 * std::max(1.0, wide.i_f.hi))
+                    .contains(narrow.i_f));
+  }
+}
+
+TEST(EkvInterval, RefsEntryPointCollapsesAliasedTerminals) {
+  // A bulk-drain-shorted PMOS load over a wide drain box: the wrapper
+  // widens vd - vb to a nonzero interval, while the refs entry point
+  // pins ud = 0 exactly. The refs result must stay a subset of the
+  // wrapper's and, crucially, keep the reverse inversion coefficient
+  // finite where the wrapper blows up to +inf.
+  const Process process = Process::c180();
+  const MosParams card = process.pmos;
+  const MosGeometry geom{0.3e-6, 1.2e-6};
+  const Interval tbox = Interval::point(process.temperature);
+
+  // A half-diagnosed output node as the analyzer sees it mid-refinement:
+  // upper bound proved, lower bound still unknown.
+  const Interval out{-std::numeric_limits<double>::infinity(), 0.8};
+  const Interval vg = Interval::point(0.77);
+  const Interval vs = Interval::point(1.0);
+
+  const EkvIntervalResult oblivious = ekv_evaluate_interval(
+      card, geom, vg, /*vd=*/out, vs, /*vb=*/out, tbox, process.temperature);
+
+  const double sign = -1.0;  // PMOS reflection
+  const Interval ug = (vg - out) * sign;
+  const Interval ud = Interval::point(0.0);  // d == b: exact alias
+  const Interval us = (vs - out) * sign;
+  const EkvIntervalResult aware = ekv_evaluate_interval_refs(
+      card, geom, ug, ud, us, (out - vs) * sign, tbox, process.temperature);
+
+  // The alias-aware reverse coefficient is F(vp/ut), bounded by the
+  // gate overdrive; the oblivious one sees ud unbounded and explodes.
+  EXPECT_TRUE(std::isfinite(aware.i_r.hi));
+  EXPECT_FALSE(std::isfinite(oblivious.i_r.hi));
+  // Subset: collapsing an alias only removes spurious corner points.
+  EXPECT_TRUE(oblivious.i_r.contains(aware.i_r));
+  EXPECT_TRUE(oblivious.id.pad(1e-18).contains(aware.id));
+
+  // Scalar containment still holds for the aware result at points with
+  // vd == vb (the only points the alias admits).
+  util::Rng rng(3);
+  const MosMismatch no_mismatch;
+  for (int k = 0; k < 200; ++k) {
+    const double v = rng.uniform(-10.0, out.hi);
+    const EkvResult s = ekv_evaluate(card, geom, no_mismatch, vg.lo, v, vs.lo,
+                                     v, process.temperature);
+    const double slack = 1e-12 + 1e-9 * std::fabs(s.id);
+    EXPECT_TRUE(aware.id.pad(slack).contains(s.id)) << "vd=vb=" << v;
+    EXPECT_TRUE(aware.i_r.pad(1e-9).contains(s.i_r));
+  }
+}
+
+}  // namespace
+}  // namespace sscl::device

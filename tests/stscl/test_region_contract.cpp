@@ -1,0 +1,82 @@
+// Tests for the analytic operating-region contract: the planning-stage
+// counterpart of the op-region lint pass. A sane STSCL design point
+// passes every clause; pushing each knob past its analytic limit flips
+// exactly the corresponding flag.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "device/mos_params.hpp"
+#include "stscl/scl_params.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::stscl {
+namespace {
+
+TEST(RegionContract, DefaultDesignPointSatisfiesEveryClause) {
+  const SclParams p;  // 1 V, 200 mV swing, 1 nA tail
+  const RegionCheck r = check_region_contract(p, device::Process::c180());
+  EXPECT_TRUE(r.weak_inversion) << "ic_pair=" << r.ic_pair;
+  EXPECT_TRUE(r.swing_ok) << "swing_min=" << r.swing_min;
+  EXPECT_TRUE(r.vdd_ok) << "vdd_min=" << r.vdd_min;
+  EXPECT_TRUE(r.ok());
+  // The numbers themselves are physical: IC well below 1 at 1 nA, the
+  // 4 n UT floor near 140 mV at room temperature.
+  EXPECT_LT(r.ic_pair, 1.0);
+  EXPECT_NEAR(r.swing_min,
+              4.0 * device::Process::c180().nmos.n *
+                  util::thermal_voltage(device::Process::c180().temperature),
+              1e-12);
+  EXPECT_GT(r.vdd_min, r.swing_min);
+}
+
+TEST(RegionContract, StrongInversionTailCurrentFailsWeakInversion) {
+  SclParams p;
+  p.iss = 100e-6;  // far past IC = 10 for a 1u/0.5u pair
+  const RegionCheck r = check_region_contract(p, device::Process::c180());
+  EXPECT_FALSE(r.weak_inversion);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RegionContract, UndersizedSwingFailsSwingClause) {
+  SclParams p;
+  p.vsw = 0.05;  // below 4 n UT ~ 140 mV
+  const RegionCheck r = check_region_contract(p, device::Process::c180());
+  EXPECT_FALSE(r.swing_ok);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RegionContract, StarvedSupplyFailsVddClause) {
+  SclParams p;
+  p.vdd = 0.25;  // below vsw + vdsat_pair + vdsat_tail
+  const RegionCheck r = check_region_contract(p, device::Process::c180());
+  EXPECT_FALSE(r.vdd_ok);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RegionContract, RejectsNonPositiveTailCurrent) {
+  SclParams p;
+  p.iss = 0.0;
+  EXPECT_THROW(check_region_contract(p, device::Process::c180()),
+               std::invalid_argument);
+  p.iss = -1e-9;
+  EXPECT_THROW(check_region_contract(p, device::Process::c180()),
+               std::invalid_argument);
+}
+
+TEST(RegionContract, HotterProcessRaisesTheSwingFloor) {
+  // swing_min = 4 n UT grows linearly with temperature; the contract
+  // must track the process card it is handed, exactly like the interval
+  // pass tracks the temperature box.
+  const SclParams p;
+  const RegionCheck cold =
+      check_region_contract(p, device::Process::c180().at_temperature(273.15));
+  const RegionCheck hot =
+      check_region_contract(p, device::Process::c180().at_temperature(358.15));
+  EXPECT_GT(hot.swing_min, cold.swing_min);
+  EXPECT_GT(hot.vdd_min, cold.vdd_min);
+}
+
+}  // namespace
+}  // namespace sscl::stscl
