@@ -5,10 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "adc/ensemble.hpp"
 #include "adc/fai_adc.hpp"
 #include "analog/preamp.hpp"
+#include "device/mosfet.hpp"
 #include "digital/fmax.hpp"
+#include "spice/elements.hpp"
 #include "spice/engine.hpp"
+#include "spice/ensemble.hpp"
 #include "spice/transient.hpp"
 #include "stscl/fabric.hpp"
 #include "util/rng.hpp"
@@ -251,6 +255,82 @@ void BM_MonteCarloLinearity(benchmark::State& state) {
 BENCHMARK(BM_MonteCarloLinearity)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Ensemble vs legacy Monte-Carlo engines, single-threaded so
+// items_per_second is the per-core sample throughput the PR's
+// acceptance numbers quote (EXPERIMENTS.md). Arg(0) = legacy
+// per-instance oracle, Arg(1) = batched ensemble; the two produce
+// bit-identical results (tests/adc/test_adc_ensemble.cpp,
+// tests/spice/test_ensemble.cpp).
+void BM_AdcMcEngine(benchmark::State& state) {
+  const adc::McEngine engine =
+      state.range(0) ? adc::McEngine::kEnsemble : adc::McEngine::kLegacy;
+  // 32 instances x 4096 histogram conversions = 131k ADC samples per MC
+  // call: the bench_yield workload at the >=100k-sample scale the
+  // committed bench_spice_perf_ensemble.csv quotes.
+  const int instances = 32;
+  adc::FaiAdcConfig cfg;
+  cfg.input_noise_rms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adc::monte_carlo_linearity(cfg, instances, /*seed=*/2026, /*jobs=*/1,
+                                   engine));
+  }
+  state.SetItemsProcessed(state.iterations() * instances);
+  state.counters["ensemble"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AdcMcEngine)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Circuit-level ensemble: DC operating points of a subthreshold NMOS
+// mirror across mismatch samples, batched lockstep (Arg 1) vs the
+// per-sample rebuild path (Arg 0).
+void BM_SpiceEnsembleOp(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  spice::Topology topo([]() {
+    auto c = std::make_unique<spice::Circuit>();
+    const device::Process proc = device::Process::c180();
+    const spice::NodeId g = c->node("g");
+    const spice::NodeId d2 = c->node("d2");
+    const spice::NodeId vdd = c->node("vdd");
+    c->add<spice::VoltageSource>("Vdd", vdd, spice::kGround,
+                                 spice::SourceSpec::dc(1.2));
+    c->add<spice::CurrentSource>("Iref", vdd, g, spice::SourceSpec::dc(1e-9));
+    const device::MosGeometry geo{2e-6, 1e-6, 0, 0};
+    c->add<device::Mosfet>("M1", g, g, spice::kGround, spice::kGround,
+                           proc.nmos, geo);
+    c->add<device::Mosfet>("M2", d2, g, spice::kGround, spice::kGround,
+                           proc.nmos, geo);
+    c->add<spice::Resistor>("RL", vdd, d2, 2e8);
+    return c;
+  });
+  const spice::NodeId out = topo.circuit().find_node("d2").value();
+  spice::EnsembleOptions opts;
+  opts.use_batched = batched;
+  spice::EnsembleEngine engine(topo, opts);
+  const std::uint64_t samples = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(
+        samples, /*seed=*/7, [out](std::uint64_t, const spice::Solution& op) {
+          return std::vector<double>{op.v(out)};
+        }));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+  // Counter names must match BM_AdcMcEngine's: the CSV reporter
+  // requires one consistent counter set across rows.
+  state.counters["ensemble"] =
+      batched && engine.stats().fallback_samples == 0 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SpiceEnsembleOp)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

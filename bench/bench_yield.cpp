@@ -5,6 +5,7 @@
 /// criterion: INL <= 1 LSB and DNL <= 0.5 LSB (the paper's Fig. 11
 /// class).
 
+#include "adc/ensemble.hpp"
 #include "adc/fai_adc.hpp"
 #include "bench_common.hpp"
 
@@ -41,8 +42,10 @@ int main(int argc, char** argv) {
         cfg.sigmas.coarse_comp_offset *= s;
         cfg.sigmas.coarse_ref *= s;
 
-        const adc::MonteCarloLinearity mc =
-            adc::monte_carlo_linearity(cfg, kInstances, args.seed, args.jobs);
+        const adc::MonteCarloLinearity mc = adc::monte_carlo_linearity(
+            cfg, kInstances, args.seed, args.jobs,
+            args.legacy_mc ? adc::McEngine::kLegacy
+                           : adc::McEngine::kEnsemble);
         YieldPoint pt;
         pt.sigma_scale = s;
         pt.mean_inl = mc.mean_inl;

@@ -5,6 +5,8 @@
 /// measurements, AC gain/bandwidth.
 ///
 ///   build/examples/deck_runner [--stats] [--trace FILE] [--metrics FILE]
+///                              [--mc N] [--mc-seed S] [--mc-csv FILE]
+///                              [--mc-legacy] [--jobs J]
 ///                              [deck.sp] [node ...]
 ///
 /// Extra arguments name the nodes to report (default: all). With
@@ -14,7 +16,17 @@
 /// Perfetto JSON timeline of the run (newton, device-eval, factor,
 /// timestep spans); --metrics writes the flat counter/gauge registry as
 /// JSON (or CSV for a .csv path). See docs/OBSERVABILITY.md.
+///
+/// --mc N replaces the deck's analysis cards with a Monte-Carlo DC
+/// operating-point ensemble: N mismatch samples of the deck's MOSFETs
+/// solved by the batched spice::EnsembleEngine (--mc-legacy opts out to
+/// the per-sample oracle path), with one CSV row per sample
+/// (sample, v(node)...) written to --mc-csv (default stdout). Sample s
+/// draws from Rng(S).fork(s), so the CSV is byte-identical at any
+/// --jobs count and across the two engines up to Newton tolerance
+/// (docs/RUNNER.md, "Monte-Carlo ensembles").
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,6 +38,7 @@
 #include "spice/elements.hpp"
 #include "spice/dcsweep.hpp"
 #include "spice/engine.hpp"
+#include "spice/ensemble.hpp"
 #include "spice/transient.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -74,6 +87,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> wanted_nodes;
   bool want_stats = false;
   std::string trace_path, metrics_path;
+  std::uint64_t mc_samples = 0;
+  std::uint64_t mc_seed = 1;
+  std::string mc_csv;
+  bool mc_legacy = false;
+  int jobs = 1;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size();) {
     auto value = [&](const char* flag) -> std::string {
@@ -92,6 +110,25 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else if (args[i] == "--metrics") {
       metrics_path = value("--metrics");
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--mc") {
+      mc_samples = std::stoull(value("--mc"));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--mc-seed") {
+      mc_seed = std::stoull(value("--mc-seed"));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--mc-csv") {
+      mc_csv = value("--mc-csv");
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--mc-legacy") {
+      mc_legacy = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--jobs") {
+      jobs = std::stoi(value("--jobs"));
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else {
@@ -121,6 +158,70 @@ int main(int argc, char** argv) {
   try {
     device::ParsedDeck deck = device::parse_deck(text);
     std::printf("* %s\n", deck.title.c_str());
+
+    if (mc_samples > 0) {
+      // Monte-Carlo ensemble over the deck: the builder re-parses the
+      // deck text, which yields identical replicas (same node numbering,
+      // same device order), the purity the Topology contract requires.
+      spice::Topology topo(
+          [text]() { return std::move(device::parse_deck(text).circuit); });
+      const auto nodes = pick_nodes(topo.circuit(), wanted_nodes);
+      spice::EnsembleOptions mc_opts;
+      mc_opts.jobs = jobs;
+      mc_opts.use_batched = !mc_legacy;
+      spice::EnsembleEngine mc(topo, mc_opts);
+      const auto rows = mc.run(
+          mc_samples, mc_seed,
+          [&nodes](std::uint64_t, const spice::Solution& op) {
+            std::vector<double> r;
+            r.reserve(nodes.size());
+            for (auto n : nodes) r.push_back(op.v(n));
+            return r;
+          });
+
+      std::ofstream csv_file;
+      std::ostream* csv = &std::cout;
+      if (!mc_csv.empty()) {
+        csv_file.open(mc_csv);
+        if (!csv_file) {
+          std::fprintf(stderr, "cannot write %s\n", mc_csv.c_str());
+          return 1;
+        }
+        csv = &csv_file;
+      }
+      *csv << "sample";
+      for (auto n : nodes) *csv << ",v(" << topo.circuit().node_name(n) << ")";
+      *csv << "\n";
+      char buf[32];
+      for (std::size_t s = 0; s < rows.size(); ++s) {
+        *csv << s;
+        for (double v : rows[s]) {
+          // Shortest round-trippable form: byte-stable across job
+          // counts and engine paths that agree bit for bit.
+          std::snprintf(buf, sizeof buf, "%.17g", v);
+          *csv << ',' << buf;
+        }
+        *csv << "\n";
+      }
+
+      const spice::EnsembleStats& st = mc.stats();
+      std::printf(".mc %llu samples (seed %llu, %s engine, %d jobs)\n",
+                  static_cast<unsigned long long>(mc_samples),
+                  static_cast<unsigned long long>(mc_seed),
+                  mc_legacy ? "legacy" : "ensemble", jobs);
+      std::printf("  solved              %lld batched + %lld fallback\n",
+                  st.batched_samples, st.fallback_samples);
+      std::printf("  lockstep            %lld lane-iterations, %lld SoA batches\n",
+                  st.newton_iterations, st.soa_batches);
+      std::printf("  factorisations      %lld adoptions, %lld numeric-only, "
+                  "%lld full (%.1f%% replayed)\n",
+                  st.factor_adoptions, st.numeric_refactors, st.full_factors,
+                  100.0 * st.adoption_hit_rate());
+      std::printf("  throughput          %.3f s, %.0f samples/s\n", st.seconds,
+                  st.samples_per_second());
+      return 0;
+    }
+
     spice::Engine engine(*deck.circuit);
     const auto nodes = pick_nodes(*deck.circuit, wanted_nodes);
 

@@ -1,0 +1,153 @@
+#include "adc/ensemble.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+#include "util/numeric.hpp"
+
+namespace sscl::adc {
+
+namespace {
+
+// The encoder mirror (software_encode) is fixed at the paper's 8-bit
+// geometry; the legacy FaiAdc hardcodes the same line counts.
+constexpr int kFineLines = 32;
+constexpr int kMaxFolders = 8;
+
+void trace_publish_adc_ensemble(McEngine engine, int instances,
+                                double seconds) {
+  if (!trace::enabled()) return;
+  trace::set_counter("adc.ensemble.instances", instances);
+  trace::set_counter("adc.ensemble.batched_instances",
+                     engine == McEngine::kEnsemble ? instances : 0);
+  trace::set_counter("adc.ensemble.legacy_instances",
+                     engine == McEngine::kLegacy ? instances : 0);
+  trace::set_gauge("adc.ensemble.seconds", seconds);
+  trace::set_gauge("adc.ensemble.instances_per_s",
+                   seconds > 0 ? instances / seconds : 0.0);
+}
+
+}  // namespace
+
+FaiAdcEnsemble::FaiAdcEnsemble(const FaiAdcConfig& config)
+    : config_(config), folding_(config.folding) {
+  if (config_.folding.n_folders > kMaxFolders) {
+    throw std::invalid_argument("FaiAdcEnsemble: too many folders");
+  }
+}
+
+FaiAdcEnsemble::Sample::Sample(const FaiAdcEnsemble& shared,
+                               const util::Rng& stream)
+    : shared_(shared),
+      front_end_(shared.folding(),
+                 analog::FoldingMismatch::sample(shared.config().folding,
+                                                 shared.config().sigmas,
+                                                 stream.fork(0))),
+      noise_rng_(stream.fork(1)) {}
+
+int FaiAdcEnsemble::Sample::convert_noiseless(double vin) const {
+  // One folder evaluation per conversion, shared by all fine lines;
+  // the pattern assembly mirrors FaiAdc::coarse_pattern /
+  // fine_pattern_bits bit for bit.
+  double fo[kMaxFolders];
+  front_end_.fold(vin, fo);
+  const std::uint32_t coarse =
+      static_cast<std::uint32_t>((1u << front_end_.coarse_count(vin)) - 1u);
+  std::uint64_t fine = 0;
+  for (int i = 0; i < kFineLines; ++i) {
+    if (front_end_.fine_bit_from(fo, i)) fine |= (1ULL << i);
+  }
+  return software_encode(coarse, fine);
+}
+
+int FaiAdcEnsemble::Sample::convert(double vin) {
+  if (shared_.config().input_noise_rms > 0) {
+    vin += noise_rng_.gaussian(0.0, shared_.config().input_noise_rms);
+  }
+  return convert_noiseless(vin);
+}
+
+analysis::LinearityResult FaiAdcEnsemble::Sample::linearity_histogram(
+    int samples_per_code) {
+  // Same ramp and estimator as FaiAdc::linearity_histogram.
+  const int total = shared_.n_codes() * samples_per_code;
+  std::vector<int> codes;
+  codes.reserve(total);
+  const double lo = shared_.v_bottom();
+  const double hi = shared_.v_top();
+  for (int k = 0; k < total; ++k) {
+    const double v = lo + (hi - lo) * (k + 0.5) / total;
+    codes.push_back(convert(v));
+  }
+  return analysis::measure_linearity_histogram(codes, shared_.n_codes());
+}
+
+analysis::DynamicMetrics FaiAdcEnsemble::Sample::sine_enob(
+    std::size_t record, int requested_cycles) {
+  // Same coherent record as FaiAdc::sine_enob.
+  const int cycles = analysis::coherent_cycles(record, requested_cycles);
+  const double mid = 0.5 * (shared_.v_bottom() + shared_.v_top());
+  const double amp = 0.495 * (shared_.v_top() - shared_.v_bottom());
+  std::vector<double> samples(record);
+  for (std::size_t k = 0; k < record; ++k) {
+    const double phase = 2.0 * M_PI * cycles * static_cast<double>(k) /
+                         static_cast<double>(record);
+    samples[k] = static_cast<double>(convert(mid + amp * std::sin(phase)));
+  }
+  return analysis::sine_test(samples, cycles);
+}
+
+MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
+                                          int instances, std::uint64_t seed,
+                                          int jobs, McEngine engine) {
+  MonteCarloLinearity mc;
+  // Static linearity is defined on the noiseless transfer curve; noise
+  // belongs to the dynamic (ENOB) tests.
+  FaiAdcConfig quiet = config;
+  quiet.input_noise_rms = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rows = ensemble_map<std::pair<double, double>>(
+      quiet, instances, seed, jobs, engine, [](auto& adc) {
+        // Code-density (histogram) method: the lab procedure behind
+        // Fig. 11, and the right estimator when mismatch makes the
+        // transfer locally non-monotone.
+        const analysis::LinearityResult lin = adc.linearity_histogram();
+        return std::pair<double, double>{lin.max_abs_inl, lin.max_abs_dnl};
+      });
+  trace_publish_adc_ensemble(
+      engine, instances,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  for (const auto& [inl, dnl] : rows) {
+    mc.max_inl.push_back(inl);
+    mc.max_dnl.push_back(dnl);
+  }
+  mc.mean_inl = util::mean(mc.max_inl);
+  mc.mean_dnl = util::mean(mc.max_dnl);
+  mc.worst_inl = *std::max_element(mc.max_inl.begin(), mc.max_inl.end());
+  mc.worst_dnl = *std::max_element(mc.max_dnl.begin(), mc.max_dnl.end());
+  return mc;
+}
+
+MonteCarloEnob monte_carlo_enob(const FaiAdcConfig& config, int instances,
+                                std::uint64_t seed, int jobs,
+                                std::size_t record, McEngine engine) {
+  MonteCarloEnob mc;
+  const auto t0 = std::chrono::steady_clock::now();
+  mc.enob = ensemble_map<double>(config, instances, seed, jobs, engine,
+                                 [record](auto& adc) {
+                                   return adc.sine_enob(record).enob;
+                                 });
+  trace_publish_adc_ensemble(
+      engine, instances,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  mc.mean_enob = util::mean(mc.enob);
+  mc.worst_enob = *std::min_element(mc.enob.begin(), mc.enob.end());
+  return mc;
+}
+
+}  // namespace sscl::adc

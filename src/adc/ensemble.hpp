@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file ensemble.hpp
+/// Batched Monte-Carlo harness of the behavioural FAI ADC: one shared
+/// FaiAdcEnsemble topology (configuration + nominal coarse thresholds),
+/// many per-sample instances. A Sample converts bit-identically to
+/// FaiAdc(config, stream) — same mismatch draws, same noise stream,
+/// same IEEE expression sequence per conversion (see
+/// analog/folding_ensemble.hpp) — while evaluating each folder output
+/// once per conversion instead of once per fine line and skipping the
+/// per-instance threshold bisection. bench_yield records the resulting
+/// per-core sample throughput against the legacy path
+/// (EXPERIMENTS.md).
+///
+/// The ensemble_map harness is the single instance-loop used by both
+/// monte_carlo_linearity and monte_carlo_enob (and the yield benches):
+/// instance i is a pure function of Rng(seed).fork(i) and the map is
+/// ordered, so results are bit-identical at any jobs count and across
+/// the two engines.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "adc/fai_adc.hpp"
+#include "analog/folding_ensemble.hpp"
+#include "run/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::adc {
+
+/// Which Monte-Carlo evaluation path to run. kLegacy (one FaiAdc per
+/// instance, with its per-instance threshold bisection) is kept as the
+/// crosscheck oracle behind the benches' --legacy-mc flag.
+enum class McEngine { kEnsemble, kLegacy };
+
+/// Shared immutable topology of the behavioural ADC ensemble.
+class FaiAdcEnsemble {
+ public:
+  explicit FaiAdcEnsemble(const FaiAdcConfig& config);
+
+  const FaiAdcConfig& config() const { return config_; }
+  const analog::FoldingEnsemble& folding() const { return folding_; }
+
+  int n_codes() const { return config_.folding.total_codes(); }
+  double v_bottom() const { return config_.folding.v_bottom; }
+  double v_top() const { return config_.folding.v_top; }
+
+  /// Per-sample instance; bit-identical to FaiAdc(config, stream).
+  class Sample {
+   public:
+    Sample(const FaiAdcEnsemble& shared, const util::Rng& stream);
+
+    /// Same conversion as FaiAdc::convert (noise drawn from the
+    /// fork(1) stream in the same call order when input_noise_rms > 0).
+    int convert(double vin);
+    /// Same as FaiAdc::convert_noiseless.
+    int convert_noiseless(double vin) const;
+
+    /// Same ramp, same estimator as FaiAdc::linearity_histogram.
+    analysis::LinearityResult linearity_histogram(int samples_per_code = 16);
+    /// Same record as FaiAdc::sine_enob.
+    analysis::DynamicMetrics sine_enob(std::size_t record = 4096,
+                                       int requested_cycles = 61);
+
+   private:
+    const FaiAdcEnsemble& shared_;
+    analog::FoldingSampleFrontEnd front_end_;
+    util::Rng noise_rng_;
+  };
+
+  Sample sample(const util::Rng& stream) const { return Sample(*this, stream); }
+
+ private:
+  FaiAdcConfig config_;
+  analog::FoldingEnsemble folding_;
+};
+
+/// The shared instance loop of every ADC Monte-Carlo analysis: out[i] =
+/// fn(instance i), where the instance is a Sample (kEnsemble) or a
+/// FaiAdc (kLegacy) built from Rng(seed).fork(i). \p fn must be a
+/// generic callable accepting either instance type by reference.
+/// Ordered and bit-identical at any jobs count.
+template <typename R, typename F>
+std::vector<R> ensemble_map(const FaiAdcConfig& config, int instances,
+                            std::uint64_t seed, int jobs, McEngine engine,
+                            F&& fn) {
+  const util::Rng base(seed);
+  if (engine == McEngine::kEnsemble) {
+    const FaiAdcEnsemble shared(config);
+    return run::parallel_map<R>(
+        static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
+          FaiAdcEnsemble::Sample instance = shared.sample(base.fork(i));
+          return fn(instance);
+        });
+  }
+  return run::parallel_map<R>(
+      static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
+        FaiAdc instance(config, base.fork(i));
+        return fn(instance);
+      });
+}
+
+/// Engine-selectable overloads of the fai_adc.hpp Monte-Carlo
+/// summaries; the fai_adc.hpp signatures forward here with kEnsemble.
+MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
+                                          int instances, std::uint64_t seed,
+                                          int jobs, McEngine engine);
+MonteCarloEnob monte_carlo_enob(const FaiAdcConfig& config, int instances,
+                                std::uint64_t seed, int jobs,
+                                std::size_t record, McEngine engine);
+
+}  // namespace sscl::adc

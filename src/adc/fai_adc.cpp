@@ -4,8 +4,7 @@
 #include <cmath>
 #include <utility>
 
-#include "run/parallel_for.hpp"
-#include "util/numeric.hpp"
+#include "adc/ensemble.hpp"
 
 namespace sscl::adc {
 
@@ -17,19 +16,18 @@ constexpr int kFineLines = 32;
 int gray5(int i) { return i ^ (i >> 1); }
 
 /// Majority-of-neighbours filter with clamped ends (mirrors the Fig. 8
-/// gate rank in the encoder netlist).
+/// gate rank in the encoder netlist). Computed as a whole-word 3-way
+/// bitwise majority over the left/centre/right neighbour words, with
+/// the edge bits duplicated into their missing neighbour — bit-for-bit
+/// the per-position sum-of-ones >= 2 rule (digital/test_encoder.cpp
+/// crosschecks against the gate netlist).
 template <typename Word>
 Word majority_filter(Word w, int width) {
-  Word out = 0;
-  for (int i = 0; i < width; ++i) {
-    const int lo = std::max(i - 1, 0);
-    const int hi = std::min(i + 1, width - 1);
-    const int ones = static_cast<int>((w >> lo) & 1) +
-                     static_cast<int>((w >> i) & 1) +
-                     static_cast<int>((w >> hi) & 1);
-    if (ones >= 2) out |= (Word{1} << i);
-  }
-  return out;
+  const int bits = static_cast<int>(sizeof(Word) * 8);
+  const Word mask = width >= bits ? ~Word{0} : (Word{1} << width) - 1;
+  const Word left = ((w << 1) | (w & Word{1})) & mask;
+  const Word right = (w >> 1) | (w & (Word{1} << (width - 1)));
+  return ((left & w) | (left & right) | (w & right)) & mask;
 }
 
 }  // namespace
@@ -38,11 +36,13 @@ int software_encode(std::uint32_t coarse_pattern, std::uint64_t fine_pattern) {
   const std::uint32_t cb = majority_filter(coarse_pattern, kCoarseLines);
   const std::uint64_t fb = majority_filter(fine_pattern, kFineLines);
 
-  // Fine: XOR transition detect -> Gray OR trees -> binary.
+  // Fine: XOR transition detect -> Gray OR trees -> binary. One shared
+  // transition word instead of per-line shifts; the loop ends after the
+  // highest transition (a clean thermometer code has exactly one).
   int gray = 0;
-  for (int i = 1; i < kFineLines; ++i) {
-    const bool h = (((fb >> (i - 1)) ^ (fb >> i)) & 1) != 0;
-    if (h) gray |= gray5(i);
+  std::uint64_t t = (fb ^ (fb >> 1)) & ((std::uint64_t{1} << (kFineLines - 1)) - 1);
+  for (int i = 1; t != 0; ++i, t >>= 1) {
+    if (t & 1) gray |= gray5(i);
   }
   int pos = 0;
   // Binary from Gray: prefix XOR from the MSB.
@@ -144,51 +144,21 @@ analysis::DynamicMetrics FaiAdc::sine_enob(std::size_t record,
   return analysis::sine_test(samples, cycles);
 }
 
+// The instance loops live in the shared ensemble_map harness
+// (adc/ensemble.hpp); the batched engine is the default and converts
+// bit-identically to the legacy per-instance path.
 MonteCarloLinearity monte_carlo_linearity(const FaiAdcConfig& config,
                                           int instances, std::uint64_t seed,
                                           int jobs) {
-  MonteCarloLinearity mc;
-  // Static linearity is defined on the noiseless transfer curve; noise
-  // belongs to the dynamic (ENOB) tests.
-  FaiAdcConfig quiet = config;
-  quiet.input_noise_rms = 0.0;
-  const util::Rng base(seed);
-  // Instance i is a pure function of (seed, i): the parallel map is
-  // bit-identical at any thread count.
-  const auto rows = run::parallel_map<std::pair<double, double>>(
-      static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
-        FaiAdc adc(quiet, base.fork(i));
-        // Code-density (histogram) method: the lab procedure behind
-        // Fig. 11, and the right estimator when mismatch makes the
-        // transfer locally non-monotone (sliver windows at the coarse
-        // decision points).
-        const analysis::LinearityResult lin = adc.linearity_histogram();
-        return std::pair<double, double>{lin.max_abs_inl, lin.max_abs_dnl};
-      });
-  for (const auto& [inl, dnl] : rows) {
-    mc.max_inl.push_back(inl);
-    mc.max_dnl.push_back(dnl);
-  }
-  mc.mean_inl = util::mean(mc.max_inl);
-  mc.mean_dnl = util::mean(mc.max_dnl);
-  mc.worst_inl = *std::max_element(mc.max_inl.begin(), mc.max_inl.end());
-  mc.worst_dnl = *std::max_element(mc.max_dnl.begin(), mc.max_dnl.end());
-  return mc;
+  return monte_carlo_linearity(config, instances, seed, jobs,
+                               McEngine::kEnsemble);
 }
 
 MonteCarloEnob monte_carlo_enob(const FaiAdcConfig& config, int instances,
                                 std::uint64_t seed, int jobs,
                                 std::size_t record) {
-  MonteCarloEnob mc;
-  const util::Rng base(seed);
-  mc.enob = run::parallel_map<double>(
-      static_cast<std::size_t>(instances), jobs, [&](std::size_t i) {
-        FaiAdc adc(config, base.fork(i));
-        return adc.sine_enob(record).enob;
-      });
-  mc.mean_enob = util::mean(mc.enob);
-  mc.worst_enob = *std::min_element(mc.enob.begin(), mc.enob.end());
-  return mc;
+  return monte_carlo_enob(config, instances, seed, jobs, record,
+                          McEngine::kEnsemble);
 }
 
 }  // namespace sscl::adc

@@ -112,6 +112,17 @@ class FoldingFrontEnd {
   /// Ideal zero-crossing position of fine line i within segment 0 [V].
   double ideal_crossing(int i) const;
 
+  /// Coarse thresholds as placed by the constructor (nominal bisection
+  /// result plus this instance's coarse_ref_errors). The batched
+  /// ensemble front end (folding_ensemble.hpp) reads the zero-mismatch
+  /// instance's thresholds so the per-instance bisection runs once per
+  /// configuration instead of once per Monte-Carlo sample.
+  const std::vector<double>& coarse_thresholds() const {
+    return coarse_thresholds_;
+  }
+  /// The mismatch realisation this instance was built with.
+  const FoldingMismatch& mismatch() const { return mm_; }
+
  private:
   double thermal_2nut() const;
 

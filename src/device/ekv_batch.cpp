@@ -1,0 +1,107 @@
+#include "device/ekv_batch.hpp"
+
+#include <cmath>
+
+#include "device/ekv.hpp"
+#include "util/constants.hpp"
+
+namespace sscl::device {
+
+void EkvSoA::resize(int n) {
+  const auto m = static_cast<std::size_t>(n);
+  dvt.assign(m, 0.0);
+  dbeta_rel.assign(m, 0.0);
+  vg.assign(m, 0.0);
+  vd.assign(m, 0.0);
+  vs.assign(m, 0.0);
+  vb.assign(m, 0.0);
+  id.assign(m, 0.0);
+  gm.assign(m, 0.0);
+  gds.assign(m, 0.0);
+  gms.assign(m, 0.0);
+  gmb.assign(m, 0.0);
+  ieq.assign(m, 0.0);
+}
+
+namespace {
+
+/// One lane of the batch: the exact expression sequence of the scalar
+/// ekv_evaluate() (ekv.cpp), with the temperature-dependent constants
+/// hoisted by the caller. Kept in one inline helper so the masked and
+/// unmasked entry points perform identical arithmetic per lane.
+inline void eval_lane(const MosParams& params, const MosGeometry& geometry,
+                      double ut, double sign, EkvSoA& soa, int k) {
+  const double vg = soa.vg[k];
+  const double vd = soa.vd[k];
+  const double vs = soa.vs[k];
+  const double vb = soa.vb[k];
+
+  const double ug = sign * (vg - vb);
+  const double us = sign * (vs - vb);
+  const double ud = sign * (vd - vb);
+
+  const double vt = params.vt0 + soa.dvt[k];
+  const double beta =
+      params.kp * (1.0 + soa.dbeta_rel[k]) * geometry.w / geometry.l;
+  const double ispec = 2.0 * params.n * beta * ut * ut;
+
+  const double vp = (ug - vt) / params.n;
+  const double xf = (vp - us) / ut;
+  const double xr = (vp - ud) / ut;
+
+  const double ff = ekv_f(xf);
+  const double fr = ekv_f(xr);
+  const double dff = ekv_f_derivative(xf);
+  const double dfr = ekv_f_derivative(xr);
+
+  const double dv = ud - us;
+  const double th = std::tanh(0.5 * dv);
+  const double clm = 1.0 + params.lambda * 2.0 * th;
+  const double dclm = params.lambda * (1.0 - th * th);
+
+  const double i_core = ispec * (ff - fr);
+  const double i = i_core * clm;
+
+  const double p_g = ispec * clm * (dff - dfr) / (params.n * ut);
+  const double p_d = ispec * clm * dfr / ut + i_core * dclm;
+  const double p_s_neg = ispec * clm * dff / ut + i_core * dclm;
+
+  const double out_id = sign * i;
+  const double out_gm = p_g;
+  const double out_gds = p_d;
+  const double out_gms = p_s_neg;
+  const double out_gmb = -(p_g - p_s_neg + p_d);
+  soa.id[k] = out_id;
+  soa.gm[k] = out_gm;
+  soa.gds[k] = out_gds;
+  soa.gms[k] = out_gms;
+  soa.gmb[k] = out_gmb;
+  // Companion current exactly as Mosfet::load computes it.
+  soa.ieq[k] =
+      out_id - (out_gm * vg + out_gds * vd - out_gms * vs + out_gmb * vb);
+}
+
+}  // namespace
+
+void ekv_evaluate_batch(const MosParams& params, const MosGeometry& geometry,
+                        double temperatureK, EkvSoA& soa) {
+  const double ut = util::thermal_voltage(temperatureK);
+  const double sign = params.is_nmos ? 1.0 : -1.0;
+  const int n = soa.lanes();
+  for (int k = 0; k < n; ++k) eval_lane(params, geometry, ut, sign, soa, k);
+}
+
+void ekv_evaluate_batch(const MosParams& params, const MosGeometry& geometry,
+                        double temperatureK, EkvSoA& soa,
+                        const std::vector<char>& active) {
+  const double ut = util::thermal_voltage(temperatureK);
+  const double sign = params.is_nmos ? 1.0 : -1.0;
+  const int n = soa.lanes();
+  for (int k = 0; k < n; ++k) {
+    if (active[static_cast<std::size_t>(k)]) {
+      eval_lane(params, geometry, ut, sign, soa, k);
+    }
+  }
+}
+
+}  // namespace sscl::device

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file ekv_batch.hpp
+/// Struct-of-arrays (SoA) evaluation of the EKV model *across Monte-Carlo
+/// samples*: one device, many mismatch realisations. The lanes hold the
+/// per-sample parameter draws (the "parameter slots" device::sample_mismatch
+/// writes into instead of mutating device objects) plus the per-sample
+/// terminal voltages; ekv_evaluate_batch() fills the output lanes with
+/// exactly the arithmetic of the scalar ekv_evaluate() per lane, so the
+/// batched ensemble engine reproduces the per-sample engine's model values
+/// lane for lane (see tests/device/test_ekv_batch.cpp).
+///
+/// The lane loop is written branch-light over contiguous arrays so the
+/// polynomial part auto-vectorizes; the transcendentals (exp/log1p/tanh)
+/// stay libm calls, which keeps lane k's arithmetic independent of which
+/// other lanes are present -- the property the ensemble determinism
+/// contract rests on (docs/ENGINE.md).
+
+#include <vector>
+
+#include "device/mos_params.hpp"
+
+namespace sscl::device {
+
+/// Parameter/voltage/output lanes of one MOS device across an ensemble
+/// block. Lane k belongs to one Monte-Carlo sample.
+struct EkvSoA {
+  // Parameter slots (filled by sample_mismatch_lanes).
+  std::vector<double> dvt;        ///< per-sample VT shift [V]
+  std::vector<double> dbeta_rel;  ///< per-sample relative beta error
+
+  // Gathered terminal voltages of the candidate solutions.
+  std::vector<double> vg, vd, vs, vb;
+
+  // Model outputs (same meaning as EkvResult).
+  std::vector<double> id, gm, gds, gms, gmb;
+  /// Newton companion current ieq = id - (gm*vg + gds*vd - gms*vs + gmb*vb).
+  std::vector<double> ieq;
+
+  int lanes() const { return static_cast<int>(dvt.size()); }
+  void resize(int n);
+};
+
+/// Evaluate every lane: lane k reproduces
+/// ekv_evaluate(params, geometry, {dvt[k], dbeta_rel[k]},
+///              vg[k], vd[k], vs[k], vb[k], temperatureK)
+/// including the companion current ieq[k].
+void ekv_evaluate_batch(const MosParams& params, const MosGeometry& geometry,
+                        double temperatureK, EkvSoA& soa);
+
+/// Masked variant: only lanes with active[k] != 0 are evaluated; inactive
+/// lanes keep their previous outputs. Lane arithmetic is elementwise, so
+/// the mask never changes the values computed for active lanes.
+void ekv_evaluate_batch(const MosParams& params, const MosGeometry& geometry,
+                        double temperatureK, EkvSoA& soa,
+                        const std::vector<char>& active);
+
+}  // namespace sscl::device

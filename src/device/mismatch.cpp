@@ -22,6 +22,19 @@ MosMismatch sample_mismatch(const MosParams& params,
   return sample_mismatch(params, geometry, stream);
 }
 
+void sample_mismatch_lanes(const MosParams& params,
+                           const MosGeometry& geometry, const util::Rng& base,
+                           std::uint64_t first_sample, std::uint64_t instance,
+                           int count, double* dvt, double* dbeta_rel) {
+  for (int k = 0; k < count; ++k) {
+    const MosMismatch mm = sample_mismatch(
+        params, geometry, base.fork(first_sample + static_cast<std::uint64_t>(k)),
+        instance);
+    dvt[k] = mm.dvt;
+    dbeta_rel[k] = mm.dbeta_rel;
+  }
+}
+
 double pair_offset_sigma(const MosParams& params, const MosGeometry& geometry,
                          double temperatureK) {
   const MismatchSigmas s = mismatch_sigmas(params, geometry);

@@ -24,6 +24,20 @@ MosMismatch sample_mismatch(const MosParams& params,
                             const MosGeometry& geometry,
                             const util::Rng& base, std::uint64_t instance);
 
+/// Batched (SoA) form of the pure-fork sampler: write the mismatch of
+/// device \p instance for the \p count consecutive samples starting at
+/// \p first_sample into the dvt / dbeta_rel parameter lanes. Lane k
+/// holds exactly sample_mismatch(params, geometry,
+/// base.fork(first_sample + k), instance) -- a pure function of
+/// (base seed, sample id, instance), so a lane is independent of the
+/// block it is evaluated in and of every other device's draws. This is
+/// the parameter-slot interface the ensemble engine stages device
+/// parameters through instead of mutating device objects.
+void sample_mismatch_lanes(const MosParams& params,
+                           const MosGeometry& geometry, const util::Rng& base,
+                           std::uint64_t first_sample, std::uint64_t instance,
+                           int count, double* dvt, double* dbeta_rel);
+
 /// Sigma of the offset voltage of a differential pair built from two
 /// devices of this geometry: sqrt(2) * sigma_VT (beta mismatch is a
 /// second-order contribution in weak inversion and is folded in via the

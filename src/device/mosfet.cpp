@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "device/diode.hpp"
+#include "device/ekv_batch.hpp"
+#include "device/mismatch.hpp"
+#include "spice/ensemble.hpp"
 #include "util/constants.hpp"
 
 namespace sscl::device {
@@ -196,6 +199,72 @@ void Mosfet::load(LoadContext& ctx) {
   do_cap(g_, s_, cp_gs_, cgs_, state_);
   do_cap(g_, d_, cp_gd_, cgd_, state_ + 2);
   do_cap(g_, b_, cp_gb_, cgb_, state_ + 4);
+}
+
+bool Mosfet::perturb_sample(const util::Rng& stream, std::uint64_t ordinal) {
+  set_mismatch(sample_mismatch(params_, geometry_, stream, ordinal));
+  return true;
+}
+
+/// EnsembleChannel of one MOSFET: parameter and model-output lanes in
+/// an EkvSoA, stamped through the slots the device reserved during the
+/// worker engine's pattern pass. Nested in Mosfet for slot access; the
+/// device object itself is never written.
+class Mosfet::Channel final : public spice::EnsembleChannel {
+ public:
+  explicit Channel(const Mosfet& m) : m_(m) {}
+
+  void sample_params(const util::Rng& base, std::uint64_t first_sample,
+                     int count, std::uint64_t ordinal) override {
+    soa_.resize(count);
+    sample_mismatch_lanes(m_.params_, m_.geometry_, base, first_sample,
+                          ordinal, count, soa_.dvt.data(),
+                          soa_.dbeta_rel.data());
+  }
+
+  void evaluate(const std::vector<const double*>& xs,
+                const std::vector<char>& active) override {
+    const int count = soa_.lanes();
+    for (int k = 0; k < count; ++k) {
+      if (!active[k]) continue;
+      const double* x = xs[k];
+      soa_.vg[k] = volt(x, m_.g_);
+      soa_.vd[k] = volt(x, m_.d_);
+      soa_.vs[k] = volt(x, m_.s_);
+      soa_.vb[k] = volt(x, m_.b_);
+    }
+    ekv_evaluate_batch(m_.params_, m_.geometry_, m_.temperature_, soa_,
+                       active);
+  }
+
+  void stamp(spice::LoadContext& ctx, int k) const override {
+    // Same slots, same order, same values as the !init branch of
+    // Mosfet::load (gate caps do not stamp at DC, and channels are
+    // only built for junction-free geometries).
+    ctx.add_at(m_.m_dg_, soa_.gm[k]);
+    ctx.add_at(m_.m_dd_, soa_.gds[k]);
+    ctx.add_at(m_.m_ds_, -soa_.gms[k]);
+    ctx.add_at(m_.m_db_, soa_.gmb[k]);
+    ctx.add_at(m_.m_sg_, -soa_.gm[k]);
+    ctx.add_at(m_.m_sd_, -soa_.gds[k]);
+    ctx.add_at(m_.m_ss_, soa_.gms[k]);
+    ctx.add_at(m_.m_sb_, -soa_.gmb[k]);
+    ctx.add_rhs_at(m_.r_d_, -soa_.ieq[k]);
+    ctx.add_rhs_at(m_.r_s_, soa_.ieq[k]);
+  }
+
+ private:
+  static double volt(const double* x, spice::NodeId node) {
+    return node == spice::kGround ? 0.0 : x[node];
+  }
+
+  const Mosfet& m_;
+  EkvSoA soa_;
+};
+
+std::unique_ptr<spice::EnsembleChannel> Mosfet::make_ensemble_channel() {
+  if (geometry_.as > 0 || geometry_.ad > 0) return nullptr;
+  return std::make_unique<Channel>(*this);
 }
 
 void Mosfet::add_noise(spice::NoiseContext& ctx) const {

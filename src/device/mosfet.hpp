@@ -24,6 +24,12 @@ class Mosfet final : public spice::Device {
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
   bool describe(spice::DeviceInfo& info) const override;
+  bool perturb_sample(const util::Rng& stream, std::uint64_t ordinal) override;
+  /// Batched Monte-Carlo channel staging mismatch in SoA lanes
+  /// (ekv_batch.hpp). Returns nullptr when bulk junctions are present:
+  /// they stamp at DC and carry limiting state across loads, which the
+  /// lane-parallel path cannot stage.
+  std::unique_ptr<spice::EnsembleChannel> make_ensemble_channel() override;
 
   /// Channel current drain->source at the last computed point [A].
   double ids() const { return last_.id; }
@@ -41,6 +47,8 @@ class Mosfet final : public spice::Device {
   double gate_capacitance() const;
 
  private:
+  class Channel;  // EnsembleChannel over the reserved stamp slots
+
   spice::NodeId d_, g_, s_, b_;
   MosParams params_;
   MosGeometry geometry_;

@@ -17,6 +17,8 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,10 @@
 #include "spice/matrix.hpp"
 #include "spice/stats.hpp"
 #include "spice/types.hpp"
+
+namespace sscl::util {
+class Rng;
+}  // namespace sscl::util
 
 namespace sscl::spice {
 
@@ -394,6 +400,37 @@ class NoiseContext {
   std::vector<Source> sources_;
 };
 
+// ---- Monte-Carlo ensemble channel ------------------------------------
+
+/// Per-device batched evaluation channel, created by
+/// Device::make_ensemble_channel() and driven by the EnsembleEngine
+/// (ensemble.hpp). A channel owns the SoA parameter and output lanes of
+/// one device across one block of Monte-Carlo samples; the device
+/// object itself is never mutated.
+class EnsembleChannel {
+ public:
+  virtual ~EnsembleChannel() = default;
+
+  /// Stage the per-sample parameters of \p count lanes. Lane k holds
+  /// the draw of global sample first_sample + k; \p ordinal is this
+  /// device's mismatch ordinal within the circuit, so lane contents
+  /// equal the legacy perturb_sample(Rng(seed).fork(s), ordinal) draw.
+  virtual void sample_params(const util::Rng& base,
+                             std::uint64_t first_sample, int count,
+                             std::uint64_t ordinal) = 0;
+
+  /// Evaluate the device model for every lane with active[k] != 0;
+  /// xs[k] points at lane k's candidate solution vector. Lane
+  /// arithmetic must be elementwise (lane k's outputs independent of
+  /// the mask and of other lanes).
+  virtual void evaluate(const std::vector<const double*>& xs,
+                        const std::vector<char>& active) = 0;
+
+  /// Stamp lane \p lane's cached evaluation into the MNA system, in
+  /// the same slot order as the device's own load().
+  virtual void stamp(LoadContext& ctx, int lane) const = 0;
+};
+
 // ---- Static electrical self-description (consumed by sscl::lint) -----
 
 /// How a device couples a pair of terminals at DC.
@@ -495,6 +532,29 @@ class Device {
   /// treats the circuit as incompletely described and downgrades its
   /// connectivity findings to warnings.
   virtual bool describe(DeviceInfo& /*info*/) const { return false; }
+
+  // ---- Monte-Carlo ensemble interface ---------------------------------
+
+  /// Apply the mismatch draw of Monte-Carlo stream \p stream to this
+  /// device instance (the legacy per-sample path: the device object is
+  /// mutated in place). \p ordinal is the device's position among the
+  /// devices that participate in mismatch, so the draw is a pure
+  /// function of (stream, ordinal). Returns true when the device
+  /// consumed the draw; the caller advances the ordinal only then.
+  virtual bool perturb_sample(const util::Rng& /*stream*/,
+                              std::uint64_t /*ordinal*/) {
+    return false;
+  }
+
+  /// Batched counterpart of perturb_sample(): create an EnsembleChannel
+  /// that stages this device's per-sample parameters in SoA lanes and
+  /// stamps any lane on demand, leaving the device object untouched.
+  /// Returning nullptr (the default, and e.g. Mosfet with junction
+  /// areas) tells the EnsembleEngine the device cannot be batched; the
+  /// whole circuit then runs on the legacy per-sample path.
+  virtual std::unique_ptr<EnsembleChannel> make_ensemble_channel() {
+    return nullptr;
+  }
 
  private:
   std::string name_;

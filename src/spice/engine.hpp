@@ -112,6 +112,12 @@ class Engine {
   /// Whether the MNA system uses the sparse LU path.
   bool is_sparse() const { return system_.is_sparse(); }
 
+  /// The assembled MNA system. The ensemble engine reads the master
+  /// engine's system to adopt its nominal pivot sequence into worker
+  /// replicas (LinearSystem::adopt_factorization).
+  LinearSystem& linear_system() { return system_; }
+  const LinearSystem& linear_system() const { return system_; }
+
  private:
   bool converged(const std::vector<double>& x,
                  const std::vector<double>& x_old) const;

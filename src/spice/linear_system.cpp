@@ -171,4 +171,12 @@ void LinearSystem::allow_pivot_reuse(bool allow) {
   if (sparse_) sparse_->allow_pivot_reuse(allow);
 }
 
+void LinearSystem::adopt_factorization(const LinearSystem& from) {
+  if (sparse_ && from.sparse_) sparse_->adopt_factorization(*from.sparse_);
+}
+
+bool LinearSystem::has_symbolic_factorization() const {
+  return sparse_ && sparse_->has_symbolic();
+}
+
 }  // namespace sscl::spice

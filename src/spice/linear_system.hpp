@@ -104,6 +104,14 @@ class LinearSystem {
   /// Permit/forbid sparse numeric-only refactorisation (pivot reuse).
   void allow_pivot_reuse(bool allow);
 
+  /// Adopt \p from's sparse symbolic factorisation (pivot sequence).
+  /// No-op for dense systems or when the patterns differ; see
+  /// SparseMatrix::adopt_factorization.
+  void adopt_factorization(const LinearSystem& from);
+
+  /// True when the sparse path holds a reusable pivot sequence.
+  bool has_symbolic_factorization() const;
+
   /// What the last successful solve()'s factorisation did.
   FactorKind last_factor_kind() const { return last_factor_kind_; }
 

@@ -74,6 +74,22 @@ void SparseMatrix::build_csc() const {
   pattern_dirty_ = false;
 }
 
+void SparseMatrix::adopt_factorization(const SparseMatrix& from) {
+  if (!from.symbolic_valid_ || from.n_ != n_ ||
+      from.values_.size() != values_.size()) {
+    return;
+  }
+  lp_ = from.lp_;
+  li_ = from.li_;
+  lx_ = from.lx_;
+  up_ = from.up_;
+  ui_ = from.ui_;
+  ux_ = from.ux_;
+  pinv_ = from.pinv_;
+  symbolic_valid_ = true;
+  factored_ = false;
+}
+
 bool SparseMatrix::factor() {
   if (pattern_dirty_) build_csc();
   // Refresh CSC values from the assembly slots.

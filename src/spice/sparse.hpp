@@ -66,6 +66,18 @@ class SparseMatrix {
   /// True when the last successful factor() was a numeric-only refresh.
   bool last_factor_was_numeric() const { return last_factor_numeric_; }
 
+  /// Adopt another matrix's symbolic factorisation (pivot sequence +
+  /// fill pattern). Both matrices must have the same dimension and the
+  /// same assembly pattern (entries reserved in the same order); the
+  /// call is a no-op otherwise. After adoption the next factor() replays
+  /// the donor's pivot sequence on this matrix's values — the ensemble
+  /// engine uses this so every Monte-Carlo lane factors with the shared
+  /// nominal pivot order regardless of which worker solves it.
+  void adopt_factorization(const SparseMatrix& from);
+
+  /// True when a reusable pivot sequence is stored.
+  bool has_symbolic() const { return symbolic_valid_; }
+
   /// Solve A x = b using the factors; b is overwritten with x.
   void solve(std::vector<double>& b) const;
 

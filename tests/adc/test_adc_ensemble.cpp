@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "adc/ensemble.hpp"
+#include "adc/fai_adc.hpp"
+#include "analog/folding.hpp"
+#include "analog/folding_ensemble.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::adc {
+namespace {
+
+using analog::FoldingEnsemble;
+using analog::FoldingFrontEnd;
+using analog::FoldingMismatch;
+using analog::FoldingParams;
+using analog::FoldingSampleFrontEnd;
+
+/// A vin sweep that covers every fold segment, the guard regions past
+/// both range ends, and off-grid points between crossings.
+std::vector<double> sweep(const FoldingParams& p, int points) {
+  std::vector<double> v;
+  v.reserve(points);
+  const double lo = p.v_bottom - 2.0 * p.lsb();
+  const double hi = p.v_top + 2.0 * p.lsb();
+  for (int k = 0; k < points; ++k) {
+    v.push_back(lo + (hi - lo) * (k + 0.37) / points);
+  }
+  return v;
+}
+
+/// Every public evaluation of the per-sample front end must be bitwise
+/// equal to the legacy FoldingFrontEnd built with the same mismatch:
+/// the table precomputation only hoists subexpressions the legacy code
+/// computes with the same IEEE grouping.
+TEST(AdcEnsemble, SampleFrontEndIsBitwiseEqualToLegacy) {
+  const FoldingParams p;  // paper geometry: 4 folders x 8 folds x 8 interp
+  const FoldingEnsemble shared(p);
+  for (std::uint64_t inst = 0; inst < 4; ++inst) {
+    const FoldingMismatch mm = FoldingMismatch::sample(
+        p, FoldingMismatch::Sigmas{}, util::Rng(99).fork(inst));
+    const FoldingFrontEnd legacy(p, mm);
+    const FoldingSampleFrontEnd fast(shared, mm);
+
+    std::vector<double> fo(static_cast<std::size_t>(p.n_folders));
+    for (const double vin : sweep(p, 700)) {
+      fast.fold(vin, fo.data());
+      for (int j = 0; j < p.n_folders; ++j) {
+        EXPECT_EQ(fast.folder_output(j, vin), legacy.folder_output(j, vin))
+            << "inst " << inst << " folder " << j << " vin " << vin;
+        EXPECT_EQ(fo[j], legacy.folder_output(j, vin));
+      }
+      for (int i = 0; i < p.fine_lines(); ++i) {
+        EXPECT_EQ(fast.fine_signal_from(fo.data(), i), legacy.fine_signal(i, vin))
+            << "inst " << inst << " line " << i << " vin " << vin;
+        EXPECT_EQ(fast.fine_bit_from(fo.data(), i), legacy.fine_bit(i, vin));
+      }
+      EXPECT_EQ(fast.coarse_count(vin), legacy.coarse_count(vin))
+          << "inst " << inst << " vin " << vin;
+    }
+  }
+}
+
+/// Zero mismatch must make the per-sample tables an exact no-op: the
+/// guard crossings carry mm_off = 0.0 and the thresholds reduce to the
+/// nominal bisection result.
+TEST(AdcEnsemble, ZeroMismatchSampleEqualsNominalFrontEnd) {
+  const FoldingParams p;
+  const FoldingEnsemble shared(p);
+  const FoldingSampleFrontEnd fast(shared, FoldingMismatch::zero(p));
+  const FoldingFrontEnd nominal(p);
+  for (const double vin : sweep(p, 300)) {
+    for (int j = 0; j < p.n_folders; ++j) {
+      EXPECT_EQ(fast.folder_output(j, vin), nominal.folder_output(j, vin));
+    }
+    EXPECT_EQ(fast.coarse_count(vin), nominal.coarse_count(vin));
+  }
+}
+
+/// Full conversions: a Sample built from the same stream as a legacy
+/// FaiAdc must produce identical codes — noiseless over a fine ramp,
+/// and with input noise enabled (same fork(1) stream, same call order).
+TEST(AdcEnsemble, ConversionsAreBitIdenticalToFaiAdc) {
+  FaiAdcConfig config;
+  const util::Rng stream = util::Rng(0xfeed).fork(5);
+  const FaiAdcEnsemble shared(config);
+
+  {
+    FaiAdc legacy(config, stream);
+    FaiAdcEnsemble::Sample fast = shared.sample(stream);
+    const double lo = config.folding.v_bottom;
+    const double hi = config.folding.v_top;
+    for (int k = 0; k < 2000; ++k) {
+      const double vin = lo + (hi - lo) * (k + 0.5) / 2000;
+      ASSERT_EQ(fast.convert_noiseless(vin), legacy.convert_noiseless(vin))
+          << "vin " << vin;
+    }
+  }
+
+  ASSERT_GT(config.input_noise_rms, 0.0);
+  FaiAdc legacy(config, stream);
+  FaiAdcEnsemble::Sample fast = shared.sample(stream);
+  const double mid = 0.5 * (config.folding.v_bottom + config.folding.v_top);
+  for (int k = 0; k < 500; ++k) {
+    ASSERT_EQ(fast.convert(mid), legacy.convert(mid)) << "draw " << k;
+  }
+}
+
+/// The Monte-Carlo summaries must be invariant under both the engine
+/// choice and the job count: same instance streams, same estimators,
+/// bitwise-equal result vectors.
+TEST(AdcEnsemble, MonteCarloLinearityInvariantUnderEngineAndJobs) {
+  FaiAdcConfig config;
+  const int instances = 6;
+  const std::uint64_t seed = 2024;
+  const auto ens = monte_carlo_linearity(config, instances, seed, 1,
+                                         McEngine::kEnsemble);
+  const auto leg = monte_carlo_linearity(config, instances, seed, 1,
+                                         McEngine::kLegacy);
+  const auto ens8 = monte_carlo_linearity(config, instances, seed, 8,
+                                          McEngine::kEnsemble);
+  ASSERT_EQ(ens.max_inl.size(), leg.max_inl.size());
+  for (int i = 0; i < instances; ++i) {
+    EXPECT_EQ(ens.max_inl[i], leg.max_inl[i]) << i;
+    EXPECT_EQ(ens.max_dnl[i], leg.max_dnl[i]) << i;
+    EXPECT_EQ(ens.max_inl[i], ens8.max_inl[i]) << i;
+    EXPECT_EQ(ens.max_dnl[i], ens8.max_dnl[i]) << i;
+  }
+  EXPECT_EQ(ens.worst_inl, leg.worst_inl);
+  EXPECT_EQ(ens.mean_dnl, leg.mean_dnl);
+}
+
+TEST(AdcEnsemble, MonteCarloEnobInvariantUnderEngineAndJobs) {
+  FaiAdcConfig config;
+  const int instances = 4;
+  const std::uint64_t seed = 77;
+  const std::size_t record = 1024;
+  const auto ens =
+      monte_carlo_enob(config, instances, seed, 1, record, McEngine::kEnsemble);
+  const auto leg =
+      monte_carlo_enob(config, instances, seed, 1, record, McEngine::kLegacy);
+  const auto ens8 =
+      monte_carlo_enob(config, instances, seed, 8, record, McEngine::kEnsemble);
+  ASSERT_EQ(ens.enob.size(), leg.enob.size());
+  for (int i = 0; i < instances; ++i) {
+    EXPECT_EQ(ens.enob[i], leg.enob[i]) << i;
+    EXPECT_EQ(ens.enob[i], ens8.enob[i]) << i;
+  }
+  EXPECT_EQ(ens.mean_enob, leg.mean_enob);
+  EXPECT_EQ(ens.worst_enob, leg.worst_enob);
+}
+
+/// The default monte_carlo_* entry points (no engine argument) forward
+/// to the ensemble engine; verify they still match the legacy oracle.
+TEST(AdcEnsemble, DefaultEntryPointsUseEnsembleEngine) {
+  FaiAdcConfig config;
+  const auto fwd = monte_carlo_linearity(config, 3, 9, 2);
+  const auto leg = monte_carlo_linearity(config, 3, 9, 2, McEngine::kLegacy);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fwd.max_inl[i], leg.max_inl[i]) << i;
+    EXPECT_EQ(fwd.max_dnl[i], leg.max_dnl[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sscl::adc

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "device/ekv.hpp"
+#include "device/ekv_batch.hpp"
+#include "device/mismatch.hpp"
+#include "device/mos_params.hpp"
+#include "util/rng.hpp"
+
+namespace sscl::device {
+namespace {
+
+/// ULP distance between two finite doubles of the same sign region.
+std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  // Map to a monotone integer line so distance works across zero.
+  if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+  const std::int64_t d = ia > ib ? ia - ib : ib - ia;
+  return static_cast<std::uint64_t>(d);
+}
+
+void expect_ulp(double batch, double scalar, const char* what, int lane) {
+  ASSERT_TRUE(std::isfinite(batch)) << what << " lane " << lane;
+  EXPECT_LE(ulp_distance(batch, scalar), 4u)
+      << what << " lane " << lane << ": batch=" << batch
+      << " scalar=" << scalar;
+}
+
+EkvSoA random_operating_lanes(const MosParams& params,
+                              const MosGeometry& geometry, int lanes,
+                              std::uint64_t seed) {
+  EkvSoA soa;
+  soa.resize(lanes);
+  util::Rng rng(seed);
+  const double sigma_vt = params.avt / std::sqrt(geometry.w * geometry.l);
+  const double sigma_b = params.abeta / std::sqrt(geometry.w * geometry.l);
+  for (int k = 0; k < lanes; ++k) {
+    soa.dvt[k] = rng.gaussian(0.0, sigma_vt);
+    soa.dbeta_rel[k] = rng.gaussian(0.0, sigma_b);
+    // Subthreshold through moderate inversion, forward and reverse, with
+    // nonzero source/bulk voltages so every partial derivative matters.
+    soa.vg[k] = rng.uniform(0.0, 0.9);
+    soa.vd[k] = rng.uniform(0.0, 1.2);
+    soa.vs[k] = rng.uniform(0.0, 0.4);
+    soa.vb[k] = rng.uniform(-0.1, 0.1);
+  }
+  return soa;
+}
+
+/// The batched evaluator must reproduce the scalar model lane for lane:
+/// same id and all four conductances within a few ULP, and the Newton
+/// companion current assembled from those exact values.
+TEST(EkvBatch, LanesMatchScalarEvaluationWithinUlps) {
+  const Process proc = Process::c180();
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  for (const MosParams* params : {&proc.nmos, &proc.pmos, &proc.nmos_hvt}) {
+    const int lanes = 64;
+    EkvSoA soa = random_operating_lanes(*params, geo, lanes, 0x5eed);
+    ekv_evaluate_batch(*params, geo, proc.temperature, soa);
+    for (int k = 0; k < lanes; ++k) {
+      const MosMismatch mm{soa.dvt[k], soa.dbeta_rel[k]};
+      const EkvResult r = ekv_evaluate(*params, geo, mm, soa.vg[k], soa.vd[k],
+                                       soa.vs[k], soa.vb[k], proc.temperature);
+      expect_ulp(soa.id[k], r.id, "id", k);
+      expect_ulp(soa.gm[k], r.gm, "gm", k);
+      expect_ulp(soa.gds[k], r.gds, "gds", k);
+      expect_ulp(soa.gms[k], r.gms, "gms", k);
+      expect_ulp(soa.gmb[k], r.gmb, "gmb", k);
+      const double ieq = r.id - (r.gm * soa.vg[k] + r.gds * soa.vd[k] -
+                                 r.gms * soa.vs[k] + r.gmb * soa.vb[k]);
+      expect_ulp(soa.ieq[k], ieq, "ieq", k);
+    }
+  }
+}
+
+/// The mask must not change the arithmetic of active lanes (the ensemble
+/// determinism contract: a lane's values are independent of which other
+/// lanes are still converging) and must leave inactive lanes untouched.
+TEST(EkvBatch, MaskNeverPerturbsActiveLanes) {
+  const Process proc = Process::c180();
+  const MosGeometry geo{4e-6, 2e-6, 0, 0};
+  const int lanes = 48;
+  EkvSoA full = random_operating_lanes(proc.nmos, geo, lanes, 0xa5a5);
+  EkvSoA masked = full;  // same inputs
+  ekv_evaluate_batch(proc.nmos, geo, proc.temperature, full);
+
+  std::vector<char> active(lanes, 0);
+  const double sentinel = -1234.5;
+  for (int k = 0; k < lanes; ++k) {
+    active[k] = (k % 3 == 0) ? 1 : 0;
+    masked.id[k] = masked.gm[k] = masked.gds[k] = sentinel;
+    masked.gms[k] = masked.gmb[k] = masked.ieq[k] = sentinel;
+  }
+  ekv_evaluate_batch(proc.nmos, geo, proc.temperature, masked, active);
+  for (int k = 0; k < lanes; ++k) {
+    if (active[k]) {
+      EXPECT_EQ(masked.id[k], full.id[k]) << k;
+      EXPECT_EQ(masked.gm[k], full.gm[k]) << k;
+      EXPECT_EQ(masked.gds[k], full.gds[k]) << k;
+      EXPECT_EQ(masked.gms[k], full.gms[k]) << k;
+      EXPECT_EQ(masked.gmb[k], full.gmb[k]) << k;
+      EXPECT_EQ(masked.ieq[k], full.ieq[k]) << k;
+    } else {
+      EXPECT_EQ(masked.id[k], sentinel) << k;
+      EXPECT_EQ(masked.ieq[k], sentinel) << k;
+    }
+  }
+}
+
+/// The parameter-slot sampler: lane k must hold exactly the pure-fork
+/// draw sample_mismatch(base.fork(first_sample + k), instance), so a
+/// lane is independent of the block it lands in.
+TEST(EkvBatchEnsemble, SampleMismatchLanesEqualsPureForkDraws) {
+  const Process proc = Process::c180();
+  const MosGeometry geo{2e-6, 1e-6, 0, 0};
+  const util::Rng base(42);
+  const std::uint64_t first = 37;
+  const std::uint64_t instance = 3;
+  const int count = 29;
+  std::vector<double> dvt(count), dbeta(count);
+  sample_mismatch_lanes(proc.nmos, geo, base, first, instance, count,
+                        dvt.data(), dbeta.data());
+  for (int k = 0; k < count; ++k) {
+    const MosMismatch mm = sample_mismatch(
+        proc.nmos, geo, base.fork(first + static_cast<std::uint64_t>(k)),
+        instance);
+    EXPECT_EQ(dvt[k], mm.dvt) << k;
+    EXPECT_EQ(dbeta[k], mm.dbeta_rel) << k;
+  }
+
+  // Block-independence: re-sampling a shifted window reproduces the
+  // overlapping lanes bit for bit.
+  std::vector<double> dvt2(count), dbeta2(count);
+  sample_mismatch_lanes(proc.nmos, geo, base, first + 10, instance, count,
+                        dvt2.data(), dbeta2.data());
+  for (int k = 0; k + 10 < count; ++k) {
+    EXPECT_EQ(dvt2[k], dvt[k + 10]) << k;
+    EXPECT_EQ(dbeta2[k], dbeta[k + 10]) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sscl::device
