@@ -1,12 +1,15 @@
 /// deck_runner: a miniature command-line SPICE built from this
 /// library's pieces. Reads a deck file (or a built-in demo deck when no
-/// file is given), runs every analysis card it contains and prints the
-/// results — operating-point report, DC sweep table, transient
-/// measurements, AC gain/bandwidth.
+/// file is given) through the staged netlist front-end (lexer -> AST ->
+/// .param expression evaluation -> hierarchical elaboration), runs every
+/// analysis card it contains and prints the results — operating-point
+/// report, DC sweep table, transient measurements, AC gain/bandwidth,
+/// .measure results.
 ///
 ///   build/examples/deck_runner [--stats] [--trace FILE] [--metrics FILE]
 ///                              [--mc N] [--mc-seed S] [--mc-csv FILE]
-///                              [--mc-legacy] [--jobs J]
+///                              [--mc-legacy] [--jobs J] [--strict]
+///                              [--max-depth N] [--measure-csv FILE]
 ///                              [deck.sp] [node ...]
 ///
 /// Extra arguments name the nodes to report (default: all). With
@@ -16,6 +19,16 @@
 /// Perfetto JSON timeline of the run (newton, device-eval, factor,
 /// timestep spans); --metrics writes the flat counter/gauge registry as
 /// JSON (or CSV for a .csv path). See docs/OBSERVABILITY.md.
+///
+/// Unknown dot-cards are accepted with a warning on stderr; --strict
+/// turns them into hard errors. --max-depth bounds .subckt nesting
+/// (default 64); exceeding it reports the full instantiation chain.
+/// .include paths resolve relative to the deck file's directory.
+///
+/// .measure cards evaluate against the deck's transient/DC results and
+/// print as a table; --measure-csv additionally writes them as a
+/// deterministic name,value,error CSV (%.17g, byte-stable across runs)
+/// for golden-file regression gates. See docs/NETLIST.md.
 ///
 /// --mc N replaces the deck's analysis cards with a Monte-Carlo DC
 /// operating-point ensemble: N mismatch samples of the deck's MOSFETs
@@ -32,8 +45,9 @@
 #include <iostream>
 #include <sstream>
 
-#include "device/deck_parser.hpp"
 #include "device/op_report.hpp"
+#include "netlist/measure.hpp"
+#include "netlist/netlist.hpp"
 #include "spice/ac.hpp"
 #include "spice/elements.hpp"
 #include "spice/dcsweep.hpp"
@@ -78,6 +92,13 @@ std::vector<sscl::spice::NodeId> pick_nodes(
   return nodes;
 }
 
+void print_warnings(const std::vector<sscl::netlist::Diagnostic>& warnings) {
+  for (const auto& w : warnings) {
+    std::fprintf(stderr, "warning: %s: %s\n", w.location.c_str(),
+                 w.message.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,7 +107,9 @@ int main(int argc, char** argv) {
   std::string text;
   std::vector<std::string> wanted_nodes;
   bool want_stats = false;
-  std::string trace_path, metrics_path;
+  bool strict = false;
+  int max_depth = 64;
+  std::string trace_path, metrics_path, measure_csv;
   std::uint64_t mc_samples = 0;
   std::uint64_t mc_seed = 1;
   std::string mc_csv;
@@ -101,36 +124,43 @@ int main(int argc, char** argv) {
       }
       return args[i + 1];
     };
+    auto erase = [&](std::size_t n) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i + n));
+    };
     if (args[i] == "--stats") {
       want_stats = true;
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      erase(1);
+    } else if (args[i] == "--strict") {
+      strict = true;
+      erase(1);
+    } else if (args[i] == "--max-depth") {
+      max_depth = std::stoi(value("--max-depth"));
+      erase(2);
+    } else if (args[i] == "--measure-csv") {
+      measure_csv = value("--measure-csv");
+      erase(2);
     } else if (args[i] == "--trace") {
       trace_path = value("--trace");
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else if (args[i] == "--metrics") {
       metrics_path = value("--metrics");
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else if (args[i] == "--mc") {
       mc_samples = std::stoull(value("--mc"));
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else if (args[i] == "--mc-seed") {
       mc_seed = std::stoull(value("--mc-seed"));
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else if (args[i] == "--mc-csv") {
       mc_csv = value("--mc-csv");
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else if (args[i] == "--mc-legacy") {
       mc_legacy = true;
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      erase(1);
     } else if (args[i] == "--jobs") {
       jobs = std::stoi(value("--jobs"));
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      erase(2);
     } else {
       ++i;
     }
@@ -140,31 +170,42 @@ int main(int argc, char** argv) {
     sscl::trace::set_thread_name("main");
     sscl::trace::write_at_exit(trace_path, metrics_path);
   }
+
+  netlist::ParseOptions parse_options;
+  parse_options.strict = strict;
+  parse_options.max_subckt_depth = max_depth;
   if (!args.empty()) {
-    std::ifstream in(args.front());
+    const std::string& path = args.front();
+    std::ifstream in(path);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", args.front().c_str());
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
       return 1;
     }
     std::ostringstream os;
     os << in.rdbuf();
     text = os.str();
     wanted_nodes.assign(args.begin() + 1, args.end());
+    parse_options.name = path;
+    const auto slash = path.find_last_of('/');
+    parse_options.include_loader = netlist::file_include_loader(
+        slash == std::string::npos ? "." : path.substr(0, slash));
   } else {
     std::printf("(no deck given: running the built-in demo)\n");
     text = kDemoDeck;
   }
 
   try {
-    device::ParsedDeck deck = device::parse_deck(text);
+    netlist::Deck deck = netlist::parse_netlist(text, parse_options);
+    print_warnings(deck.warnings);
     std::printf("* %s\n", deck.title.c_str());
 
     if (mc_samples > 0) {
       // Monte-Carlo ensemble over the deck: the builder re-parses the
       // deck text, which yields identical replicas (same node numbering,
       // same device order), the purity the Topology contract requires.
-      spice::Topology topo(
-          [text]() { return std::move(device::parse_deck(text).circuit); });
+      spice::Topology topo([text, parse_options]() {
+        return std::move(netlist::parse_netlist(text, parse_options).circuit);
+      });
       const auto nodes = pick_nodes(topo.circuit(), wanted_nodes);
       spice::EnsembleOptions mc_opts;
       mc_opts.jobs = jobs;
@@ -225,15 +266,33 @@ int main(int argc, char** argv) {
     spice::Engine engine(*deck.circuit);
     const auto nodes = pick_nodes(*deck.circuit, wanted_nodes);
 
-    for (const device::AnalysisCard& card : deck.analyses) {
+    // .ic and .nodeset both seed the operating-point Newton start (the
+    // engine has no transient-UIC path, so .ic is a strong hint, not a
+    // constraint — documented in docs/NETLIST.md).
+    for (const auto& list : {deck.ics, deck.nodesets}) {
+      for (const netlist::IcSpec& ic : list) {
+        if (auto n = deck.circuit->find_node(ic.node)) {
+          engine.set_nodeset(*n, ic.volts);
+        } else {
+          std::fprintf(stderr, "warning: .ic/.nodeset on unknown node '%s'\n",
+                       ic.node.c_str());
+        }
+      }
+    }
+
+    // The last transient waveform / DC sweep feed the .measure engine.
+    spice::Waveform tran_result;
+    spice::DcSweepResult dc_result;
+
+    for (const netlist::AnalysisCard& card : deck.analyses) {
       switch (card.kind) {
-        case device::AnalysisCard::Kind::kOp: {
+        case netlist::AnalysisCard::Kind::kOp: {
           const spice::Solution op = engine.solve_op();
           device::print_op_report(
               device::collect_op_report(*deck.circuit, op), std::cout);
           break;
         }
-        case device::AnalysisCard::Kind::kDc: {
+        case netlist::AnalysisCard::Kind::kDc: {
           auto* src = dynamic_cast<spice::VoltageSource*>(
               deck.circuit->find_device(card.sweep_source));
           auto* isrc = dynamic_cast<spice::CurrentSource*>(
@@ -248,7 +307,7 @@ int main(int argc, char** argv) {
                v += card.sweep_step) {
             values.push_back(v);
           }
-          const spice::DcSweepResult sweep = run_dc_sweep(
+          dc_result = run_dc_sweep(
               engine, values, [&](double v) {
                 if (src) src->set_spec(spice::SourceSpec::dc(v));
                 if (isrc) isrc->set_spec(spice::SourceSpec::dc(v));
@@ -258,15 +317,16 @@ int main(int argc, char** argv) {
           util::Table t(headers);
           for (std::size_t i = 0; i < values.size(); ++i) {
             t.row().add(values[i], 4);
-            for (auto n : nodes) t.add_unit(sweep.solutions[i].v(n), "V");
+            for (auto n : nodes) t.add_unit(dc_result.solutions[i].v(n), "V");
           }
           std::cout << t;
           break;
         }
-        case device::AnalysisCard::Kind::kTran: {
+        case netlist::AnalysisCard::Kind::kTran: {
           spice::TransientOptions opts;
           opts.tstop = card.tstop;
-          const spice::Waveform w = run_transient(engine, opts);
+          tran_result = run_transient(engine, opts);
+          const spice::Waveform& w = tran_result;
           util::Table t({"node", "t=0", "min", "max", "final"});
           for (auto n : nodes) {
             t.row()
@@ -281,7 +341,7 @@ int main(int argc, char** argv) {
                     << t;
           break;
         }
-        case device::AnalysisCard::Kind::kAc: {
+        case netlist::AnalysisCard::Kind::kAc: {
           const spice::AcResult ac = run_ac_decade(
               engine, card.f_start, card.f_stop, card.points_per_decade);
           util::Table t({"node", "|H| @fstart", "f(-3dB)"});
@@ -296,6 +356,33 @@ int main(int argc, char** argv) {
                     << t;
           break;
         }
+      }
+    }
+
+    if (!deck.measures.empty()) {
+      netlist::MeasureInput input;
+      input.circuit = deck.circuit.get();
+      input.tran = tran_result.empty() ? nullptr : &tran_result;
+      input.dc = dc_result.values.empty() ? nullptr : &dc_result;
+      input.params = &deck.params;
+      const auto results = netlist::run_measures(deck.measures, input);
+      util::Table t({"measure", "value"});
+      for (const auto& r : results) {
+        t.row().add(r.name);
+        if (r.value) {
+          t.add(*r.value, 6);
+        } else {
+          t.add("failed: " + r.error);
+        }
+      }
+      std::cout << ".measure results\n" << t;
+      if (!measure_csv.empty()) {
+        std::ofstream out(measure_csv);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", measure_csv.c_str());
+          return 1;
+        }
+        out << netlist::measures_to_csv(results);
       }
     }
 

@@ -1,0 +1,39 @@
+* sub-Vt buffer bench: two-stage CMOS buffer at VDD=0.4 V (EKV cards)
+* Ported from the tangxifan-style sub-Vt characterisation benches: a
+* parameterised inverter subckt, .param sizing arithmetic, an .include'd
+* model-card library and a .measure block extracting delay, slew and
+* switching energy from one input period. Exercised end-to-end by the
+* example_deck_measure_gate ctest (byte-stable golden CSV).
+.param vdd=0.4 wn=1u beta=2 lg=0.18u tr=10n simt=40u
+.param tedge='0.2*simt' twidth='0.4*simt'
+.include ekv_cards.inc
+.global vdd!
+Vdd vdd! 0 'vdd'
+
+.subckt ekv_inv in out wn=1u wp=2u lg=0.18u
+Mp out in vdd! vdd! ekv_pmos W=wp L=lg
+Mn out in 0    0    ekv_nmos W=wn L=lg
+.ends
+
+* First stage minimum-size, second stage doubled (drive the load).
+Xinv1 in  mid ekv_inv wn='wn'   wp='wn*beta'   lg='lg'
+Xinv2 mid out ekv_inv wn='2*wn' wp='2*wn*beta' lg='lg'
+Cload out 0 5f
+
+Vin in 0 PULSE(0 'vdd' 'tedge' 'tr' 'tr' 'twidth' 'simt')
+.tran 'simt'
+
+* Buffer is non-inverting: rising input edge -> rising output edge.
+.measure tran tplh  trig v(in)  val='vdd/2'   rise=1 targ v(out) val='vdd/2'   rise=1
+.measure tran tphl  trig v(in)  val='vdd/2'   fall=1 targ v(out) val='vdd/2'   fall=1
+.measure tran slewr trig v(out) val='0.1*vdd' rise=1 targ v(out) val='0.9*vdd' rise=1
+.measure tran vmax  max v(out)
+.measure tran vmin  min v(out)
+* Supply charge over the full period: i(vdd) is the source branch
+* current (positive into the source's positive pin), so the delivered
+* charge is its negated integral.
+.measure tran qvdd  integ i(vdd) from=0 to='simt'
+.measure tran evdd  param='-qvdd*vdd'
+.measure tran pavg  param='evdd/simt'
+.measure tran tpavg param='(tplh+tphl)/2'
+.end

@@ -1,0 +1,31 @@
+# ctest gate: run a bench deck end-to-end through deck_runner's
+# .measure engine and compare the measurement CSV byte-for-byte against
+# the committed golden file. The CSV is written with %.17g (shortest
+# round-trippable doubles) by a single-threaded deterministic transient,
+# so any byte difference is a real behaviour change in the front-end,
+# the engine or the measure evaluation.
+#
+# Variables (passed with -D):
+#   RUNNER  - path to the deck_runner executable
+#   DECK    - the bench deck (.include paths resolve next to it)
+#   GOLDEN  - committed golden CSV
+#   OUT     - scratch CSV to write
+
+execute_process(
+  COMMAND ${RUNNER} --strict --measure-csv ${OUT} ${DECK}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "deck_runner failed (${rc}) on ${DECK}:\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT}
+                  OUTPUT_VARIABLE got)
+  message(FATAL_ERROR "measurement CSV drifted from ${GOLDEN}:\n${got}")
+endif()

@@ -27,8 +27,8 @@
 #include <string>
 #include <vector>
 
-#include "device/deck_parser.hpp"
 #include "lint/check.hpp"
+#include "netlist/netlist.hpp"
 #include "lint/rule.hpp"
 #include "lint/sarif.hpp"
 #include "trace/export.hpp"
@@ -51,6 +51,8 @@ int usage(std::ostream& os, int code) {
         "  --vdd-tol TOL          supply tolerance for op-region (10% or "
         "0.1)\n"
         "  --jobs N               worker threads (0 = hardware)\n"
+        "  --strict               reject unknown dot-cards instead of\n"
+        "                         accept-and-warn\n"
         "  --trace FILE           write a Chrome trace-event JSON\n"
         "  --metrics FILE         write the counter registry as JSON\n"
         "  --list-passes          print every pass and exit\n";
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   std::string trace_path;
   std::string metrics_path;
+  bool strict = false;
   lint::Options options;
   std::vector<std::string> decks;
 
@@ -170,6 +173,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.vdd_tol = *tol * scale;
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--jobs") {
       if (!(value = next(i))) return usage(std::cerr, 2);
       options.jobs = std::atoi(value);
@@ -210,12 +215,22 @@ int main(int argc, char** argv) {
     std::ostringstream text;
     text << in.rdbuf();
 
-    device::ParsedDeck deck;
+    netlist::Deck deck;
     try {
-      deck = device::parse_deck(text.str());
+      netlist::ParseOptions parse_options;
+      parse_options.strict = strict;
+      parse_options.name = path;
+      const auto slash = path.find_last_of('/');
+      parse_options.include_loader = netlist::file_include_loader(
+          slash == std::string::npos ? "." : path.substr(0, slash));
+      deck = netlist::parse_netlist(text.str(), parse_options);
     } catch (const std::exception& e) {
       std::cerr << "sscl-lint: " << path << ": " << e.what() << "\n";
       return 2;
+    }
+    for (const auto& w : deck.warnings) {
+      std::cerr << "sscl-lint: warning: " << w.location << ": " << w.message
+                << "\n";
     }
     artifacts.push_back({path, lint::check_circuit(*deck.circuit, options)});
   }

@@ -1,0 +1,21 @@
+* hierarchical STSCL buffer with parameterised subckts
+.param vdd=0.5 ib=10n beta=2.5 wn=2u
+.global vdd! bias
+Vdd vdd! 0 'vdd'
+.subckt inv in outp outn wp=1u lp='2*0.18u'
+Mtail tail bias 0 0 nmos_hvt W='wp*2' L=lp
+M1 outn in tail 0 nmos W=wp L=lp
+M2 outp 0 tail 0 nmos W=wp L=lp
+R1 vdd! outp 'vdd/(2*ib)'
+R2 vdd! outn 'vdd/(2*ib)'
+.ends
+.subckt buf a yp yn
+Xi1 a m1p m1n inv wp='wn*beta'
+Xi2 m1p yp yn inv
+.eom
+Ib vdd! bias 'ib'
+Mb bias bias 0 0 nmos_hvt W=2u L=1u
+Xtop in op on buf
+Vin in 0 PULSE(0 'vdd' 1u 10n 10n 5u 10u)
+.tran 20u
+.end

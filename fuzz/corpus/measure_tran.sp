@@ -1,0 +1,15 @@
+* measure cards over a simple RC
+.param vdd=1.0 r=10k c=10p tau='r*c'
+Vin in 0 PULSE(0 'vdd' 0 1n 1n '50*tau' '100*tau')
+R1 in out 'r'
+C1 out 0 'c'
+.tran '100*tau'
+.measure tran tplh trig v(in) val='vdd/2' rise=1 targ v(out) val='vdd/2' rise=1
+.measure tran slew trig v(out) val='0.1*vdd' rise=1 targ v(out) val='0.9*vdd' rise=1
+.measure tran vmax max v(out) from=0 to='80*tau'
+.measure tran charge integ i(vin) from=0
+.measure tran vavg avg v(out)
+.measure tran vrms rms v(out)
+.measure tran vend find v(out) at='90*tau'
+.measure tran figure param='tplh/tau'
+.end

@@ -1,0 +1,18 @@
+* edge-case sources: SIN phase, zero-width PULSE edges, PWL, EXP, .ic
+.temp 27
+Vs a 0 SIN(0.25 0.25 1meg 0 0 90)
+Vp b 0 PULSE(0 1 0 0 0 5u 10u)
+Vw c 0 PWL(0 0 1u 1 2u 0.5 '3*1u' 0.75)
+Ve d 0 EXP(0 1 1u 100n 5u 200n)
+Iq 0 q 1n DC 2n AC 1 45
+Ra a 0 1k
+Rb b 0 1k
+Rc c 0 1k
+Rd d 0 1k
+Rq q 0 1meg
+Cq q 0 1p
+.ic v(q)=0.5
+.nodeset v(a)=0
+.probe weird card
+.tran 10u
+.end

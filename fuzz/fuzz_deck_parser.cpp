@@ -1,25 +1,29 @@
-/// libFuzzer harness for device::parse_deck and everything sscl-lint
-/// runs behind it. The parser consumes untrusted SPICE text (CLI users
-/// point sscl-lint / deck_runner at arbitrary files), so it must never
-/// crash, overflow or hang on any byte sequence — the only acceptable
-/// failure is a DeckError with a line number. Successfully parsed
-/// decks are additionally pushed through the full static-analysis
-/// pipeline: the shared connectivity IR, every local ERC rule and
-/// every dataflow pass (with a bias budget so the budget arithmetic
-/// runs too), then the SARIF / JSON exporters and a baseline
-/// round-trip — all of which walk the freshly built circuit and
-/// fuzzer-shaped diagnostic strings, and would trip ASan on any
-/// dangling reference or unescaped byte the JSON parser rejects.
-/// Finally the op-region interval analysis runs at the nominal corner
-/// and over a PVT box, trapping if the nominal result ever escapes the
-/// box result (inclusion isotonicity, the soundness backbone).
+/// libFuzzer harness for the staged netlist front-end (lexer -> AST ->
+/// .param expressions -> hierarchical elaboration -> .measure parsing)
+/// and everything sscl-lint runs behind it. The pipeline consumes
+/// untrusted SPICE text (CLI users point sscl-lint / deck_runner at
+/// arbitrary files), so it must never crash, overflow or hang on any
+/// byte sequence — the only acceptable failure is a NetlistError with a
+/// source location. No include loader is installed, so the harness can
+/// never be steered into the filesystem. Successfully parsed decks are
+/// additionally pushed through the full static-analysis pipeline: the
+/// shared connectivity IR, every local ERC rule and every dataflow pass
+/// (with a bias budget so the budget arithmetic runs too), then the
+/// SARIF / JSON exporters and a baseline round-trip — all of which walk
+/// the freshly built circuit and fuzzer-shaped diagnostic strings, and
+/// would trip ASan on any dangling reference or unescaped byte the JSON
+/// parser rejects. Finally the op-region interval analysis runs at the
+/// nominal corner and over a PVT box, trapping if the nominal result
+/// ever escapes the box result (inclusion isotonicity, the soundness
+/// backbone).
 ///
 /// Build (clang only):
 ///   cmake -B build-fuzz -S . -DSSCL_FUZZ=ON
 ///         -DCMAKE_CXX_COMPILER=clang++ -DSSCL_SANITIZE=address,undefined
 ///   cmake --build build-fuzz --target fuzz_deck_parser
-/// Run with the checked-in decks as the seed corpus:
-///   mkdir -p corpus && cp tests/lint/decks/*.sp corpus/
+/// Run with the committed seed corpus (hierarchical/param/measure decks
+/// under fuzz/corpus/ plus the checked-in lint decks):
+///   mkdir -p corpus && cp fuzz/corpus/*.sp tests/lint/decks/*.sp corpus/
 ///   ./build-fuzz/fuzz/fuzz_deck_parser corpus -max_total_time=60
 
 #include <cstddef>
@@ -27,12 +31,12 @@
 #include <string>
 #include <vector>
 
-#include "device/deck_parser.hpp"
 #include "lint/check.hpp"
 #include "lint/circuit_view.hpp"
 #include "lint/ir.hpp"
 #include "lint/op_region.hpp"
 #include "lint/sarif.hpp"
+#include "netlist/netlist.hpp"
 #include "util/json.hpp"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -42,7 +46,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size > 1 << 16) return 0;
   const std::string text(reinterpret_cast<const char*>(data), size);
   try {
-    const sscl::device::ParsedDeck deck = sscl::device::parse_deck(text);
+    // Lenient mode (accept-and-warn) maximises the surface that runs:
+    // unknown cards, .measure specs, .param expressions, subckt
+    // parameter overrides. No include_loader: .include is a parse
+    // error, never a file read.
+    const sscl::netlist::Deck deck = sscl::netlist::parse_netlist(text, {});
     if (!deck.circuit) return 0;
 
     // Full pipeline: IR build, every pass (budget arithmetic on), the
@@ -91,7 +99,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         }
       }
     }
-  } catch (const sscl::device::DeckError&) {
+  } catch (const sscl::netlist::NetlistError&) {
     // Malformed deck: the one contract-sanctioned outcome.
   } catch (const std::invalid_argument&) {
     // Element factories reject out-of-range values the grammar allows.

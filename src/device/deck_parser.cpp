@@ -1,522 +1,27 @@
 #include "device/deck_parser.hpp"
 
-#include <algorithm>
-#include <cctype>
-#include <sstream>
-
-#include "device/diode.hpp"
-#include "device/mosfet.hpp"
-#include "spice/elements.hpp"
-#include "util/units.hpp"
+#include "netlist/netlist.hpp"
 
 namespace sscl::device {
 
-namespace {
-
-using spice::Circuit;
-using spice::NodeId;
-using spice::SourceSpec;
-
-std::string lowercase(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return s;
-}
-
-/// Split into whitespace tokens; '(' ')' ',' '=' become separators but
-/// '=' is kept as its own token so "W=2u", "W = 2u" and "W =2u" agree.
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::string cur;
-  auto flush = [&] {
-    if (!cur.empty()) {
-      out.push_back(cur);
-      cur.clear();
-    }
-  };
-  for (char c : line) {
-    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
-        c == ',') {
-      flush();
-    } else if (c == '=') {
-      flush();
-      out.push_back("=");
-    } else {
-      cur.push_back(c);
-    }
-  }
-  flush();
-  return out;
-}
-
-/// Logical lines: comments stripped, '+' continuations joined.
-struct LogicalLine {
-  int number;  // 1-based line number of the first physical line
-  std::string text;
-};
-
-std::vector<LogicalLine> logical_lines(const std::string& text) {
-  std::vector<LogicalLine> lines;
-  std::istringstream in(text);
-  std::string phys;
-  int n = 0;
-  while (std::getline(in, phys)) {
-    ++n;
-    // Strip end-of-line comments ('$' or ';').
-    for (char marker : {'$', ';'}) {
-      const auto pos = phys.find(marker);
-      if (pos != std::string::npos) phys.erase(pos);
-    }
-    // Trim.
-    const auto b = phys.find_first_not_of(" \t\r");
-    if (b == std::string::npos) continue;
-    const auto e = phys.find_last_not_of(" \t\r");
-    phys = phys.substr(b, e - b + 1);
-    if (phys.empty() || phys[0] == '*') continue;
-    if (phys[0] == '+') {
-      if (lines.empty()) continue;
-      lines.back().text += " " + phys.substr(1);
-    } else {
-      lines.push_back({n, phys});
-    }
-  }
-  return lines;
-}
-
-double parse_number(const std::string& tok, int line) {
-  const auto v = util::parse_si(tok);
-  if (!v) throw DeckError(line, "bad number '" + tok + "'");
-  return *v;
-}
-
-/// key=value pairs from a token stream starting at index i.
-std::map<std::string, double> parse_params(
-    const std::vector<std::string>& tok, std::size_t i, int line) {
-  std::map<std::string, double> out;
-  while (i < tok.size()) {
-    if (i + 2 >= tok.size() + 1 && tok[i] == "=") {
-      throw DeckError(line, "dangling '='");
-    }
-    if (i + 2 < tok.size() + 1 && i + 1 < tok.size() && tok[i + 1] == "=") {
-      if (i + 2 >= tok.size()) throw DeckError(line, "missing value after '='");
-      out[lowercase(tok[i])] = parse_number(tok[i + 2], line);
-      i += 3;
-    } else {
-      throw DeckError(line, "expected key=value, got '" + tok[i] + "'");
-    }
-  }
-  return out;
-}
-
-struct ModelCard {
-  enum class Kind { kNmos, kPmos, kDiode } kind = Kind::kNmos;
-  MosParams mos;
-  DiodeParams diode;
-};
-
-struct Subckt {
-  std::vector<std::string> ports;
-  std::vector<LogicalLine> body;
-};
-
-struct ParserState {
-  const Process& process;
-  Circuit* circuit;
-  std::map<std::string, ModelCard> models;
-  std::map<std::string, Subckt> subckts;
-  std::vector<AnalysisCard> analyses;
-  int x_depth = 0;
-};
-
-ModelCard builtin_model(const std::string& name, const Process& process) {
-  ModelCard m;
-  if (name == "nmos") {
-    m.mos = process.nmos;
-  } else if (name == "pmos") {
-    m.kind = ModelCard::Kind::kPmos;
-    m.mos = process.pmos;
-  } else if (name == "nmos_hvt") {
-    m.mos = process.nmos_hvt;
-  } else if (name == "nmos_thick") {
-    m.mos = process.nmos_thick;
-  } else if (name == "d") {
-    m.kind = ModelCard::Kind::kDiode;
-  } else {
-    m.mos.vt0 = -1;  // sentinel: unknown
-  }
-  return m;
-}
-
-const ModelCard& find_model(const ParserState& st, const std::string& name,
-                            int line) {
-  static std::map<std::string, ModelCard> builtin_cache;
-  const std::string key = lowercase(name);
-  auto it = st.models.find(key);
-  if (it != st.models.end()) return it->second;
-  auto [bit, inserted] = builtin_cache.try_emplace(key, builtin_model(key, st.process));
-  if (bit->second.mos.vt0 < 0 && bit->second.kind != ModelCard::Kind::kDiode) {
-    throw DeckError(line, "unknown model '" + name + "'");
-  }
-  return bit->second;
-}
-
-/// Source spec from the value tokens of a V/I element.
-SourceSpec parse_source(const std::vector<std::string>& tok, std::size_t i,
-                        int line) {
-  SourceSpec spec = SourceSpec::dc(0.0);
-  bool have_main = false;
-  double ac_mag = 0.0, ac_phase = 0.0;
-  bool have_ac = false;
-
-  while (i < tok.size()) {
-    const std::string kw = lowercase(tok[i]);
-    if (kw == "dc") {
-      if (i + 1 >= tok.size()) throw DeckError(line, "DC needs a value");
-      spec = SourceSpec::dc(parse_number(tok[i + 1], line));
-      have_main = true;
-      i += 2;
-    } else if (kw == "ac") {
-      if (i + 1 >= tok.size()) throw DeckError(line, "AC needs a magnitude");
-      ac_mag = parse_number(tok[i + 1], line);
-      i += 2;
-      if (i < tok.size() && util::parse_si(tok[i])) {
-        ac_phase = parse_number(tok[i], line);
-        ++i;
-      }
-      have_ac = true;
-    } else if (kw == "pulse") {
-      std::vector<double> a;
-      for (++i; i < tok.size() && util::parse_si(tok[i]); ++i) {
-        a.push_back(parse_number(tok[i], line));
-      }
-      if (a.size() < 6) throw DeckError(line, "PULSE needs >= 6 values");
-      spec = SourceSpec::pulse(a[0], a[1], a[2], a[3], a[4], a[5],
-                               a.size() > 6 ? a[6] : 0.0);
-      have_main = true;
-    } else if (kw == "sin") {
-      std::vector<double> a;
-      for (++i; i < tok.size() && util::parse_si(tok[i]); ++i) {
-        a.push_back(parse_number(tok[i], line));
-      }
-      if (a.size() < 3) throw DeckError(line, "SIN needs >= 3 values");
-      spec = SourceSpec::sine(a[0], a[1], a[2], a.size() > 3 ? a[3] : 0.0,
-                              a.size() > 4 ? a[4] : 0.0);
-      have_main = true;
-    } else if (kw == "pwl") {
-      std::vector<double> a;
-      for (++i; i < tok.size() && util::parse_si(tok[i]); ++i) {
-        a.push_back(parse_number(tok[i], line));
-      }
-      if (a.size() < 4 || a.size() % 2 != 0) {
-        throw DeckError(line, "PWL needs an even number (>= 4) of values");
-      }
-      std::vector<double> ts, vs;
-      for (std::size_t k = 0; k < a.size(); k += 2) {
-        ts.push_back(a[k]);
-        vs.push_back(a[k + 1]);
-      }
-      spec = SourceSpec::pwl(std::move(ts), std::move(vs));
-      have_main = true;
-    } else if (util::parse_si(tok[i]) && !have_main) {
-      spec = SourceSpec::dc(parse_number(tok[i], line));
-      have_main = true;
-      ++i;
-    } else {
-      throw DeckError(line, "unexpected token '" + tok[i] + "' in source");
-    }
-  }
-  if (have_ac) spec.with_ac(ac_mag, ac_phase);
-  return spec;
-}
-
-void parse_element(ParserState& st, const LogicalLine& ll,
-                   const std::string& prefix,
-                   const std::map<std::string, std::string>& port_map);
-
-/// Map a node name through a subckt port map and prefix.
-std::string map_node(const std::string& name, const std::string& prefix,
-                     const std::map<std::string, std::string>& port_map) {
-  const std::string key = lowercase(name);
-  // Every Circuit ground alias must stay global, or subckt expansion
-  // would prefix it into a phantom floating local node ("x1.vss!").
-  if (spice::is_ground_name(key)) return "0";
-  const auto it = port_map.find(key);
-  if (it != port_map.end()) return it->second;
-  return prefix.empty() ? key : prefix + "." + key;
-}
-
-void expand_subckt(ParserState& st, const std::vector<std::string>& tok,
-                   int line, const std::string& outer_prefix,
-                   const std::map<std::string, std::string>& outer_map) {
-  if (++st.x_depth > 16) throw DeckError(line, "subckt nesting too deep");
-  // Xname node1 ... nodeN subname
-  const std::string sub_name = lowercase(tok.back());
-  const auto it = st.subckts.find(sub_name);
-  if (it == st.subckts.end()) {
-    throw DeckError(line, "unknown subckt '" + tok.back() + "'");
-  }
-  const Subckt& sub = it->second;
-  const std::size_t n_nodes = tok.size() - 2;
-  if (n_nodes != sub.ports.size()) {
-    throw DeckError(line, "subckt '" + sub_name + "' expects " +
-                              std::to_string(sub.ports.size()) + " nodes");
-  }
-  const std::string inst = lowercase(tok[0]);
-  const std::string prefix =
-      outer_prefix.empty() ? inst : outer_prefix + "." + inst;
-  std::map<std::string, std::string> port_map;
-  for (std::size_t k = 0; k < n_nodes; ++k) {
-    port_map[sub.ports[k]] = map_node(tok[1 + k], outer_prefix, outer_map);
-  }
-  for (const LogicalLine& body_line : sub.body) {
-    parse_element(st, body_line, prefix, port_map);
-  }
-  --st.x_depth;
-}
-
-void parse_element(ParserState& st, const LogicalLine& ll,
-                   const std::string& prefix,
-                   const std::map<std::string, std::string>& port_map) {
-  const auto tok = tokenize(ll.text);
-  if (tok.empty()) return;
-  const int line = ll.number;
-  Circuit& c = *st.circuit;
-  const char kind = static_cast<char>(std::tolower(tok[0][0]));
-  const std::string name =
-      prefix.empty() ? tok[0] : prefix + "." + lowercase(tok[0]);
-
-  auto node = [&](std::size_t i) -> NodeId {
-    if (i >= tok.size()) throw DeckError(line, "missing node");
-    return c.node(map_node(tok[i], prefix, port_map));
-  };
-
-  switch (kind) {
-    case 'r': {
-      if (tok.size() < 4) throw DeckError(line, "R needs 2 nodes + value");
-      c.add<spice::Resistor>(name, node(1), node(2), parse_number(tok[3], line));
-      return;
-    }
-    case 'c': {
-      if (tok.size() < 4) throw DeckError(line, "C needs 2 nodes + value");
-      c.add<spice::Capacitor>(name, node(1), node(2),
-                              parse_number(tok[3], line));
-      return;
-    }
-    case 'l': {
-      if (tok.size() < 4) throw DeckError(line, "L needs 2 nodes + value");
-      c.add<spice::Inductor>(name, node(1), node(2),
-                             parse_number(tok[3], line));
-      return;
-    }
-    case 'v': {
-      if (tok.size() < 4) throw DeckError(line, "V needs 2 nodes + value");
-      c.add<spice::VoltageSource>(name, node(1), node(2),
-                                  parse_source(tok, 3, line));
-      return;
-    }
-    case 'i': {
-      if (tok.size() < 4) throw DeckError(line, "I needs 2 nodes + value");
-      c.add<spice::CurrentSource>(name, node(1), node(2),
-                                  parse_source(tok, 3, line));
-      return;
-    }
-    case 'e': {
-      if (tok.size() < 6) throw DeckError(line, "E needs 4 nodes + gain");
-      c.add<spice::Vcvs>(name, node(1), node(2), node(3), node(4),
-                         parse_number(tok[5], line));
-      return;
-    }
-    case 'g': {
-      if (tok.size() < 6) throw DeckError(line, "G needs 4 nodes + gm");
-      c.add<spice::Vccs>(name, node(1), node(2), node(3), node(4),
-                         parse_number(tok[5], line));
-      return;
-    }
-    case 'd': {
-      if (tok.size() < 4) throw DeckError(line, "D needs 2 nodes + model");
-      const ModelCard& m = find_model(st, tok[3], line);
-      if (m.kind != ModelCard::Kind::kDiode) {
-        throw DeckError(line, "'" + tok[3] + "' is not a diode model");
-      }
-      double area = 1.0;
-      if (tok.size() > 4 && util::parse_si(tok[4])) {
-        area = parse_number(tok[4], line);
-      }
-      c.add<Diode>(name, node(1), node(2), m.diode, area,
-                   st.process.temperature);
-      return;
-    }
-    case 'm': {
-      if (tok.size() < 6) throw DeckError(line, "M needs 4 nodes + model");
-      const ModelCard& m = find_model(st, tok[5], line);
-      if (m.kind == ModelCard::Kind::kDiode) {
-        throw DeckError(line, "'" + tok[5] + "' is not a MOS model");
-      }
-      const auto params = parse_params(tok, 6, line);
-      MosGeometry geo;
-      geo.w = params.count("w") ? params.at("w") : 1e-6;
-      geo.l = params.count("l") ? params.at("l") : 1e-6;
-      geo.as = params.count("as") ? params.at("as") : 0.0;
-      geo.ad = params.count("ad") ? params.at("ad") : 0.0;
-      c.add<Mosfet>(name, node(1), node(2), node(3), node(4), m.mos, geo,
-                    st.process.temperature);
-      return;
-    }
-    case 'x': {
-      if (tok.size() < 3) throw DeckError(line, "X needs nodes + subckt name");
-      expand_subckt(st, tok, line, prefix, port_map);
-      return;
-    }
-    default:
-      throw DeckError(line, std::string("unsupported element '") + tok[0] + "'");
-  }
-}
-
-void parse_model_card(ParserState& st, const std::vector<std::string>& tok,
-                      int line) {
-  // .model name NMOS|PMOS|D key=value...
-  if (tok.size() < 3) throw DeckError(line, ".model needs a name and a type");
-  const std::string name = lowercase(tok[1]);
-  const std::string type = lowercase(tok[2]);
-  ModelCard m;
-  if (type == "nmos" || type == "pmos") {
-    m.kind = type == "nmos" ? ModelCard::Kind::kNmos : ModelCard::Kind::kPmos;
-    m.mos = type == "nmos" ? st.process.nmos : st.process.pmos;
-    const auto params = parse_params(tok, 3, line);
-    for (const auto& [k, v] : params) {
-      if (k == "vt0" || k == "vto") {
-        m.mos.vt0 = v;
-      } else if (k == "kp") {
-        m.mos.kp = v;
-      } else if (k == "n") {
-        m.mos.n = v;
-      } else if (k == "lambda") {
-        m.mos.lambda = v;
-      } else if (k == "cox") {
-        m.mos.cox = v;
-      } else {
-        throw DeckError(line, "unknown MOS model parameter '" + k + "'");
-      }
-    }
-    m.mos.is_nmos = type == "nmos";
-  } else if (type == "d") {
-    m.kind = ModelCard::Kind::kDiode;
-    const auto params = parse_params(tok, 3, line);
-    for (const auto& [k, v] : params) {
-      if (k == "is") {
-        m.diode.is = v;
-      } else if (k == "n") {
-        m.diode.n = v;
-      } else if (k == "cj0" || k == "cjo") {
-        m.diode.cj0 = v;
-      } else {
-        throw DeckError(line, "unknown diode model parameter '" + k + "'");
-      }
-    }
-  } else {
-    throw DeckError(line, "unknown model type '" + tok[2] + "'");
-  }
-  st.models[name] = m;
-}
-
-void parse_analysis_card(ParserState& st, const std::vector<std::string>& tok,
-                         int line) {
-  const std::string card = lowercase(tok[0]);
-  AnalysisCard a;
-  if (card == ".op") {
-    a.kind = AnalysisCard::Kind::kOp;
-  } else if (card == ".tran") {
-    // .tran [tstep] tstop  (tstep accepted and ignored: auto-stepping)
-    if (tok.size() < 2) throw DeckError(line, ".tran needs tstop");
-    a.kind = AnalysisCard::Kind::kTran;
-    a.tstop = parse_number(tok.back(), line);
-  } else if (card == ".ac") {
-    // .ac dec N fstart fstop
-    if (tok.size() < 5 || lowercase(tok[1]) != "dec") {
-      throw DeckError(line, ".ac expects: .ac dec N fstart fstop");
-    }
-    a.kind = AnalysisCard::Kind::kAc;
-    a.points_per_decade = static_cast<int>(parse_number(tok[2], line));
-    a.f_start = parse_number(tok[3], line);
-    a.f_stop = parse_number(tok[4], line);
-  } else if (card == ".dc") {
-    if (tok.size() < 5) throw DeckError(line, ".dc source start stop step");
-    a.kind = AnalysisCard::Kind::kDc;
-    a.sweep_source = tok[1];
-    a.sweep_start = parse_number(tok[2], line);
-    a.sweep_stop = parse_number(tok[3], line);
-    a.sweep_step = parse_number(tok[4], line);
-  } else {
-    throw DeckError(line, "unsupported card '" + tok[0] + "'");
-  }
-  st.analyses.push_back(a);
-}
-
-}  // namespace
-
 ParsedDeck parse_deck(const std::string& text, const Process& process) {
-  ParsedDeck deck;
-  deck.circuit = std::make_unique<Circuit>();
-
-  // SPICE convention: the first physical line is ALWAYS the title.
-  std::string body = text;
-  {
-    const auto nl = body.find('\n');
-    deck.title = body.substr(0, nl == std::string::npos ? body.size() : nl);
-    body = nl == std::string::npos ? std::string() : body.substr(nl + 1);
-    // Trim the title.
-    const auto b = deck.title.find_first_not_of(" \t\r");
-    const auto e = deck.title.find_last_not_of(" \t\r");
-    deck.title = b == std::string::npos ? std::string()
-                                        : deck.title.substr(b, e - b + 1);
+  netlist::ParseOptions options;
+  options.process = process;
+  // The legacy contract: unknown dot-cards are hard errors, subckt
+  // nesting stops at the historical 16 levels and .include is not
+  // resolved (this API never touched the filesystem).
+  options.strict = true;
+  options.max_subckt_depth = 16;
+  try {
+    netlist::Deck deck = netlist::parse_netlist(text, options);
+    ParsedDeck out;
+    out.title = std::move(deck.title);
+    out.circuit = std::move(deck.circuit);
+    out.analyses = std::move(deck.analyses);
+    return out;
+  } catch (const netlist::NetlistError& e) {
+    throw DeckError(e.loc().line, e.message());
   }
-
-  auto lines = logical_lines(body);
-  if (lines.empty()) throw DeckError(0, "empty deck");
-  // Line numbers in `lines` are relative to the body; shift past title.
-  for (auto& ll : lines) ++ll.number;
-
-  ParserState st{process, deck.circuit.get(), {}, {}, {}, 0};
-
-  // Pass 1: collect .model and .subckt definitions.
-  std::vector<LogicalLine> top_level;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const auto tok = tokenize(lines[i].text);
-    if (tok.empty()) continue;
-    const std::string head = lowercase(tok[0]);
-    if (head == ".model") {
-      parse_model_card(st, tok, lines[i].number);
-    } else if (head == ".subckt") {
-      if (tok.size() < 2) throw DeckError(lines[i].number, ".subckt needs a name");
-      Subckt sub;
-      for (std::size_t k = 2; k < tok.size(); ++k) {
-        sub.ports.push_back(lowercase(tok[k]));
-      }
-      const std::string sub_name = lowercase(tok[1]);
-      ++i;
-      for (; i < lines.size(); ++i) {
-        if (lowercase(tokenize(lines[i].text)[0]) == ".ends") break;
-        sub.body.push_back(lines[i]);
-      }
-      if (i == lines.size()) throw DeckError(lines[i - 1].number, "missing .ends");
-      st.subckts[sub_name] = std::move(sub);
-    } else if (head == ".end") {
-      break;
-    } else {
-      top_level.push_back(lines[i]);
-    }
-  }
-
-  // Pass 2: elements and analysis cards.
-  for (const LogicalLine& ll : top_level) {
-    if (ll.text[0] == '.') {
-      parse_analysis_card(st, tokenize(ll.text), ll.number);
-    } else {
-      parse_element(st, ll, "", {});
-    }
-  }
-
-  deck.analyses = std::move(st.analyses);
-  return deck;
 }
 
 }  // namespace sscl::device

@@ -1,17 +1,16 @@
 #pragma once
 
 /// \file deck_parser.hpp
-/// SPICE-style netlist deck parser. Builds a spice::Circuit (with EKV
-/// MOSFETs and diodes from this library's device models) from classic
-/// deck text:
+/// Legacy SPICE deck parsing API, now a thin shim over the staged
+/// netlist front-end (src/netlist): lexer -> card AST -> expression
+/// evaluation -> hierarchical elaboration. Kept so existing callers and
+/// the committed lint baselines stay source- and behaviour-compatible:
 ///
 ///   * STSCL inverter cell
 ///   Vdd vdd 0 1.0
 ///   Ib  vdd vbn 1n
 ///   MB  vbn vbn 0 0 nmos_hvt W=2u L=1u
 ///   .model mynmos NMOS (VT0=0.45 KP=300u N=1.35 LAMBDA=0.02)
-///   R1  a b 100k
-///   C1  b 0 10p
 ///   Vin in 0 PULSE(0 1 1u 10n 10n 5u)
 ///   .subckt divider top mid bot
 ///   R1 top mid 1k
@@ -21,34 +20,26 @@
 ///   .tran 10u
 ///   .end
 ///
-/// Supported elements: R, C, L, V, I, E (VCVS), G (VCCS), D, M, X.
-/// Supported cards: .model (NMOS/PMOS/D), .subckt/.ends, .op, .dc,
-/// .tran, .ac, .end. Numbers use engineering suffixes (util::parse_si).
-/// Built-in model names: nmos, pmos, nmos_hvt, nmos_thick (the process
-/// cards of device::Process), d (default diode).
+/// parse_deck runs the pipeline in STRICT mode (unknown cards are
+/// errors, the historical 16-level subckt nesting limit applies, no
+/// .include resolution) and converts NetlistError to DeckError. New
+/// code should call netlist::parse_netlist directly: it exposes .param
+/// expressions, subckt parameters, .include, .measure, .global, .temp,
+/// .ic and accept-and-warn handling of foreign cards.
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "device/mos_params.hpp"
+#include "netlist/cards.hpp"
 #include "spice/circuit.hpp"
 
 namespace sscl::device {
 
-/// An analysis request found in the deck.
-struct AnalysisCard {
-  enum class Kind { kOp, kTran, kAc, kDc };
-  Kind kind = Kind::kOp;
-  // .tran tstop  |  .ac points_per_decade f_start f_stop
-  // .dc source start stop step
-  double tstop = 0.0;
-  double f_start = 0.0, f_stop = 0.0;
-  int points_per_decade = 10;
-  std::string sweep_source;
-  double sweep_start = 0.0, sweep_stop = 0.0, sweep_step = 0.0;
-};
+/// An analysis request found in the deck (shared with the netlist
+/// front-end; .tran additionally records tstep there).
+using AnalysisCard = netlist::AnalysisCard;
 
 struct ParsedDeck {
   std::string title;

@@ -1,0 +1,115 @@
+#include "netlist/ast.hpp"
+
+#include <cctype>
+
+namespace sscl::netlist {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+CardKind classify(const std::string& head) {
+  if (head.empty() || head[0] != '.') return CardKind::kElement;
+  if (head == ".model") return CardKind::kModel;
+  if (head == ".param" || head == ".parameters") return CardKind::kParam;
+  if (head == ".global") return CardKind::kGlobal;
+  if (head == ".temp") return CardKind::kTemp;
+  if (head == ".ic") return CardKind::kIc;
+  if (head == ".nodeset") return CardKind::kNodeset;
+  if (head == ".op") return CardKind::kOp;
+  if (head == ".tran") return CardKind::kTran;
+  if (head == ".ac") return CardKind::kAc;
+  if (head == ".dc") return CardKind::kDc;
+  if (head == ".measure" || head == ".meas") return CardKind::kMeasure;
+  if (head == ".option" || head == ".options") return CardKind::kOption;
+  if (head == ".end") return CardKind::kEnd;
+  return CardKind::kUnknown;
+}
+
+struct Builder {
+  Ast ast;
+
+  [[noreturn]] void fail(const SourceLoc& loc, const std::string& message) {
+    throw NetlistError(loc, ast.files.format(loc), message);
+  }
+
+  /// Parse a .subckt header + body starting at lines[i] (the .subckt
+  /// line). Returns the index of the matching .ends/.eom line.
+  std::size_t collect_subckt(const std::vector<LogicalLine>& lines,
+                             std::size_t i) {
+    const LogicalLine& header = lines[i];
+    if (header.tokens.size() < 2) fail(header.loc, ".subckt needs a name");
+    SubcktDef def;
+    def.loc = header.loc;
+    def.name = lowercase(header.tokens[1].text);
+    // Ports run until the first key=value default parameter.
+    std::size_t k = 2;
+    for (; k < header.tokens.size(); ++k) {
+      if (k + 1 < header.tokens.size() && header.tokens[k + 1].text == "=") {
+        break;
+      }
+      def.ports.push_back(lowercase(header.tokens[k].text));
+    }
+    for (; k < header.tokens.size(); k += 3) {
+      if (k + 2 >= header.tokens.size() || header.tokens[k + 1].text != "=") {
+        fail(header.tokens[k].loc,
+             ".subckt default parameters must be key=value");
+      }
+      def.defaults.emplace_back(lowercase(header.tokens[k].text),
+                                header.tokens[k + 2]);
+    }
+
+    for (++i; i < lines.size(); ++i) {
+      const LogicalLine& line = lines[i];
+      const std::string head = lowercase(line.tokens[0].text);
+      if (head == ".ends" || head == ".eom") {
+        if (ast.subckts.count(def.name)) {
+          // Last definition wins, matching .param redefinition rules.
+          ast.subckts.erase(def.name);
+        }
+        ast.subckts.emplace(def.name, std::move(def));
+        return i;
+      }
+      if (head == ".subckt") {
+        // Nested definition: registered globally (no closure), the
+        // HSPICE-compatible flattening.
+        i = collect_subckt(lines, i);
+        continue;
+      }
+      def.body.push_back({classify(head), line});
+    }
+    fail(def.loc, "missing .ends for .subckt " + def.name);
+  }
+
+  Ast run(LexResult lexed) {
+    ast.title = std::move(lexed.title);
+    ast.files = std::move(lexed.files);
+    ast.warnings = std::move(lexed.warnings);
+    const std::vector<LogicalLine>& lines = lexed.lines;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const LogicalLine& line = lines[i];
+      if (line.tokens.empty()) continue;
+      const std::string head = lowercase(line.tokens[0].text);
+      if (head == ".subckt") {
+        i = collect_subckt(lines, i);
+        continue;
+      }
+      if (head == ".ends" || head == ".eom") {
+        fail(line.loc, head + " without a matching .subckt");
+      }
+      const CardKind kind = classify(head);
+      ast.cards.push_back({kind, line});
+      if (kind == CardKind::kEnd) break;
+    }
+    return std::move(ast);
+  }
+};
+
+}  // namespace
+
+Ast build_ast(LexResult lexed) { return Builder{}.run(std::move(lexed)); }
+
+}  // namespace sscl::netlist

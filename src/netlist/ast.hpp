@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ast.hpp
+/// Stage 2 of the netlist front-end: logical lines to a card AST.
+/// Cards are classified (element vs. the known dot-cards), .subckt/.ends
+/// (or .eom) bodies are collected into SubcktDef nodes — including
+/// nested definitions — and everything keeps its token provenance.
+/// No expressions are evaluated and no circuit is built here; that is
+/// elaboration (stage 4).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/lexer.hpp"
+
+namespace sscl::netlist {
+
+enum class CardKind {
+  kElement,  // R/C/L/V/I/E/G/D/M/X...
+  kModel,    // .model
+  kParam,    // .param
+  kGlobal,   // .global
+  kTemp,     // .temp
+  kIc,       // .ic
+  kNodeset,  // .nodeset
+  kOp,       // .op
+  kTran,     // .tran
+  kAc,       // .ac
+  kDc,       // .dc
+  kMeasure,  // .measure / .meas
+  kOption,   // .option(s) — accepted and ignored
+  kEnd,      // .end
+  kUnknown,  // any other dot-card (accept-and-warn, error when strict)
+};
+
+struct Card {
+  CardKind kind = CardKind::kElement;
+  LogicalLine line;
+};
+
+/// A .subckt definition: ports, default parameters (value tokens,
+/// evaluated lazily per instantiation) and the body cards in order.
+struct SubcktDef {
+  std::string name;  // lowercased
+  std::vector<std::string> ports;  // lowercased
+  std::vector<std::pair<std::string, Token>> defaults;  // name -> value token
+  std::vector<Card> body;
+  SourceLoc loc;
+};
+
+struct Ast {
+  std::string title;
+  std::vector<Card> cards;  // top-level, in deck order (subckt defs removed)
+  std::map<std::string, SubcktDef> subckts;  // by lowercased name
+  FileTable files;
+  std::vector<Diagnostic> warnings;  // carried over from the lexer
+};
+
+/// Classify lexed lines into an AST. Throws NetlistError on structural
+/// failures (.subckt without a name, missing .ends). Unknown dot-cards
+/// are kept as CardKind::kUnknown for elaboration to warn on or reject.
+Ast build_ast(LexResult lexed);
+
+}  // namespace sscl::netlist

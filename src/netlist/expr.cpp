@@ -1,0 +1,238 @@
+#include "netlist/expr.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace sscl::netlist {
+
+void ParamEnv::set(const std::string& name, double value) {
+  std::string key = name;
+  for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  values_[key] = value;
+}
+
+std::optional<double> ParamEnv::lookup(std::string_view name) const {
+  std::string key(name);
+  for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (const ParamEnv* env = this; env; env = env->parent_) {
+    const auto it = env->values_.find(key);
+    if (it != env->values_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParamEnv& env) : text_(text), env_(env) {}
+
+  double run() {
+    skip_ws();
+    if (at_end()) throw ExprError(0, "empty expression");
+    const double v = parse_expr();
+    skip_ws();
+    if (!at_end()) {
+      throw ExprError(pos_, "unexpected '" + std::string(1, text_[pos_]) +
+                                "' in expression");
+    }
+    return v;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return at_end() ? '\0' : text_[pos_]; }
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  double parse_expr() {
+    double v = parse_term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        v += parse_term();
+      } else if (consume('-')) {
+        v -= parse_term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_term() {
+    double v = parse_power();
+    for (;;) {
+      skip_ws();
+      // '**' is exponentiation, handled in parse_power; a single '*'
+      // followed by '*' must not be eaten as multiplication.
+      if (peek() == '*' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        return v;
+      }
+      if (consume('*')) {
+        v *= parse_power();
+      } else if (consume('/')) {
+        v /= parse_power();
+      } else if (consume('%')) {
+        v = std::fmod(v, parse_power());
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double parse_power() {
+    const double base = parse_unary();
+    skip_ws();
+    if (peek() == '^') {
+      ++pos_;
+      return std::pow(base, parse_power());
+    }
+    if (peek() == '*' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+      pos_ += 2;
+      return std::pow(base, parse_power());
+    }
+    return base;
+  }
+
+  double parse_unary() {
+    skip_ws();
+    if (consume('-')) return -parse_unary();
+    if (consume('+')) return parse_unary();
+    return parse_primary();
+  }
+
+  double parse_primary() {
+    skip_ws();
+    if (at_end()) throw ExprError(pos_, "expression ends unexpectedly");
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      const double v = parse_expr();
+      if (!consume(')')) throw ExprError(pos_, "missing ')'");
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parse_ident();
+    }
+    throw ExprError(pos_, std::string("unexpected '") + c + "' in expression");
+  }
+
+  /// Mantissa, optional exponent, optional SI suffix letters — handed
+  /// whole to util::parse_si so deck numbers and expression numbers
+  /// agree byte for byte.
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.')) {
+      ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      // Exponent only when followed by a digit or a signed digit;
+      // otherwise the letters are an SI suffix ("1e-9" vs "2exp"...).
+      std::size_t look = pos_ + 1;
+      if (look < text_.size() && (text_[look] == '+' || text_[look] == '-')) {
+        ++look;
+      }
+      if (look < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[look]))) {
+        pos_ = look;
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+          ++pos_;
+        }
+      }
+    }
+    // SI suffix letters ("n", "meg", "k"...).
+    while (!at_end() && std::isalpha(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    const std::string_view slice = text_.substr(start, pos_ - start);
+    const std::optional<double> v = util::parse_si(slice);
+    if (!v) throw ExprError(start, "bad number '" + std::string(slice) + "'");
+    return *v;
+  }
+
+  double parse_ident() {
+    const std::size_t start = pos_;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_' || peek() == '.')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    for (char& ch : name) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    skip_ws();
+    if (peek() == '(') return parse_call(start, name);
+
+    if (name == "pi") return M_PI;
+    if (name == "e") return M_E;
+    const std::optional<double> v = env_.lookup(name);
+    if (!v) throw ExprError(start, "unknown parameter '" + name + "'");
+    return *v;
+  }
+
+  double parse_call(std::size_t start, const std::string& name) {
+    ++pos_;  // '('
+    const double a = parse_expr();
+    double b = 0.0;
+    bool have_b = false;
+    if (consume(',')) {
+      b = parse_expr();
+      have_b = true;
+    }
+    if (!consume(')')) throw ExprError(pos_, "missing ')' after " + name);
+
+    auto need2 = [&](bool want) {
+      if (want != have_b) {
+        throw ExprError(start, name + " expects " + (want ? "two arguments"
+                                                         : "one argument"));
+      }
+    };
+    if (name == "abs") return need2(false), std::fabs(a);
+    if (name == "sqrt") return need2(false), std::sqrt(a);
+    if (name == "exp") return need2(false), std::exp(a);
+    if (name == "ln" || name == "log") return need2(false), std::log(a);
+    if (name == "log10") return need2(false), std::log10(a);
+    if (name == "db") return need2(false), 20.0 * std::log10(std::fabs(a));
+    if (name == "sin") return need2(false), std::sin(a);
+    if (name == "cos") return need2(false), std::cos(a);
+    if (name == "tan") return need2(false), std::tan(a);
+    if (name == "atan") return need2(false), std::atan(a);
+    if (name == "floor") return need2(false), std::floor(a);
+    if (name == "ceil") return need2(false), std::ceil(a);
+    if (name == "int") return need2(false), std::trunc(a);
+    if (name == "sgn") return need2(false), a > 0 ? 1.0 : a < 0 ? -1.0 : 0.0;
+    if (name == "pow") return need2(true), std::pow(a, b);
+    if (name == "min") return need2(true), std::min(a, b);
+    if (name == "max") return need2(true), std::max(a, b);
+    throw ExprError(start, "unknown function '" + name + "'");
+  }
+
+  std::string_view text_;
+  const ParamEnv& env_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double eval_expr(std::string_view text, const ParamEnv& env) {
+  return Parser(text, env).run();
+}
+
+}  // namespace sscl::netlist

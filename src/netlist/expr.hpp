@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file expr.hpp
+/// Stage 3 of the netlist front-end: the .param expression evaluator.
+/// Evaluates HSPICE-style arithmetic over lexically scoped parameter
+/// environments:
+///
+///   expr    := term (('+'|'-') term)*
+///   term    := power (('*'|'/'|'%') power)*
+///   power   := unary (('**'|'^') power)?          (right associative)
+///   unary   := ('+'|'-')* primary
+///   primary := number | ident | func '(' expr (',' expr)? ')'
+///            | '(' expr ')'
+///
+/// Numbers use SPICE engineering suffixes ("40n", "1.2meg", "5e-10").
+/// Identifiers are case-insensitive parameter references; pi and e are
+/// predefined. Functions: abs sqrt exp ln log log10 pow min max sin cos
+/// tan atan floor ceil int sgn db.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sscl::netlist {
+
+/// A lexically scoped parameter environment: lookups walk outward
+/// through enclosing scopes (subckt instance -> subckt defaults ->
+/// globals). Scopes do not own their parent; the elaborator keeps the
+/// chain alive on its stack.
+class ParamEnv {
+ public:
+  explicit ParamEnv(const ParamEnv* parent = nullptr) : parent_(parent) {}
+
+  /// Define (or shadow) a parameter in this scope. Names are stored
+  /// lowercased.
+  void set(const std::string& name, double value);
+
+  /// Look a parameter up through the scope chain (case-insensitive).
+  std::optional<double> lookup(std::string_view name) const;
+
+  /// The parameters of this scope only (lowercased names).
+  const std::unordered_map<std::string, double>& local() const {
+    return values_;
+  }
+
+ private:
+  const ParamEnv* parent_;
+  std::unordered_map<std::string, double> values_;
+};
+
+/// Thrown on malformed expressions and unresolved parameters; position
+/// is a 0-based offset into the expression text.
+class ExprError : public std::runtime_error {
+ public:
+  ExprError(std::size_t pos, const std::string& message)
+      : std::runtime_error(message), pos_(pos) {}
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Evaluate \p text against \p env. Throws ExprError.
+double eval_expr(std::string_view text, const ParamEnv& env);
+
+}  // namespace sscl::netlist

@@ -1,0 +1,214 @@
+#include "netlist/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sscl::netlist {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+struct LexState {
+  const LexOptions& options;
+  LexResult result;
+  std::vector<std::string> include_stack;  // paths currently being lexed
+  LogicalLine current;                     // logical line under construction
+  bool have_current = false;
+};
+
+[[noreturn]] void fail(LexState& st, const SourceLoc& loc,
+                       const std::string& message) {
+  throw NetlistError(loc, st.result.files.format(loc), message);
+}
+
+/// Strip end-of-line comments ('$', ';') outside expression quotes and
+/// trailing '\r'.
+std::string strip_comment(const std::string& phys) {
+  std::string out;
+  out.reserve(phys.size());
+  bool in_tick = false;
+  int brace_depth = 0;
+  for (char c : phys) {
+    if (c == '\'') in_tick = !in_tick;
+    if (!in_tick) {
+      if (c == '{') ++brace_depth;
+      if (c == '}' && brace_depth > 0) --brace_depth;
+      if ((c == '$' || c == ';') && brace_depth == 0) break;
+    }
+    if (c == '\r') continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Tokenize one physical line (possibly a continuation tail) into
+/// \p out, tagging each token with (file, line, col).
+void tokenize_into(LexState& st, const std::string& text, int file, int line,
+                   int col0, std::vector<Token>& out) {
+  std::string cur;
+  int cur_col = 0;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back({std::move(cur), {file, line, cur_col}, false});
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const int col = col0 + static_cast<int>(i);
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == ',') {
+      flush();
+    } else if (c == '=') {
+      flush();
+      out.push_back({"=", {file, line, col}, false});
+    } else if (c == '\'' || c == '{') {
+      flush();
+      const bool brace = c == '{';
+      const char close = brace ? '}' : '\'';
+      int depth = 1;
+      std::string body;
+      std::size_t j = i + 1;
+      for (; j < text.size(); ++j) {
+        const char d = text[j];
+        if (brace && d == '{') ++depth;
+        if (d == close && --depth == 0) break;
+        body.push_back(d);
+      }
+      if (j >= text.size()) {
+        fail(st, {file, line, col},
+             std::string("unterminated ") + (c == '\'' ? "' quote" : "{ brace"));
+      }
+      out.push_back({std::move(body), {file, line, col}, true});
+      i = j;
+    } else {
+      if (cur.empty()) cur_col = col;
+      cur.push_back(c);
+    }
+  }
+  flush();
+}
+
+void lex_text(LexState& st, const std::string& text, int file_index,
+              bool skip_title);
+
+/// Complete the logical line under construction: .include cards splice
+/// the target file's lines in place, everything else is appended.
+void flush_logical(LexState& st) {
+  if (!st.have_current) return;
+  LogicalLine line = std::move(st.current);
+  st.current = {};
+  st.have_current = false;
+  if (line.tokens.empty()) return;
+
+  const std::string head = lowercase(line.tokens[0].text);
+  if (head == ".include" || head == ".inc") {
+    if (line.tokens.size() < 2) {
+      fail(st, line.loc, ".include needs a file path");
+    }
+    const std::string& path = line.tokens[1].text;
+    if (!st.options.include_loader) {
+      fail(st, line.loc,
+           ".include '" + path + "': no include loader configured "
+           "(pass LexOptions::include_loader / file_include_loader)");
+    }
+    if (static_cast<int>(st.include_stack.size()) >=
+        st.options.max_include_depth) {
+      fail(st, line.loc, ".include nesting deeper than " +
+                             std::to_string(st.options.max_include_depth));
+    }
+    if (std::find(st.include_stack.begin(), st.include_stack.end(), path) !=
+        st.include_stack.end()) {
+      std::string chain;
+      for (const std::string& p : st.include_stack) chain += p + " -> ";
+      fail(st, line.loc, ".include cycle: " + chain + path);
+    }
+    const std::optional<std::string> included =
+        st.options.include_loader(path);
+    if (!included) {
+      fail(st, line.loc, ".include '" + path + "': cannot open file");
+    }
+    const int file_index = st.result.files.intern(path);
+    st.include_stack.push_back(path);
+    lex_text(st, *included, file_index, /*skip_title=*/false);
+    // The included file may end mid-logical-line (trailing continuation
+    // target); flush so it cannot absorb the includer's next line.
+    flush_logical(st);
+    st.include_stack.pop_back();
+    return;
+  }
+  st.result.lines.push_back(std::move(line));
+}
+
+void lex_text(LexState& st, const std::string& text, int file_index,
+              bool skip_title) {
+  std::istringstream in(text);
+  std::string phys;
+  int line_no = 0;
+  while (std::getline(in, phys)) {
+    ++line_no;
+    if (skip_title && line_no == 1) {
+      std::string title = phys;
+      if (!title.empty() && title.back() == '\r') title.pop_back();
+      const auto b = title.find_first_not_of(" \t");
+      const auto e = title.find_last_not_of(" \t");
+      st.result.title =
+          b == std::string::npos ? std::string() : title.substr(b, e - b + 1);
+      continue;
+    }
+    const std::string stripped = strip_comment(phys);
+    const auto b = stripped.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    if (stripped[b] == '*') continue;
+    if (stripped[b] == '+') {
+      // Continuation: tokens join the logical line under construction.
+      if (!st.have_current) continue;  // stray '+': ignore (legacy behaviour)
+      tokenize_into(st, stripped.substr(b + 1), file_index, line_no,
+                    static_cast<int>(b) + 2, st.current.tokens);
+      continue;
+    }
+    flush_logical(st);
+    st.have_current = true;
+    st.current.loc = {file_index, line_no, static_cast<int>(b) + 1};
+    tokenize_into(st, stripped.substr(b), file_index, line_no,
+                  static_cast<int>(b) + 1, st.current.tokens);
+  }
+}
+
+}  // namespace
+
+LexResult lex_deck(const std::string& text, const std::string& name,
+                   const LexOptions& options) {
+  LexState st{options, {}, {}, {}, false};
+  const int top = st.result.files.intern(name);
+  st.include_stack.push_back(name);
+  lex_text(st, text, top, /*skip_title=*/true);
+  flush_logical(st);
+  return std::move(st.result);
+}
+
+IncludeLoader file_include_loader(const std::string& base_dir) {
+  return [base_dir](const std::string& path) -> std::optional<std::string> {
+    std::string resolved = path;
+    if (!path.empty() && path[0] != '/' && !base_dir.empty()) {
+      resolved = base_dir + "/" + path;
+    }
+    std::ifstream in(resolved);
+    if (!in) {
+      // Fall back to the literal path (absolute includes, cwd-relative).
+      in.open(path);
+      if (!in) return std::nullopt;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+}
+
+}  // namespace sscl::netlist

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Stage 1 of the netlist front-end: raw deck text to provenance-tagged
+/// logical lines of tokens.
+///
+///  * The first physical line of the top-level file is the title
+///    (classic SPICE), never tokenized.
+///  * Comments: full-line '*', end-of-line '$' and ';' (quote-aware:
+///    markers inside '...' expression quotes are literal).
+///  * '+' continuation lines merge into the previous logical line.
+///  * Separators: whitespace, '(' ')' ','; '=' is its own token.
+///  * '...' and {...} quote an expression into a single token with
+///    quoted=true; the quotes themselves are stripped.
+///  * .include/.inc cards are resolved here: the included file's logical
+///    lines are spliced in place, each token keeping its own file/line/
+///    column provenance. Includes nest up to max_include_depth and
+///    cycles are detected.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/diagnostic.hpp"
+
+namespace sscl::netlist {
+
+/// One lexed token with provenance.
+struct Token {
+  std::string text;
+  SourceLoc loc;
+  bool quoted = false;  ///< came from '...' or {...}: always an expression
+};
+
+/// One logical line (continuations folded in). loc is the position of
+/// the first token.
+struct LogicalLine {
+  std::vector<Token> tokens;
+  SourceLoc loc;
+};
+
+/// Loads the text of an .include target; nullopt = not found. The
+/// default (no loader) reports every .include as an error, which keeps
+/// library users (and the fuzz harness) away from the filesystem unless
+/// they opt in.
+using IncludeLoader =
+    std::function<std::optional<std::string>(const std::string& path)>;
+
+struct LexOptions {
+  IncludeLoader include_loader;
+  int max_include_depth = 16;
+};
+
+struct LexResult {
+  std::string title;
+  std::vector<LogicalLine> lines;
+  FileTable files;
+  std::vector<Diagnostic> warnings;
+};
+
+/// Lex a deck. \p name labels the top-level text in provenance output
+/// (a path for file decks, "<deck>" for in-memory text). Throws
+/// NetlistError on unresolvable includes, include cycles and unpaired
+/// expression quotes.
+LexResult lex_deck(const std::string& text, const std::string& name = "<deck>",
+                   const LexOptions& options = {});
+
+/// An IncludeLoader reading files from the filesystem, resolving
+/// relative paths against \p base_dir (the deck's own directory).
+IncludeLoader file_include_loader(const std::string& base_dir);
+
+}  // namespace sscl::netlist

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file measure.hpp
+/// Stage 5 of the netlist front-end: the .measure engine. Evaluates the
+/// MeasureSpec cards a deck declared against simulation results:
+///
+///   * TRIG/TARG delay and slew: the n-th rise/fall/cross of a level at
+///     or after TD, linearly interpolated between samples; the result is
+///     t(targ) - t(trig).
+///   * INTEG/AVG/RMS: trapezoidal integration over [FROM, TO] with
+///     interpolated window endpoints; MIN/MAX/PP include the endpoints.
+///   * FIND ... AT=t: linear interpolation.
+///   * param='expr': evaluated over the deck's .param values plus every
+///     prior measure result (in card order), HSPICE-style.
+///
+/// Probes are v(node) and i(vsource|inductor); currents come from the
+/// auxiliary MNA branch rows the Waveform/DcSweepResult carry. A measure
+/// that cannot be evaluated (event never happens, unknown node, ...)
+/// reports an error string instead of failing the whole run, matching
+/// the "failed" rows industrial flows print.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/cards.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/waveform.hpp"
+
+namespace sscl::netlist {
+
+/// Simulation results to measure against. Only the analyses that ran
+/// need to be present; a measure whose analysis is missing reports an
+/// error result.
+struct MeasureInput {
+  const spice::Circuit* circuit = nullptr;           ///< required
+  const spice::Waveform* tran = nullptr;             ///< .measure tran
+  const spice::DcSweepResult* dc = nullptr;          ///< .measure dc
+  const std::map<std::string, double>* params = nullptr;  ///< deck .params
+};
+
+struct MeasureResult {
+  std::string name;
+  std::optional<double> value;
+  std::string error;  ///< set when value is empty
+};
+
+/// Evaluate \p specs in order (param measures see earlier results).
+std::vector<MeasureResult> run_measures(const std::vector<MeasureSpec>& specs,
+                                        const MeasureInput& input);
+
+/// Deterministic CSV ("name,value,error\n" header; %.17g values) so a
+/// measurement run can be diffed byte-for-byte against a golden file.
+std::string measures_to_csv(const std::vector<MeasureResult>& results);
+
+}  // namespace sscl::netlist

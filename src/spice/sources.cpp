@@ -28,13 +28,14 @@ SourceSpec SourceSpec::pulse(double v1, double v2, double delay, double rise,
 }
 
 SourceSpec SourceSpec::sine(double offset, double amplitude, double freq,
-                            double delay, double damping) {
+                            double delay, double damping, double phase_deg) {
   SourceSpec s(Kind::kSin);
   s.p_[0] = offset;
   s.p_[1] = amplitude;
   s.p_[2] = freq;
   s.p_[3] = delay;
   s.p_[4] = damping;
+  s.p_[5] = phase_deg;
   return s;
 }
 
@@ -84,10 +85,11 @@ double SourceSpec::value(double t) const {
     }
     case Kind::kSin: {
       const double vo = p_[0], va = p_[1], f = p_[2], td = p_[3], theta = p_[4];
-      if (t < td) return vo;
+      const double phase = p_[5] * M_PI / 180.0;
+      if (t < td) return vo + va * std::sin(phase);
       const double tp = t - td;
       const double damp = theta > 0 ? std::exp(-tp * theta) : 1.0;
-      return vo + va * damp * std::sin(2.0 * M_PI * f * tp);
+      return vo + va * damp * std::sin(2.0 * M_PI * f * tp + phase);
     }
     case Kind::kPwl: {
       if (t <= pwl_t_.front()) return pwl_v_.front();

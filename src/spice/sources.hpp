@@ -20,9 +20,11 @@ class SourceSpec {
   static SourceSpec pulse(double v1, double v2, double delay, double rise,
                           double fall, double width, double period = 0.0);
 
-  /// SIN(offset amplitude freq td damping).
+  /// SIN(offset amplitude freq td damping phase). Phase in degrees,
+  /// applied inside the sine: offset + A*sin(2*pi*f*(t-td) + phase).
   static SourceSpec sine(double offset, double amplitude, double freq,
-                         double delay = 0.0, double damping = 0.0);
+                         double delay = 0.0, double damping = 0.0,
+                         double phase_deg = 0.0);
 
   /// PWL: piecewise-linear (time, value) points; times strictly increase.
   static SourceSpec pwl(std::vector<double> times, std::vector<double> values);

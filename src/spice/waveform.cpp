@@ -11,7 +11,9 @@ void Waveform::append(double time, const std::vector<double>& x) {
     throw std::invalid_argument("Waveform::append: time went backwards");
   }
   times_.push_back(time);
-  samples_.emplace_back(x.begin(), x.begin() + node_count_);
+  // Keep the whole unknown vector: branch currents (rows past
+  // node_count) feed the i(vsource) measurements.
+  samples_.emplace_back(x);
 }
 
 double Waveform::value(NodeId node, std::size_t i) const {
@@ -34,6 +36,34 @@ double Waveform::at(NodeId node, double t) const {
 std::vector<double> Waveform::signal(NodeId node) const {
   std::vector<double> out(size());
   for (std::size_t i = 0; i < size(); ++i) out[i] = value(node, i);
+  return out;
+}
+
+double Waveform::branch(BranchId b, std::size_t i) const {
+  const std::size_t row = static_cast<std::size_t>(node_count_) +
+                          static_cast<std::size_t>(b);
+  if (b < 0 || row >= samples_[i].size()) {
+    throw std::out_of_range(
+        "Waveform::branch: branch currents not recorded in this waveform");
+  }
+  return samples_[i][row];
+}
+
+double Waveform::branch_at(BranchId b, double t) const {
+  if (empty()) throw std::runtime_error("Waveform::branch_at: empty waveform");
+  if (t <= times_.front()) return branch(b, 0);
+  if (t >= times_.back()) return branch(b, size() - 1);
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double frac = span > 0 ? (t - times_[lo]) / span : 0.0;
+  return branch(b, lo) + frac * (branch(b, hi) - branch(b, lo));
+}
+
+std::vector<double> Waveform::branch_signal(BranchId b) const {
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = branch(b, i);
   return out;
 }
 

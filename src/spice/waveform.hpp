@@ -43,6 +43,17 @@ class Waveform {
   /// Copy one signal out as a dense vector aligned with times().
   std::vector<double> signal(NodeId node) const;
 
+  /// Sample i of an auxiliary branch current (MNA row node_count + b:
+  /// voltage-source and inductor currents). Throws std::out_of_range
+  /// when the appended solution vectors did not carry branch rows.
+  double branch(BranchId b, std::size_t i) const;
+
+  /// Linear interpolation of a branch current at time t.
+  double branch_at(BranchId b, double t) const;
+
+  /// Copy one branch current out as a dense vector aligned with times().
+  std::vector<double> branch_signal(BranchId b) const;
+
   // ---- measurements ----------------------------------------------------
 
   /// First time the signal crosses \p level with the given edge at or
@@ -74,7 +85,9 @@ class Waveform {
  private:
   int node_count_ = 0;
   std::vector<double> times_;
-  std::vector<std::vector<double>> samples_;  // one vector per time point
+  // One solution vector per time point: node voltages first, then any
+  // auxiliary branch currents the engine's unknown vector carried.
+  std::vector<std::vector<double>> samples_;
 };
 
 }  // namespace sscl::spice

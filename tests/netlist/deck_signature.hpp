@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file deck_signature.hpp
+/// A canonical, byte-stable textual signature of an elaborated
+/// spice::Circuit: every node in NodeId order, every device in
+/// construction order with its kind, terminals and DC-edge values.
+/// Two parsers that produce the same signature produced bit-identical
+/// circuits (same node numbering, same device order, same stamped
+/// values), which is the contract the staged netlist front-end keeps
+/// with the legacy single-pass deck parser. The committed goldens under
+/// tests/netlist/golden/ were generated with the legacy parser at the
+/// seed commit.
+
+#include <cstdio>
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace sscl::testing {
+
+inline std::string deck_signature(const spice::Circuit& c) {
+  std::string out;
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  };
+  out += "nodes " + std::to_string(c.node_count()) + "\n";
+  for (int n = 0; n < c.node_count(); ++n) {
+    out += "n" + std::to_string(n) + " " + c.node_name(n) + "\n";
+  }
+  std::size_t i = 0;
+  for (const auto& dev : c.devices()) {
+    spice::DeviceInfo info;
+    const bool described = dev->describe(info);
+    out += "d" + std::to_string(i++) + " ";
+    out += described ? info.kind : "?";
+    out += " " + dev->name();
+    for (const auto& t : info.terminals) {
+      out += " ";
+      out += t.role;
+      out += "=" + std::to_string(t.node);
+    }
+    for (const auto& e : info.edges) {
+      out += " e(" + std::to_string(e.a) + "," + std::to_string(e.b) + "," +
+             std::to_string(static_cast<int>(e.coupling)) + ",";
+      num(e.value);
+      out += ")";
+    }
+    if (info.is_mosfet) {
+      out += info.is_nmos ? " nmos" : " pmos";
+      for (double v : {info.ispec, info.mos_vt0, info.mos_n, info.mos_kp,
+                       info.mos_lambda, info.mos_w, info.mos_l,
+                       info.mos_temp, info.mos_ijs_s, info.mos_ijs_d,
+                       info.mos_nj}) {
+        out += " ";
+        num(v);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sscl::testing

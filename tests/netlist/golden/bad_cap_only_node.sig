@@ -1,0 +1,7 @@
+nodes 2
+n0 vdd
+n1 hold
+d0 vsource V1 pos=0 neg=-1 e(0,-1,1,1)
+d1 resistor R1 a=0 b=-1 e(0,-1,0,1000000)
+d2 capacitor C1 a=0 b=1 e(0,1,3,9.9999999999999998e-13)
+d3 capacitor C2 a=1 b=-1 e(1,-1,3,9.9999999999999998e-13)

@@ -1,0 +1,9 @@
+nodes 4
+n0 vdd
+n1 b
+n2 a
+n3 c
+d0 vsource V1 pos=0 neg=-1 e(0,-1,1,1)
+d1 resistor R1 a=0 b=-1 e(0,-1,0,1000000)
+d2 resistor Ra a=2 b=1 e(2,1,0,1000)
+d3 resistor Rb a=1 b=3 e(1,3,0,1000)

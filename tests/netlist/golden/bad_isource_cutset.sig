@@ -1,0 +1,7 @@
+nodes 2
+n0 vdd
+n1 n
+d0 vsource V1 pos=0 neg=-1 e(0,-1,1,1)
+d1 resistor R1 a=0 b=-1 e(0,-1,0,1000000)
+d2 isource I1 pos=-1 neg=1 e(-1,1,2,1.0000000000000001e-09)
+d3 capacitor C1 a=1 b=-1 e(1,-1,3,9.9999999999999998e-13)

@@ -1,0 +1,5 @@
+nodes 1
+n0 a
+d0 vsource V1 pos=0 neg=-1 e(0,-1,1,1)
+d1 vsource V2 pos=0 neg=-1 e(0,-1,1,2)
+d2 resistor R1 a=0 b=-1 e(0,-1,0,1000)

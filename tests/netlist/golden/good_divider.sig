@@ -1,0 +1,6 @@
+nodes 2
+n0 vdd
+n1 mid
+d0 vsource V1 pos=0 neg=-1 e(0,-1,1,1)
+d1 resistor R1 a=0 b=1 e(0,1,0,1000)
+d2 resistor R2 a=1 b=-1 e(1,-1,0,1000)

@@ -1,0 +1,103 @@
+#include "netlist/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sscl::netlist {
+namespace {
+
+double ev(const std::string& text) {
+  ParamEnv env;
+  return eval_expr(text, env);
+}
+
+TEST(Expr, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(ev("1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(ev("(1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(ev("10-4-3"), 3.0);   // left associative
+  EXPECT_DOUBLE_EQ(ev("12/4/3"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("7%4"), 3.0);
+  EXPECT_DOUBLE_EQ(ev("-2*-3"), 6.0);
+  EXPECT_DOUBLE_EQ(ev("- -5"), 5.0);
+}
+
+TEST(Expr, PowerBindsTighterAndRightAssociates) {
+  EXPECT_DOUBLE_EQ(ev("2**3"), 8.0);
+  EXPECT_DOUBLE_EQ(ev("2^3"), 8.0);
+  EXPECT_DOUBLE_EQ(ev("2**3**2"), 512.0);  // 2**(3**2), not (2**3)**2
+  EXPECT_DOUBLE_EQ(ev("-2**2"), 4.0);      // unary minus binds to the base
+  EXPECT_DOUBLE_EQ(ev("3*2**2"), 12.0);
+}
+
+TEST(Expr, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(ev("40n"), 40e-9);
+  EXPECT_DOUBLE_EQ(ev("1.2meg"), 1.2e6);
+  EXPECT_DOUBLE_EQ(ev("5e-10"), 5e-10);
+  EXPECT_NEAR(ev("2.5u*4"), 1e-5, 1e-20);
+  EXPECT_DOUBLE_EQ(ev("1k+1"), 1001.0);
+}
+
+TEST(Expr, BuiltinConstantsAndFunctions) {
+  EXPECT_NEAR(ev("pi"), M_PI, 1e-15);
+  EXPECT_NEAR(ev("sin(pi/2)"), 1.0, 1e-12);
+  EXPECT_NEAR(ev("sqrt(2)*sqrt(2)"), 2.0, 1e-12);
+  EXPECT_NEAR(ev("ln(e)"), 1.0, 1e-12);
+  EXPECT_NEAR(ev("log10(1000)"), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ev("abs(-3)"), 3.0);
+  EXPECT_DOUBLE_EQ(ev("min(2,3)"), 2.0);
+  EXPECT_DOUBLE_EQ(ev("max(2,3)"), 3.0);
+  EXPECT_DOUBLE_EQ(ev("pow(2,10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(ev("floor(1.9)"), 1.0);
+  EXPECT_DOUBLE_EQ(ev("ceil(1.1)"), 2.0);
+  EXPECT_DOUBLE_EQ(ev("sgn(-7)"), -1.0);
+  EXPECT_NEAR(ev("db(10)"), 20.0, 1e-12);
+}
+
+TEST(Expr, ParameterLookupIsCaseInsensitive) {
+  ParamEnv env;
+  env.set("Vdd", 0.4);
+  EXPECT_DOUBLE_EQ(eval_expr("VDD/2", env), 0.2);
+  EXPECT_NEAR(eval_expr("vdd*3", env), 1.2, 1e-15);
+}
+
+TEST(Expr, ScopedEnvironmentsShadowOutward) {
+  ParamEnv globals;
+  globals.set("w", 1e-6);
+  globals.set("beta", 2.0);
+  ParamEnv inner(&globals);
+  inner.set("w", 3e-6);  // shadows the global
+  EXPECT_DOUBLE_EQ(eval_expr("w*beta", inner), 6e-6);    // inner w, outer beta
+  EXPECT_DOUBLE_EQ(eval_expr("w*beta", globals), 2e-6);  // untouched
+  EXPECT_FALSE(globals.lookup("nope").has_value());
+  EXPECT_EQ(inner.lookup("beta"), globals.lookup("beta"));
+}
+
+TEST(Expr, ErrorsCarryPositions) {
+  try {
+    ev("1+*2");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_EQ(e.pos(), 2u);
+  }
+  try {
+    ev("2*(3+4");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_NE(std::string(e.what()).find("')'"), std::string::npos);
+  }
+  try {
+    ev("1+undefined_param");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_EQ(e.pos(), 2u);
+    EXPECT_NE(std::string(e.what()).find("undefined_param"),
+              std::string::npos);
+  }
+  EXPECT_THROW(ev(""), ExprError);
+  EXPECT_THROW(ev("blorp(3)"), ExprError);
+  EXPECT_THROW(ev("min(1)"), ExprError);
+}
+
+}  // namespace
+}  // namespace sscl::netlist

@@ -1,0 +1,148 @@
+#include "netlist/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sscl::netlist {
+namespace {
+
+// Tiny in-memory include resolver so lexer tests stay off the
+// filesystem (mirrors how the fuzz harness runs without a loader).
+IncludeLoader memory_loader(std::map<std::string, std::string> files) {
+  return [files = std::move(files)](
+             const std::string& path) -> std::optional<std::string> {
+    auto it = files.find(path);
+    if (it == files.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+TEST(Lexer, TitleIsNeverTokenized) {
+  const auto lexed = lex_deck("R1 in out 1k is a title, not a card\n.end\n");
+  EXPECT_EQ(lexed.title, "R1 in out 1k is a title, not a card");
+  ASSERT_EQ(lexed.lines.size(), 1u);
+  EXPECT_EQ(lexed.lines[0].tokens[0].text, ".end");
+}
+
+TEST(Lexer, TokenProvenanceLineAndColumn) {
+  const auto lexed = lex_deck("title\nR1 in out 1k\n  C1 a 0 1p\n");
+  ASSERT_EQ(lexed.lines.size(), 2u);
+
+  const auto& r1 = lexed.lines[0].tokens;
+  ASSERT_EQ(r1.size(), 4u);
+  EXPECT_EQ(r1[0].text, "R1");
+  EXPECT_EQ(r1[0].loc.line, 2);
+  EXPECT_EQ(r1[0].loc.col, 1);
+  EXPECT_EQ(r1[3].text, "1k");
+  EXPECT_EQ(r1[3].loc.col, 11);
+
+  const auto& c1 = lexed.lines[1].tokens;
+  EXPECT_EQ(c1[0].loc.line, 3);
+  EXPECT_EQ(c1[0].loc.col, 3);  // leading whitespace skipped, column kept
+
+  EXPECT_EQ(lexed.files.format(r1[3].loc), "<deck>:2:11");
+}
+
+TEST(Lexer, ContinuationKeepsPerTokenProvenance) {
+  const auto lexed = lex_deck("title\nV1 in 0\n+ DC 1.5\nR1 in 0 1k\n");
+  ASSERT_EQ(lexed.lines.size(), 2u);
+  const auto& v1 = lexed.lines[0].tokens;
+  ASSERT_EQ(v1.size(), 5u);
+  EXPECT_EQ(v1[0].text, "V1");
+  EXPECT_EQ(v1[0].loc.line, 2);
+  EXPECT_EQ(v1[3].text, "DC");
+  EXPECT_EQ(v1[3].loc.line, 3);  // token on the continuation line
+  EXPECT_EQ(v1[4].text, "1.5");
+}
+
+TEST(Lexer, CommentsAreQuoteAware) {
+  const auto lexed = lex_deck(
+      "title\n"
+      "* full-line comment\n"
+      "R1 in 0 1k $ trailing\n"
+      "R2 in 0 2k ; trailing too\n"
+      ".param a='1;2' b=3 $ after quote\n");
+  ASSERT_EQ(lexed.lines.size(), 3u);
+  EXPECT_EQ(lexed.lines[0].tokens.size(), 4u);
+  EXPECT_EQ(lexed.lines[1].tokens.size(), 4u);
+  const auto& p = lexed.lines[2].tokens;
+  // .param a = '1;2' b = 3  -- the ';' inside quotes is literal.
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p[3].text, "1;2");
+  EXPECT_TRUE(p[3].quoted);
+  EXPECT_EQ(p[6].text, "3");
+}
+
+TEST(Lexer, QuotedExpressionsBecomeSingleTokens) {
+  const auto lexed =
+      lex_deck("title\nVin in 0 PULSE(0 'vdd' {2*tr} 1n)\n");
+  const auto& t = lexed.lines[0].tokens;
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_EQ(t[3].text, "PULSE");
+  EXPECT_EQ(t[4].text, "0");
+  EXPECT_FALSE(t[4].quoted);
+  EXPECT_EQ(t[5].text, "vdd");
+  EXPECT_TRUE(t[5].quoted);
+  EXPECT_EQ(t[6].text, "2*tr");
+  EXPECT_TRUE(t[6].quoted);
+  EXPECT_EQ(t[7].text, "1n");
+}
+
+TEST(Lexer, EqualsIsItsOwnToken) {
+  const auto lexed = lex_deck("title\nM1 d g s b nmos W=2u L=0.2u\n");
+  const auto& t = lexed.lines[0].tokens;
+  ASSERT_EQ(t.size(), 12u);
+  EXPECT_EQ(t[6].text, "W");
+  EXPECT_EQ(t[7].text, "=");
+  EXPECT_EQ(t[8].text, "2u");
+}
+
+TEST(Lexer, UnterminatedQuoteIsAnError) {
+  try {
+    lex_deck("title\n.param a='1+2\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+  }
+}
+
+TEST(Lexer, IncludeSplicesWithOwnProvenance) {
+  LexOptions options;
+  options.include_loader =
+      memory_loader({{"lib.inc", "Rlib a 0 1k\nClib a 0 1p\n"}});
+  const auto lexed = lex_deck("title\nR1 in 0 1k\n.include lib.inc\nR2 in 0 2k\n",
+                              "top.sp", options);
+  ASSERT_EQ(lexed.lines.size(), 4u);
+  EXPECT_EQ(lexed.lines[0].tokens[0].text, "R1");
+  EXPECT_EQ(lexed.lines[1].tokens[0].text, "Rlib");
+  EXPECT_EQ(lexed.lines[2].tokens[0].text, "Clib");
+  EXPECT_EQ(lexed.lines[3].tokens[0].text, "R2");
+
+  // The included tokens point into lib.inc, line numbers restart there.
+  EXPECT_EQ(lexed.files.format(lexed.lines[1].tokens[0].loc), "lib.inc:1:1");
+  EXPECT_EQ(lexed.files.format(lexed.lines[2].tokens[0].loc), "lib.inc:2:1");
+  // ...and the surrounding deck keeps its own numbering.
+  EXPECT_EQ(lexed.files.format(lexed.lines[3].tokens[0].loc), "top.sp:4:1");
+}
+
+TEST(Lexer, MissingIncludeReportsCardLocation) {
+  try {
+    lex_deck("title\n.include nope.inc\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+    EXPECT_NE(e.message().find("nope.inc"), std::string::npos);
+  }
+}
+
+TEST(Lexer, IncludeCycleIsDetected) {
+  LexOptions options;
+  options.include_loader = memory_loader({{"a.inc", ".include b.inc\n"},
+                                          {"b.inc", ".include a.inc\n"}});
+  EXPECT_THROW(lex_deck("title\n.include a.inc\n", "top.sp", options),
+               NetlistError);
+}
+
+}  // namespace
+}  // namespace sscl::netlist

@@ -1,0 +1,232 @@
+#include "netlist/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/waveform.hpp"
+
+namespace sscl::netlist {
+namespace {
+
+/// Fixture: a trivial resolvable circuit (nodes a, b; V1 carries branch
+/// 0) plus a hand-built waveform -- a 0..1 V triangle on node a with
+/// period 2 s, a constant 0.25 V on b and a constant 2 mA source
+/// current. The measure engine only reads names and samples, so the
+/// waveform does not need to solve the circuit.
+class MeasureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deck_ = parse_netlist("t\nV1 a 0 1\nR1 a b 1k\nR2 b 0 1k\n.end\n");
+    // Branch ids are handed out by elaboration (the engine normally
+    // does this); i(...) probes need them.
+    deck_.circuit->elaborate();
+    na_ = *deck_.circuit->find_node("a");
+    nb_ = *deck_.circuit->find_node("b");
+    wave_ = spice::Waveform(deck_.circuit->node_count());
+    for (int i = 0; i <= 4; ++i) {
+      const double t = static_cast<double>(i);
+      std::vector<double> x(3, 0.0);
+      x[na_] = (i % 2 == 0) ? 0.0 : 1.0;  // 0,1,0,1,0 triangle
+      x[nb_] = 0.25;
+      x[2] = 2e-3;  // the V1 branch current row
+      wave_.append(t, x);
+    }
+    input_.circuit = deck_.circuit.get();
+    input_.tran = &wave_;
+    input_.params = &deck_.params;
+  }
+
+  static MeasureSpec trig_targ(const std::string& name,
+                               const MeasureSpec::Event& trig,
+                               const MeasureSpec::Event& targ) {
+    MeasureSpec m;
+    m.name = name;
+    m.kind = MeasureSpec::Kind::kTrigTarg;
+    m.trig = trig;
+    m.targ = targ;
+    return m;
+  }
+
+  static MeasureSpec::Event event(const std::string& node, double level,
+                                  MeasureSpec::EdgeSel edge, int count = 1,
+                                  double td = 0.0) {
+    MeasureSpec::Event ev;
+    ev.probe.ref = node;
+    ev.level = level;
+    ev.edge = edge;
+    ev.count = count;
+    ev.td = td;
+    return ev;
+  }
+
+  static MeasureSpec stat(const std::string& name, MeasureSpec::Stat s,
+                          Probe::Type type, const std::string& ref,
+                          double from = 0.0, double to = -1.0) {
+    MeasureSpec m;
+    m.name = name;
+    m.kind = MeasureSpec::Kind::kStat;
+    m.stat = s;
+    m.probe.type = type;
+    m.probe.ref = ref;
+    m.from = from;
+    m.to = to;
+    return m;
+  }
+
+  Deck deck_;
+  spice::NodeId na_ = 0, nb_ = 0;
+  spice::Waveform wave_;
+  MeasureInput input_;
+};
+
+TEST_F(MeasureTest, TrigTargInterpolatesCrossings) {
+  const auto specs = {trig_targ(
+      "d", event("a", 0.5, MeasureSpec::EdgeSel::kRise),
+      event("a", 0.5, MeasureSpec::EdgeSel::kFall))};
+  const auto r = run_measures(specs, input_);
+  ASSERT_TRUE(r[0].value.has_value()) << r[0].error;
+  // Rise crosses 0.5 at t=0.5, the next fall at t=1.5.
+  EXPECT_NEAR(*r[0].value, 1.0, 1e-12);
+}
+
+TEST_F(MeasureTest, TrigTargHonoursCountAndTd) {
+  const auto specs = {trig_targ(
+      "d", event("a", 0.5, MeasureSpec::EdgeSel::kRise, 1, /*td=*/2.0),
+      event("a", 0.5, MeasureSpec::EdgeSel::kRise, 2))};
+  const auto r = run_measures(specs, input_);
+  ASSERT_TRUE(r[0].value.has_value()) << r[0].error;
+  // trig: first rise at/after td=2 is t=2.5; targ: 2nd rise overall is
+  // also t=2.5.
+  EXPECT_NEAR(*r[0].value, 0.0, 1e-12);
+}
+
+TEST_F(MeasureTest, TrigTargEventNotFound) {
+  const auto specs = {trig_targ(
+      "d", event("a", 5.0, MeasureSpec::EdgeSel::kRise),
+      event("a", 0.5, MeasureSpec::EdgeSel::kFall))};
+  const auto r = run_measures(specs, input_);
+  EXPECT_FALSE(r[0].value.has_value());
+  EXPECT_NE(r[0].error.find("event not found"), std::string::npos);
+}
+
+TEST_F(MeasureTest, IntegAvgRmsOverWindows) {
+  const auto specs = {
+      stat("q", MeasureSpec::Stat::kInteg, Probe::Type::kVoltage, "a"),
+      stat("m", MeasureSpec::Stat::kAvg, Probe::Type::kVoltage, "a"),
+      stat("r", MeasureSpec::Stat::kRms, Probe::Type::kVoltage, "b"),
+      stat("half", MeasureSpec::Stat::kInteg, Probe::Type::kVoltage, "a",
+           /*from=*/0.5, /*to=*/1.5)};
+  const auto r = run_measures(specs, input_);
+  // Two unit triangles of area 1 each.
+  EXPECT_NEAR(*r[0].value, 2.0, 1e-12);
+  EXPECT_NEAR(*r[1].value, 0.5, 1e-12);
+  EXPECT_NEAR(*r[2].value, 0.25, 1e-12);
+  // Window endpoints are interpolated: trapezoid 0.5->1->0.5.
+  EXPECT_NEAR(*r[3].value, 0.75, 1e-12);
+}
+
+TEST_F(MeasureTest, MinMaxPpIncludeInterpolatedEndpoints) {
+  const auto specs = {
+      stat("lo", MeasureSpec::Stat::kMin, Probe::Type::kVoltage, "a", 0.5,
+           1.5),
+      stat("hi", MeasureSpec::Stat::kMax, Probe::Type::kVoltage, "a", 0.5,
+           1.5),
+      stat("pp", MeasureSpec::Stat::kPp, Probe::Type::kVoltage, "a", 0.5,
+           1.5)};
+  const auto r = run_measures(specs, input_);
+  EXPECT_NEAR(*r[0].value, 0.5, 1e-12);
+  EXPECT_NEAR(*r[1].value, 1.0, 1e-12);
+  EXPECT_NEAR(*r[2].value, 0.5, 1e-12);
+}
+
+TEST_F(MeasureTest, CurrentProbesNeedABranch) {
+  const auto specs = {
+      stat("q", MeasureSpec::Stat::kInteg, Probe::Type::kCurrent, "v1"),
+      stat("bad", MeasureSpec::Stat::kMax, Probe::Type::kCurrent, "r1"),
+      stat("gone", MeasureSpec::Stat::kMax, Probe::Type::kCurrent, "nix")};
+  const auto r = run_measures(specs, input_);
+  ASSERT_TRUE(r[0].value.has_value()) << r[0].error;
+  EXPECT_NEAR(*r[0].value, 8e-3, 1e-15);  // 2 mA * 4 s
+  EXPECT_FALSE(r[1].value.has_value());
+  EXPECT_NE(r[1].error.find("no branch current"), std::string::npos);
+  EXPECT_FALSE(r[2].value.has_value());
+  EXPECT_NE(r[2].error.find("unknown device"), std::string::npos);
+}
+
+TEST_F(MeasureTest, FindAtInterpolates) {
+  MeasureSpec m;
+  m.name = "f";
+  m.kind = MeasureSpec::Kind::kFindAt;
+  m.probe.ref = "a";
+  m.at = 0.25;
+  const auto r = run_measures({m}, input_);
+  EXPECT_NEAR(*r[0].value, 0.25, 1e-12);
+}
+
+TEST_F(MeasureTest, ParamMeasuresChainOverPriorResults) {
+  MeasureSpec vmax =
+      stat("vmax", MeasureSpec::Stat::kMax, Probe::Type::kVoltage, "a");
+  MeasureSpec scaled;
+  scaled.name = "scaled";
+  scaled.kind = MeasureSpec::Kind::kParam;
+  scaled.expr = "vmax*4";
+  MeasureSpec broken;
+  broken.name = "broken";
+  broken.kind = MeasureSpec::Kind::kParam;
+  broken.expr = "missing_result+1";
+  MeasureSpec after;
+  after.name = "after";
+  after.kind = MeasureSpec::Kind::kParam;
+  after.expr = "scaled/2";
+  const auto r = run_measures({vmax, scaled, broken, after}, input_);
+  EXPECT_NEAR(*r[1].value, 4.0, 1e-12);
+  EXPECT_FALSE(r[2].value.has_value());
+  EXPECT_NE(r[2].error.find("unknown parameter"), std::string::npos);
+  // A failed measure does not poison the ones after it.
+  EXPECT_NEAR(*r[3].value, 2.0, 1e-12);
+}
+
+TEST_F(MeasureTest, DcMeasuresUseTheSweptAxis) {
+  spice::DcSweepResult dc;
+  for (int i = 0; i <= 4; ++i) {
+    dc.values.push_back(0.1 * i);
+    // x = [v(a), v(b), i(v1)]
+    dc.solutions.emplace_back(
+        std::vector<double>{0.1 * i, 0.05 * i, 1e-3 * i}, 2);
+  }
+  MeasureInput input = input_;
+  input.tran = nullptr;
+  input.dc = &dc;
+  MeasureSpec m =
+      stat("g", MeasureSpec::Stat::kMax, Probe::Type::kVoltage, "b");
+  m.analysis = MeasureSpec::Analysis::kDc;
+  const auto r = run_measures({m}, input);
+  ASSERT_TRUE(r[0].value.has_value()) << r[0].error;
+  EXPECT_NEAR(*r[0].value, 0.2, 1e-12);
+}
+
+TEST_F(MeasureTest, MissingAnalysisIsAnErrorResultNotAThrow) {
+  MeasureInput input = input_;
+  input.tran = nullptr;
+  const auto specs = {
+      stat("q", MeasureSpec::Stat::kInteg, Probe::Type::kVoltage, "a")};
+  const auto r = run_measures(specs, input);
+  EXPECT_FALSE(r[0].value.has_value());
+  EXPECT_NE(r[0].error.find("no transient waveform"), std::string::npos);
+}
+
+TEST_F(MeasureTest, CsvIsDeterministic) {
+  std::vector<MeasureResult> results(2);
+  results[0].name = "tp";
+  results[0].value = 0.5;
+  results[1].name = "bad";
+  results[1].error = "boom, with a comma";
+  EXPECT_EQ(measures_to_csv(results),
+            "name,value,error\n"
+            "tp,0.5,\n"
+            "bad,failed,\"boom, with a comma\"\n");
+}
+
+}  // namespace
+}  // namespace sscl::netlist

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/netlist.hpp"
+#include "spice/elements.hpp"
+
+namespace sscl::netlist {
+namespace {
+
+const spice::SourceSpec& vsource_spec(const spice::Circuit& c,
+                                      const std::string& name) {
+  for (const auto& dev : c.devices()) {
+    if (dev->name() == name) {
+      const auto* v = dynamic_cast<const spice::VoltageSource*>(dev.get());
+      EXPECT_NE(v, nullptr) << name << " is not a V source";
+      return v->spec();
+    }
+  }
+  ADD_FAILURE() << "no device " << name;
+  static const spice::SourceSpec dummy;
+  return dummy;
+}
+
+TEST(SourcesEdge, NonMonotonePwlIsRejectedWithLocation) {
+  try {
+    parse_netlist(R"(bad pwl
+R1 c 0 1k
+Vw c 0 PWL(0 0 2u 1 1u 0.5)
+.end
+)");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(e.message().find("strictly increase"), std::string::npos)
+        << e.message();
+    // The error points at the offending time token, not the card start.
+    EXPECT_EQ(e.loc().line, 3);
+    EXPECT_GT(e.loc().col, 1);
+  }
+}
+
+TEST(SourcesEdge, EqualPwlTimePointsAreAlsoRejected) {
+  EXPECT_THROW(parse_netlist("t\nVw c 0 PWL(0 0 1u 1 1u 0.5)\nR1 c 0 1k\n"),
+               NetlistError);
+}
+
+TEST(SourcesEdge, ZeroWidthPulseEdgesAreClamped) {
+  const Deck deck = parse_netlist(R"(hard edges
+Vp b 0 PULSE(0 1 0 0 0 5u 10u)
+Rb b 0 1k
+.end
+)");
+  const auto& spec = vsource_spec(*deck.circuit, "Vp");
+  // Zero rise/fall is clamped to 1 fs so the waveform stays a function;
+  // one step past the clamp the pulse is at full swing.
+  EXPECT_DOUBLE_EQ(spec.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.value(2e-15), 1.0);
+  EXPECT_DOUBLE_EQ(spec.value(4e-6), 1.0);
+  EXPECT_DOUBLE_EQ(spec.value(6e-6), 0.0);
+}
+
+TEST(SourcesEdge, SinPhaseShiftsTheWaveform) {
+  const Deck deck = parse_netlist(R"(sin phase
+Vs a 0 SIN(0.25 0.25 1meg 0 0 90)
+Vd b 0 SIN(0 1 1meg 5u 0 90)
+Ra a 0 1k
+Rb b 0 1k
+.end
+)");
+  // sin(90 deg) = 1 right at t=0.
+  const auto& vs = vsource_spec(*deck.circuit, "Vs");
+  EXPECT_NEAR(vs.value(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(vs.value(0.25e-6), 0.25, 1e-9);  // quarter period later
+  // Before the delay the source holds the phase-shifted start value.
+  const auto& vd = vsource_spec(*deck.circuit, "Vd");
+  EXPECT_NEAR(vd.value(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(vd.value(4.9e-6), 1.0, 1e-12);
+}
+
+TEST(SourcesEdge, ExpressionValuedSourceParameters) {
+  const Deck deck = parse_netlist(R"(param sources
+.param vdd=0.4 tr=1n
+V1 a 0 PULSE(0 'vdd' 'tr' 'tr' 'tr' '10*tr' '20*tr')
+V2 b 0 'vdd/2'
+V3 c 0 DC 'vdd/4'
+Ra a 0 1k
+Rb b 0 1k
+Rc c 0 1k
+.end
+)");
+  const auto& p = vsource_spec(*deck.circuit, "V1");
+  EXPECT_NEAR(p.value(5e-9), 0.4, 1e-12);  // flat top mid-pulse
+  EXPECT_NEAR(vsource_spec(*deck.circuit, "V2").value(0.0), 0.2, 1e-12);
+  EXPECT_NEAR(vsource_spec(*deck.circuit, "V3").value(0.0), 0.1, 1e-12);
+}
+
+TEST(SourcesEdge, AcMagnitudeAndPhaseRideAlong) {
+  const Deck deck = parse_netlist(R"(ac spec
+V1 a 0 DC 0.5 AC 1 45
+Ra a 0 1k
+.end
+)");
+  const auto& spec = vsource_spec(*deck.circuit, "V1");
+  EXPECT_DOUBLE_EQ(spec.value(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(spec.ac_magnitude(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.ac_phase_deg(), 45.0);
+}
+
+TEST(SourcesEdge, ShortSourceListsStillFailCleanly) {
+  EXPECT_THROW(parse_netlist("t\nV1 a 0 PULSE(0 1 0)\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW(parse_netlist("t\nV1 a 0 SIN(0 1)\nR1 a 0 1k\n"),
+               NetlistError);
+  EXPECT_THROW(parse_netlist("t\nV1 a 0 PWL(0 0 1u)\nR1 a 0 1k\n"),
+               NetlistError);
+}
+
+}  // namespace
+}  // namespace sscl::netlist
