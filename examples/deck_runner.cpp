@@ -75,6 +75,31 @@ Rprobe probe 0 1meg
 .end
 )";
 
+int usage(std::ostream& os, int code) {
+  os << "usage: deck_runner [options] [deck.sp] [node ...]\n"
+        "  (no deck: runs the built-in demo; extra arguments name the\n"
+        "  nodes to report, default all)\n"
+        "  --stats                engine-pipeline report after the "
+        "analyses\n"
+        "  --strict               reject unknown dot-cards instead of\n"
+        "                         accept-and-warn\n"
+        "  --max-depth N          .subckt nesting limit (default 64)\n"
+        "  --measure-csv FILE     write .measure results as a\n"
+        "                         deterministic name,value,error CSV\n"
+        "  --trace FILE           write a Chrome trace-event JSON\n"
+        "  --metrics FILE         write the counter registry as JSON (or\n"
+        "                         CSV for a .csv path)\n"
+        "  --mc N                 Monte-Carlo DC ensemble with N mismatch\n"
+        "                         samples instead of the deck's analyses\n"
+        "  --mc-seed S            ensemble seed (default 1)\n"
+        "  --mc-csv FILE          ensemble CSV destination (default "
+        "stdout)\n"
+        "  --mc-legacy            per-sample oracle path instead of the\n"
+        "                         batched ensemble engine\n"
+        "  --jobs J               ensemble worker threads\n";
+  return code;
+}
+
 std::vector<sscl::spice::NodeId> pick_nodes(
     const sscl::spice::Circuit& c, const std::vector<std::string>& wanted) {
   std::vector<sscl::spice::NodeId> nodes;
@@ -128,7 +153,9 @@ int main(int argc, char** argv) {
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i + n));
     };
-    if (args[i] == "--stats") {
+    if (args[i] == "--help" || args[i] == "-h") {
+      return usage(std::cout, 0);
+    } else if (args[i] == "--stats") {
       want_stats = true;
       erase(1);
     } else if (args[i] == "--strict") {

@@ -1,0 +1,56 @@
+serve-bench: front-end-heavy ladder for the warm-vs-cold cache gate
+* ~60 lines of text elaborate into 8*8*8 segments (1024 resistors,
+* ~1.5k nodes), each with its own .param expression arithmetic. The
+* .op solve is one sparse linear factorisation, so the front end
+* (parse + expression evaluation + hierarchical expansion + pattern
+* pass + symbolic analysis) dominates a cold run; a warm cache hit
+* skips all of it and only re-lexes the text for the content hash.
+* scripts/serve_smoke.sh asserts warm >= 5x faster than cold here.
+.param rbase=1k
+.param vtop=1.0
+.param rstep='rbase/3 + 17'
+
+.subckt seg a b r=1k
+* four resistors but only one internal node: each extra parallel leg
+* multiplies elaboration work (one expression evaluation per expanded
+* instance) without growing the matrix the .op has to factorise.
+r1 a m {r*1.25 + rbase/64 + sqrt(r)*0.01}
+r2 m b {r*2 + rbase/100 + rstep/8}
+r3 a m {max(r*4, rbase) + exp(min(r, 2k)/1k)}
+r4 m b {r*8 + log10(max(r, 10))*7 + pow(r/1k, 2)}
+.ends
+
+.subckt row a b r=1k
+x1 a n1 seg r={r*1.01 + rstep/256}
+x2 n1 n2 seg r={r*1.02 + rstep/128}
+x3 n2 n3 seg r={r*1.03 + rstep/64}
+x4 n3 n4 seg r={r*1.04 + rstep/32}
+x5 n4 n5 seg r={r*1.05 + rstep/16}
+x6 n5 n6 seg r={r*1.06 + rstep/8}
+x7 n6 n7 seg r={r*1.07 + rstep/4}
+x8 n7 b seg r={r*1.08 + rstep/2}
+.ends
+
+.subckt blk a b r=1k
+x1 a n1 row r={r*1.001}
+x2 n1 n2 row r={r*1.002}
+x3 n2 n3 row r={r*1.003}
+x4 n3 n4 row r={r*1.004}
+x5 n4 n5 row r={r*1.005}
+x6 n5 n6 row r={r*1.006}
+x7 n6 n7 row r={r*1.007}
+x8 n7 b row r={r*1.008}
+.ends
+
+v1 top 0 {vtop}
+x1 top t1 blk r={rstep}
+x2 t1 t2 blk r={rstep*1.1}
+x3 t2 t3 blk r={rstep*1.2}
+x4 t3 t4 blk r={rstep*1.3}
+x5 t4 t5 blk r={rstep*1.4}
+x6 t5 t6 blk r={rstep*1.5}
+x7 t6 t7 blk r={rstep*1.6}
+x8 t7 mid blk r={rstep*1.7}
+rload mid 0 {rbase}
+.op
+.end

@@ -1,0 +1,30 @@
+# ctest gate: `<tool> --help` must match the committed golden byte for
+# byte, so the usage text cannot drift from the flags again (it did in
+# PR 9: deck_runner had no --help at all and sscl-lint's text was
+# missing options). Regenerate a golden on purposeful change with:
+#
+#   build/examples/<tool> --help > tests/cli/<tool>_help.txt
+#
+# Variables (passed with -D):
+#   TOOL    - path to the executable
+#   GOLDEN  - committed golden help text
+#   OUT     - scratch file to write the live output to
+
+execute_process(
+  COMMAND ${TOOL} --help
+  RESULT_VARIABLE rc
+  OUTPUT_FILE ${OUT}
+  ERROR_VARIABLE stderr_text)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} --help exited ${rc}:\n${stderr_text}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT}
+                  OUTPUT_VARIABLE got)
+  message(FATAL_ERROR "--help output drifted from ${GOLDEN}; if the "
+                      "change is intentional, regenerate the golden:\n${got}")
+endif()

@@ -53,6 +53,7 @@ int usage(std::ostream& os, int code) {
         "  --jobs N               worker threads (0 = hardware)\n"
         "  --strict               reject unknown dot-cards instead of\n"
         "                         accept-and-warn\n"
+        "  --max-depth N          .subckt nesting limit (default 64)\n"
         "  --trace FILE           write a Chrome trace-event JSON\n"
         "  --metrics FILE         write the counter registry as JSON\n"
         "  --list-passes          print every pass and exit\n";
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool strict = false;
+  int max_depth = 64;
   lint::Options options;
   std::vector<std::string> decks;
 
@@ -175,6 +177,9 @@ int main(int argc, char** argv) {
       options.vdd_tol = *tol * scale;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--max-depth") {
+      if (!(value = next(i))) return usage(std::cerr, 2);
+      max_depth = std::atoi(value);
     } else if (arg == "--jobs") {
       if (!(value = next(i))) return usage(std::cerr, 2);
       options.jobs = std::atoi(value);
@@ -219,6 +224,7 @@ int main(int argc, char** argv) {
     try {
       netlist::ParseOptions parse_options;
       parse_options.strict = strict;
+      parse_options.max_subckt_depth = max_depth;
       parse_options.name = path;
       const auto slash = path.find_last_of('/');
       parse_options.include_loader = netlist::file_include_loader(

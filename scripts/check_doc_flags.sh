@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Keep a CLI guide honest against its committed --help golden: every
+# `--flag` the document mentions must appear in the golden usage text
+# (which the help_gate_* ctests in turn pin to the binaries). Used by
+# the docs CI job for docs/SERVE.md vs tests/cli/sscl-serve_help.txt.
+#
+# usage: check_doc_flags.sh <doc.md> <help-golden.txt>
+set -euo pipefail
+
+DOC=${1:?usage: check_doc_flags.sh <doc.md> <help-golden.txt>}
+GOLDEN=${2:?usage: check_doc_flags.sh <doc.md> <help-golden.txt>}
+
+STATUS=0
+for flag in $(grep -oE -- '--[a-z][a-z-]+' "$DOC" | sort -u); do
+  if ! grep -qE -- "(^|[[:space:]])${flag}([[:space:]]|$)" "$GOLDEN"; then
+    echo "check_doc_flags: $DOC mentions '$flag' but $GOLDEN does not" >&2
+    STATUS=1
+  fi
+done
+exit $STATUS

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# serve-smoke: boot the sscl-serve daemon, drive the wire protocol end
+# to end, and gate the elaboration cache (docs/SERVE.md):
+#
+#   1. a warm resubmission of the same deck must hit the elab tier
+#      (serve.cache.hit.elab >= 1 in the METRICS JSON), and
+#   2. it must be at least MIN_RATIO x faster than the cold submission.
+#
+# The timing gate reads the daemon's own latency percentiles instead of
+# timing client processes: after 1 cold + N warm submissions the
+# nearest-rank p95 is the cold job and the p50 is a middle warm job, so
+# p95/p50 is the cold/warm ratio, free of connect/exec overhead.
+#
+# usage: serve_smoke.sh <sscl-serve binary> <deck.sp> [min-ratio]
+set -euo pipefail
+
+BIN=${1:?usage: serve_smoke.sh <sscl-serve> <deck.sp> [min-ratio]}
+DECK=${2:?usage: serve_smoke.sh <sscl-serve> <deck.sp> [min-ratio]}
+MIN_RATIO=${3:-${SERVE_SMOKE_MIN_RATIO:-5}}
+WARM_RUNS=5
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$BIN" --port 0 --port-file "$WORK/port" --jobs 2 \
+  >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 100); do
+  [ -s "$WORK/port" ] && break
+  kill -0 "$SERVER_PID" || { cat "$WORK/server.log"; exit 1; }
+  sleep 0.1
+done
+PORT=$(cat "$WORK/port")
+echo "serve-smoke: daemon on port $PORT (pid $SERVER_PID)"
+
+"$BIN" --connect "$PORT" --command PING | grep -qx 'PONG' \
+  || { echo "serve-smoke: PING failed"; exit 1; }
+
+# Cold: first sight of the deck runs the full front end.
+"$BIN" --connect "$PORT" "$DECK" >"$WORK/cold.txt"
+grep -qx 'CACHE cold' "$WORK/cold.txt" \
+  || { echo "serve-smoke: first submission was not a cache miss"; exit 1; }
+
+# Warm: byte-identical resubmissions must hit the elab tier, and the
+# payload (everything but the QUEUED/BEGIN/CACHE/END envelope) must be
+# byte-identical to the cold reply.
+grep -Ev '^(QUEUED|BEGIN|CACHE|BUSY|END)' "$WORK/cold.txt" >"$WORK/cold.payload"
+for i in $(seq "$WARM_RUNS"); do
+  "$BIN" --connect "$PORT" "$DECK" >"$WORK/warm.txt"
+  grep -qx 'CACHE elab' "$WORK/warm.txt" \
+    || { echo "serve-smoke: warm submission $i missed the cache"; exit 1; }
+  grep -Ev '^(QUEUED|BEGIN|CACHE|BUSY|END)' "$WORK/warm.txt" >"$WORK/warm.payload"
+  cmp "$WORK/cold.payload" "$WORK/warm.payload" \
+    || { echo "serve-smoke: warm payload differs from cold"; exit 1; }
+done
+
+"$BIN" --connect "$PORT" --command METRICS >"$WORK/metrics.txt"
+JSON=$(grep '^METRICS ' "$WORK/metrics.txt" | cut -d' ' -f2-)
+echo "serve-smoke: $JSON"
+
+HITS=$(sed -n 's/.*"serve\.cache\.hit\.elab":\([0-9]*\).*/\1/p' <<<"$JSON")
+[ -n "$HITS" ] && [ "$HITS" -ge 1 ] \
+  || { echo "serve-smoke: expected serve.cache.hit.elab >= 1, got '$HITS'"; exit 1; }
+
+P50=$(sed -n 's/.*"serve\.latency\.p50_ms":\([0-9.eE+-]*\).*/\1/p' <<<"$JSON")
+P95=$(sed -n 's/.*"serve\.latency\.p95_ms":\([0-9.eE+-]*\).*/\1/p' <<<"$JSON")
+awk -v cold="$P95" -v warm="$P50" -v min="$MIN_RATIO" 'BEGIN {
+  ratio = warm > 0 ? cold / warm : 0;
+  printf "serve-smoke: cold %.3f ms, warm %.3f ms -> %.1fx (need >= %sx)\n",
+         cold, warm, ratio, min;
+  exit !(ratio >= min);
+}' || { echo "serve-smoke: warm-vs-cold speedup below ${MIN_RATIO}x"; exit 1; }
+
+"$BIN" --connect "$PORT" --command SHUTDOWN >/dev/null
+wait "$SERVER_PID"
+echo "serve-smoke: OK"

@@ -31,6 +31,11 @@ class Diode final : public spice::Device {
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
   bool describe(spice::DeviceInfo& info) const override;
+  void reset_runtime() override {
+    cache_valid_ = false;
+    v_last_ = v_raw_cache_ = 0.0;
+    last_i_ = last_g_ = last_c_ = last_q_ = 0.0;
+  }
 
   /// Conduction current at the last computed operating point.
   double current() const { return last_i_; }

@@ -24,6 +24,12 @@ class Mosfet final : public spice::Device {
   void load_ac(spice::AcContext& ctx) const override;
   void add_noise(spice::NoiseContext& ctx) const override;
   bool describe(spice::DeviceInfo& info) const override;
+  void reset_runtime() override {
+    cache_valid_ = false;
+    vjs_last_ = vjd_last_ = 0.0;
+    last_ = EkvResult{};
+    jgs_ = jgd_ = cbs_ = cbd_ = 0.0;
+  }
   bool perturb_sample(const util::Rng& stream, std::uint64_t ordinal) override;
   /// Batched Monte-Carlo channel staging mismatch in SoA lanes
   /// (ekv_batch.hpp). Returns nullptr when bulk junctions are present:

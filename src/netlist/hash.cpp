@@ -1,0 +1,95 @@
+#include "netlist/hash.hpp"
+
+#include <cctype>
+
+namespace sscl::netlist {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_append(std::uint64_t& h, char c) {
+  h ^= static_cast<unsigned char>(c);
+  h *= kFnvPrime;
+}
+
+void fnv_append(std::uint64_t& h, const std::string& s) {
+  for (char c : s) fnv_append(h, c);
+}
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+void append_token(std::uint64_t& h, std::string* text, const Token& tok) {
+  if (tok.quoted) {
+    fnv_append(h, '{');
+    if (text) text->push_back('{');
+  }
+  for (char c : tok.text) {
+    fnv_append(h, lower(c));
+    if (text) text->push_back(lower(c));
+  }
+  if (tok.quoted) {
+    fnv_append(h, '}');
+    if (text) text->push_back('}');
+  }
+  fnv_append(h, ' ');
+  if (text) text->push_back(' ');
+}
+
+bool is_param_card(const LogicalLine& line) {
+  if (line.tokens.empty()) return false;
+  const std::string& head = line.tokens[0].text;
+  if (head.size() < 6 || head[0] != '.') return false;
+  static constexpr char kParam[] = "param";
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (lower(head[i + 1]) != kParam[i]) return false;
+  }
+  return head.size() == 6;
+}
+
+/// Serialize one deck into \p full and \p structural simultaneously.
+/// The structural stream replaces the value token after each '=' on a
+/// .param card with the placeholder '#', so decks differing only in
+/// .param values collide there on purpose.
+void serialize(const LexResult& lexed, std::uint64_t& full,
+               std::uint64_t& structural, std::string* text) {
+  fnv_append(full, lexed.title);
+  fnv_append(full, '\n');
+  for (const LogicalLine& line : lexed.lines) {
+    const bool mask_values = is_param_card(line);
+    bool after_eq = false;
+    for (const Token& tok : line.tokens) {
+      append_token(full, text, tok);
+      if (mask_values && after_eq) {
+        fnv_append(structural, '#');
+        fnv_append(structural, ' ');
+      } else {
+        append_token(structural, nullptr, tok);
+      }
+      after_eq = tok.text == "=" && !tok.quoted;
+    }
+    fnv_append(full, '\n');
+    fnv_append(structural, '\n');
+    if (text) text->push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string canonical_tokens(const LexResult& lexed) {
+  std::string text;
+  std::uint64_t full = kFnvOffset, structural = kFnvOffset;
+  serialize(lexed, full, structural, &text);
+  return text;
+}
+
+TokenHashes hash_tokens(const LexResult& lexed) {
+  TokenHashes h{kFnvOffset, kFnvOffset};
+  serialize(lexed, h.full, h.structural, nullptr);
+  return h;
+}
+
+}  // namespace sscl::netlist

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file hash.hpp
+/// Content hashing of a lexed deck for the sscl-serve elaboration cache
+/// (docs/SERVE.md). Two decks that lex to the same canonical token
+/// stream elaborate to bit-identical circuits, so the hash of that
+/// stream is a sound cache key for everything downstream of the lexer:
+///
+///   * full hash       — every post-`.include` token (lowercased, with
+///     expression-quote markers) plus the title. Whitespace, comments,
+///     line continuations and `.include` indirection do not change it;
+///     any semantic edit does. Keys the elaboration tier.
+///   * structural hash — the same stream with the value tokens of
+///     `.param` assignments masked out. Two decks that differ only in
+///     `.param` values share node numbering, device order and therefore
+///     the MNA stamp pattern, so a structural match lets a cold entry
+///     adopt the donor's symbolic factorisation (pivot sequence) even
+///     though it must re-elaborate. Keys the pattern tier.
+///
+/// Hashes are 64-bit FNV-1a over the canonical serialization, the same
+/// scheme lint uses for SARIF fingerprints.
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/lexer.hpp"
+
+namespace sscl::netlist {
+
+/// The two cache-tier keys of one lexed deck.
+struct TokenHashes {
+  std::uint64_t full = 0;        ///< elaboration-tier key
+  std::uint64_t structural = 0;  ///< pattern-tier key
+};
+
+/// Canonical serialization of the post-include token stream: one line
+/// per logical line, tokens lowercased and space-separated, quoted
+/// expression tokens wrapped in `{}`. Exposed for tests and debugging;
+/// hash_tokens() is what the cache consumes.
+std::string canonical_tokens(const LexResult& lexed);
+
+/// Hash the lexed deck for the serve cache. \p lexed must be the
+/// post-include stream (lex_deck output).
+TokenHashes hash_tokens(const LexResult& lexed);
+
+}  // namespace sscl::netlist

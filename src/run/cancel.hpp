@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running work scheduled on the
+/// ThreadPool. A CancelToken is shared between the party that may abort
+/// the work (a serve client sending CANCEL, a deadline watchdog) and the
+/// work itself, which polls stop_requested() at its natural checkpoints
+/// (between analyses, per accepted transient step). Both sides only
+/// touch atomics, so a token may be signalled from any thread while the
+/// job runs on a pool worker.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sscl::run {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Request cancellation (idempotent, thread-safe).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm a wall-clock deadline; past it the token reports expiry.
+  /// A zero/negative timeout arms nothing.
+  void set_deadline_after(std::chrono::milliseconds timeout) {
+    if (timeout.count() > 0) {
+      deadline_ns_.store(
+          Clock::now().time_since_epoch().count() +
+              std::chrono::nanoseconds(timeout).count(),
+          std::memory_order_relaxed);
+    }
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool expired() const {
+    const long long d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// True when the work should stop for either reason.
+  bool stop_requested() const { return cancelled() || expired(); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<long long> deadline_ns_{0};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace sscl::run

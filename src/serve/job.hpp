@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file job.hpp
+/// One deck submission to sscl-serve and the streamed-response sink it
+/// is answered through (docs/SERVE.md).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sscl::serve {
+
+/// A submitted deck plus its run options. The client name is the
+/// fairness bucket: the scheduler round-robins across clients, so one
+/// flooding client cannot starve the rest.
+struct JobRequest {
+  std::string deck_text;
+  std::string client = "default";
+  /// Nodes to report (lowercased netlist names); empty = all nodes.
+  std::vector<std::string> nodes;
+  /// > 0: stream a WAVE line for every k-th accepted transient point
+  /// (counting from the t=0 point). 0 = summary rows only.
+  int stream_every = 0;
+  /// Per-job deadline in milliseconds; 0 = the server default.
+  int timeout_ms = 0;
+};
+
+/// Receives complete response lines (no trailing newline), in order,
+/// from the worker thread running the job. The final line for a job is
+/// always `END <status>`.
+using Sink = std::function<void(const std::string& line)>;
+
+/// Terminal state of a job, reported on its END line.
+enum class JobStatus { kOk, kError, kCancelled, kTimeout };
+
+const char* job_status_name(JobStatus status);
+
+}  // namespace sscl::serve

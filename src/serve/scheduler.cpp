@@ -1,0 +1,128 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace sscl::serve {
+
+Scheduler::Scheduler(Options options) : options_(std::move(options)) {
+  if (options_.queue_depth < 1) options_.queue_depth = 1;
+  pool_ = std::make_unique<run::ThreadPool>(options_.jobs);
+  // Cached for the retry-after math: submit() keeps answering (with a
+  // rejection) after stop() has destroyed the pool.
+  pool_size_ = pool_->size();
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+Scheduler::Admit Scheduler::submit(const std::string& client, Work work,
+                                   const OnAdmit& on_admit) {
+  Admit admit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queued_ >= options_.queue_depth) {
+      // Backpressure: scale the retry hint with how oversubscribed the
+      // pool is, so a saturated daemon spreads its retries out.
+      admit.retry_after_ms =
+          50 * (queued_ / std::max(1, pool_size_) + 1);
+      return admit;
+    }
+    Job job;
+    job.id = next_id_++;
+    job.work = std::move(work);
+    job.token = std::make_shared<run::CancelToken>();
+    admit.accepted = true;
+    admit.id = job.id;
+    tokens_.emplace(job.id, job.token);
+    auto [it, fresh] = queues_.try_emplace(client);
+    if (fresh || it->second.empty()) rotation_.push_back(client);
+    it->second.push_back(std::move(job));
+    ++queued_;
+    // Workers take mu_ before dequeuing, so the job cannot start until
+    // this callback has returned.
+    if (on_admit) on_admit(job.id);
+  }
+  // One drain token per admitted job; which job it runs is decided by
+  // the fairness cursor when a worker picks it up.
+  pool_->submit([this] { drain_one(); });
+  return admit;
+}
+
+void Scheduler::drain_one() {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Empty rotation means stop() reclaimed the queued jobs to run them
+    // inline; this drain token has nothing left to do.
+    if (rotation_.empty()) return;
+    const std::string client = std::move(rotation_.front());
+    rotation_.pop_front();
+    auto it = queues_.find(client);
+    job = std::move(it->second.front());
+    it->second.pop_front();
+    if (!it->second.empty()) {
+      rotation_.push_back(client);
+    } else {
+      queues_.erase(it);
+    }
+    --queued_;
+    ++running_;
+  }
+  trace::Span span("serve.drain", "serve", "job", job.id);
+  job.work(job.id, *job.token);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_.erase(job.id);
+    --running_;
+  }
+  idle_cv_.notify_all();
+}
+
+bool Scheduler::cancel(long long id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(id);
+  if (it == tokens_.end()) return false;
+  it->second->cancel();
+  return true;
+}
+
+int Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void Scheduler::stop() {
+  std::deque<Job> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      idle_cv_.wait(lock, [this] { return running_ == 0 && queued_ == 0; });
+      return;
+    }
+    stopping_ = true;
+    for (auto& [id, token] : tokens_) token->cancel();
+    // Pull the queued jobs out: their pool drain tasks may be abandoned
+    // by the pool destructor, but every submitter still gets an END
+    // (the work runs below with a fired token, which returns fast).
+    for (auto& [client, queue] : queues_) {
+      while (!queue.empty()) {
+        leftovers.push_back(std::move(queue.front()));
+        queue.pop_front();
+        --queued_;
+      }
+    }
+    queues_.clear();
+    rotation_.clear();
+    idle_cv_.wait(lock, [this] { return running_ == 0; });
+  }
+  for (Job& job : leftovers) {
+    job.work(job.id, *job.token);
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_.erase(job.id);
+  }
+  pool_.reset();
+}
+
+}  // namespace sscl::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Admission control and per-client fair scheduling for sscl-serve
+/// (docs/SERVE.md). Jobs land in per-client FIFO queues; a round-robin
+/// cursor walks the clients with pending work, so a client flooding the
+/// daemon adds latency for itself, not for everyone else. The total
+/// queue is bounded (--queue-depth): when full, submit() rejects with a
+/// retry-after hint instead of buffering without limit, which is the
+/// backpressure signal the wire protocol surfaces as BUSY.
+///
+/// Execution rides the run::ThreadPool: every accepted job enqueues one
+/// generic drain task, and each drain task runs whichever job the
+/// fairness cursor picks *at execution time* — so fairness is decided
+/// when capacity frees up, not at admission order.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <unordered_map>
+
+#include "run/cancel.hpp"
+#include "run/thread_pool.hpp"
+
+namespace sscl::serve {
+
+class Scheduler {
+ public:
+  struct Options {
+    int jobs = 2;         ///< worker threads (--jobs; 0 = hardware)
+    int queue_depth = 64; ///< max jobs admitted but not yet running
+  };
+
+  /// Runs on a pool worker. The id matches the Admit the submitter got;
+  /// the token is cancelled by cancel(id), stop() and deadlines.
+  using Work = std::function<void(long long id, run::CancelToken& token)>;
+
+  struct Admit {
+    bool accepted = false;
+    long long id = 0;          ///< valid when accepted
+    int retry_after_ms = 0;    ///< backpressure hint when rejected
+  };
+
+  explicit Scheduler(Options options);
+  ~Scheduler();
+
+  /// Invoked on acceptance with the assigned id, under the admission
+  /// lock — i.e. strictly before any worker can pick the job up. The
+  /// Server emits the QUEUED envelope line here so it always precedes
+  /// the job's BEGIN, even when a worker is idle and starts instantly.
+  using OnAdmit = std::function<void(long long id)>;
+
+  /// Admit a job for \p client, or reject it when the queue is full.
+  Admit submit(const std::string& client, Work work, const OnAdmit& on_admit);
+
+  /// Cancel a queued or running job. Queued jobs still run their Work
+  /// (with a fired token) so the submitter gets its END line. Returns
+  /// false for unknown/finished ids.
+  bool cancel(long long id);
+
+  /// Jobs admitted but not yet picked up by a worker.
+  int queue_depth() const;
+
+  /// Fire every token and wait for in-flight work to drain. Idempotent;
+  /// submit() rejects afterwards.
+  void stop();
+
+ private:
+  struct Job {
+    long long id = 0;
+    Work work;
+    run::CancelTokenPtr token;
+  };
+
+  void drain_one();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, std::deque<Job>> queues_;
+  std::deque<std::string> rotation_;  ///< clients with pending jobs
+  /// Tokens of queued + running jobs, for cancel(); erased on finish.
+  std::unordered_map<long long, run::CancelTokenPtr> tokens_;
+  long long next_id_ = 1;
+  int pool_size_ = 1;  ///< worker count, cached so it survives stop()
+  int queued_ = 0;
+  int running_ = 0;
+  bool stopping_ = false;
+  // Last member: destroyed first, so workers drain before the queues
+  // they read from go away.
+  std::unique_ptr<run::ThreadPool> pool_;
+};
+
+}  // namespace sscl::serve

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file server.hpp
+/// The transport-agnostic sscl-serve core: admission, cache lookup, job
+/// execution and the serve.* metrics surface (docs/SERVE.md). The
+/// socket layer (socket.hpp) and the in-process tests both drive this
+/// class; it never touches the network itself.
+///
+/// submit() is asynchronous: it admits (or rejects) the job and
+/// returns; the response lines stream through the caller's Sink from a
+/// worker thread, ending with `END <status>`.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace sscl::serve {
+
+struct ServerOptions {
+  int jobs = 2;             ///< worker threads (--jobs; 0 = hardware)
+  int cache_entries = 32;   ///< elaboration-cache capacity (--cache-entries)
+  int queue_depth = 64;     ///< admission bound (--queue-depth)
+  int default_timeout_ms = 0;  ///< per-job deadline; 0 = none (--timeout-ms)
+  bool adopt_pattern = true;   ///< pattern-tier pivot adoption (--no-adopt)
+  netlist::ParseOptions parse;
+  spice::SolverOptions solver;
+};
+
+/// Point-in-time serve.* metrics (also published to the trace registry
+/// under the same names when tracing is enabled).
+struct ServeStats {
+  long long requests = 0;
+  long long admission_rejects = 0;
+  long long jobs_ok = 0;
+  long long jobs_error = 0;
+  long long jobs_cancelled = 0;
+  long long jobs_timeout = 0;
+  CacheStats cache;
+  int queue_depth = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  /// Admit \p request. When accepted, \p sink receives the streamed
+  /// response (QUEUED immediately, then BEGIN/CACHE, payload lines and
+  /// END from a worker). When rejected, sink receives the BUSY line and
+  /// `END busy` before this returns.
+  Scheduler::Admit submit(JobRequest request, Sink sink);
+
+  /// Cancel a queued or running job by id.
+  bool cancel(long long job_id);
+
+  ServeStats stats() const;
+
+  /// Flat one-object JSON of every serve.* metric (METRICS command).
+  std::string metrics_json() const;
+
+  /// Cancel everything and drain the workers. Idempotent.
+  void stop();
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void run_one(long long id, const JobRequest& request, const Sink& sink,
+               run::CancelToken& token);
+  void record_latency(double ms);
+  void publish_metrics() const;
+
+  ServerOptions options_;
+  ElabCache cache_;
+  Scheduler scheduler_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats counters_;               // cache/queue_depth filled on read
+  std::vector<double> latency_ring_;  // last kLatencyWindow wall times [ms]
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace sscl::serve

@@ -533,6 +533,14 @@ class Device {
   /// connectivity findings to warnings.
   virtual bool describe(DeviceInfo& /*info*/) const { return false; }
 
+  /// Forget every run-dependent evaluation artifact — bypass caches,
+  /// junction limiting history — restoring the device to its
+  /// just-elaborated condition. Parameters, allocated branches/state
+  /// slots and reserved stamp slots are untouched. Engine::reset_runtime
+  /// calls this so a cached engine (sscl-serve) replays a deck with
+  /// arithmetic bit-identical to a freshly constructed one.
+  virtual void reset_runtime() {}
+
   // ---- Monte-Carlo ensemble interface ---------------------------------
 
   /// Apply the mismatch draw of Monte-Carlo stream \p stream to this

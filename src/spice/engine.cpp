@@ -347,6 +347,13 @@ Solution Engine::solve_op() {
   throw ConvergenceError("DC operating point did not converge");
 }
 
+void Engine::reset_runtime() {
+  std::fill(state_prev_.begin(), state_prev_.end(), 0.0);
+  std::fill(state_now_.begin(), state_now_.end(), 0.0);
+  nodeset_.clear();
+  for (const auto& device : circuit_.devices()) device->reset_runtime();
+}
+
 void Engine::initialize_state(const std::vector<double>& x) {
   LoadContext ctx(system_, circuit_.node_count(), AnalysisMode::kInitState);
   ctx.set_stats(&stats_);

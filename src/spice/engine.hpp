@@ -90,6 +90,18 @@ class Engine {
               IntegrationMethod method, double a0, double gmin,
               double source_scale, int* iterations_out = nullptr);
 
+  /// Restore the engine (and every device) to its just-constructed
+  /// condition without repeating elaboration, lint or the pattern pass:
+  /// integrator state and nodesets are cleared and device runtime caches
+  /// (bypass points, junction limiting history) are invalidated. The
+  /// sparse symbolic factorisation is deliberately kept — replaying a
+  /// pivot sequence on identical values performs identical arithmetic
+  /// (sparse.cpp), so a reset engine re-runs a deck bit-identically to a
+  /// fresh one while skipping the whole elaboration-time pipeline. This
+  /// is the contract the sscl-serve elaboration cache is built on
+  /// (docs/SERVE.md).
+  void reset_runtime();
+
   /// Run the kInitState pass: devices record integrator state from the
   /// solution x, then the state becomes the "previous timestep" state.
   void initialize_state(const std::vector<double>& x);

@@ -52,6 +52,9 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
   std::vector<double> x = op.raw();
   engine.initialize_state(x);
   wave.append(0.0, x);
+  if (options.on_accept && !options.on_accept(0.0, x)) {
+    throw TransientAborted();
+  }
 
   std::vector<double> breakpoints = gather_breakpoints(circuit, tstop);
   std::size_t next_bp = 0;
@@ -167,6 +170,9 @@ Waveform run_transient(Engine& engine, const TransientOptions& options) {
     h_prev = h_eff;
     t += h_eff;
     wave.append(t, x);
+    if (options.on_accept && !options.on_accept(t, x)) {
+      throw TransientAborted();
+    }
     use_be = hit_bp;  // damp the discontinuity right after a breakpoint
 
     // Step-size update: grow gently, shrink by the error estimate.

@@ -1,0 +1,91 @@
+#pragma once
+
+/// Shared in-memory decks for the sscl::serve test suite. All of them
+/// are self-contained (no .include) and lint-clean, so cache lookups
+/// exercise only the behaviour under test.
+
+namespace sscl::serve_test {
+
+/// Resistor divider with a .param-valued load: the structural hash
+/// stays fixed under rload edits, so this is the pattern-tier deck.
+inline const char* kDivider =
+    "* divider\n"
+    ".param rload=1k\n"
+    "v1 in 0 dc 1.0\n"
+    "r1 in out 1k\n"
+    "r2 out 0 'rload'\n"
+    ".op\n"
+    ".end\n";
+
+/// kDivider with whitespace/comment edits only: same token stream,
+/// same full hash, elaboration-tier hit.
+inline const char* kDividerWhitespace =
+    "* divider\n"
+    "\n"
+    "* a comment the lexer strips\n"
+    ".param   rload=1k\n"
+    "v1 in 0\n"
+    "+ dc 1.0\n"
+    "r1 in out 1k\n"
+    "r2 out 0 'rload'\n"
+    ".op\n"
+    ".end\n";
+
+/// kDivider with a different .param value: full hash differs,
+/// structural hash matches (pattern tier).
+inline const char* kDividerParamEdit =
+    "* divider\n"
+    ".param rload=2k\n"
+    "v1 in 0 dc 1.0\n"
+    "r1 in out 1k\n"
+    "r2 out 0 'rload'\n"
+    ".op\n"
+    ".end\n";
+
+/// Topology edit (extra resistor): both hashes differ, full miss.
+inline const char* kDividerTopologyEdit =
+    "* divider\n"
+    ".param rload=1k\n"
+    "v1 in 0 dc 1.0\n"
+    "r1 in out 1k\n"
+    "r2 out 0 'rload'\n"
+    "r3 out 0 10k\n"
+    ".op\n"
+    ".end\n";
+
+/// RC low-pass with op + dc sweep + transient + measures: the payload
+/// coverage deck for byte-identity checks.
+inline const char* kRcFull =
+    "* rc bench\n"
+    "v1 in 0 pulse(0 1 0 1n 1n 50n 100n)\n"
+    "r1 in out 10k\n"
+    "c1 out 0 1p\n"
+    ".op\n"
+    ".dc v1 0 1 0.25\n"
+    ".tran 1n 100n\n"
+    ".measure tran vmax max v(out)\n"
+    ".measure tran vmin min v(out)\n"
+    ".measure tran tplh trig v(in) val=0.5 rise=1 targ v(out) val=0.5 rise=1\n"
+    ".end\n";
+
+/// A transient that takes effectively forever (100k pulse-period
+/// breakpoints): the cancellation/timeout victim. Every test that
+/// submits it must cancel it, time it out, or stop the server.
+inline const char* kSlowTran =
+    "* slow\n"
+    "v1 in 0 pulse(0 1 0 1u 1u 5u 10u)\n"
+    "r1 in out 1k\n"
+    "c1 out 0 1n\n"
+    ".tran 0.1u 1\n"
+    ".end\n";
+
+/// Lexes fine but fails elaboration (unknown model): the cache must
+/// throw and stay empty.
+inline const char* kBadModel =
+    "* bad\n"
+    "m1 out in 0 0 no_such_model W=1u L=1u\n"
+    "v1 in 0 dc 1.0\n"
+    ".op\n"
+    ".end\n";
+
+}  // namespace sscl::serve_test

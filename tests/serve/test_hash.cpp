@@ -1,0 +1,95 @@
+#include "netlist/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/lexer.hpp"
+#include "serve_test_decks.hpp"
+
+namespace {
+
+using namespace sscl;
+using namespace sscl::serve_test;
+
+netlist::TokenHashes hash_text(const std::string& text,
+                               const netlist::LexOptions& options = {}) {
+  return netlist::hash_tokens(netlist::lex_deck(text, "<deck>", options));
+}
+
+TEST(TokenHash, WhitespaceAndCommentsDoNotChangeEitherHash) {
+  const auto a = hash_text(kDivider);
+  const auto b = hash_text(kDividerWhitespace);
+  EXPECT_EQ(a.full, b.full);
+  EXPECT_EQ(a.structural, b.structural);
+}
+
+TEST(TokenHash, CaseDoesNotChangeEitherHash) {
+  const auto a = hash_text("* t\nR1 IN 0 1K\nV1 IN 0 DC 1\n.OP\n.END\n");
+  const auto b = hash_text("* t\nr1 in 0 1k\nv1 in 0 dc 1\n.op\n.end\n");
+  EXPECT_EQ(a.full, b.full);
+  EXPECT_EQ(a.structural, b.structural);
+}
+
+TEST(TokenHash, ParamValueEditChangesOnlyTheFullHash) {
+  const auto a = hash_text(kDivider);
+  const auto b = hash_text(kDividerParamEdit);
+  EXPECT_NE(a.full, b.full);
+  EXPECT_EQ(a.structural, b.structural);
+}
+
+TEST(TokenHash, TopologyEditChangesBothHashes) {
+  const auto a = hash_text(kDivider);
+  const auto b = hash_text(kDividerTopologyEdit);
+  EXPECT_NE(a.full, b.full);
+  EXPECT_NE(a.structural, b.structural);
+}
+
+TEST(TokenHash, ElementValueEditChangesBothHashes) {
+  // Only .param values are masked in the structural stream; an element
+  // value edit renumbers nothing but is not a pure-.param edit, so it
+  // must fall through to the miss tier.
+  const auto a = hash_text("* t\nr1 in 0 1k\nv1 in 0 dc 1\n.op\n.end\n");
+  const auto b = hash_text("* t\nr1 in 0 2k\nv1 in 0 dc 1\n.op\n.end\n");
+  EXPECT_NE(a.full, b.full);
+  EXPECT_NE(a.structural, b.structural);
+}
+
+TEST(TokenHash, TitleIsPartOfTheFullHash) {
+  const auto a = hash_text("* one\nr1 in 0 1k\nv1 in 0 dc 1\n.op\n.end\n");
+  const auto b = hash_text("* two\nr1 in 0 1k\nv1 in 0 dc 1\n.op\n.end\n");
+  EXPECT_NE(a.full, b.full);
+}
+
+TEST(TokenHash, IncludeIndirectionDoesNotChangeTheHash) {
+  // The hash covers the post-.include token stream, so splicing the
+  // same cards from a file is invisible.
+  const std::string inline_deck =
+      "* t\n.param rl=1k\nr1 in 0 'rl'\nv1 in 0 dc 1\n.op\n.end\n";
+  const std::string including_deck =
+      "* t\n.include lib.inc\nr1 in 0 'rl'\nv1 in 0 dc 1\n.op\n.end\n";
+  netlist::LexOptions options;
+  options.include_loader =
+      [](const std::string& path) -> std::optional<std::string> {
+    if (path == "lib.inc") return std::string(".param rl=1k\n");
+    return std::nullopt;
+  };
+  const auto a = hash_text(inline_deck);
+  const auto b = hash_text(including_deck, options);
+  EXPECT_EQ(a.full, b.full);
+  EXPECT_EQ(a.structural, b.structural);
+}
+
+TEST(TokenHash, CanonicalTokensAreLowercasedAndSpaceSeparated) {
+  const auto lexed = netlist::lex_deck("* t\nR1 IN 0 1K\n.end\n");
+  EXPECT_EQ(netlist::canonical_tokens(lexed), "r1 in 0 1k \n.end \n");
+}
+
+TEST(TokenHash, QuotedExpressionsKeepTheirMarkers) {
+  // 'expr' quoting is semantic (deferred evaluation), so the canonical
+  // stream must distinguish r1 in 0 {rl} from r1 in 0 rl.
+  const auto quoted = netlist::lex_deck("* t\nr1 in 0 'rl'\n.end\n");
+  EXPECT_EQ(netlist::canonical_tokens(quoted), "r1 in 0 {rl} \n.end \n");
+  const auto bare = hash_text("* t\nr1 in 0 rl\n.end\n");
+  EXPECT_NE(hash_text("* t\nr1 in 0 'rl'\n.end\n").full, bare.full);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace sscl;
+using serve::Scheduler;
+
+Scheduler::Options single_worker(int queue_depth) {
+  Scheduler::Options options;
+  options.jobs = 1;
+  options.queue_depth = queue_depth;
+  return options;
+}
+
+/// Blocks every job on one gate so tests control exactly when the
+/// single worker makes progress, and records completion order.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<std::string> order;
+
+  void wait_open() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+  void record(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(label);
+  }
+  void wait_count(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return order.size() >= n; });
+  }
+};
+
+TEST(Scheduler, RoundRobinsAcrossClients) {
+  Gate gate;
+  Scheduler scheduler(single_worker(16));
+  auto job = [&gate](const std::string& label) {
+    return [&gate, label](long long, run::CancelToken&) {
+      gate.wait_open();
+      gate.record(label);
+      gate.cv.notify_all();
+    };
+  };
+  // All five land while the worker is blocked on the first one it
+  // picked, so the fairness cursor decides the rest: a after a, b and c
+  // interleave ahead of the flooder's backlog.
+  scheduler.submit("a", job("a1"), nullptr);
+  scheduler.submit("a", job("a2"), nullptr);
+  scheduler.submit("a", job("a3"), nullptr);
+  scheduler.submit("b", job("b1"), nullptr);
+  scheduler.submit("c", job("c1"), nullptr);
+  gate.release();
+  gate.wait_count(5);
+  scheduler.stop();
+
+  const auto& order = gate.order;
+  ASSERT_EQ(order.size(), 5u);
+  // Client a floods first, so a1 starts first; after that every other
+  // client gets a turn before a's backlog continues.
+  EXPECT_EQ(order[0], "a1");
+  auto pos = [&order](const std::string& label) {
+    return std::find(order.begin(), order.end(), label) - order.begin();
+  };
+  EXPECT_LT(pos("b1"), pos("a3"));
+  EXPECT_LT(pos("c1"), pos("a3"));
+}
+
+TEST(Scheduler, RejectsWithRetryHintWhenTheQueueIsFull) {
+  Gate gate;
+  Scheduler scheduler(single_worker(1));
+  auto blocked = [&gate](long long, run::CancelToken&) { gate.wait_open(); };
+  // First job is picked up by the worker (blocked on the gate), second
+  // fills the queue slot; the third must bounce.
+  ASSERT_TRUE(scheduler.submit("a", blocked, nullptr).accepted);
+  // Wait until the worker pulled the first job off the queue so the
+  // admission math below is deterministic.
+  while (scheduler.queue_depth() != 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(scheduler.submit("a", blocked, nullptr).accepted);
+  const Scheduler::Admit rejected = scheduler.submit("a", blocked, nullptr);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_GT(rejected.retry_after_ms, 0);
+  gate.release();
+  scheduler.stop();
+}
+
+TEST(Scheduler, OnAdmitRunsBeforeTheWork) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> events;
+  bool done = false;
+  Scheduler scheduler(single_worker(4));
+  scheduler.submit(
+      "a",
+      [&](long long, run::CancelToken&) {
+        std::lock_guard<std::mutex> lock(mu);
+        events.push_back("work");
+        done = true;
+        cv.notify_all();
+      },
+      [&](long long id) {
+        std::lock_guard<std::mutex> lock(mu);
+        events.push_back("admit:" + std::to_string(id));
+      });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "admit:1");
+  EXPECT_EQ(events[1], "work");
+}
+
+TEST(Scheduler, CancelFiresTheTokenOfAQueuedJob) {
+  Gate gate;
+  Scheduler scheduler(single_worker(4));
+  scheduler.submit(
+      "a", [&gate](long long, run::CancelToken&) { gate.wait_open(); },
+      nullptr);
+  bool queued_saw_cancel = false;
+  long long queued_id = 0;
+  scheduler.submit(
+      "a",
+      [&](long long, run::CancelToken& token) {
+        queued_saw_cancel = token.stop_requested();
+        gate.record("queued-ran");
+        gate.cv.notify_all();
+      },
+      [&](long long id) { queued_id = id; });
+  EXPECT_TRUE(scheduler.cancel(queued_id));
+  gate.release();
+  gate.wait_count(1);
+  scheduler.stop();
+  // The queued job still ran (its submitter needs an END line), but
+  // with a fired token.
+  EXPECT_TRUE(queued_saw_cancel);
+}
+
+TEST(Scheduler, CancelReturnsFalseForUnknownOrFinishedIds) {
+  Scheduler scheduler(single_worker(4));
+  EXPECT_FALSE(scheduler.cancel(999));
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  long long id = 0;
+  scheduler.submit(
+      "a",
+      [&](long long, run::CancelToken&) {
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
+        cv.notify_all();
+      },
+      [&](long long assigned) { id = assigned; });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  scheduler.stop();
+  EXPECT_FALSE(scheduler.cancel(id));
+}
+
+TEST(Scheduler, StopCancelsQueuedJobsButStillRunsThem) {
+  Gate gate;
+  Scheduler scheduler(single_worker(8));
+  scheduler.submit(
+      "a", [&gate](long long, run::CancelToken&) { gate.wait_open(); },
+      nullptr);
+  int ran_with_fired_token = 0;
+  for (int i = 0; i < 3; ++i) {
+    scheduler.submit(
+        "a",
+        [&](long long, run::CancelToken& token) {
+          if (token.stop_requested()) ++ran_with_fired_token;
+        },
+        nullptr);
+  }
+  // stop() fires every token; release the gate from another thread so
+  // the running job can drain.
+  std::thread opener([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.release();
+  });
+  scheduler.stop();
+  opener.join();
+  // Every queued job got its (cancelled) execution: the submitters'
+  // END-line contract survives shutdown.
+  EXPECT_EQ(ran_with_fired_token, 3);
+  EXPECT_FALSE(scheduler.submit("a", [](long long, run::CancelToken&) {},
+                                nullptr)
+                   .accepted);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include "serve/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve_test_decks.hpp"
+
+namespace {
+
+using namespace sscl;
+using namespace sscl::serve_test;
+
+/// Daemon-on-an-ephemeral-port fixture: real TCP loopback, real wire
+/// protocol, torn down per test.
+class SocketServe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::ServerOptions options;
+    options.jobs = 2;
+    core_ = std::make_unique<serve::Server>(options);
+    transport_ = std::make_unique<serve::SocketServer>(*core_, 0);
+    ASSERT_GT(transport_->port(), 0);
+    transport_->start();
+  }
+
+  void TearDown() override {
+    transport_->stop();
+    transport_.reset();
+    core_.reset();
+  }
+
+  std::unique_ptr<serve::Server> core_;
+  std::unique_ptr<serve::SocketServer> transport_;
+};
+
+std::vector<std::string> payload(const serve::Client::Reply& reply) {
+  std::vector<std::string> out;
+  for (const std::string& line : reply.lines) {
+    if (line.rfind("QUEUED", 0) == 0 || line.rfind("BEGIN", 0) == 0 ||
+        line.rfind("CACHE", 0) == 0 || line.rfind("BUSY", 0) == 0 ||
+        line.rfind("END", 0) == 0) {
+      continue;
+    }
+    out.push_back(line);
+  }
+  return out;
+}
+
+std::string envelope_of(const serve::Client::Reply& reply, const char* tag) {
+  for (const std::string& line : reply.lines) {
+    if (line.rfind(tag, 0) == 0) return line;
+  }
+  return {};
+}
+
+TEST_F(SocketServe, PingPongs) {
+  serve::Client client(transport_->port());
+  const auto reply = client.command("PING");
+  ASSERT_EQ(reply.lines.size(), 2u);
+  EXPECT_EQ(reply.lines[0], "PONG");
+  EXPECT_EQ(reply.status, "ok");
+}
+
+TEST_F(SocketServe, SubmitTwiceHitsTheCacheOverTheWire) {
+  serve::Client client(transport_->port());
+  serve::JobRequest request;
+  request.deck_text = kRcFull;
+  const auto cold = client.submit(request);
+  const auto warm = client.submit(request);
+  ASSERT_EQ(cold.status, "ok");
+  ASSERT_EQ(warm.status, "ok");
+  EXPECT_EQ(envelope_of(cold, "CACHE"), "CACHE cold");
+  EXPECT_EQ(envelope_of(warm, "CACHE"), "CACHE elab");
+  EXPECT_EQ(payload(cold), payload(warm));
+
+  const auto metrics = client.command("METRICS");
+  ASSERT_EQ(metrics.status, "ok");
+  const std::string& json = metrics.lines[0];
+  EXPECT_NE(json.find("\"serve.cache.hit.elab\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"serve.cache.miss\":1"), std::string::npos);
+}
+
+TEST_F(SocketServe, StatsLinesAreTagged) {
+  serve::Client client(transport_->port());
+  serve::JobRequest request;
+  request.deck_text = kDivider;
+  client.submit(request);
+  const auto stats = client.command("STATS");
+  ASSERT_EQ(stats.status, "ok");
+  bool saw_requests = false;
+  for (const auto& line : stats.lines) {
+    if (line == "STAT requests 1") saw_requests = true;
+  }
+  EXPECT_TRUE(saw_requests);
+}
+
+TEST_F(SocketServe, TwoConnectionsShareTheCache) {
+  serve::Client first(transport_->port());
+  serve::JobRequest request;
+  request.deck_text = kDivider;
+  ASSERT_EQ(first.submit(request).status, "ok");
+
+  serve::Client second(transport_->port());
+  const auto warm = second.submit(request);
+  EXPECT_EQ(envelope_of(warm, "CACHE"), "CACHE elab");
+}
+
+TEST_F(SocketServe, ConcurrentConnectionsAllComplete) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> statuses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &statuses] {
+      serve::Client client(transport_->port());
+      serve::JobRequest request;
+      request.deck_text = kRcFull;
+      request.client = "c" + std::to_string(i);
+      statuses[static_cast<std::size_t>(i)] = client.submit(request).status;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& status : statuses) EXPECT_EQ(status, "ok");
+  EXPECT_EQ(core_->stats().jobs_ok, kClients);
+}
+
+TEST_F(SocketServe, CancelFromASecondConnection) {
+  serve::Client submitter(transport_->port());
+  serve::JobRequest request;
+  request.deck_text = kSlowTran;
+
+  std::thread canceller([this] {
+    // The submitter's QUEUED line carries id 1 (first job).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    serve::Client side(transport_->port());
+    const auto reply = side.command("CANCEL 1");
+    EXPECT_EQ(reply.status, "ok");
+  });
+  const auto reply = submitter.submit(request);
+  canceller.join();
+  EXPECT_EQ(reply.status, "cancelled");
+}
+
+TEST_F(SocketServe, CancelUnknownIdIsAnError) {
+  serve::Client client(transport_->port());
+  EXPECT_EQ(client.command("CANCEL 999").status, "error");
+}
+
+TEST_F(SocketServe, MalformedCommandGetsErrorLine) {
+  serve::Client client(transport_->port());
+  const auto reply = client.command("FROBNICATE");
+  EXPECT_EQ(reply.status, "error");
+  EXPECT_NE(envelope_of(reply, "ERROR"), "");
+}
+
+TEST_F(SocketServe, ShutdownStopsTheAcceptLoop) {
+  {
+    serve::Client client(transport_->port());
+    EXPECT_EQ(client.command("SHUTDOWN").status, "ok");
+  }
+  // After SHUTDOWN the listener is gone: a fresh connection must fail.
+  // (Give the accept loop a moment to unwind.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_THROW(serve::Client reconnect(transport_->port()),
+               std::runtime_error);
+}
+
+}  // namespace
